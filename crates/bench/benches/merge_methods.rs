@@ -1,0 +1,79 @@
+//! Method-vs-method merge throughput: ChipAlign against every baseline at
+//! a fixed model size, plus the geodesic ablations (raw SLERP, global
+//! granularity, arithmetic norm restoration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use chipalign_merge::{
+    Della, GeodesicMerge, Granularity, Merger, ModelSoup, NormRestore, TaskArithmetic,
+    Ties,
+};
+use chipalign_model::{ArchSpec, Checkpoint};
+use chipalign_tensor::rng::Pcg32;
+
+fn bench_arch() -> ArchSpec {
+    ArchSpec {
+        name: "method-bench".into(),
+        vocab_size: 99,
+        d_model: 64,
+        n_layers: 3,
+        n_heads: 4,
+        d_ff: 128,
+        max_seq_len: 64,
+    }
+}
+
+fn bench_merge_methods(c: &mut Criterion) {
+    let arch = bench_arch();
+    let base = Checkpoint::random(&arch, &mut Pcg32::seed(1));
+    let chip = Checkpoint::random(&arch, &mut Pcg32::seed(2));
+    let instruct = Checkpoint::random(&arch, &mut Pcg32::seed(3));
+
+    let methods: Vec<(&str, Box<dyn Merger>)> = vec![
+        ("chipalign", Box::new(GeodesicMerge::recommended())),
+        (
+            "chipalign_global",
+            Box::new(GeodesicMerge::recommended().with_granularity(Granularity::Global)),
+        ),
+        (
+            "chipalign_arith_norm",
+            Box::new(
+                GeodesicMerge::recommended().with_norm_restore(NormRestore::Arithmetic),
+            ),
+        ),
+        (
+            "raw_slerp",
+            Box::new(GeodesicMerge::raw_slerp(0.6).expect("valid lambda")),
+        ),
+        ("model_soup", Box::new(ModelSoup::new())),
+        (
+            "task_arithmetic",
+            Box::new(TaskArithmetic::new(base.clone(), 1.0).expect("valid scale")),
+        ),
+        (
+            "ties",
+            Box::new(Ties::recommended(base.clone()).expect("valid density")),
+        ),
+        (
+            "della",
+            Box::new(Della::recommended(base, 7).expect("valid probabilities")),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("merge_methods");
+    for (name, merger) in &methods {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let merged = merger
+                    .merge_pair(black_box(&chip), black_box(&instruct))
+                    .expect("conformable");
+                black_box(merged)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge_methods);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! §III-C complexity claim: ChipAlign merges in O(n) time and space.
+//!
+//! Benches the geodesic merge over a geometric ladder of model sizes; a
+//! linear fit of time vs scalar count should hold (the paper reports 10
+//! minutes for 14B and 43 minutes for 70B on the same CPU — the same
+//! near-linear ratio).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use chipalign_merge::{GeodesicMerge, Merger};
+use chipalign_model::{ArchSpec, Checkpoint};
+use chipalign_tensor::rng::Pcg32;
+
+fn arch_of_size(d_model: usize, n_layers: usize) -> ArchSpec {
+    ArchSpec {
+        name: format!("scale-d{d_model}-l{n_layers}"),
+        vocab_size: 99,
+        d_model,
+        n_layers,
+        n_heads: 4,
+        d_ff: d_model * 2,
+        max_seq_len: 64,
+    }
+}
+
+fn bench_merge_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chipalign_merge_scaling");
+    for (d_model, n_layers) in [(32, 2), (64, 2), (64, 4), (128, 4), (128, 8)] {
+        let arch = arch_of_size(d_model, n_layers);
+        let n = arch.scalar_count();
+        let chip = Checkpoint::random(&arch, &mut Pcg32::seed(1));
+        let instruct = Checkpoint::random(&arch, &mut Pcg32::seed(2));
+        let merger = GeodesicMerge::recommended();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}-params")),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let merged = merger
+                        .merge_pair(black_box(&chip), black_box(&instruct))
+                        .expect("conformable");
+                    black_box(merged)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge_scaling);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Substrate hot paths: transformer forward/backward, KV-cached decoding,
+//! ROUGE-L, BM25 retrieval, and tokenization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use chipalign_data::openroad::OpenRoadBenchmark;
+use chipalign_eval::rouge::rouge_l;
+use chipalign_model::ArchSpec;
+use chipalign_nn::{loss, CharTokenizer, KvCache, TinyLm};
+use chipalign_rag::{Chunker, Retriever};
+use chipalign_tensor::rng::Pcg32;
+
+fn bench_arch() -> ArchSpec {
+    ArchSpec {
+        name: "substrate-bench".into(),
+        vocab_size: 99,
+        d_model: 48,
+        n_layers: 2,
+        n_heads: 4,
+        d_ff: 96,
+        max_seq_len: 256,
+    }
+}
+
+fn bench_substrates(c: &mut Criterion) {
+    let arch = bench_arch();
+    let model = TinyLm::new(&arch, &mut Pcg32::seed(5)).expect("valid arch");
+    let tokens: Vec<u32> = (0..160).map(|i| 4 + (i % 90) as u32).collect();
+
+    c.bench_function("forward_160_tokens", |b| {
+        b.iter(|| black_box(model.logits(black_box(&tokens)).expect("ok")));
+    });
+
+    c.bench_function("forward_backward_160_tokens", |b| {
+        b.iter(|| {
+            let (logits, cache) = model.forward(black_box(&tokens)).expect("ok");
+            let result = loss::cross_entropy(&logits, &tokens).expect("ok");
+            black_box(model.backward(&cache, &result.dlogits).expect("ok"))
+        });
+    });
+
+    c.bench_function("kv_prefill_160_plus_40_steps", |b| {
+        b.iter(|| {
+            let mut cache = KvCache::new(&model);
+            cache.prefill(black_box(&tokens)).expect("ok");
+            let mut last = 4u32;
+            for _ in 0..40 {
+                let logits = cache.decode_step(last).expect("ok");
+                last = chipalign_tensor::ops::argmax(&logits).expect("ok") as u32;
+            }
+            black_box(last)
+        });
+    });
+
+    let tok = CharTokenizer::new();
+    let text = "the timing report window shows setup and hold slack for each path group";
+    c.bench_function("tokenizer_encode_decode", |b| {
+        b.iter(|| {
+            let ids = tok.encode(black_box(text));
+            black_box(tok.decode(&ids))
+        });
+    });
+
+    c.bench_function("rouge_l_sentence_pair", |b| {
+        b.iter(|| {
+            black_box(rouge_l(
+                black_box("click the timing icon in the toolbar to open the report"),
+                black_box("click on the timing icon in the gui toolbar"),
+            ))
+        });
+    });
+
+    let docs = OpenRoadBenchmark::corpus_documents();
+    let retriever = Retriever::build(Chunker::default().chunk_all(&docs));
+    c.bench_function("rag_retrieve_top2", |b| {
+        b.iter(|| {
+            black_box(retriever.retrieve(black_box("what does the gpl cmd do?"), 2))
+        });
+    });
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

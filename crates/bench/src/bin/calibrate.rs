@@ -1,0 +1,83 @@
+//! Mechanism calibration: verifies that the synthetic world reproduces the
+//! paper's capability split before any table is generated.
+//!
+//! Trains one backbone's base → instruct → EDA chain plus the merged model
+//! and prints the diagnostic grid:
+//!
+//! * instruction model: high tag compliance, low chip ROUGE;
+//! * EDA model: high chip ROUGE on untagged prompts, degraded tag
+//!   compliance;
+//! * ChipAlign merge: both.
+//!
+//! Run with `CHIPALIGN_QUALITY=smoke` for a fast sanity pass.
+
+use chipalign_bench::harness;
+use chipalign_data::ifeval_bench;
+use chipalign_data::openroad::OpenRoadBenchmark;
+use chipalign_eval::rouge::rouge_l;
+use chipalign_pipeline::evalkit::{mean, respond};
+use chipalign_pipeline::experiments::{ifeval, merged_variants};
+use chipalign_pipeline::zoo::{Backbone, ZooModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let zoo = harness::paper_zoo()?;
+    let backbone = Backbone::LlamaTiny;
+
+    let instruct = zoo.model(ZooModel::Instruct(backbone))?;
+    let eda = zoo.model(ZooModel::Eda(backbone))?;
+    let merged = merged_variants(&zoo, backbone)?;
+    let chipalign = &merged
+        .iter()
+        .find(|(n, _)| n.ends_with("ChipAlign"))
+        .expect("ChipAlign variant")
+        .1;
+
+    let bench = OpenRoadBenchmark::generate(harness::BENCH_SEED);
+    let triplets = &bench.triplets[..30.min(bench.triplets.len())];
+    let prompts = ifeval_bench::generate(harness::BENCH_SEED);
+    let if_prompts = &prompts[..100.min(prompts.len())];
+
+    println!("model                 tagged-rouge  plain-rouge  ifeval-strict");
+    for (name, model) in [
+        ("instruct", &instruct),
+        ("eda", &eda),
+        ("chipalign", chipalign),
+    ] {
+        // Tagged QA (the real benchmark condition).
+        let mut tagged = Vec::new();
+        let mut plain = Vec::new();
+        for t in triplets {
+            let r = respond(model, &t.prompt())?;
+            tagged.push(rouge_l(&r, &t.golden).f1);
+            // Plain condition: same triplet without tags, scored against
+            // the untagged answer.
+            let plain_prompt =
+                chipalign_data::prompt::format_prompt(&t.context, &t.question, &[]);
+            let plain_golden = {
+                // Undo the tag by checking against the raw fact answer via
+                // the context (answer is embedded in the doc minus the
+                // trailing period).
+                t.context.trim_end_matches('.').to_string()
+            };
+            let r2 = respond(model, &plain_prompt)?;
+            plain.push(rouge_l(&r2, &plain_golden).f1);
+        }
+        let report = ifeval::eval_subset(model, if_prompts)?;
+        println!(
+            "{name:<22} {:>10.3} {:>12.3} {:>13.3}",
+            mean(&tagged),
+            mean(&plain),
+            report.prompt_strict
+        );
+    }
+
+    // Show a couple of concrete responses for eyeballing.
+    for t in &triplets[..3] {
+        println!("\nprompt : {}", t.prompt());
+        println!("golden : {}", t.golden);
+        println!("  instruct : {}", respond(&instruct, &t.prompt())?);
+        println!("  eda      : {}", respond(&eda, &t.prompt())?);
+        println!("  chipalign: {}", respond(chipalign, &t.prompt())?);
+    }
+    Ok(())
+}

@@ -1,0 +1,19 @@
+//! Regenerates **Figure 2**: the normalized capability overview (radar
+//! chart data) for LLaMA2-70B-{Chat, ChipNeMo, ChipAlign}.
+//!
+//! ```text
+//! cargo run --release -p chipalign-bench --bin fig2_radar
+//! ```
+
+use chipalign_bench::harness;
+use chipalign_pipeline::experiments::radar;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let zoo = harness::paper_zoo()?;
+    let table = radar::fig2(&zoo, harness::BENCH_SEED)?;
+    println!("{}", table.render());
+    let out = harness::results_dir()?.join("fig2.json");
+    table.save_json(&out)?;
+    println!("saved {}", out.display());
+    Ok(())
+}

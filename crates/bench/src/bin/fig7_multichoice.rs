@@ -1,0 +1,19 @@
+//! Regenerates **Figure 7**: multi-choice chip QA accuracy (EDA scripts /
+//! bugs / circuits) for the large trio.
+//!
+//! ```text
+//! cargo run --release -p chipalign-bench --bin fig7_multichoice
+//! ```
+
+use chipalign_bench::harness;
+use chipalign_pipeline::experiments::multichoice;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let zoo = harness::paper_zoo()?;
+    let table = multichoice::fig7(&zoo, harness::BENCH_SEED)?;
+    println!("{}", table.render());
+    let out = harness::results_dir()?.join("fig7.json");
+    table.save_json(&out)?;
+    println!("saved {}", out.display());
+    Ok(())
+}

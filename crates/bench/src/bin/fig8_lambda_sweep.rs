@@ -1,0 +1,62 @@
+//! Regenerates **Figure 8**: sensitivity of OpenROAD QA ROUGE-L to the
+//! interpolation coefficient λ for both backbones.
+//!
+//! Pass `--ablate` to additionally print the raw-SLERP and
+//! arithmetic-norm-restoration ablations at λ = 0.6 (the design choices
+//! called out in DESIGN.md §5).
+//!
+//! ```text
+//! cargo run --release -p chipalign-bench --bin fig8_lambda_sweep [-- --ablate]
+//! ```
+
+use chipalign_bench::harness;
+use chipalign_merge::{GeodesicMerge, Merger, NormRestore};
+use chipalign_nn::TinyLm;
+use chipalign_pipeline::experiments::openroad::{ContextMode, OpenRoadEval};
+use chipalign_pipeline::experiments::{openroad, PAPER_LAMBDA};
+use chipalign_pipeline::report::TextTable;
+use chipalign_pipeline::zoo::{Backbone, ZooModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let zoo = harness::paper_zoo()?;
+    let table = openroad::fig8(&zoo, harness::BENCH_SEED, 11)?;
+    println!("{}", table.render());
+    let out = harness::results_dir()?.join("fig8.json");
+    table.save_json(&out)?;
+    println!("saved {}", out.display());
+
+    if std::env::args().any(|a| a == "--ablate") {
+        let eval = OpenRoadEval::new(harness::BENCH_SEED);
+        let mut ablation = TextTable::new(
+            "Ablation at lambda=0.6: geometric variants (All, golden context)",
+            &["Qwen1.5-14B", "LLaMA3-8B"],
+            3,
+        );
+        let variants: Vec<(&str, GeodesicMerge)> = vec![
+            ("ChipAlign (paper)", GeodesicMerge::new(PAPER_LAMBDA)?),
+            ("Raw SLERP", GeodesicMerge::raw_slerp(PAPER_LAMBDA)?),
+            (
+                "Arithmetic norm restore",
+                GeodesicMerge::new(PAPER_LAMBDA)?
+                    .with_norm_restore(NormRestore::Arithmetic),
+            ),
+        ];
+        for (label, merger) in variants {
+            let mut row = Vec::new();
+            for backbone in [Backbone::QwenTiny, Backbone::LlamaTiny] {
+                let instruct = zoo.model(ZooModel::Instruct(backbone))?.to_checkpoint()?;
+                let eda = zoo.model(ZooModel::Eda(backbone))?.to_checkpoint()?;
+                let merged = merger.merge_pair(&eda, &instruct)?;
+                let model = TinyLm::from_checkpoint(&merged)?;
+                let scores = eval.eval_model(&model, ContextMode::Golden)?;
+                row.push(scores.all);
+            }
+            ablation.push_row(label, row);
+        }
+        println!("{}", ablation.render());
+        let out = harness::results_dir()?.join("fig8_ablation.json");
+        ablation.save_json(&out)?;
+        println!("saved {}", out.display());
+    }
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Pretraining probe: how much pretraining does the base need before
+//! copy/extraction generalises to unseen (chip) vocabulary?
+//!
+//! Trains bases at increasing step counts and reports extraction ROUGE on
+//! (a) held-out random extraction QA and (b) the chip benchmark facts —
+//! neither seen in pretraining.
+//!
+//! ```text
+//! cargo run --release -p chipalign-bench --bin probe_base [steps...]
+//! ```
+
+use chipalign_data::corpus::{extraction_qa, general_corpus};
+use chipalign_data::openroad::OpenRoadBenchmark;
+use chipalign_data::prompt::format_prompt;
+use chipalign_eval::rouge::rouge_l;
+use chipalign_nn::train::{train, TrainConfig};
+use chipalign_nn::{AdamConfig, TinyLm};
+use chipalign_pipeline::evalkit::{mean, respond};
+use chipalign_pipeline::zoo::{pretrain_example, Backbone, Quality};
+use chipalign_tensor::rng::Pcg32;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let steps: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let steps = if steps.is_empty() {
+        vec![2500, 5000]
+    } else {
+        steps
+    };
+
+    let arch = Backbone::LlamaTiny.arch(Quality::Paper);
+    let bench = OpenRoadBenchmark::generate(2025);
+    let chip_triplets = &bench.triplets[..30];
+    let mut eval_rng = Pcg32::seed(999);
+    let heldout: Vec<(String, String, String)> =
+        (0..30).map(|_| extraction_qa(&mut eval_rng)).collect();
+
+    for &n_steps in &steps {
+        let mut model = TinyLm::new(&arch, &mut Pcg32::seed(1))?;
+        let mut data_rng = Pcg32::seed(50);
+        let docs = general_corpus(4000, &mut data_rng);
+        let examples: Vec<_> = docs.iter().map(|d| pretrain_example(d)).collect();
+        let started = std::time::Instant::now();
+        train(
+            &mut model,
+            &examples,
+            &TrainConfig {
+                steps: n_steps,
+                batch_size: 8,
+                adam: AdamConfig {
+                    lr: 3e-3,
+                    ..AdamConfig::default()
+                },
+                seed: 42,
+            },
+        )?;
+        let train_secs = started.elapsed().as_secs_f32();
+
+        let mut heldout_scores = Vec::new();
+        for (ctx, q, a) in &heldout {
+            let r = respond(&model, &format_prompt(ctx, q, &[]))?;
+            heldout_scores.push(rouge_l(&r, a).f1);
+        }
+        let mut chip_scores = Vec::new();
+        for t in chip_triplets {
+            let plain_golden = t.context.trim_end_matches('.');
+            let r = respond(&model, &format_prompt(&t.context, &t.question, &[]))?;
+            chip_scores.push(rouge_l(&r, plain_golden).f1);
+        }
+        println!(
+            "steps {n_steps:>5} ({train_secs:>5.0}s): heldout-extraction {:.3}, chip-extraction {:.3}",
+            mean(&heldout_scores),
+            mean(&chip_scores)
+        );
+        // Show a sample so quality is eyeballable.
+        let t = &chip_triplets[0];
+        let r = respond(&model, &format_prompt(&t.context, &t.question, &[]))?;
+        println!("  sample: {} -> {r}", t.question);
+    }
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Quick diagnostics for cached zoo models: tagged/plain extraction and
+//! IFEval on small subsets, plus sample responses.
+//!
+//! ```text
+//! cargo run --release -p chipalign-bench --bin probe_zoo -- instruct-qwen eda-qwen
+//! ```
+
+use chipalign_bench::harness;
+use chipalign_data::ifeval_bench;
+use chipalign_data::openroad::OpenRoadBenchmark;
+use chipalign_eval::rouge::rouge_l;
+use chipalign_model::format;
+use chipalign_nn::TinyLm;
+use chipalign_pipeline::evalkit::{mean, respond};
+use chipalign_pipeline::experiments::ifeval;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let slugs: Vec<String> = std::env::args().skip(1).collect();
+    let bench = OpenRoadBenchmark::generate(harness::BENCH_SEED);
+    let triplets = &bench.triplets[..25];
+    let prompts = ifeval_bench::generate(harness::BENCH_SEED);
+    let if_prompts = &prompts[..60];
+
+    for slug in &slugs {
+        let path = harness::zoo_dir().join(format!("{slug}-paper-s{}.calt", harness::BENCH_SEED));
+        if !path.exists() {
+            println!("{slug}: not cached at {}", path.display());
+            continue;
+        }
+        let model = TinyLm::from_checkpoint(&format::load(&path)?)?;
+        let mut tagged = Vec::new();
+        for t in triplets {
+            let r = respond(&model, &t.prompt())?;
+            tagged.push(rouge_l(&r, &t.golden).f1);
+        }
+        let report = ifeval::eval_subset(&model, if_prompts)?;
+        println!(
+            "{slug:<16} tagged-rouge {:.3}  ifeval-strict {:.3}",
+            mean(&tagged),
+            report.prompt_strict
+        );
+        let t = &triplets[0];
+        println!("  q: {}", t.prompt());
+        println!("  golden: {}", t.golden);
+        println!("  answer: {}", respond(&model, &t.prompt())?);
+    }
+    Ok(())
+}

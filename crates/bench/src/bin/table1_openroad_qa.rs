@@ -1,0 +1,36 @@
+//! Regenerates **Table 1**: ROUGE-L scores on the OpenROAD QA benchmark —
+//! golden-context and RAG-context columns, three categories plus "All",
+//! for both backbones and every merging method.
+//!
+//! ```text
+//! cargo run --release -p chipalign-bench --bin table1_openroad_qa
+//! ```
+
+use chipalign_bench::harness;
+use chipalign_pipeline::experiments::openroad;
+use chipalign_pipeline::zoo::Backbone;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let zoo = harness::paper_zoo()?;
+    let table = openroad::table1(&zoo, harness::BENCH_SEED)?;
+    println!("{}", table.render());
+    let out = harness::results_dir()?.join("table1.json");
+    table.save_json(&out)?;
+    println!("saved {}", out.display());
+
+    // Is the headline margin real? Paired bootstrap against the strongest
+    // merging baseline on the golden-context benchmark.
+    for backbone in [Backbone::QwenTiny, Backbone::LlamaTiny] {
+        let r = openroad::chipalign_vs_soup_significance(&zoo, backbone, harness::BENCH_SEED)?;
+        println!(
+            "{}: ChipAlign {:.3} vs ModelSoup {:.3} (delta {:+.3}, p = {:.3}, {} resamples)",
+            backbone.paper_name(),
+            r.mean_a,
+            r.mean_b,
+            r.delta,
+            r.p_value,
+            r.resamples
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,20 @@
+//! Regenerates **Table 2**: rubric-graded scores on the industrial chip QA
+//! benchmark — ARCH/BUILD/LSF/TESTGEN + All, single and multi turn, for
+//! LLaMA2-70B-{Chat, ChipNeMo, ChipAlign} stand-ins.
+//!
+//! ```text
+//! cargo run --release -p chipalign-bench --bin table2_industrial_qa
+//! ```
+
+use chipalign_bench::harness;
+use chipalign_pipeline::experiments::industrial;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let zoo = harness::paper_zoo()?;
+    let table = industrial::table2(&zoo, harness::BENCH_SEED)?;
+    println!("{}", table.render());
+    let out = harness::results_dir()?.join("table2.json");
+    table.save_json(&out)?;
+    println!("saved {}", out.display());
+    Ok(())
+}

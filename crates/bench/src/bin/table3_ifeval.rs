@@ -1,0 +1,20 @@
+//! Regenerates **Table 3**: instruction-following accuracy on the
+//! IFEval-style benchmark — strict/loose at prompt and instruction level
+//! for the paper's six models.
+//!
+//! ```text
+//! cargo run --release -p chipalign-bench --bin table3_ifeval
+//! ```
+
+use chipalign_bench::harness;
+use chipalign_pipeline::experiments::ifeval;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let zoo = harness::paper_zoo()?;
+    let table = ifeval::table3(&zoo, harness::BENCH_SEED)?;
+    println!("{}", table.render());
+    let out = harness::results_dir()?.join("table3.json");
+    table.save_json(&out)?;
+    println!("saved {}", out.display());
+    Ok(())
+}

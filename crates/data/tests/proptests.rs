@@ -1,0 +1,119 @@
+//! Property-based tests for the data generators: every generated artifact
+//! must satisfy its own verifiability contracts for any seed.
+
+use chipalign_data::corpus::{copy_sentence, extraction_qa, random_phrase, random_word};
+use chipalign_data::ifeval_bench;
+use chipalign_data::industrial::IndustrialBenchmark;
+use chipalign_data::multichoice;
+use chipalign_data::openroad::OpenRoadBenchmark;
+use chipalign_data::prompt::{extract_answer, format_prompt};
+use chipalign_data::sft::{chip_sft, instruct_sft};
+use chipalign_data::tags::FormatTag;
+use chipalign_eval::ifeval::PromptVerdict;
+use chipalign_tensor::rng::Pcg32;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_words_are_printable_ascii(seed in 0u64..5000) {
+        let mut rng = Pcg32::seed(seed);
+        for _ in 0..20 {
+            let w = random_word(&mut rng);
+            prop_assert!(!w.is_empty() && w.len() <= 10);
+            prop_assert!(w.bytes().all(|b| b.is_ascii_alphanumeric()));
+        }
+    }
+
+    #[test]
+    fn phrases_have_requested_word_counts(seed in 0u64..5000, lo in 1usize..4, extra in 0usize..3) {
+        let mut rng = Pcg32::seed(seed);
+        let hi = lo + extra;
+        let p = random_phrase(&mut rng, lo, hi);
+        let words = p.split_whitespace().count();
+        prop_assert!((lo..=hi).contains(&words));
+    }
+
+    #[test]
+    fn extraction_answers_are_recoverable_from_context(seed in 0u64..5000) {
+        let mut rng = Pcg32::seed(seed);
+        let (ctx, q, a) = extraction_qa(&mut rng);
+        prop_assert!(ctx.contains(&a) || ctx == a);
+        prop_assert!(q.starts_with("what does"));
+        // The prompt grammar embeds all three parts.
+        let prompt = format_prompt(&ctx, &q, &[]);
+        prop_assert!(prompt.contains(&q));
+        prop_assert!(prompt.ends_with("A:"));
+    }
+
+    #[test]
+    fn tag_apply_then_check_holds_for_any_copy_sentence(seed in 0u64..5000) {
+        let mut rng = Pcg32::seed(seed);
+        let sentence = copy_sentence(&mut rng);
+        for tag in FormatTag::all() {
+            let golden = tag.apply(&sentence);
+            prop_assert!(
+                tag.instruction().check_strict(&golden),
+                "{tag:?} golden fails own checker: {golden:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn openroad_benchmark_invariants_hold_for_any_seed(seed in 0u64..1000) {
+        let bench = OpenRoadBenchmark::generate(seed);
+        prop_assert_eq!(bench.triplets.len(), 90);
+        for t in &bench.triplets {
+            prop_assert!(t.tags.iter().all(|tag| tag.instruction().check_strict(&t.golden)));
+            prop_assert!(t.prompt().len() + t.golden.len() < 260);
+        }
+    }
+
+    #[test]
+    fn industrial_benchmark_invariants_hold_for_any_seed(seed in 0u64..1000) {
+        let bench = IndustrialBenchmark::generate(seed);
+        prop_assert_eq!(bench.questions.len(), 39);
+        for q in &bench.questions {
+            prop_assert!(q.context.contains(&q.followup_golden));
+            prop_assert!(q.followup_prompt(&q.golden).ends_with("A:"));
+        }
+    }
+
+    #[test]
+    fn ifeval_references_always_verify(seed in 0u64..200) {
+        let prompts = ifeval_bench::generate(seed);
+        for p in prompts.iter().step_by(17) {
+            let v = PromptVerdict::of(&p.instructions, &p.reference);
+            prop_assert!(v.strict.iter().all(|&b| b), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn multichoice_correct_index_in_bounds(seed in 0u64..1000) {
+        for item in multichoice::generate(seed) {
+            prop_assert!(item.correct < item.choices.len());
+            prop_assert_eq!(item.choices.len(), 4);
+        }
+    }
+
+    #[test]
+    fn sft_pairs_fit_training_context(seed in 0u64..500) {
+        let mut rng = Pcg32::seed(seed);
+        let facts = chipalign_data::facts::openroad_facts();
+        let refs: Vec<_> = facts.iter().collect();
+        for p in instruct_sft(50, &mut rng)
+            .into_iter()
+            .chain(chip_sft(&refs, 50, 0.3, &mut rng))
+        {
+            prop_assert!(p.prompt.len() + p.completion.len() + 2 <= 250, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn extract_answer_never_contains_separator(raw in ".*") {
+        let a = extract_answer(&raw);
+        prop_assert!(!a.contains(';'));
+        prop_assert_eq!(a.trim().to_string(), a.clone());
+    }
+}

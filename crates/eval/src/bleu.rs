@@ -1,0 +1,150 @@
+//! BLEU-4 with brevity penalty and add-one smoothing on higher orders.
+//!
+//! The paper mentions BLEU as the standard MT metric it evaluated and set
+//! aside in favour of ROUGE-L; it is implemented here both for completeness
+//! and so the metric comparison itself can be reproduced.
+
+use std::collections::HashMap;
+
+use crate::text::tokenize;
+
+/// Computes smoothed BLEU-`max_n` of a candidate against one reference.
+///
+/// Uses the standard geometric mean of modified n-gram precisions with
+/// add-one smoothing for orders above 1 (Lin & Och smoothing), multiplied
+/// by the brevity penalty. Returns 0 for an empty candidate or reference.
+///
+/// # Example
+///
+/// ```
+/// use chipalign_eval::bleu::bleu;
+///
+/// assert!((bleu("the cat sat on the mat", "the cat sat on the mat", 4) - 1.0).abs() < 1e-9);
+/// assert!(bleu("entirely different words here", "the cat sat on the mat", 4) < 0.1);
+/// ```
+#[must_use]
+pub fn bleu(candidate: &str, reference: &str, max_n: usize) -> f64 {
+    let cand = tokenize(candidate);
+    let refr = tokenize(reference);
+    if cand.is_empty() || refr.is_empty() || max_n == 0 {
+        return 0.0;
+    }
+    let mut log_sum = 0.0f64;
+    for n in 1..=max_n {
+        let p = modified_precision(&cand, &refr, n);
+        let smoothed = if n == 1 {
+            p
+        } else {
+            // Add-one smoothing over n-gram counts.
+            let total = cand.len().saturating_sub(n - 1).max(1) as f64;
+            (p * total + 1.0) / (total + 1.0)
+        };
+        if smoothed <= 0.0 {
+            return 0.0;
+        }
+        log_sum += smoothed.ln();
+    }
+    let geo_mean = (log_sum / max_n as f64).exp();
+    geo_mean * brevity_penalty(cand.len(), refr.len())
+}
+
+/// Modified n-gram precision: candidate n-gram counts clipped by reference
+/// counts.
+fn modified_precision(cand: &[String], refr: &[String], n: usize) -> f64 {
+    if cand.len() < n {
+        return 0.0;
+    }
+    let cand_counts = ngram_counts(cand, n);
+    let ref_counts = ngram_counts(refr, n);
+    let mut clipped = 0usize;
+    let mut total = 0usize;
+    for (gram, count) in &cand_counts {
+        total += count;
+        clipped += (*count).min(ref_counts.get(gram).copied().unwrap_or(0));
+    }
+    if total == 0 {
+        0.0
+    } else {
+        clipped as f64 / total as f64
+    }
+}
+
+fn ngram_counts(tokens: &[String], n: usize) -> HashMap<&[String], usize> {
+    let mut counts: HashMap<&[String], usize> = HashMap::new();
+    if tokens.len() >= n {
+        for window in tokens.windows(n) {
+            *counts.entry(window).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Brevity penalty: `exp(1 − r/c)` when the candidate is shorter than the
+/// reference, 1 otherwise.
+fn brevity_penalty(cand_len: usize, ref_len: usize) -> f64 {
+    if cand_len >= ref_len {
+        1.0
+    } else if cand_len == 0 {
+        0.0
+    } else {
+        (1.0 - ref_len as f64 / cand_len as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_is_one() {
+        assert!((bleu("a b c d e", "a b c d e", 4) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(bleu("", "a b", 4), 0.0);
+        assert_eq!(bleu("a b", "", 4), 0.0);
+        assert_eq!(bleu("a b", "a b", 0), 0.0);
+    }
+
+    #[test]
+    fn clipping_prevents_repetition_gaming() {
+        // "the the the the" must not get unigram precision 1 against a
+        // reference with a single "the".
+        let spam = bleu("the the the the", "the cat sat", 1);
+        assert!(spam < 0.3, "clipped precision should punish repetition: {spam}");
+    }
+
+    #[test]
+    fn brevity_penalty_applies() {
+        // Perfect prefix, half length: n-gram precisions are 1 but BP < 1.
+        let short = bleu("the cat", "the cat sat on the mat", 2);
+        assert!(short < 0.5, "short candidates must be penalised: {short}");
+    }
+
+    #[test]
+    fn bp_math() {
+        assert_eq!(brevity_penalty(5, 5), 1.0);
+        assert_eq!(brevity_penalty(6, 5), 1.0);
+        assert!((brevity_penalty(5, 10) - (1.0f64 - 2.0).exp()).abs() < 1e-12);
+        assert_eq!(brevity_penalty(0, 5), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_between_zero_and_one() {
+        let score = bleu(
+            "click the timing icon in the toolbar",
+            "click on the timing icon in the gui toolbar",
+            4,
+        );
+        assert!(score > 0.2 && score < 1.0, "score {score}");
+    }
+
+    #[test]
+    fn order_sensitivity() {
+        // BLEU-4 punishes reordering much harder than ROUGE-L does.
+        let inorder = bleu("a b c d e f", "a b c d e f", 4);
+        let shuffled = bleu("f e d c b a", "a b c d e f", 4);
+        assert!(inorder > shuffled + 0.5);
+    }
+}

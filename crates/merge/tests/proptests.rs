@@ -1,0 +1,131 @@
+//! Property-based tests for the merging methods.
+//!
+//! The key invariants: geodesic endpoints reproduce the inputs for every λ
+//! grid, the merged norm follows the weighted geometric mean, the SLERP →
+//! LERP transition at the small-angle threshold is continuous, and every
+//! method is deterministic and finite on arbitrary random inputs.
+
+use chipalign_merge::{Della, GeodesicMerge, Merger, ModelSoup, TaskArithmetic, Ties};
+use chipalign_model::{ArchSpec, Checkpoint};
+use chipalign_tensor::rng::Pcg32;
+use proptest::prelude::*;
+
+fn models(seed: u64) -> (Checkpoint, Checkpoint, Checkpoint) {
+    let arch = ArchSpec::tiny("prop");
+    let base = Checkpoint::random(&arch, &mut Pcg32::seed(seed));
+    let chip = Checkpoint::random(&arch, &mut Pcg32::seed(seed.wrapping_add(1)));
+    let instruct = Checkpoint::random(&arch, &mut Pcg32::seed(seed.wrapping_add(2)));
+    (base, chip, instruct)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn geodesic_always_finite_and_valid(seed in 0u64..500, lambda in 0.0f32..=1.0) {
+        let (_, chip, instruct) = models(seed);
+        let merged = GeodesicMerge::new(lambda).unwrap()
+            .merge_pair(&chip, &instruct).unwrap();
+        prop_assert!(merged.all_finite());
+        prop_assert!(merged.validate().is_ok());
+    }
+
+    #[test]
+    fn geodesic_norm_is_between_input_norms(seed in 0u64..500, lambda in 0.0f32..=1.0) {
+        let (_, chip, instruct) = models(seed);
+        let (_, report) = GeodesicMerge::new(lambda).unwrap()
+            .merge_with_report(&chip, &instruct).unwrap();
+        for t in &report.tensors {
+            let lo = t.norm_chip.min(t.norm_instruct) * 0.999;
+            let hi = t.norm_chip.max(t.norm_instruct) * 1.001;
+            prop_assert!(
+                (lo..=hi).contains(&t.norm_merged),
+                "{}: merged norm {} outside [{lo}, {hi}]", t.name, t.norm_merged
+            );
+        }
+    }
+
+    #[test]
+    fn geodesic_is_symmetric_under_swap(seed in 0u64..500, lambda in 0.0f32..=1.0) {
+        // merge(chip, instruct; λ) == merge(instruct, chip; 1-λ)
+        let (_, chip, instruct) = models(seed);
+        let fwd = GeodesicMerge::new(lambda).unwrap()
+            .merge_pair(&chip, &instruct).unwrap();
+        let rev = GeodesicMerge::new(1.0 - lambda).unwrap()
+            .merge_pair(&instruct, &chip).unwrap();
+        prop_assert!(fwd.approx_eq(&rev, 1e-4));
+    }
+
+    #[test]
+    fn geodesic_continuous_in_lambda(seed in 0u64..500, lambda in 0.01f32..0.99) {
+        // Small λ perturbations must produce small weight perturbations.
+        let (_, chip, instruct) = models(seed);
+        let a = GeodesicMerge::new(lambda).unwrap().merge_pair(&chip, &instruct).unwrap();
+        let b = GeodesicMerge::new(lambda + 0.005).unwrap().merge_pair(&chip, &instruct).unwrap();
+        let mut max_delta = 0.0f32;
+        for (name, ta) in a.iter() {
+            let tb = b.get(name).unwrap();
+            let d = ta.sub(tb).unwrap().max_abs();
+            max_delta = max_delta.max(d);
+        }
+        prop_assert!(max_delta < 0.05, "jump of {max_delta} for dλ = 0.005");
+    }
+
+    #[test]
+    fn soup_commutes(seed in 0u64..500) {
+        let (_, chip, instruct) = models(seed);
+        let ab = ModelSoup::new().merge_pair(&chip, &instruct).unwrap();
+        let ba = ModelSoup::new().merge_pair(&instruct, &chip).unwrap();
+        prop_assert!(ab.approx_eq(&ba, 1e-6));
+    }
+
+    #[test]
+    fn ta_is_linear_in_scale(seed in 0u64..500, scale in 0.1f32..1.0) {
+        let (base, chip, instruct) = models(seed);
+        let m1 = TaskArithmetic::new(base.clone(), scale).unwrap()
+            .merge_pair(&chip, &instruct).unwrap();
+        let m2 = TaskArithmetic::new(base.clone(), scale * 2.0).unwrap()
+            .merge_pair(&chip, &instruct).unwrap();
+        // (m2 - base) must be exactly twice (m1 - base).
+        for (name, t1) in m1.iter() {
+            let d1 = t1.sub(base.get(name).unwrap()).unwrap();
+            let d2 = m2.get(name).unwrap().sub(base.get(name).unwrap()).unwrap();
+            prop_assert!(d2.approx_eq(&d1.scale(2.0), 1e-4));
+        }
+    }
+
+    #[test]
+    fn ties_output_finite_and_valid(seed in 0u64..500, density in 0.05f32..1.0) {
+        let (base, chip, instruct) = models(seed);
+        let merged = Ties::new(base, density, 1.0).unwrap()
+            .merge_pair(&chip, &instruct).unwrap();
+        prop_assert!(merged.all_finite());
+        prop_assert!(merged.validate().is_ok());
+    }
+
+    #[test]
+    fn della_output_finite_and_valid(seed in 0u64..500, drop in 0.1f32..0.8) {
+        let (base, chip, instruct) = models(seed);
+        let merged = Della::new(base, drop, 0.1, 1.0, seed).unwrap()
+            .merge_pair(&chip, &instruct).unwrap();
+        prop_assert!(merged.all_finite());
+        prop_assert!(merged.validate().is_ok());
+    }
+
+    #[test]
+    fn every_method_is_deterministic(seed in 0u64..200) {
+        let (base, chip, instruct) = models(seed);
+        let methods: Vec<Box<dyn Merger>> = vec![
+            Box::new(GeodesicMerge::recommended()),
+            Box::new(ModelSoup::new()),
+            Box::new(TaskArithmetic::new(base.clone(), 1.0).unwrap()),
+            Box::new(Ties::recommended(base.clone()).unwrap()),
+            Box::new(Della::recommended(base, seed).unwrap()),
+        ];
+        for m in &methods {
+            let a = m.merge_pair(&chip, &instruct).unwrap();
+            let b = m.merge_pair(&chip, &instruct).unwrap();
+            prop_assert!(a.approx_eq(&b, 0.0), "{} is not deterministic", m.name());
+        }
+    }
+}

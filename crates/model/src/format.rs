@@ -1,0 +1,312 @@
+//! "Safetensors-lite": a compact binary checkpoint format.
+//!
+//! Real LLM checkpoints ship as safetensors files; this module provides the
+//! workspace's equivalent so that trained specialists and merged models can
+//! be cached on disk and exchanged between pipeline stages.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   b"CALT"
+//! version u32 (currently 1)
+//! arch    name:str vocab:u64 d_model:u64 n_layers:u64 n_heads:u64 d_ff:u64 max_seq:u64
+//! meta    count:u32 { key:str value:str }*
+//! tensors count:u32 { name:str rows:u64 cols:u64 data:[f32]* }*
+//! crc     u64  FNV-1a over everything before it
+//! str     len:u32 utf8-bytes
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use chipalign_model::{ArchSpec, Checkpoint, format};
+//! use chipalign_tensor::rng::Pcg32;
+//!
+//! # fn main() -> Result<(), chipalign_model::ModelError> {
+//! let ckpt = Checkpoint::random(&ArchSpec::tiny("demo"), &mut Pcg32::seed(1));
+//! let bytes = format::encode(&ckpt);
+//! let back = format::decode(&bytes)?;
+//! assert!(ckpt.approx_eq(&back, 0.0));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use chipalign_tensor::Matrix;
+
+use crate::{ArchSpec, Checkpoint, ModelError};
+
+const MAGIC: &[u8; 4] = b"CALT";
+const VERSION: u32 = 1;
+
+/// Serializes a checkpoint to its binary representation.
+#[must_use]
+pub fn encode(ckpt: &Checkpoint) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + ckpt.scalar_count() * 4);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    let arch = ckpt.arch();
+    put_str(&mut buf, &arch.name);
+    for dim in [
+        arch.vocab_size,
+        arch.d_model,
+        arch.n_layers,
+        arch.n_heads,
+        arch.d_ff,
+        arch.max_seq_len,
+    ] {
+        buf.put_u64_le(dim as u64);
+    }
+    buf.put_u32_le(ckpt.metadata().len() as u32);
+    for (k, v) in ckpt.metadata() {
+        put_str(&mut buf, k);
+        put_str(&mut buf, v);
+    }
+    buf.put_u32_le(ckpt.param_count() as u32);
+    for (name, tensor) in ckpt.iter() {
+        put_str(&mut buf, name);
+        buf.put_u64_le(tensor.rows() as u64);
+        buf.put_u64_le(tensor.cols() as u64);
+        for &x in tensor.data() {
+            buf.put_f32_le(x);
+        }
+    }
+    let crc = fnv1a(&buf);
+    buf.put_u64_le(crc);
+    buf.freeze()
+}
+
+/// Deserializes a checkpoint from bytes produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns [`ModelError::Corrupt`] for truncated data, a bad magic/version,
+/// a checksum mismatch, or invalid UTF-8; and the usual validation errors if
+/// the decoded tensors do not instantiate the decoded architecture.
+pub fn decode(data: &[u8]) -> Result<Checkpoint, ModelError> {
+    if data.len() < MAGIC.len() + 4 + 8 {
+        return Err(corrupt("shorter than minimum header"));
+    }
+    let (body, crc_bytes) = data.split_at(data.len() - 8);
+    let stored_crc = u64::from_le_bytes(crc_bytes.try_into().expect("8 bytes"));
+    if fnv1a(body) != stored_crc {
+        return Err(corrupt("checksum mismatch"));
+    }
+
+    let mut buf = body;
+    let mut magic = [0u8; 4];
+    take(&mut buf, 4)?.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let version = take(&mut buf, 4)?.get_u32_le();
+    if version != VERSION {
+        return Err(corrupt(&format!("unsupported version {version}")));
+    }
+
+    let name = get_str(&mut buf)?;
+    let mut dims = [0usize; 6];
+    for d in &mut dims {
+        *d = usize::try_from(take(&mut buf, 8)?.get_u64_le())
+            .map_err(|_| corrupt("dimension overflows usize"))?;
+    }
+    let arch = ArchSpec {
+        name,
+        vocab_size: dims[0],
+        d_model: dims[1],
+        n_layers: dims[2],
+        n_heads: dims[3],
+        d_ff: dims[4],
+        max_seq_len: dims[5],
+    };
+
+    let meta_count = take(&mut buf, 4)?.get_u32_le();
+    let mut metadata = BTreeMap::new();
+    for _ in 0..meta_count {
+        let k = get_str(&mut buf)?;
+        let v = get_str(&mut buf)?;
+        metadata.insert(k, v);
+    }
+
+    let tensor_count = take(&mut buf, 4)?.get_u32_le();
+    let mut tensors = BTreeMap::new();
+    for _ in 0..tensor_count {
+        let tname = get_str(&mut buf)?;
+        let rows = usize::try_from(take(&mut buf, 8)?.get_u64_le())
+            .map_err(|_| corrupt("rows overflow"))?;
+        let cols = usize::try_from(take(&mut buf, 8)?.get_u64_le())
+            .map_err(|_| corrupt("cols overflow"))?;
+        let n = rows
+            .checked_mul(cols)
+            .ok_or_else(|| corrupt("tensor size overflow"))?;
+        let mut values = Vec::with_capacity(n);
+        let mut payload = take(&mut buf, n * 4)?;
+        for _ in 0..n {
+            values.push(payload.get_f32_le());
+        }
+        let m = Matrix::from_vec(rows, cols, values)?;
+        tensors.insert(tname, m);
+    }
+    if !buf.is_empty() {
+        return Err(corrupt("trailing bytes after last tensor"));
+    }
+    Checkpoint::from_parts(arch, tensors, metadata)
+}
+
+/// Writes a checkpoint to a file.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Io`] on filesystem failures.
+pub fn save(ckpt: &Checkpoint, path: impl AsRef<Path>) -> Result<(), ModelError> {
+    fs::write(path, encode(ckpt))?;
+    Ok(())
+}
+
+/// Reads a checkpoint from a file written by [`save`].
+///
+/// # Errors
+///
+/// Returns [`ModelError::Io`] on filesystem failures and the [`decode`]
+/// errors on malformed content.
+pub fn load(path: impl AsRef<Path>) -> Result<Checkpoint, ModelError> {
+    let data = fs::read(path)?;
+    decode(&data)
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut &[u8]) -> Result<String, ModelError> {
+    let len = take(buf, 4)?.get_u32_le() as usize;
+    let mut bytes = vec![0u8; len];
+    take(buf, len)?.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|_| corrupt("invalid utf-8 in string"))
+}
+
+/// Splits `n` bytes off the front of `buf`, failing on underrun.
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], ModelError> {
+    if buf.len() < n {
+        return Err(corrupt("unexpected end of data"));
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Ok(head)
+}
+
+fn corrupt(detail: &str) -> ModelError {
+    ModelError::Corrupt {
+        detail: detail.to_string(),
+    }
+}
+
+/// FNV-1a 64-bit hash.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    for &b in data {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chipalign_tensor::rng::Pcg32;
+
+    fn sample() -> Checkpoint {
+        let mut ckpt = Checkpoint::random(&ArchSpec::tiny("fmt"), &mut Pcg32::seed(7));
+        ckpt.set_metadata("origin", "unit-test");
+        ckpt
+    }
+
+    #[test]
+    fn round_trip_exact() {
+        let ckpt = sample();
+        let back = decode(&encode(&ckpt)).expect("round trip");
+        assert!(ckpt.approx_eq(&back, 0.0));
+        assert_eq!(back.metadata().get("origin").map(String::as_str), Some("unit-test"));
+        assert_eq!(back.arch(), ckpt.arch());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("chipalign-fmt-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("ckpt.calt");
+        let ckpt = sample();
+        save(&ckpt, &path).expect("save");
+        let back = load(&path).expect("load");
+        assert!(ckpt.approx_eq(&back, 0.0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn detects_bit_flip() {
+        let mut data = encode(&sample()).to_vec();
+        let mid = data.len() / 2;
+        data[mid] ^= 0xFF;
+        assert!(matches!(decode(&data), Err(ModelError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let data = encode(&sample());
+        for cut in [0, 3, 10, data.len() - 1] {
+            assert!(
+                matches!(decode(&data[..cut]), Err(ModelError::Corrupt { .. })),
+                "cut at {cut} must be detected"
+            );
+        }
+    }
+
+    #[test]
+    fn detects_bad_magic() {
+        let mut data = encode(&sample()).to_vec();
+        data[0] = b'X';
+        // Fix up the checksum so only the magic is wrong.
+        let body_len = data.len() - 8;
+        let crc = fnv1a(&data[..body_len]);
+        data[body_len..].copy_from_slice(&crc.to_le_bytes());
+        let err = decode(&data);
+        assert!(matches!(err, Err(ModelError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn detects_bad_version() {
+        let mut data = encode(&sample()).to_vec();
+        data[4] = 99;
+        let body_len = data.len() - 8;
+        let crc = fnv1a(&data[..body_len]);
+        data[body_len..].copy_from_slice(&crc.to_le_bytes());
+        match decode(&data) {
+            Err(ModelError::Corrupt { detail }) => assert!(detail.contains("version")),
+            other => panic!("expected corrupt-version, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(matches!(decode(&[]), Err(ModelError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn fnv_known_vector() {
+        // FNV-1a("") is the offset basis; FNV-1a("a") is a published vector.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let ckpt = sample();
+        assert_eq!(encode(&ckpt), encode(&ckpt));
+    }
+}

@@ -1,0 +1,316 @@
+//! Decoding: greedy and temperature sampling with top-k truncation.
+//!
+//! The paper evaluates all models at temperature 0 for reproducibility; the
+//! same convention applies here (`temperature = 0` selects exact greedy
+//! argmax decoding). When the context fills up, the window slides left so
+//! generation can continue past `max_seq_len`.
+
+use chipalign_tensor::ops;
+use chipalign_tensor::rng::Pcg32;
+
+use crate::model::TinyLm;
+use crate::tokenizer::{CharTokenizer, EOS};
+use crate::NnError;
+
+/// Decoding configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenerateConfig {
+    /// Maximum number of new tokens to produce.
+    pub max_new_tokens: usize,
+    /// Softmax temperature; `0` means greedy argmax.
+    pub temperature: f32,
+    /// Keep only the `top_k` most likely tokens before sampling
+    /// (`0` disables truncation). Ignored when greedy.
+    pub top_k: usize,
+    /// Nucleus sampling: keep the smallest probability mass `>= top_p`
+    /// (`1.0` disables truncation). Applied after `top_k`; ignored when
+    /// greedy.
+    pub top_p: f32,
+    /// Stop as soon as `<eos>` is produced.
+    pub stop_at_eos: bool,
+    /// Sampling seed (ignored when greedy).
+    pub seed: u64,
+}
+
+impl Default for GenerateConfig {
+    fn default() -> Self {
+        GenerateConfig {
+            max_new_tokens: 64,
+            temperature: 0.0,
+            top_k: 0,
+            top_p: 1.0,
+            stop_at_eos: true,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates new tokens after `prompt`, returning only the new tokens.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadSequence`] for an empty prompt and forwards any
+/// forward-pass failure.
+pub fn generate(
+    model: &TinyLm,
+    prompt: &[u32],
+    cfg: &GenerateConfig,
+) -> Result<Vec<u32>, NnError> {
+    if prompt.is_empty() {
+        return Err(NnError::BadSequence {
+            detail: "generation requires a non-empty prompt".into(),
+        });
+    }
+    let max_ctx = model.arch().max_seq_len;
+    let mut rng = Pcg32::seed(cfg.seed);
+    let mut context: Vec<u32> = prompt.to_vec();
+    let mut new_tokens = Vec::with_capacity(cfg.max_new_tokens);
+
+    // Incremental decoding: prefill the window once, then one KV-cached
+    // step per token. When the window fills, re-prefill on the slid
+    // window (rare at benchmark prompt sizes).
+    let start = context.len().saturating_sub(max_ctx.saturating_sub(1));
+    let mut cache = crate::kv::KvCache::new(model);
+    let mut last = cache.prefill(&context[start..])?;
+
+    for _ in 0..cfg.max_new_tokens {
+        let next = if cfg.temperature <= 0.0 {
+            ops::argmax(&last).expect("vocab is non-empty") as u32
+        } else {
+            sample_from_logits(&last, cfg.temperature, cfg.top_k, cfg.top_p, &mut rng)
+        };
+        new_tokens.push(next);
+        context.push(next);
+        if cfg.stop_at_eos && next == EOS {
+            break;
+        }
+        if cache.len() >= max_ctx {
+            // Slide: rebuild the cache over the most recent window.
+            let start = context.len() - (max_ctx - 1);
+            cache = crate::kv::KvCache::new(model);
+            last = cache.prefill(&context[start..])?;
+        } else {
+            last = cache.decode_step(next)?;
+        }
+    }
+    Ok(new_tokens)
+}
+
+/// Convenience wrapper: encode a text prompt, generate, and decode.
+///
+/// # Errors
+///
+/// Same contract as [`generate`].
+pub fn complete_text(
+    model: &TinyLm,
+    tokenizer: &CharTokenizer,
+    prompt: &str,
+    cfg: &GenerateConfig,
+) -> Result<String, NnError> {
+    let ids = tokenizer.encode(prompt);
+    let new = generate(model, &ids, cfg)?;
+    Ok(tokenizer.decode(&new))
+}
+
+/// Temperature + top-k + nucleus (top-p) sampling from one logit row.
+fn sample_from_logits(
+    logits: &[f32],
+    temperature: f32,
+    top_k: usize,
+    top_p: f32,
+    rng: &mut Pcg32,
+) -> u32 {
+    let mut scaled: Vec<f32> = logits.iter().map(|&l| l / temperature).collect();
+    if top_k > 0 && top_k < scaled.len() {
+        // Zero out everything below the k-th largest logit.
+        let mut sorted = scaled.clone();
+        sorted.sort_by(|a, b| b.total_cmp(a));
+        let threshold = sorted[top_k - 1];
+        for v in &mut scaled {
+            if *v < threshold {
+                *v = f32::NEG_INFINITY;
+            }
+        }
+    }
+    ops::softmax_inplace(&mut scaled);
+    if top_p < 1.0 {
+        // Nucleus: keep the smallest set of tokens whose mass reaches
+        // top_p, then renormalise (choose_weighted renormalises for us).
+        let mut order: Vec<usize> = (0..scaled.len()).collect();
+        order.sort_by(|&a, &b| scaled[b].total_cmp(&scaled[a]));
+        let mut mass = 0.0f32;
+        let mut keep = scaled.len();
+        for (rank, &idx) in order.iter().enumerate() {
+            mass += scaled[idx];
+            if mass >= top_p.max(0.0) {
+                keep = rank + 1;
+                break;
+            }
+        }
+        for &idx in &order[keep..] {
+            scaled[idx] = 0.0;
+        }
+    }
+    rng.choose_weighted(&scaled) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chipalign_model::ArchSpec;
+    use crate::train::{train, Example, TrainConfig};
+    use crate::AdamConfig;
+
+    fn arch() -> ArchSpec {
+        let mut a = ArchSpec::tiny("gen");
+        a.vocab_size = 99;
+        a
+    }
+
+    fn trained_on(seq: &[u32]) -> TinyLm {
+        let mut model = TinyLm::new(&arch(), &mut Pcg32::seed(31)).expect("valid");
+        let data = vec![Example::pretrain(seq.to_vec())];
+        let cfg = TrainConfig {
+            steps: 80,
+            batch_size: 2,
+            adam: AdamConfig {
+                lr: 3e-3,
+                ..AdamConfig::default()
+            },
+            seed: 4,
+        };
+        train(&mut model, &data, &cfg).expect("ok");
+        model
+    }
+
+    #[test]
+    fn greedy_continues_memorized_sequence() {
+        let seq: Vec<u32> = vec![10, 20, 30, 40, 50, 60];
+        let model = trained_on(&seq);
+        let cfg = GenerateConfig {
+            max_new_tokens: 4,
+            ..GenerateConfig::default()
+        };
+        let out = generate(&model, &seq[..2], &cfg).expect("ok");
+        assert_eq!(&out[..2], &seq[2..4], "greedy decode should continue");
+    }
+
+    #[test]
+    fn greedy_is_deterministic() {
+        let model = trained_on(&[5, 6, 7, 8, 9]);
+        let cfg = GenerateConfig {
+            max_new_tokens: 8,
+            ..GenerateConfig::default()
+        };
+        let a = generate(&model, &[5, 6], &cfg).expect("ok");
+        let b = generate(&model, &[5, 6], &cfg).expect("ok");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sampling_respects_seed() {
+        let model = trained_on(&[5, 6, 7, 8, 9]);
+        let mk = |seed| GenerateConfig {
+            max_new_tokens: 16,
+            temperature: 1.5,
+            top_k: 0,
+            top_p: 1.0,
+            stop_at_eos: false,
+            seed,
+        };
+        let a = generate(&model, &[5, 6], &mk(1)).expect("ok");
+        let a2 = generate(&model, &[5, 6], &mk(1)).expect("ok");
+        let b = generate(&model, &[5, 6], &mk(2)).expect("ok");
+        assert_eq!(a, a2, "same seed must reproduce");
+        assert_ne!(a, b, "hot sampling with different seeds should diverge");
+    }
+
+    #[test]
+    fn generation_survives_context_overflow() {
+        let model = trained_on(&[5, 6, 7, 8, 9]);
+        let cfg = GenerateConfig {
+            max_new_tokens: 64, // arch max_seq_len is 32
+            stop_at_eos: false,
+            ..GenerateConfig::default()
+        };
+        let out = generate(&model, &[5, 6], &cfg).expect("ok");
+        assert_eq!(out.len(), 64, "sliding window must allow long outputs");
+    }
+
+    #[test]
+    fn empty_prompt_rejected() {
+        let model = trained_on(&[5, 6, 7]);
+        assert!(generate(&model, &[], &GenerateConfig::default()).is_err());
+    }
+
+    #[test]
+    fn top_k_limits_support() {
+        // With top_k = 1, sampling must equal greedy regardless of
+        // temperature.
+        let model = trained_on(&[10, 20, 30, 40, 50, 60]);
+        let greedy = generate(
+            &model,
+            &[10, 20],
+            &GenerateConfig {
+                max_new_tokens: 3,
+                ..GenerateConfig::default()
+            },
+        )
+        .expect("ok");
+        let topk1 = generate(
+            &model,
+            &[10, 20],
+            &GenerateConfig {
+                max_new_tokens: 3,
+                temperature: 2.0,
+                top_k: 1,
+                top_p: 1.0,
+                stop_at_eos: true,
+                seed: 9,
+            },
+        )
+        .expect("ok");
+        assert_eq!(greedy, topk1);
+    }
+
+    #[test]
+    fn top_p_near_zero_equals_greedy() {
+        // With a vanishing nucleus only the argmax token survives.
+        let model = trained_on(&[10, 20, 30, 40, 50, 60]);
+        let greedy = generate(
+            &model,
+            &[10, 20],
+            &GenerateConfig {
+                max_new_tokens: 3,
+                ..GenerateConfig::default()
+            },
+        )
+        .expect("ok");
+        let nucleus = generate(
+            &model,
+            &[10, 20],
+            &GenerateConfig {
+                max_new_tokens: 3,
+                temperature: 1.5,
+                top_k: 0,
+                top_p: 1e-6,
+                stop_at_eos: true,
+                seed: 4,
+            },
+        )
+        .expect("ok");
+        assert_eq!(greedy, nucleus);
+    }
+
+    #[test]
+    fn complete_text_round_trip() {
+        let tok = CharTokenizer::new();
+        let model = trained_on(&tok.encode("abcabcabc"));
+        let cfg = GenerateConfig {
+            max_new_tokens: 3,
+            ..GenerateConfig::default()
+        };
+        let out = complete_text(&model, &tok, "abcabc", &cfg).expect("ok");
+        assert_eq!(out.len(), 3, "three new characters expected, got {out:?}");
+    }
+}

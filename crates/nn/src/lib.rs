@@ -1,0 +1,67 @@
+//! A tiny, fully trainable LLaMA-style transformer, built from scratch.
+//!
+//! The ChipAlign paper merges multi-billion-parameter LLMs. Reproducing the
+//! *mechanism* — an instruction-tuned and a domain-tuned specialist, both
+//! finetuned from one base model, recombined in weight space — does not
+//! require billions of parameters, but it does require real models trained
+//! with real gradients. This crate is that substrate:
+//!
+//! * [`TinyLm`] — a decoder-only transformer with the LLaMA layer recipe
+//!   (pre-RMSNorm, rotary-position attention, SwiGLU feed-forward, untied
+//!   LM head), implemented with an explicit forward pass *and a complete
+//!   manual backward pass* (no autograd dependency).
+//! * [`CharTokenizer`] — a deterministic character-level tokenizer over
+//!   printable ASCII plus `<pad>/<bos>/<eos>/<unk>`.
+//! * [`loss`] — prompt-masked causal cross-entropy, so SFT examples only
+//!   train on completion tokens (the paper's DAFT objective).
+//! * [`Adam`] — the optimizer used for both pretraining and finetuning.
+//! * [`LoraModel`] — low-rank adaptation of the frozen base (the paper's
+//!   retrieval-augmented DAFT uses LoRA with rank 8, alpha 16).
+//! * [`generate`]/[`score`] — greedy and temperature decoding, and the
+//!   length-normalised answer log-likelihood used by the multi-choice chip
+//!   QA benchmark (Figure 7).
+//!
+//! Models convert losslessly to and from [`chipalign_model::Checkpoint`],
+//! which is what the merge crate operates on.
+//!
+//! # Example
+//!
+//! ```
+//! use chipalign_model::ArchSpec;
+//! use chipalign_nn::{CharTokenizer, TinyLm};
+//! use chipalign_tensor::rng::Pcg32;
+//!
+//! # fn main() -> Result<(), chipalign_nn::NnError> {
+//! let tok = CharTokenizer::new();
+//! let mut arch = ArchSpec::tiny("demo");
+//! arch.vocab_size = tok.vocab_size();
+//! let model = TinyLm::new(&arch, &mut Pcg32::seed(1))?;
+//! let ids = tok.encode("hello");
+//! let logits = model.logits(&ids)?;
+//! assert_eq!(logits.shape(), (ids.len(), tok.vocab_size()));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod generate;
+mod kv;
+pub mod loss;
+mod lora;
+mod model;
+mod optim;
+mod params;
+pub mod score;
+mod tokenizer;
+pub mod train;
+
+pub use error::NnError;
+pub use kv::KvCache;
+pub use lora::{LoraConfig, LoraModel};
+pub use model::{ForwardCache, TinyLm};
+pub use optim::{Adam, AdamConfig};
+pub use params::{LayerParams, ParamSet};
+pub use tokenizer::CharTokenizer;

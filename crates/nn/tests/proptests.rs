@@ -1,0 +1,96 @@
+//! Property-based tests for the transformer substrate.
+
+use chipalign_model::ArchSpec;
+use chipalign_nn::generate::{generate, GenerateConfig};
+use chipalign_nn::{loss, score, TinyLm};
+use chipalign_tensor::rng::Pcg32;
+use proptest::prelude::*;
+
+fn arch() -> ArchSpec {
+    ArchSpec {
+        name: "prop".into(),
+        vocab_size: 32,
+        d_model: 8,
+        n_layers: 2,
+        n_heads: 2,
+        d_ff: 16,
+        max_seq_len: 16,
+    }
+}
+
+fn tokens_strategy() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0u32..32, 2..16)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn forward_is_finite_and_deterministic(seed in 0u64..200, tokens in tokens_strategy()) {
+        let model = TinyLm::new(&arch(), &mut Pcg32::seed(seed)).unwrap();
+        let a = model.logits(&tokens).unwrap();
+        let b = model.logits(&tokens).unwrap();
+        prop_assert!(a.all_finite());
+        prop_assert!(a.approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn loss_is_positive_and_finite(seed in 0u64..200, tokens in tokens_strategy()) {
+        let model = TinyLm::new(&arch(), &mut Pcg32::seed(seed)).unwrap();
+        let logits = model.logits(&tokens).unwrap();
+        let result = loss::cross_entropy(&logits, &tokens).unwrap();
+        prop_assert!(result.loss.is_finite());
+        prop_assert!(result.loss > 0.0);
+        prop_assert!(result.dlogits.all_finite());
+    }
+
+    #[test]
+    fn causality_holds_for_random_models(seed in 0u64..100, tokens in tokens_strategy()) {
+        let model = TinyLm::new(&arch(), &mut Pcg32::seed(seed)).unwrap();
+        let full = model.logits(&tokens).unwrap();
+        let cut = tokens.len() / 2 + 1;
+        let prefix = model.logits(&tokens[..cut]).unwrap();
+        for t in 0..cut {
+            for v in 0..32 {
+                let a = full.get(t, v).unwrap();
+                let b = prefix.get(t, v).unwrap();
+                prop_assert!((a - b).abs() < 1e-3, "causality violated at ({t},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_respects_budget(seed in 0u64..100, budget in 1usize..24) {
+        let model = TinyLm::new(&arch(), &mut Pcg32::seed(seed)).unwrap();
+        let cfg = GenerateConfig {
+            max_new_tokens: budget,
+            stop_at_eos: false,
+            ..GenerateConfig::default()
+        };
+        let out = generate(&model, &[1, 2, 3], &cfg).unwrap();
+        prop_assert_eq!(out.len(), budget);
+        prop_assert!(out.iter().all(|&t| (t as usize) < 32));
+    }
+
+    #[test]
+    fn choice_scores_are_valid_logprobs(seed in 0u64..100) {
+        let model = TinyLm::new(&arch(), &mut Pcg32::seed(seed)).unwrap();
+        let choices = vec![vec![4u32, 5], vec![6u32], vec![7u32, 8, 9]];
+        let (best, scores) = score::choose(&model, &[1, 2], &choices, true).unwrap();
+        prop_assert!(best < choices.len());
+        for s in &scores {
+            prop_assert!(s.is_finite());
+            prop_assert!(*s <= 0.0, "length-normalised logprob must be <= 0");
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trip_is_lossless(seed in 0u64..100, tokens in tokens_strategy()) {
+        let model = TinyLm::new(&arch(), &mut Pcg32::seed(seed)).unwrap();
+        let ckpt = model.to_checkpoint().unwrap();
+        let restored = TinyLm::from_checkpoint(&ckpt).unwrap();
+        let a = model.logits(&tokens).unwrap();
+        let b = restored.logits(&tokens).unwrap();
+        prop_assert!(a.approx_eq(&b, 0.0));
+    }
+}

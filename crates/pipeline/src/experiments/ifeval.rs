@@ -1,0 +1,87 @@
+//! Table 3: IFEval-style instruction-following accuracy.
+
+use chipalign_data::ifeval_bench::{generate as gen_prompts, IfEvalPrompt};
+use chipalign_eval::ifeval::{aggregate, IfEvalReport, PromptVerdict};
+use chipalign_nn::TinyLm;
+
+use crate::evalkit::respond;
+use crate::report::TextTable;
+use crate::zoo::{Backbone, Zoo, ZooModel};
+use crate::PipelineError;
+
+/// Evaluates one model over a prompt subset.
+///
+/// # Errors
+///
+/// Propagates generation failures.
+pub fn eval_subset(
+    model: &TinyLm,
+    prompts: &[IfEvalPrompt],
+) -> Result<IfEvalReport, PipelineError> {
+    let mut verdicts = Vec::with_capacity(prompts.len());
+    for p in prompts {
+        let response = respond(model, &p.prompt)?;
+        verdicts.push(PromptVerdict::of(&p.instructions, &response));
+    }
+    Ok(aggregate(&verdicts))
+}
+
+/// Regenerates Table 3 for the paper's six models.
+///
+/// # Errors
+///
+/// Propagates zoo, merge, and generation failures.
+pub fn table3(zoo: &Zoo, bench_seed: u64) -> Result<TextTable, PipelineError> {
+    let prompts = gen_prompts(bench_seed);
+    let mut table = TextTable::new(
+        "Table 3: instruction-following accuracy (%) on the IFEval-style benchmark",
+        &["P-Strict", "P-Loose", "I-Strict", "I-Loose"],
+        1,
+    );
+
+    // Row order matches the paper: the 8B group, then the 70B group.
+    let llama_merged = super::merged_variants(zoo, Backbone::LlamaTiny)?;
+    let llama_chipalign = llama_merged
+        .into_iter()
+        .find(|(name, _)| name.ends_with("ChipAlign"))
+        .expect("merged variants include ChipAlign");
+
+    let rows: Vec<(String, TinyLm)> = vec![
+        (
+            ZooModel::Instruct(Backbone::LlamaTiny).paper_name(),
+            zoo.model(ZooModel::Instruct(Backbone::LlamaTiny))?,
+        ),
+        (
+            ZooModel::Eda(Backbone::LlamaTiny).paper_name(),
+            zoo.model(ZooModel::Eda(Backbone::LlamaTiny))?,
+        ),
+        (llama_chipalign.0, llama_chipalign.1),
+        (
+            ZooModel::Instruct(Backbone::LlamaLarge).paper_name(),
+            zoo.model(ZooModel::Instruct(Backbone::LlamaLarge))?,
+        ),
+        (
+            ZooModel::ChipNemo.paper_name(),
+            zoo.model(ZooModel::ChipNemo)?,
+        ),
+        (
+            "LLaMA2-70B-ChipAlign".to_string(),
+            super::chipalign_large(zoo)?,
+        ),
+    ];
+
+    for (label, model) in rows {
+        eprintln!("[table3] evaluating {label}...");
+        let report = eval_subset(&model, &prompts)?;
+        table.push_row(
+            &label,
+            vec![
+                report.prompt_strict * 100.0,
+                report.prompt_loose * 100.0,
+                report.instruction_strict * 100.0,
+                report.instruction_loose * 100.0,
+            ],
+        );
+    }
+    Ok(table)
+}

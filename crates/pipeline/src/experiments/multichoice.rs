@@ -1,0 +1,113 @@
+//! Figure 7: multi-choice chip QA accuracy (EDA scripts / bugs / circuits).
+
+use chipalign_data::facts::Domain;
+use chipalign_data::multichoice::{generate as gen_items, MultiChoiceItem, DOMAINS};
+use chipalign_nn::TinyLm;
+
+use crate::evalkit::choose_option;
+use crate::report::TextTable;
+use crate::zoo::{Backbone, Zoo, ZooModel};
+use crate::PipelineError;
+
+/// Per-domain accuracy for one model, in Figure 7 order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiChoiceScores {
+    /// Accuracy per domain (EDA scripts, bugs, circuits).
+    pub per_domain: Vec<f64>,
+    /// Mean accuracy over all items.
+    pub mean: f64,
+}
+
+/// Evaluates one model over an item subset.
+///
+/// # Errors
+///
+/// Propagates scoring failures.
+pub fn eval_subset(
+    model: &TinyLm,
+    items: &[MultiChoiceItem],
+) -> Result<MultiChoiceScores, PipelineError> {
+    let mut per: std::collections::HashMap<Domain, (usize, usize)> = Default::default();
+    let mut correct_total = 0usize;
+    for item in items {
+        let picked = choose_option(model, &item.prompt, &item.choices)?;
+        let entry = per.entry(item.domain).or_insert((0, 0));
+        entry.1 += 1;
+        if picked == item.correct {
+            entry.0 += 1;
+            correct_total += 1;
+        }
+    }
+    let per_domain = DOMAINS
+        .iter()
+        .map(|d| {
+            let (c, n) = per.get(d).copied().unwrap_or((0, 0));
+            if n == 0 {
+                0.0
+            } else {
+                c as f64 / n as f64
+            }
+        })
+        .collect();
+    Ok(MultiChoiceScores {
+        per_domain,
+        mean: if items.is_empty() {
+            0.0
+        } else {
+            correct_total as f64 / items.len() as f64
+        },
+    })
+}
+
+/// Regenerates Figure 7 for the large trio.
+///
+/// # Errors
+///
+/// Propagates zoo, merge, and scoring failures.
+pub fn fig7(zoo: &Zoo, bench_seed: u64) -> Result<TextTable, PipelineError> {
+    let items = gen_items(bench_seed);
+    let mut table = TextTable::new(
+        "Figure 7: multi-choice chip QA accuracy",
+        &["EDA Scripts", "Bugs", "Circuits", "Mean"],
+        3,
+    );
+    let rows: Vec<(String, TinyLm)> = vec![
+        (
+            ZooModel::Instruct(Backbone::LlamaLarge).paper_name(),
+            zoo.model(ZooModel::Instruct(Backbone::LlamaLarge))?,
+        ),
+        (
+            ZooModel::ChipNemo.paper_name(),
+            zoo.model(ZooModel::ChipNemo)?,
+        ),
+        (
+            "LLaMA2-70B-ChipAlign".to_string(),
+            super::chipalign_large(zoo)?,
+        ),
+    ];
+    for (label, model) in rows {
+        eprintln!("[fig7] evaluating {label}...");
+        let scores = eval_subset(&model, &items)?;
+        let mut values = scores.per_domain.clone();
+        values.push(scores.mean);
+        table.push_row(&label, values);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_items_give_zero_scores() {
+        use chipalign_model::ArchSpec;
+        use chipalign_tensor::rng::Pcg32;
+        let mut arch = ArchSpec::tiny("mc");
+        arch.vocab_size = 99;
+        let model = TinyLm::new(&arch, &mut Pcg32::seed(1)).expect("valid");
+        let scores = eval_subset(&model, &[]).expect("ok");
+        assert_eq!(scores.mean, 0.0);
+        assert_eq!(scores.per_domain, vec![0.0; 3]);
+    }
+}

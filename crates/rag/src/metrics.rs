@@ -1,0 +1,162 @@
+//! Retrieval-quality metrics: recall@k, MRR, and hit-rate over a labelled
+//! query set.
+//!
+//! The paper's Table 1 contrasts golden-context and RAG-context scores;
+//! how much of that gap is the retriever's fault is answerable only with
+//! retrieval metrics, which these utilities provide (used by the ablation
+//! reporting and the retrieval tests).
+
+use crate::fuse::Retriever;
+
+/// One labelled retrieval query: the query text and the id of the document
+/// that contains the answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelledQuery {
+    /// Query text.
+    pub query: String,
+    /// The relevant document id.
+    pub relevant_doc: usize,
+}
+
+/// Aggregate retrieval metrics over a query set.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RetrievalReport {
+    /// Fraction of queries whose relevant document appears in the top-k.
+    pub recall_at_k: f64,
+    /// Mean reciprocal rank of the relevant document (0 when absent).
+    pub mrr: f64,
+    /// Number of queries evaluated.
+    pub n_queries: usize,
+    /// The k used for recall.
+    pub k: usize,
+}
+
+/// Evaluates a retriever against labelled queries.
+///
+/// # Example
+///
+/// ```
+/// use chipalign_rag::{Chunker, Document, Retriever};
+/// use chipalign_rag::metrics::{evaluate_retriever, LabelledQuery};
+///
+/// let docs = vec![
+///     Document::new(0, "place", "global placement optimizes wirelength"),
+///     Document::new(1, "cts", "clock tree synthesis balances skew"),
+/// ];
+/// let retriever = Retriever::build(Chunker::default().chunk_all(&docs));
+/// let queries = vec![LabelledQuery { query: "what balances skew?".into(), relevant_doc: 1 }];
+/// let report = evaluate_retriever(&retriever, &queries, 2);
+/// assert_eq!(report.recall_at_k, 1.0);
+/// ```
+#[must_use]
+pub fn evaluate_retriever(
+    retriever: &Retriever,
+    queries: &[LabelledQuery],
+    k: usize,
+) -> RetrievalReport {
+    if queries.is_empty() || k == 0 {
+        return RetrievalReport {
+            k,
+            ..RetrievalReport::default()
+        };
+    }
+    let mut hits = 0usize;
+    let mut rr_sum = 0.0f64;
+    for q in queries {
+        let results = retriever.retrieve(&q.query, k);
+        if let Some(rank) = results.iter().position(|r| r.doc_id == q.relevant_doc) {
+            hits += 1;
+            rr_sum += 1.0 / (rank as f64 + 1.0);
+        }
+    }
+    RetrievalReport {
+        recall_at_k: hits as f64 / queries.len() as f64,
+        mrr: rr_sum / queries.len() as f64,
+        n_queries: queries.len(),
+        k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::{Chunker, Document};
+
+    fn retriever() -> Retriever {
+        let docs = vec![
+            Document::new(0, "place", "global placement optimizes the wirelength"),
+            Document::new(1, "cts", "clock tree synthesis balances skew"),
+            Document::new(2, "route", "detailed routing fixes rule violations"),
+        ];
+        Retriever::build(Chunker::default().chunk_all(&docs))
+    }
+
+    fn queries() -> Vec<LabelledQuery> {
+        vec![
+            LabelledQuery {
+                query: "what optimizes wirelength?".into(),
+                relevant_doc: 0,
+            },
+            LabelledQuery {
+                query: "what balances clock skew?".into(),
+                relevant_doc: 1,
+            },
+            LabelledQuery {
+                query: "who fixes rule violations?".into(),
+                relevant_doc: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn perfect_retrieval_on_easy_corpus() {
+        let report = evaluate_retriever(&retriever(), &queries(), 2);
+        assert_eq!(report.recall_at_k, 1.0);
+        assert!(report.mrr > 0.99, "relevant doc should rank first: {report:?}");
+        assert_eq!(report.n_queries, 3);
+    }
+
+    #[test]
+    fn recall_shrinks_with_k_one_on_hard_query() {
+        let mixed = vec![LabelledQuery {
+            query: "the placement of the clock".into(),
+            relevant_doc: 1,
+        }];
+        let r1 = evaluate_retriever(&retriever(), &mixed, 1);
+        let r3 = evaluate_retriever(&retriever(), &mixed, 3);
+        assert!(r3.recall_at_k >= r1.recall_at_k);
+    }
+
+    #[test]
+    fn mrr_reflects_rank() {
+        // A query matching doc 0 strongly and labelled with doc 2 weakly
+        // present should have mrr < 1 when it ranks below the top.
+        let q = vec![LabelledQuery {
+            query: "wirelength routing".into(),
+            relevant_doc: 2,
+        }];
+        let report = evaluate_retriever(&retriever(), &q, 3);
+        if report.recall_at_k > 0.0 {
+            assert!(report.mrr <= 1.0);
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        let report = evaluate_retriever(&retriever(), &[], 3);
+        assert_eq!(report.n_queries, 0);
+        assert_eq!(report.recall_at_k, 0.0);
+        let report = evaluate_retriever(&retriever(), &queries(), 0);
+        assert_eq!(report.recall_at_k, 0.0);
+    }
+
+    #[test]
+    fn missing_document_scores_zero() {
+        let q = vec![LabelledQuery {
+            query: "entirely unrelated zebra question".into(),
+            relevant_doc: 0,
+        }];
+        let report = evaluate_retriever(&retriever(), &q, 3);
+        assert_eq!(report.mrr, 0.0);
+    }
+}

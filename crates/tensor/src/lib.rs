@@ -1,0 +1,51 @@
+//! Dense tensor math substrate for the ChipAlign reproduction.
+//!
+//! This crate provides the low-level numerical machinery that every other
+//! crate in the workspace builds on:
+//!
+//! * [`Matrix`] — a row-major, heap-allocated `f32` matrix with the linear
+//!   algebra needed by a transformer forward/backward pass and by weight-space
+//!   model merging (Frobenius norms, inner products, `axpy`, matmul).
+//! * [`rng`] — a tiny, fully deterministic pseudo-random number generator
+//!   ([`rng::Pcg32`]) plus normal/uniform sampling helpers, so that every
+//!   experiment in the reproduction is bit-reproducible across runs and
+//!   platforms without pulling an RNG dependency into the numerics core.
+//! * [`stats`] — scalar statistics over weight matrices (cosine similarity,
+//!   the interpolation angle Θ used by geodesic merging, simple summaries).
+//!
+//! The ChipAlign paper (DAC 2025) treats each weight matrix
+//! `W ∈ R^{p×q}` as a point that can be projected onto the unit
+//! `n`-sphere (`n = p·q − 1`) by dividing by its Frobenius norm. Everything
+//! required for that projection and the subsequent spherical interpolation is
+//! a flat pass over `p·q` numbers, which is why this crate keeps matrices as
+//! contiguous `Vec<f32>` buffers and exposes slice access ([`Matrix::data`])
+//! for linear-time merging kernels.
+//!
+//! # Example
+//!
+//! ```
+//! use chipalign_tensor::{Matrix, rng::Pcg32};
+//!
+//! # fn main() -> Result<(), chipalign_tensor::TensorError> {
+//! let mut rng = Pcg32::seed(42);
+//! let a = Matrix::randn(4, 8, 0.02, &mut rng);
+//! let b = Matrix::randn(8, 3, 0.02, &mut rng);
+//! let c = a.matmul(&b)?;
+//! assert_eq!((c.rows(), c.cols()), (4, 3));
+//! let norm = c.frobenius_norm();
+//! assert!(norm.is_finite());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod matrix;
+pub mod ops;
+pub mod rng;
+pub mod stats;
+
+pub use error::TensorError;
+pub use matrix::Matrix;

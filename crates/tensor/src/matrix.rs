@@ -1,0 +1,822 @@
+use std::fmt;
+
+use rayon::prelude::*;
+
+use crate::rng::Pcg32;
+use crate::TensorError;
+
+/// Minimum element count before matmul parallelises across rows.
+const PAR_THRESHOLD: usize = 32 * 1024;
+
+/// A dense, row-major `f32` matrix.
+///
+/// `Matrix` is the single tensor type of the workspace: 1-D parameters such
+/// as RMSNorm gains are represented as `1 × q` matrices so that the merging
+/// kernels (which view any weight as a point in `R^{p·q}`) treat every
+/// parameter uniformly.
+///
+/// The buffer is always exactly `rows * cols` long and contiguous, so
+/// linear-time whole-weight passes (Frobenius norms, geodesic interpolation)
+/// can operate on [`Matrix::data`] directly.
+///
+/// # Example
+///
+/// ```
+/// use chipalign_tensor::Matrix;
+///
+/// # fn main() -> Result<(), chipalign_tensor::TensorError> {
+/// let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0])?;
+/// let b = Matrix::identity(2);
+/// let c = a.matmul(&b)?;
+/// assert_eq!(c, a);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows × cols` matrix of ones.
+    #[must_use]
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Matrix::filled(rows, cols, 1.0)
+    }
+
+    /// Creates a `rows × cols` matrix with every element equal to `value`.
+    #[must_use]
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Wraps an existing buffer as a `rows × cols` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::BadBuffer`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, TensorError> {
+        if data.len() != rows * cols {
+            return Err(TensorError::BadBuffer {
+                rows,
+                cols,
+                len: data.len(),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every element.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds a matrix from equal-length rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::BadBuffer`] if the rows have differing lengths.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Result<Self, TensorError> {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for row in rows {
+            if row.len() != ncols {
+                return Err(TensorError::BadBuffer {
+                    rows: nrows,
+                    cols: ncols,
+                    len: row.len(),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Creates a matrix of i.i.d. normal samples with standard deviation
+    /// `std` (mean zero).
+    #[must_use]
+    pub fn randn(rows: usize, cols: usize, std: f32, rng: &mut Pcg32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            data.push(rng.normal() * std);
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix with Xavier/Glorot-uniform initialisation, the
+    /// default for the transformer projection weights in `chipalign-nn`.
+    #[must_use]
+    pub fn xavier(rows: usize, cols: usize, rng: &mut Pcg32) -> Self {
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            data.push((rng.uniform() * 2.0 - 1.0) * bound);
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The underlying row-major buffer.
+    #[must_use]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its buffer.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Returns the element at `(row, col)`, or `None` if out of bounds.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> Option<f32> {
+        if row < self.rows && col < self.cols {
+            Some(self.data[row * self.cols + col])
+        } else {
+            None
+        }
+    }
+
+    /// Sets the element at `(row, col)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::OutOfBounds`] for an invalid index.
+    pub fn set(&mut self, row: usize, col: usize, value: f32) -> Result<(), TensorError> {
+        if row < self.rows && col < self.cols {
+            self.data[row * self.cols + col] = value;
+            Ok(())
+        } else {
+            Err(TensorError::OutOfBounds {
+                index: (row, col),
+                shape: (self.rows, self.cols),
+            })
+        }
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterates over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Applies `f` to every element, producing a new matrix.
+    #[must_use]
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two same-shaped matrices elementwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn zip_map(
+        &self,
+        other: &Matrix,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Self, TensorError> {
+        self.check_same_shape(other, "zip_map")?;
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Elementwise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add(&self, other: &Matrix) -> Result<Self, TensorError> {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference `self - other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn sub(&self, other: &Matrix) -> Result<Self, TensorError> {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn hadamard(&self, other: &Matrix) -> Result<Self, TensorError> {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Adds `other` into `self` in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add_assign(&mut self, other: &Matrix) -> Result<(), TensorError> {
+        self.check_same_shape(other, "add_assign")?;
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Computes `self += alpha * other` in place (BLAS `axpy`).
+    ///
+    /// This is the inner loop of every merging method, so it stays
+    /// allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Matrix) -> Result<(), TensorError> {
+        self.check_same_shape(other, "axpy")?;
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Returns `self * scalar`.
+    #[must_use]
+    pub fn scale(&self, scalar: f32) -> Self {
+        self.map(|x| x * scalar)
+    }
+
+    /// Multiplies every element by `scalar` in place.
+    pub fn scale_inplace(&mut self, scalar: f32) {
+        for x in &mut self.data {
+            *x *= scalar;
+        }
+    }
+
+    /// Linear interpolation `(1 - t) * self + t * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn lerp(&self, other: &Matrix, t: f32) -> Result<Self, TensorError> {
+        self.zip_map(other, |a, b| (1.0 - t) * a + t * b)
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// Parallelises across output rows once the output exceeds an internal
+    /// threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Self, TensorError> {
+        if self.cols != other.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = vec![0.0f32; m * n];
+        let body = |(r, out_row): (usize, &mut [f32])| {
+            let a_row = &self.data[r * k..(r + 1) * k];
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[kk * n..(kk + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        };
+        if m * n * k >= PAR_THRESHOLD {
+            out.par_chunks_mut(n).enumerate().for_each(body);
+        } else {
+            out.chunks_mut(n).enumerate().for_each(body);
+        }
+        Matrix::from_vec(m, n, out)
+    }
+
+    /// Matrix product `self · otherᵀ` without materialising the transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.cols() != other.cols()`.
+    pub fn matmul_bt(&self, other: &Matrix) -> Result<Self, TensorError> {
+        if self.cols != other.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_bt",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = vec![0.0f32; m * n];
+        let body = |(r, out_row): (usize, &mut [f32])| {
+            let a_row = &self.data[r * k..(r + 1) * k];
+            for (c, o) in out_row.iter_mut().enumerate() {
+                let b_row = &other.data[c * k..(c + 1) * k];
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        };
+        if m * n * k >= PAR_THRESHOLD {
+            out.par_chunks_mut(n).enumerate().for_each(body);
+        } else {
+            out.chunks_mut(n).enumerate().for_each(body);
+        }
+        Matrix::from_vec(m, n, out)
+    }
+
+    /// Matrix product `selfᵀ · other` without materialising the transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.rows() != other.rows()`.
+    pub fn matmul_at(&self, other: &Matrix) -> Result<Self, TensorError> {
+        if self.rows != other.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_at",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = vec![0.0f32; m * n];
+        // Accumulate k rank-1 updates; serial because m*n is usually small
+        // relative to k in gradient computations, and updates alias rows.
+        for kk in 0..k {
+            let a_row = &self.data[kk * m..(kk + 1) * m];
+            let b_row = &other.data[kk * n..(kk + 1) * n];
+            for (r, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[r * n..(r + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Matrix::from_vec(m, n, out)
+    }
+
+    /// Returns the transposed matrix.
+    #[must_use]
+    pub fn transpose(&self) -> Self {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm `||W||_F = sqrt(Σ w_ij²)`, accumulated in `f64`.
+    ///
+    /// This is the projection denominator in ChipAlign's unit-sphere
+    /// normalisation.
+    #[must_use]
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data
+            .iter()
+            .map(|&x| f64::from(x) * f64::from(x))
+            .sum::<f64>()
+            .sqrt() as f32
+    }
+
+    /// Frobenius inner product `⟨A, B⟩ = Σ a_ij · b_ij`, accumulated in
+    /// `f64`.
+    ///
+    /// Used to compute the geodesic angle `Θ = arccos⟨Ā, B̄⟩` between two
+    /// unit-normalised weight matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn frobenius_dot(&self, other: &Matrix) -> Result<f64, TensorError> {
+        self.check_same_shape(other, "frobenius_dot")?;
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f64::from(a) * f64::from(b))
+            .sum())
+    }
+
+    /// Sum of absolute values (entrywise L1 norm).
+    #[must_use]
+    pub fn l1_norm(&self) -> f32 {
+        self.data.iter().map(|x| f64::from(x.abs())).sum::<f64>() as f32
+    }
+
+    /// Largest absolute element, or 0 for an empty matrix.
+    #[must_use]
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Mean of all elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for an empty matrix.
+    pub fn mean(&self) -> Result<f32, TensorError> {
+        if self.is_empty() {
+            return Err(TensorError::Empty { op: "mean" });
+        }
+        Ok((self.data.iter().map(|&x| f64::from(x)).sum::<f64>() / self.data.len() as f64) as f32)
+    }
+
+    /// `true` if every element is finite (no NaN/inf).
+    #[must_use]
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// `true` if the two matrices have the same shape and all elements are
+    /// within `tol` of one another. Intended for tests.
+    #[must_use]
+    pub fn approx_eq(&self, other: &Matrix, tol: f32) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+
+    fn check_same_shape(&self, other: &Matrix, op: &'static str) -> Result<(), TensorError> {
+        if self.shape() == other.shape() {
+            Ok(())
+        } else {
+            Err(TensorError::ShapeMismatch {
+                op,
+                lhs: self.shape(),
+                rhs: other.shape(),
+            })
+        }
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{}", self.rows, self.cols)?;
+        if self.len() <= 16 {
+            write!(f, ", {:?})", self.data)
+        } else {
+            write!(
+                f,
+                ", frob={:.4}, head={:?}...)",
+                self.frobenius_norm(),
+                &self.data[..4.min(self.data.len())]
+            )
+        }
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:8.4}", self.data[r * self.cols + c])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Matrix {
+        Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).expect("valid")
+    }
+
+    #[test]
+    fn constructors_shapes() {
+        assert_eq!(Matrix::zeros(2, 3).shape(), (2, 3));
+        assert_eq!(Matrix::ones(1, 4).data(), &[1.0; 4]);
+        assert_eq!(Matrix::filled(2, 2, 7.5).data(), &[7.5; 4]);
+        let id = Matrix::identity(3);
+        assert_eq!(id.get(0, 0), Some(1.0));
+        assert_eq!(id.get(0, 1), Some(0.0));
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_len() {
+        assert!(matches!(
+            Matrix::from_vec(2, 2, vec![1.0; 3]),
+            Err(TensorError::BadBuffer { len: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]);
+        assert!(err.is_err());
+        let ok = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).expect("rect");
+        assert_eq!(ok.shape(), (2, 2));
+    }
+
+    #[test]
+    fn from_fn_layout() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m.data(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn get_set_bounds() {
+        let mut m = small();
+        assert_eq!(m.get(1, 2), Some(6.0));
+        assert_eq!(m.get(2, 0), None);
+        m.set(0, 0, 9.0).expect("in bounds");
+        assert_eq!(m.get(0, 0), Some(9.0));
+        assert!(matches!(
+            m.set(0, 3, 0.0),
+            Err(TensorError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn row_access() {
+        let m = small();
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        let rows: Vec<&[f32]> = m.iter_rows().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_panics_out_of_bounds() {
+        let _ = small().row(5);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = small();
+        let b = a.scale(2.0);
+        assert_eq!(a.add(&b).expect("same shape").data()[5], 18.0);
+        assert_eq!(b.sub(&a).expect("same shape").data(), a.data());
+        assert_eq!(a.hadamard(&a).expect("same shape").data()[2], 9.0);
+        let mut c = a.clone();
+        c.axpy(0.5, &b).expect("same shape");
+        assert_eq!(c.data()[0], 2.0);
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 2);
+        assert!(a.add(&b).is_err());
+        assert!(a.frobenius_dot(&b).is_err());
+        assert!(a.lerp(&b, 0.5).is_err());
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).expect("ok");
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]).expect("ok");
+        let c = a.matmul(&b).expect("conformable");
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = small();
+        let c = a.matmul(&Matrix::identity(3)).expect("conformable");
+        assert!(c.approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn matmul_bt_matches_explicit_transpose() {
+        let mut rng = Pcg32::seed(1);
+        let a = Matrix::randn(5, 7, 1.0, &mut rng);
+        let b = Matrix::randn(4, 7, 1.0, &mut rng);
+        let fast = a.matmul_bt(&b).expect("conformable");
+        let slow = a.matmul(&b.transpose()).expect("conformable");
+        assert!(fast.approx_eq(&slow, 1e-4));
+    }
+
+    #[test]
+    fn matmul_at_matches_explicit_transpose() {
+        let mut rng = Pcg32::seed(2);
+        let a = Matrix::randn(6, 3, 1.0, &mut rng);
+        let b = Matrix::randn(6, 5, 1.0, &mut rng);
+        let fast = a.matmul_at(&b).expect("conformable");
+        let slow = a.transpose().matmul(&b).expect("conformable");
+        assert!(fast.approx_eq(&slow, 1e-4));
+    }
+
+    #[test]
+    fn matmul_parallel_path_agrees_with_serial() {
+        // Large enough to cross PAR_THRESHOLD.
+        let mut rng = Pcg32::seed(3);
+        let a = Matrix::randn(64, 64, 0.5, &mut rng);
+        let b = Matrix::randn(64, 64, 0.5, &mut rng);
+        let big = a.matmul(&b).expect("conformable");
+        // Serial reference via per-element dot products.
+        let reference = Matrix::from_fn(64, 64, |r, c| {
+            (0..64).map(|k| a.row(r)[k] * b.row(k)[c]).sum()
+        });
+        assert!(big.approx_eq(&reference, 1e-3));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = small();
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().shape(), (3, 2));
+        assert_eq!(a.transpose().get(2, 1), Some(6.0));
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let m = Matrix::from_vec(1, 2, vec![3.0, 4.0]).expect("ok");
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frobenius_dot_is_symmetric() {
+        let mut rng = Pcg32::seed(4);
+        let a = Matrix::randn(3, 3, 1.0, &mut rng);
+        let b = Matrix::randn(3, 3, 1.0, &mut rng);
+        let ab = a.frobenius_dot(&b).expect("same shape");
+        let ba = b.frobenius_dot(&a).expect("same shape");
+        assert!((ab - ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = small();
+        let b = a.scale(3.0);
+        assert!(a.lerp(&b, 0.0).expect("same shape").approx_eq(&a, 1e-6));
+        assert!(a.lerp(&b, 1.0).expect("same shape").approx_eq(&b, 1e-6));
+    }
+
+    #[test]
+    fn norms_and_stats() {
+        let m = Matrix::from_vec(1, 3, vec![-1.0, 2.0, -3.0]).expect("ok");
+        assert_eq!(m.l1_norm(), 6.0);
+        assert_eq!(m.max_abs(), 3.0);
+        assert!((m.mean().expect("non-empty") - (-2.0 / 3.0)).abs() < 1e-6);
+        assert!(m.all_finite());
+        let bad = Matrix::from_vec(1, 1, vec![f32::NAN]).expect("ok");
+        assert!(!bad.all_finite());
+    }
+
+    #[test]
+    fn mean_of_empty_errors() {
+        let empty = Matrix::zeros(0, 5);
+        assert!(matches!(empty.mean(), Err(TensorError::Empty { .. })));
+    }
+
+    #[test]
+    fn xavier_bound_respected() {
+        let mut rng = Pcg32::seed(5);
+        let m = Matrix::xavier(16, 16, &mut rng);
+        let bound = (6.0 / 32.0f32).sqrt();
+        assert!(m.max_abs() <= bound + 1e-6);
+        assert!(m.max_abs() > bound * 0.5, "should come close to the bound");
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert!(!format!("{:?}", Matrix::zeros(0, 0)).is_empty());
+        assert!(format!("{:?}", Matrix::zeros(100, 100)).contains("frob"));
+    }
+
+    #[test]
+    fn display_formats_rows() {
+        let s = format!("{}", Matrix::identity(2));
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn matrix_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Matrix>();
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the tensor substrate.
+//!
+//! These check algebraic invariants that the unit tests only probe pointwise:
+//! matmul associativity/distributivity, norm homogeneity, Cauchy–Schwarz,
+//! and the triangle inequality — each of which the merging math silently
+//! relies on.
+
+use chipalign_tensor::rng::Pcg32;
+use chipalign_tensor::{stats, Matrix};
+use proptest::prelude::*;
+
+/// Builds a deterministic random matrix from a proptest-chosen seed.
+fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = Pcg32::seed(seed);
+    Matrix::randn(rows, cols, 1.0, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_distributes_over_addition(seed in 0u64..1000, m in 1usize..6, k in 1usize..6, n in 1usize..6) {
+        let a = mat(m, k, seed);
+        let b = mat(k, n, seed.wrapping_add(1));
+        let c = mat(k, n, seed.wrapping_add(2));
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn matmul_associates(seed in 0u64..1000, m in 1usize..5, k in 1usize..5, l in 1usize..5, n in 1usize..5) {
+        let a = mat(m, k, seed);
+        let b = mat(k, l, seed.wrapping_add(1));
+        let c = mat(l, n, seed.wrapping_add(2));
+        let lhs = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let rhs = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-2));
+    }
+
+    #[test]
+    fn transpose_reverses_matmul(seed in 0u64..1000, m in 1usize..6, k in 1usize..6, n in 1usize..6) {
+        let a = mat(m, k, seed);
+        let b = mat(k, n, seed.wrapping_add(1));
+        let lhs = a.matmul(&b).unwrap().transpose();
+        let rhs = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn frobenius_norm_is_homogeneous(seed in 0u64..1000, s in -4.0f32..4.0) {
+        let a = mat(3, 4, seed);
+        let scaled = a.scale(s);
+        let expected = a.frobenius_norm() * s.abs();
+        prop_assert!((scaled.frobenius_norm() - expected).abs() < 1e-3 * (1.0 + expected));
+    }
+
+    #[test]
+    fn cauchy_schwarz(seed in 0u64..1000) {
+        let a = mat(4, 4, seed);
+        let b = mat(4, 4, seed.wrapping_add(1));
+        let dot = a.frobenius_dot(&b).unwrap().abs();
+        let bound = f64::from(a.frobenius_norm()) * f64::from(b.frobenius_norm());
+        prop_assert!(dot <= bound * (1.0 + 1e-5));
+    }
+
+    #[test]
+    fn triangle_inequality(seed in 0u64..1000) {
+        let a = mat(5, 3, seed);
+        let b = mat(5, 3, seed.wrapping_add(1));
+        let sum_norm = a.add(&b).unwrap().frobenius_norm();
+        prop_assert!(sum_norm <= a.frobenius_norm() + b.frobenius_norm() + 1e-4);
+    }
+
+    #[test]
+    fn cosine_similarity_bounded(seed in 0u64..1000) {
+        let a = mat(3, 5, seed);
+        let b = mat(3, 5, seed.wrapping_add(1));
+        let cos = stats::cosine_similarity(&a, &b).unwrap();
+        prop_assert!((-1.0..=1.0).contains(&cos));
+        let theta = stats::interpolation_angle(&a, &b).unwrap();
+        prop_assert!((0.0..=std::f64::consts::PI).contains(&theta));
+    }
+
+    #[test]
+    fn lerp_stays_between_endpoint_norms(seed in 0u64..1000, t in 0.0f32..=1.0) {
+        let a = mat(4, 4, seed);
+        let b = mat(4, 4, seed.wrapping_add(1));
+        let l = a.lerp(&b, t).unwrap();
+        // Convexity: ||lerp|| <= max endpoint norm (plus fp slack).
+        let bound = a.frobenius_norm().max(b.frobenius_norm());
+        prop_assert!(l.frobenius_norm() <= bound + 1e-4);
+    }
+
+    #[test]
+    fn axpy_matches_scale_add(seed in 0u64..1000, alpha in -3.0f32..3.0) {
+        let a = mat(3, 3, seed);
+        let b = mat(3, 3, seed.wrapping_add(1));
+        let mut fast = a.clone();
+        fast.axpy(alpha, &b).unwrap();
+        let slow = a.add(&b.scale(alpha)).unwrap();
+        prop_assert!(fast.approx_eq(&slow, 1e-5));
+    }
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerates every paper table and figure in sequence.
+# The model zoo is trained on first use and cached under artifacts/zoo/,
+# so reruns are evaluation-only. Total cold time: ~40-60 min on one core.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo build --release -p chipalign-bench
+B=target/release
+$B/table1_openroad_qa
+$B/table3_ifeval
+$B/table2_industrial_qa
+$B/fig7_multichoice
+$B/fig8_lambda_sweep --ablate
+$B/fig2_radar
+$B/fig5_qualitative
+$B/fig6_qualitative
+echo "all experiments done; JSON artifacts in artifacts/results/"

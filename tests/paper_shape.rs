@@ -1,0 +1,123 @@
+//! Paper-shape assertions at full (paper) training quality.
+//!
+//! These tests train (or load from `artifacts/zoo/`) the paper-quality
+//! model zoo and assert the *qualitative* results the paper reports — the
+//! capability split and its recovery by merging. They take minutes on a
+//! cold cache, so they are `#[ignore]`d by default:
+//!
+//! ```text
+//! cargo test --release --test paper_shape -- --ignored --test-threads 1
+//! ```
+
+use chipalign::data::ifeval_bench;
+use chipalign::pipeline::experiments::openroad::{ContextMode, OpenRoadEval};
+use chipalign::pipeline::experiments::{ifeval, merged_variants};
+use chipalign::pipeline::zoo::{Backbone, Quality, Zoo, ZooConfig, ZooModel};
+
+fn paper_zoo() -> Zoo {
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("artifacts/zoo");
+    Zoo::new(ZooConfig {
+        quality: Quality::Paper,
+        seed: 2025,
+        cache_dir: Some(dir),
+    })
+    .expect("zoo builds")
+}
+
+#[test]
+#[ignore = "trains the paper-quality zoo (minutes); run with --ignored"]
+fn daft_costs_instruction_alignment_and_chipalign_recovers_domain_skill() {
+    let zoo = paper_zoo();
+    let backbone = Backbone::LlamaTiny;
+    let instruct = zoo.model(ZooModel::Instruct(backbone)).expect("trains");
+    let eda = zoo.model(ZooModel::Eda(backbone)).expect("trains");
+    let chipalign = merged_variants(&zoo, backbone)
+        .expect("merges")
+        .into_iter()
+        .find(|(n, _)| n.ends_with("ChipAlign"))
+        .expect("present")
+        .1;
+
+    // IFEval: instruct >> eda (the paper's alignment-loss finding), and
+    // the merge recovers a meaningful share of the gap.
+    let prompts = ifeval_bench::generate(2025);
+    let subset = &prompts[..150];
+    let r_instruct = ifeval::eval_subset(&instruct, subset).expect("runs");
+    let r_eda = ifeval::eval_subset(&eda, subset).expect("runs");
+    let r_merged = ifeval::eval_subset(&chipalign, subset).expect("runs");
+    assert!(
+        r_instruct.prompt_strict > r_eda.prompt_strict + 0.1,
+        "DAFT must cost alignment: instruct {} vs eda {}",
+        r_instruct.prompt_strict,
+        r_eda.prompt_strict
+    );
+    assert!(
+        r_merged.prompt_strict > r_eda.prompt_strict,
+        "merging must recover alignment: merged {} vs eda {}",
+        r_merged.prompt_strict,
+        r_eda.prompt_strict
+    );
+
+    // OpenROAD QA (golden context): eda > instruct (domain adaptation
+    // pays), and the merged model beats the instruct parent.
+    let eval = OpenRoadEval::new(2025);
+    let triplets = &eval.triplets()[..40];
+    let s_instruct = eval
+        .eval_subset(&instruct, triplets, ContextMode::Golden)
+        .expect("runs");
+    let s_eda = eval
+        .eval_subset(&eda, triplets, ContextMode::Golden)
+        .expect("runs");
+    let s_merged = eval
+        .eval_subset(&chipalign, triplets, ContextMode::Golden)
+        .expect("runs");
+    assert!(
+        s_eda.all > s_instruct.all,
+        "domain DAFT must pay on the domain benchmark: eda {} vs instruct {}",
+        s_eda.all,
+        s_instruct.all
+    );
+    assert!(
+        s_merged.all > s_instruct.all,
+        "the merge must not collapse to the instruct parent: merged {} vs instruct {}",
+        s_merged.all,
+        s_instruct.all
+    );
+}
+
+#[test]
+#[ignore = "trains the paper-quality zoo (minutes); run with --ignored"]
+fn lambda_extremes_reproduce_parents_on_benchmarks() {
+    use chipalign::merge::{GeodesicMerge, Merger};
+    use chipalign::nn::TinyLm;
+
+    let zoo = paper_zoo();
+    let backbone = Backbone::LlamaTiny;
+    let instruct = zoo.model(ZooModel::Instruct(backbone)).expect("trains");
+    let eda = zoo.model(ZooModel::Eda(backbone)).expect("trains");
+    let eval = OpenRoadEval::new(2025);
+    let triplets = &eval.triplets()[..20];
+
+    for (lambda, parent) in [(0.0f32, &instruct), (1.0f32, &eda)] {
+        let merged = GeodesicMerge::new(lambda)
+            .expect("valid")
+            .merge_pair(
+                &eda.to_checkpoint().expect("ok"),
+                &instruct.to_checkpoint().expect("ok"),
+            )
+            .expect("merges");
+        let model = TinyLm::from_checkpoint(&merged).expect("runnable");
+        let a = eval
+            .eval_subset(&model, triplets, ContextMode::Golden)
+            .expect("runs");
+        let b = eval
+            .eval_subset(parent, triplets, ContextMode::Golden)
+            .expect("runs");
+        assert!(
+            (a.all - b.all).abs() < 1e-6,
+            "λ={lambda} must equal its parent: {} vs {}",
+            a.all,
+            b.all
+        );
+    }
+}
