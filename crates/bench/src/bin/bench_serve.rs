@@ -1,0 +1,201 @@
+//! Load generator for chipalign-serve: measures batched throughput against
+//! a serialized baseline and writes `BENCH_serve.json` at the repo root.
+//!
+//! The server hosts the paper's deliverable — the λ=0.6 geodesic merge of
+//! the EDA and instruct models — and the generator drives it twice with
+//! identical request sets: once strictly serialized (one request in flight
+//! at a time, the no-batching baseline) and once with every session
+//! submitted concurrently, which is what continuous batching exists for.
+//!
+//! ```text
+//! CHIPALIGN_QUALITY=smoke cargo run --release -p chipalign-bench --bin bench_serve
+//! ```
+//!
+//! Environment knobs: `CHIPALIGN_QUALITY` (`smoke`/`paper`),
+//! `CHIPALIGN_SERVE_WORKERS` (default 4), `CHIPALIGN_SERVE_SESSIONS`
+//! (default 32), `CHIPALIGN_SERVE_TOKENS` (per-request budget, default 48).
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use chipalign_bench::harness;
+use chipalign_serve::{
+    Client, GenerateRequest, ModelRegistry, SchedulerConfig, Server, ServerConfig,
+};
+
+const MERGE_SPEC: &str = "merge:eda-qwen+instruct-qwen@0.6";
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[derive(Debug, Serialize)]
+struct PhaseReport {
+    /// Requests completed.
+    requests: usize,
+    /// Total new tokens produced.
+    tokens: u64,
+    /// Wall-clock duration of the phase in milliseconds.
+    wall_ms: u64,
+    /// Completed requests per wall-clock second.
+    requests_per_sec: f64,
+    /// New tokens per wall-clock second.
+    tokens_per_sec: f64,
+    /// Exact median per-request latency in milliseconds.
+    latency_p50_ms: f64,
+    /// Exact 95th-percentile per-request latency in milliseconds.
+    latency_p95_ms: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ServeBench {
+    model: String,
+    quality: String,
+    workers: usize,
+    sessions: usize,
+    tokens_per_request: usize,
+    serialized: PhaseReport,
+    batched: PhaseReport,
+    /// Batched tokens/sec over serialized tokens/sec.
+    speedup: f64,
+    server_metrics: chipalign_serve::MetricsSnapshot,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p * sorted_ms.len() as f64).ceil() as usize).clamp(1, sorted_ms.len()) - 1;
+    sorted_ms[idx]
+}
+
+fn phase_report(latencies_ms: Vec<f64>, tokens: u64, wall_ms: u64) -> PhaseReport {
+    let mut sorted = latencies_ms;
+    sorted.sort_by(f64::total_cmp);
+    let wall_s = (wall_ms as f64 / 1e3).max(1e-9);
+    PhaseReport {
+        requests: sorted.len(),
+        tokens,
+        wall_ms,
+        requests_per_sec: sorted.len() as f64 / wall_s,
+        tokens_per_sec: tokens as f64 / wall_s,
+        latency_p50_ms: percentile(&sorted, 0.50),
+        latency_p95_ms: percentile(&sorted, 0.95),
+    }
+}
+
+fn request_for(i: usize, budget: usize) -> GenerateRequest {
+    let mut req = GenerateRequest::greedy(
+        MERGE_SPEC,
+        &format!("Q:describe the timing path {i};A:"),
+        budget,
+    );
+    // Fixed-length generations make the two phases decode identical work.
+    req.stop_at_eos = false;
+    req
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workers = env_usize("CHIPALIGN_SERVE_WORKERS", 4);
+    let sessions = env_usize("CHIPALIGN_SERVE_SESSIONS", 32);
+    let budget = env_usize("CHIPALIGN_SERVE_TOKENS", 48);
+    let quality = std::env::var("CHIPALIGN_QUALITY").unwrap_or_else(|_| "paper".to_string());
+
+    let zoo = harness::paper_zoo()?;
+    let registry = ModelRegistry::new(zoo);
+    let server = Server::bind(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            scheduler: SchedulerConfig {
+                workers,
+                max_sessions: sessions.max(1) * 2,
+                slice_tokens: 8,
+            },
+            max_new_tokens_cap: budget.max(1),
+            default_deadline_ms: None,
+        },
+        registry,
+    )?;
+    let addr = server.local_addr();
+    eprintln!("[bench_serve] serving on {addr} ({workers} workers)");
+
+    // Materialize the merge once up front so neither phase pays for
+    // training or merging.
+    let mut admin = Client::connect(addr)?;
+    let model_key = admin.load(MERGE_SPEC)?;
+    eprintln!("[bench_serve] warmed {model_key}");
+
+    // Phase 1: serialized baseline — one request in flight at a time.
+    let start = Instant::now();
+    let mut serialized_latencies = Vec::with_capacity(sessions);
+    let mut serialized_tokens = 0u64;
+    for i in 0..sessions {
+        let t0 = Instant::now();
+        let generation = admin.generate(request_for(i, budget))?;
+        serialized_latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+        serialized_tokens += generation.tokens as u64;
+    }
+    let serialized = phase_report(
+        serialized_latencies,
+        serialized_tokens,
+        start.elapsed().as_millis() as u64,
+    );
+    eprintln!(
+        "[bench_serve] serialized: {:.1} tok/s, p95 {:.0} ms",
+        serialized.tokens_per_sec, serialized.latency_p95_ms
+    );
+
+    // Phase 2: continuous batching — every session in flight at once, one
+    // connection per session, same request set.
+    let start = Instant::now();
+    let handles: Vec<_> = (0..sessions)
+        .map(|i| {
+            std::thread::spawn(move || -> Result<(f64, u64), chipalign_serve::ServeError> {
+                let mut client = Client::connect(addr)?;
+                let t0 = Instant::now();
+                let generation = client.generate(request_for(i, budget))?;
+                Ok((t0.elapsed().as_secs_f64() * 1e3, generation.tokens as u64))
+            })
+        })
+        .collect();
+    let mut batched_latencies = Vec::with_capacity(sessions);
+    let mut batched_tokens = 0u64;
+    for h in handles {
+        let (latency_ms, tokens) = h.join().expect("client thread")?;
+        batched_latencies.push(latency_ms);
+        batched_tokens += tokens;
+    }
+    let batched = phase_report(
+        batched_latencies,
+        batched_tokens,
+        start.elapsed().as_millis() as u64,
+    );
+    eprintln!(
+        "[bench_serve] batched:    {:.1} tok/s, p95 {:.0} ms",
+        batched.tokens_per_sec, batched.latency_p95_ms
+    );
+
+    let server_metrics = admin.metrics()?;
+    server.shutdown();
+
+    let speedup = batched.tokens_per_sec / serialized.tokens_per_sec.max(1e-9);
+    let report = ServeBench {
+        model: model_key,
+        quality,
+        workers,
+        sessions,
+        tokens_per_request: budget,
+        serialized,
+        batched,
+        speedup,
+        server_metrics,
+    };
+    let out = harness::workspace_root().join("BENCH_serve.json");
+    std::fs::write(&out, serde_json::to_string_pretty(&report)?)?;
+    eprintln!("[bench_serve] speedup {speedup:.2}x -> {}", out.display());
+    Ok(())
+}

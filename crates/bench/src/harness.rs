@@ -44,6 +44,16 @@ pub fn paper_zoo() -> Result<Zoo, PipelineError> {
     })
 }
 
+/// Resolves the workspace root (the directory holding `artifacts/`).
+#[must_use]
+pub fn workspace_root() -> PathBuf {
+    zoo_dir()
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map(std::path::Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
 /// Resolves the results directory (`artifacts/results`), creating it.
 ///
 /// # Errors

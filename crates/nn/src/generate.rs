@@ -45,53 +45,202 @@ impl Default for GenerateConfig {
     }
 }
 
+impl GenerateConfig {
+    /// Checks every hyperparameter for values that would silently corrupt
+    /// decoding (NaN temperatures propagate through softmax, `top_p <= 0`
+    /// empties the nucleus, a zero token budget produces nothing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] if `max_new_tokens == 0`, if
+    /// `temperature` is NaN/infinite/negative, or if `top_p` lies outside
+    /// `(0, 1]`.
+    pub fn validate(&self) -> Result<(), NnError> {
+        if self.max_new_tokens == 0 {
+            return Err(NnError::BadConfig {
+                detail: "max_new_tokens must be at least 1".into(),
+            });
+        }
+        if !self.temperature.is_finite() || self.temperature < 0.0 {
+            return Err(NnError::BadConfig {
+                detail: format!(
+                    "temperature must be finite and non-negative, got {}",
+                    self.temperature
+                ),
+            });
+        }
+        if !self.top_p.is_finite() || self.top_p <= 0.0 || self.top_p > 1.0 {
+            return Err(NnError::BadConfig {
+                detail: format!("top_p must lie in (0, 1], got {}", self.top_p),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// An incremental decoding session: one new token per [`StepDecoder::step`].
+///
+/// This is the engine behind [`generate`] and the unit a serving scheduler
+/// multiplexes: each session owns its [`crate::KvCache`], so many sessions
+/// can be interleaved step-by-step (continuous batching) while producing
+/// outputs byte-identical to a dedicated single-threaded `generate()` loop
+/// — same sampling RNG stream, same context-window slide points.
+///
+/// # Example
+///
+/// ```
+/// use chipalign_model::ArchSpec;
+/// use chipalign_nn::generate::{GenerateConfig, StepDecoder};
+/// use chipalign_nn::TinyLm;
+/// use chipalign_tensor::rng::Pcg32;
+///
+/// # fn main() -> Result<(), chipalign_nn::NnError> {
+/// let mut arch = ArchSpec::tiny("step");
+/// arch.vocab_size = 99;
+/// let model = TinyLm::new(&arch, &mut Pcg32::seed(1))?;
+/// let cfg = GenerateConfig { max_new_tokens: 4, ..GenerateConfig::default() };
+/// let mut session = StepDecoder::new(&model, &[5, 6, 7], &cfg)?;
+/// let mut out = Vec::new();
+/// while let Some(tok) = session.step()? {
+///     out.push(tok);
+/// }
+/// assert!(session.is_done());
+/// assert!(out.len() <= 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StepDecoder {
+    cfg: GenerateConfig,
+    rng: Pcg32,
+    max_ctx: usize,
+    context: Vec<u32>,
+    cache: crate::kv::KvCache,
+    last_logits: Vec<f32>,
+    emitted: usize,
+    done: bool,
+    saw_eos: bool,
+}
+
+impl StepDecoder {
+    /// Prefills the prompt and readies the session for stepping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] for an invalid configuration (see
+    /// [`GenerateConfig::validate`]), [`NnError::BadSequence`] for an empty
+    /// prompt, and forwards any forward-pass failure.
+    pub fn new(model: &TinyLm, prompt: &[u32], cfg: &GenerateConfig) -> Result<Self, NnError> {
+        cfg.validate()?;
+        if prompt.is_empty() {
+            return Err(NnError::BadSequence {
+                detail: "generation requires a non-empty prompt".into(),
+            });
+        }
+        let max_ctx = model.arch().max_seq_len;
+        let context: Vec<u32> = prompt.to_vec();
+        // Prefill the most recent window, leaving one slot for the first
+        // generated token.
+        let start = context.len().saturating_sub(max_ctx.saturating_sub(1));
+        let mut cache = crate::kv::KvCache::new(model);
+        let last_logits = cache.prefill(&context[start..])?;
+        Ok(StepDecoder {
+            cfg: *cfg,
+            rng: Pcg32::seed(cfg.seed),
+            max_ctx,
+            context,
+            cache,
+            last_logits,
+            emitted: 0,
+            done: false,
+            saw_eos: false,
+        })
+    }
+
+    /// Produces the next token, or `None` once the session has finished
+    /// (token budget exhausted, or `<eos>` with `stop_at_eos`).
+    ///
+    /// # Errors
+    ///
+    /// Forwards forward-pass failures from the underlying cache.
+    pub fn step(&mut self) -> Result<Option<u32>, NnError> {
+        if self.done {
+            return Ok(None);
+        }
+        let next = if self.cfg.temperature <= 0.0 {
+            ops::argmax(&self.last_logits).expect("vocab is non-empty") as u32
+        } else {
+            sample_from_logits(
+                &self.last_logits,
+                self.cfg.temperature,
+                self.cfg.top_k,
+                self.cfg.top_p,
+                &mut self.rng,
+            )
+        };
+        self.emitted += 1;
+        self.context.push(next);
+        if self.cfg.stop_at_eos && next == EOS {
+            self.saw_eos = true;
+            self.done = true;
+            return Ok(Some(next));
+        }
+        if self.emitted >= self.cfg.max_new_tokens {
+            self.done = true;
+            return Ok(Some(next));
+        }
+        if self.cache.len() >= self.max_ctx {
+            // Slide: re-prefill the cache over the most recent window.
+            let start = self.context.len() - (self.max_ctx - 1);
+            self.cache.reset();
+            self.last_logits = self.cache.prefill(&self.context[start..])?;
+        } else {
+            self.last_logits = self.cache.decode_step(next)?;
+        }
+        Ok(Some(next))
+    }
+
+    /// Whether the session has produced its final token.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Whether the session ended by emitting `<eos>` (as opposed to
+    /// exhausting its token budget).
+    #[must_use]
+    pub fn stopped_at_eos(&self) -> bool {
+        self.saw_eos
+    }
+
+    /// Number of new tokens emitted so far.
+    #[must_use]
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// The full context (prompt plus generated tokens).
+    #[must_use]
+    pub fn context(&self) -> &[u32] {
+        &self.context
+    }
+}
+
 /// Generates new tokens after `prompt`, returning only the new tokens.
+///
+/// Implemented as a [`StepDecoder`] driven to completion, so batch-of-one
+/// generation and scheduler-interleaved serving share one decoding path.
 ///
 /// # Errors
 ///
-/// Returns [`NnError::BadSequence`] for an empty prompt and forwards any
+/// Returns [`NnError::BadConfig`] for an invalid configuration,
+/// [`NnError::BadSequence`] for an empty prompt, and forwards any
 /// forward-pass failure.
-pub fn generate(
-    model: &TinyLm,
-    prompt: &[u32],
-    cfg: &GenerateConfig,
-) -> Result<Vec<u32>, NnError> {
-    if prompt.is_empty() {
-        return Err(NnError::BadSequence {
-            detail: "generation requires a non-empty prompt".into(),
-        });
-    }
-    let max_ctx = model.arch().max_seq_len;
-    let mut rng = Pcg32::seed(cfg.seed);
-    let mut context: Vec<u32> = prompt.to_vec();
+pub fn generate(model: &TinyLm, prompt: &[u32], cfg: &GenerateConfig) -> Result<Vec<u32>, NnError> {
+    let mut session = StepDecoder::new(model, prompt, cfg)?;
     let mut new_tokens = Vec::with_capacity(cfg.max_new_tokens);
-
-    // Incremental decoding: prefill the window once, then one KV-cached
-    // step per token. When the window fills, re-prefill on the slid
-    // window (rare at benchmark prompt sizes).
-    let start = context.len().saturating_sub(max_ctx.saturating_sub(1));
-    let mut cache = crate::kv::KvCache::new(model);
-    let mut last = cache.prefill(&context[start..])?;
-
-    for _ in 0..cfg.max_new_tokens {
-        let next = if cfg.temperature <= 0.0 {
-            ops::argmax(&last).expect("vocab is non-empty") as u32
-        } else {
-            sample_from_logits(&last, cfg.temperature, cfg.top_k, cfg.top_p, &mut rng)
-        };
+    while let Some(next) = session.step()? {
         new_tokens.push(next);
-        context.push(next);
-        if cfg.stop_at_eos && next == EOS {
-            break;
-        }
-        if cache.len() >= max_ctx {
-            // Slide: rebuild the cache over the most recent window.
-            let start = context.len() - (max_ctx - 1);
-            cache = crate::kv::KvCache::new(model);
-            last = cache.prefill(&context[start..])?;
-        } else {
-            last = cache.decode_step(next)?;
-        }
     }
     Ok(new_tokens)
 }
@@ -157,9 +306,9 @@ fn sample_from_logits(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use chipalign_model::ArchSpec;
     use crate::train::{train, Example, TrainConfig};
     use crate::AdamConfig;
+    use chipalign_model::ArchSpec;
 
     fn arch() -> ArchSpec {
         let mut a = ArchSpec::tiny("gen");
@@ -300,6 +449,142 @@ mod tests {
         )
         .expect("ok");
         assert_eq!(greedy, nucleus);
+    }
+
+    #[test]
+    fn config_validation_rejects_each_bad_field() {
+        let ok = GenerateConfig::default();
+        assert!(ok.validate().is_ok());
+
+        let zero_budget = GenerateConfig {
+            max_new_tokens: 0,
+            ..ok
+        };
+        assert!(matches!(
+            zero_budget.validate(),
+            Err(NnError::BadConfig { .. })
+        ));
+
+        let nan_temp = GenerateConfig {
+            temperature: f32::NAN,
+            ..ok
+        };
+        assert!(matches!(
+            nan_temp.validate(),
+            Err(NnError::BadConfig { .. })
+        ));
+
+        let neg_temp = GenerateConfig {
+            temperature: -0.5,
+            ..ok
+        };
+        assert!(matches!(
+            neg_temp.validate(),
+            Err(NnError::BadConfig { .. })
+        ));
+
+        let inf_temp = GenerateConfig {
+            temperature: f32::INFINITY,
+            ..ok
+        };
+        assert!(matches!(
+            inf_temp.validate(),
+            Err(NnError::BadConfig { .. })
+        ));
+
+        let zero_top_p = GenerateConfig { top_p: 0.0, ..ok };
+        assert!(matches!(
+            zero_top_p.validate(),
+            Err(NnError::BadConfig { .. })
+        ));
+
+        let big_top_p = GenerateConfig { top_p: 1.5, ..ok };
+        assert!(matches!(
+            big_top_p.validate(),
+            Err(NnError::BadConfig { .. })
+        ));
+
+        let nan_top_p = GenerateConfig {
+            top_p: f32::NAN,
+            ..ok
+        };
+        assert!(matches!(
+            nan_top_p.validate(),
+            Err(NnError::BadConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn generate_refuses_invalid_config() {
+        let model = trained_on(&[5, 6, 7]);
+        let bad = GenerateConfig {
+            max_new_tokens: 0,
+            ..GenerateConfig::default()
+        };
+        assert!(matches!(
+            generate(&model, &[5, 6], &bad),
+            Err(NnError::BadConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn step_decoder_matches_generate_greedy_with_window_slide() {
+        // 64 new tokens on a 32-position context exercises the slide
+        // re-prefill path in both drivers.
+        let model = trained_on(&[5, 6, 7, 8, 9]);
+        let cfg = GenerateConfig {
+            max_new_tokens: 64,
+            stop_at_eos: false,
+            ..GenerateConfig::default()
+        };
+        let reference = generate(&model, &[5, 6], &cfg).expect("ok");
+        let mut session = StepDecoder::new(&model, &[5, 6], &cfg).expect("ok");
+        let mut stepped = Vec::new();
+        while let Some(tok) = session.step().expect("ok") {
+            stepped.push(tok);
+        }
+        assert_eq!(reference, stepped);
+        assert_eq!(session.emitted(), 64);
+        assert!(session.is_done());
+        assert!(!session.stopped_at_eos());
+        assert!(session.step().expect("ok").is_none(), "done stays done");
+    }
+
+    #[test]
+    fn step_decoder_matches_generate_when_sampling() {
+        let model = trained_on(&[5, 6, 7, 8, 9]);
+        let cfg = GenerateConfig {
+            max_new_tokens: 20,
+            temperature: 1.2,
+            top_k: 8,
+            top_p: 0.9,
+            stop_at_eos: false,
+            seed: 13,
+        };
+        let reference = generate(&model, &[5, 6], &cfg).expect("ok");
+        let mut session = StepDecoder::new(&model, &[5, 6], &cfg).expect("ok");
+        let mut stepped = Vec::new();
+        while let Some(tok) = session.step().expect("ok") {
+            stepped.push(tok);
+        }
+        assert_eq!(reference, stepped, "RNG streams must stay in lockstep");
+    }
+
+    #[test]
+    fn step_decoder_tracks_context_and_truncates_long_prompts() {
+        let model = trained_on(&[5, 6, 7, 8, 9]);
+        // Prompt longer than max_seq_len (32): prefill must keep only the
+        // most recent window yet remember the full context.
+        let prompt: Vec<u32> = (0..40).map(|i| 4 + (i % 90)).collect();
+        let cfg = GenerateConfig {
+            max_new_tokens: 2,
+            stop_at_eos: false,
+            ..GenerateConfig::default()
+        };
+        let mut session = StepDecoder::new(&model, &prompt, &cfg).expect("ok");
+        session.step().expect("ok");
+        assert_eq!(session.context().len(), prompt.len() + 1);
+        assert_eq!(&session.context()[..prompt.len()], &prompt[..]);
     }
 
     #[test]

@@ -84,6 +84,17 @@ impl KvCache {
         self.len == 0
     }
 
+    /// Clears every cached position while keeping the bound model (and the
+    /// per-layer bucket allocations), so a decoding session can re-prefill
+    /// after a context-window slide without cloning the model again.
+    pub fn reset(&mut self) {
+        for kv in &mut self.layers {
+            kv.k.clear();
+            kv.v.clear();
+        }
+        self.len = 0;
+    }
+
     /// Processes a prompt, returning the logits of its final position.
     ///
     /// # Errors
@@ -150,11 +161,10 @@ impl KvCache {
                 let hi = lo + head_dim;
                 // Scores against every cached position (causal by
                 // construction: the cache only holds positions <= pos).
-                let mut scores: Vec<f32> = kv
-                    .k
-                    .iter()
-                    .map(|krow| ops::dot(&q[lo..hi], &krow[lo..hi]) * scale)
-                    .collect();
+                let mut scores: Vec<f32> =
+                    kv.k.iter()
+                        .map(|krow| ops::dot(&q[lo..hi], &krow[lo..hi]) * scale)
+                        .collect();
                 ops::softmax_inplace(&mut scores);
                 for (w, vrow) in scores.iter().zip(&kv.v) {
                     for (c, &vv) in ctx[lo..hi].iter_mut().zip(&vrow[lo..hi]) {
@@ -273,6 +283,20 @@ mod tests {
             cache.decode_step(4),
             Err(NnError::BadSequence { .. })
         ));
+    }
+
+    #[test]
+    fn reset_cache_replays_like_a_fresh_one() {
+        let m = model();
+        let mut used = KvCache::new(&m);
+        used.prefill(&[5, 10, 15, 20]).expect("ok");
+        used.reset();
+        assert!(used.is_empty());
+        let replayed = used.prefill(&[7, 12, 17]).expect("ok");
+        let mut fresh = KvCache::new(&m);
+        let reference = fresh.prefill(&[7, 12, 17]).expect("ok");
+        assert_eq!(replayed, reference, "reset must fully clear cached state");
+        assert_eq!(used.len(), fresh.len());
     }
 
     #[test]

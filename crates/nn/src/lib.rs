@@ -49,8 +49,8 @@
 mod error;
 pub mod generate;
 mod kv;
-pub mod loss;
 mod lora;
+pub mod loss;
 mod model;
 mod optim;
 mod params;
@@ -59,9 +59,10 @@ mod tokenizer;
 pub mod train;
 
 pub use error::NnError;
+pub use generate::{GenerateConfig, StepDecoder};
 pub use kv::KvCache;
 pub use lora::{LoraConfig, LoraModel};
 pub use model::{ForwardCache, TinyLm};
 pub use optim::{Adam, AdamConfig};
 pub use params::{LayerParams, ParamSet};
-pub use tokenizer::CharTokenizer;
+pub use tokenizer::{CharTokenizer, BOS, EOS, PAD, UNK};

@@ -2,8 +2,8 @@
 
 use chipalign_model::ArchSpec;
 use chipalign_nn::generate::{generate, GenerateConfig};
-use chipalign_nn::{loss, score, TinyLm};
-use chipalign_tensor::rng::Pcg32;
+use chipalign_nn::{loss, score, KvCache, TinyLm};
+use chipalign_tensor::{ops, rng::Pcg32};
 use proptest::prelude::*;
 
 fn arch() -> ArchSpec {
@@ -82,6 +82,55 @@ proptest! {
             prop_assert!(s.is_finite());
             prop_assert!(*s <= 0.0, "length-normalised logprob must be <= 0");
         }
+    }
+
+    #[test]
+    fn kv_cache_matches_full_forward_across_window_slides(
+        seed in 0u64..40,
+        // max_seq_len is 16, so prompts of 12..24 tokens cover "almost
+        // full", "exactly full", and "longer than the window" prefills.
+        prompt in proptest::collection::vec(0u32..32, 12..24),
+        extra in 8usize..20,
+    ) {
+        let model = TinyLm::new(&arch(), &mut Pcg32::seed(seed)).unwrap();
+        let max_ctx = arch().max_seq_len;
+        let mut context = prompt.clone();
+
+        // Mirror `generate()`'s windowing exactly: prefill the most recent
+        // window (leaving one free slot), decode step-by-step, and when the
+        // cache fills, slide and re-prefill. At every position the cached
+        // logits must match a full uncached forward pass over the cache's
+        // exact window — including immediately after a slide re-prefill.
+        let mut win_start = context.len().saturating_sub(max_ctx - 1);
+        let mut cache = KvCache::new(&model);
+        let mut last = cache.prefill(&context[win_start..]).unwrap();
+        let mut slides = 0usize;
+        for _ in 0..extra {
+            prop_assert!(cache.len() <= max_ctx, "cache may never exceed the window");
+            let full = model.logits(&context[win_start..]).unwrap();
+            let t = context.len() - win_start - 1;
+            for v in 0..32 {
+                let reference = full.get(t, v).unwrap();
+                prop_assert!(
+                    (reference - last[v]).abs() < 2e-3,
+                    "cached/full mismatch at window pos {} vocab {}: {} vs {}",
+                    t, v, reference, last[v],
+                );
+            }
+            let next = ops::argmax(&last).unwrap() as u32;
+            context.push(next);
+            if cache.len() >= max_ctx {
+                win_start = context.len() - (max_ctx - 1);
+                cache.reset();
+                last = cache.prefill(&context[win_start..]).unwrap();
+                slides += 1;
+            } else {
+                last = cache.decode_step(next).unwrap();
+            }
+        }
+        // With >= 12 prompt tokens, a 16-slot window, and >= 8 decode steps
+        // the slide path must have triggered at least once.
+        prop_assert!(slides >= 1, "window slide path was not exercised");
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! A small blocking client for the wire protocol.
+//!
+//! One [`Client`] wraps one TCP connection; each call writes a request line
+//! and blocks until the matching response line arrives. It exists for
+//! tests, the load generator, and examples — any newline-JSON-speaking
+//! client in any language works equally well.
+
+use std::io::{BufRead, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::metrics::MetricsSnapshot;
+use crate::protocol::{self, GenerateRequest, Generation, Request, Response};
+use crate::ServeError;
+
+/// A blocking connection to a running server.
+#[derive(Debug)]
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] if the connection cannot be established.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one request and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] on a dropped connection and
+    /// [`ServeError::Protocol`] on an unparsable reply.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ServeError> {
+        protocol::write_line(&mut self.writer, req)?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ServeError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        protocol::parse_line(&line)
+    }
+
+    /// Runs one generation, surfacing wire errors as [`ServeError::Remote`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors and any error response from the server.
+    pub fn generate(&mut self, req: GenerateRequest) -> Result<Generation, ServeError> {
+        match self.request(&Request::Generate(req))? {
+            Response::Generation(g) => Ok(g),
+            Response::Error(w) => Err(ServeError::Remote(w)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Checks liveness; returns the server's protocol version.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors and unexpected replies.
+    pub fn ping(&mut self) -> Result<u32, ServeError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong { version } => Ok(version),
+            Response::Error(w) => Err(ServeError::Remote(w)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches a metrics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors and unexpected replies.
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ServeError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics(snap) => Ok(snap),
+            Response::Error(w) => Err(ServeError::Remote(w)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Lists loaded models and servable zoo slugs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors and unexpected replies.
+    pub fn models(&mut self) -> Result<(Vec<String>, Vec<String>), ServeError> {
+        match self.request(&Request::Models)? {
+            Response::Models { loaded, zoo } => Ok((loaded, zoo)),
+            Response::Error(w) => Err(ServeError::Remote(w)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Materializes a model (hot-swap warm-up); returns its canonical key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors and any error response from the server.
+    pub fn load(&mut self, model: &str) -> Result<String, ServeError> {
+        let req = Request::Load {
+            model: model.to_string(),
+        };
+        match self.request(&req)? {
+            Response::Loaded { model } => Ok(model),
+            Response::Error(w) => Err(ServeError::Remote(w)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Evicts a model from the registry; returns whether anything was
+    /// removed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors and unexpected replies.
+    pub fn unload(&mut self, model: &str) -> Result<bool, ServeError> {
+        let req = Request::Unload {
+            model: model.to_string(),
+        };
+        match self.request(&req)? {
+            Response::Unloaded { evicted, .. } => Ok(evicted),
+            Response::Error(w) => Err(ServeError::Remote(w)),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(resp: &Response) -> ServeError {
+    ServeError::Protocol {
+        detail: format!("unexpected response variant: {resp:?}"),
+    }
+}

@@ -1,0 +1,184 @@
+use std::error::Error;
+use std::fmt;
+
+use chipalign_merge::MergeError;
+use chipalign_model::ModelError;
+use chipalign_nn::NnError;
+use chipalign_pipeline::PipelineError;
+
+use crate::protocol::{ErrorCode, WireError};
+
+/// Errors produced by the serving subsystem.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// A neural-network operation failed.
+    Nn(NnError),
+    /// A checkpoint operation failed.
+    Model(ModelError),
+    /// A merge failed while materializing a requested λ.
+    Merge(MergeError),
+    /// The model zoo failed to produce an ingredient model.
+    Pipeline(PipelineError),
+    /// Socket or file trouble.
+    Io(std::io::Error),
+    /// A wire message could not be parsed or framed.
+    Protocol {
+        /// What was wrong with the message.
+        detail: String,
+    },
+    /// The requested model spec names nothing the registry can serve.
+    UnknownModel {
+        /// The spec string as received.
+        spec: String,
+    },
+    /// Admission control rejected the request: the session queue is full.
+    Overloaded {
+        /// Sessions currently admitted (queued + running).
+        active: usize,
+        /// The configured admission bound.
+        capacity: usize,
+    },
+    /// The server is draining and no longer admits new sessions.
+    ShuttingDown,
+    /// The request's deadline expired before the session finished.
+    DeadlineExceeded {
+        /// How long the session had been in the system when it expired.
+        waited_ms: u64,
+    },
+    /// The request was structurally valid JSON but semantically unusable.
+    BadRequest {
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// The server reported an error over the wire (client side).
+    Remote(WireError),
+}
+
+impl ServeError {
+    /// The wire-protocol error code this error maps to.
+    #[must_use]
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            ServeError::Protocol { .. } | ServeError::BadRequest { .. } => ErrorCode::BadRequest,
+            ServeError::UnknownModel { .. } => ErrorCode::UnknownModel,
+            ServeError::Overloaded { .. } => ErrorCode::Overloaded,
+            ServeError::ShuttingDown => ErrorCode::ShuttingDown,
+            ServeError::DeadlineExceeded { .. } => ErrorCode::DeadlineExceeded,
+            ServeError::Remote(w) => w.code,
+            ServeError::Nn(NnError::BadConfig { .. })
+            | ServeError::Nn(NnError::BadSequence { .. })
+            | ServeError::Nn(NnError::BadToken { .. }) => ErrorCode::BadRequest,
+            _ => ErrorCode::Internal,
+        }
+    }
+
+    /// Renders this error as a wire-protocol error payload.
+    #[must_use]
+    pub fn to_wire(&self) -> WireError {
+        match self {
+            ServeError::Remote(w) => w.clone(),
+            other => WireError {
+                code: other.code(),
+                detail: other.to_string(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Nn(e) => write!(f, "nn error: {e}"),
+            ServeError::Model(e) => write!(f, "model error: {e}"),
+            ServeError::Merge(e) => write!(f, "merge error: {e}"),
+            ServeError::Pipeline(e) => write!(f, "zoo error: {e}"),
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Protocol { detail } => write!(f, "protocol error: {detail}"),
+            ServeError::UnknownModel { spec } => write!(f, "unknown model spec {spec:?}"),
+            ServeError::Overloaded { active, capacity } => {
+                write!(f, "overloaded: {active} of {capacity} sessions in flight")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::DeadlineExceeded { waited_ms } => {
+                write!(f, "deadline exceeded after {waited_ms} ms")
+            }
+            ServeError::BadRequest { detail } => write!(f, "bad request: {detail}"),
+            ServeError::Remote(w) => write!(f, "server error [{:?}]: {}", w.code, w.detail),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Nn(e) => Some(e),
+            ServeError::Model(e) => Some(e),
+            ServeError::Merge(e) => Some(e),
+            ServeError::Pipeline(e) => Some(e),
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for ServeError {
+    fn from(e: NnError) -> Self {
+        ServeError::Nn(e)
+    }
+}
+
+impl From<ModelError> for ServeError {
+    fn from(e: ModelError) -> Self {
+        ServeError::Model(e)
+    }
+}
+
+impl From<MergeError> for ServeError {
+    fn from(e: MergeError) -> Self {
+        ServeError::Merge(e)
+    }
+}
+
+impl From<PipelineError> for ServeError {
+    fn from(e: PipelineError) -> Self {
+        ServeError::Pipeline(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_codes() {
+        let e = ServeError::Overloaded {
+            active: 8,
+            capacity: 8,
+        };
+        assert!(e.to_string().contains("overloaded"));
+        assert_eq!(e.code(), ErrorCode::Overloaded);
+        assert_eq!(ServeError::ShuttingDown.code(), ErrorCode::ShuttingDown);
+        let bad = ServeError::BadRequest {
+            detail: "empty prompt".into(),
+        };
+        assert_eq!(bad.to_wire().code, ErrorCode::BadRequest);
+        assert!(bad.to_wire().detail.contains("empty prompt"));
+    }
+
+    #[test]
+    fn sources_preserved() {
+        let e: ServeError = NnError::BadSequence {
+            detail: "empty".into(),
+        }
+        .into();
+        assert!(e.source().is_some());
+        assert_eq!(e.code(), ErrorCode::BadRequest);
+    }
+}

@@ -1,0 +1,277 @@
+//! The metrics core: lock-free counters and latency histograms.
+//!
+//! Every counter is a relaxed atomic — the serving hot path never takes a
+//! lock to record an observation. Latencies land in a power-of-two
+//! histogram (bucket `i` covers `[2^i, 2^(i+1))` microseconds), which keeps
+//! recording O(1) and percentile queries a 48-element scan. Quantiles are
+//! therefore upper bounds with at most 2× resolution — good enough to spot
+//! regressions; the load generator computes exact percentiles client-side.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of power-of-two buckets: covers 1 µs .. ~2^47 µs (~4 years).
+const BUCKETS: usize = 48;
+
+/// A lock-free power-of-two latency histogram over microseconds.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation in microseconds.
+    pub fn record(&self, us: u64) {
+        let bucket = (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `p`-quantile (`0 < p <= 1`) as an upper bound in microseconds,
+    /// or 0 when the histogram is empty.
+    #[must_use]
+    pub fn quantile_upper_us(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((p.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= target {
+                // Upper edge of bucket i: 2^(i+1) - 1 µs.
+                return (1u64 << (i + 1)) - 1;
+            }
+        }
+        (1u64 << BUCKETS) - 1
+    }
+}
+
+/// Counters and histograms for one server instance.
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    /// Admission attempts (accepted or not).
+    requests: AtomicU64,
+    /// Sessions that finished and returned a generation.
+    completed: AtomicU64,
+    /// Admission-control rejections.
+    rejected_overload: AtomicU64,
+    /// Sessions rejected because the server was draining.
+    rejected_shutdown: AtomicU64,
+    /// Sessions that died on a decode error.
+    failed: AtomicU64,
+    /// Sessions that hit their deadline.
+    deadline_exceeded: AtomicU64,
+    /// New tokens produced by completed sessions.
+    tokens_out: AtomicU64,
+    /// Prompt tokens consumed by admitted sessions.
+    prompt_tokens: AtomicU64,
+    /// Admission-to-completion latency.
+    latency: Histogram,
+    /// Admission-to-first-decode-slice wait.
+    queue_wait: Histogram,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected_overload: AtomicU64::new(0),
+            rejected_shutdown: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            tokens_out: AtomicU64::new(0),
+            prompt_tokens: AtomicU64::new(0),
+            latency: Histogram::default(),
+            queue_wait: Histogram::default(),
+        }
+    }
+}
+
+impl Metrics {
+    /// Creates a fresh metrics core anchored at "now".
+    #[must_use]
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records an admission attempt.
+    pub fn on_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an admission-control rejection.
+    pub fn on_rejected_overload(&self) {
+        self.rejected_overload.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a rejection because the server is draining.
+    pub fn on_rejected_shutdown(&self) {
+        self.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the prompt size of an admitted session.
+    pub fn on_admitted(&self, prompt_tokens: usize) {
+        self.prompt_tokens
+            .fetch_add(prompt_tokens as u64, Ordering::Relaxed);
+    }
+
+    /// Records the queue wait of a session reaching its first decode slice.
+    pub fn on_first_slice(&self, queue_us: u64) {
+        self.queue_wait.record(queue_us);
+    }
+
+    /// Records a successful completion.
+    pub fn on_completed(&self, tokens: usize, latency_us: u64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.tokens_out.fetch_add(tokens as u64, Ordering::Relaxed);
+        self.latency.record(latency_us);
+    }
+
+    /// Records a session that hit its deadline.
+    pub fn on_deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a session that failed with a decode error.
+    pub fn on_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time view (individual counters are read
+    /// relaxed; rates use wall-clock uptime).
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let uptime = self.started.elapsed();
+        let uptime_s = uptime.as_secs_f64().max(1e-9);
+        let completed = self.completed.load(Ordering::Relaxed);
+        let tokens_out = self.tokens_out.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            uptime_ms: uptime.as_millis() as u64,
+            requests: self.requests.load(Ordering::Relaxed),
+            completed,
+            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
+            rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            tokens_out,
+            prompt_tokens: self.prompt_tokens.load(Ordering::Relaxed),
+            requests_per_sec: completed as f64 / uptime_s,
+            tokens_per_sec: tokens_out as f64 / uptime_s,
+            latency_p50_ms: self.latency.quantile_upper_us(0.50) as f64 / 1e3,
+            latency_p95_ms: self.latency.quantile_upper_us(0.95) as f64 / 1e3,
+            queue_p50_ms: self.queue_wait.quantile_upper_us(0.50) as f64 / 1e3,
+            queue_p95_ms: self.queue_wait.quantile_upper_us(0.95) as f64 / 1e3,
+        }
+    }
+}
+
+/// A point-in-time metrics view, as sent over the wire.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Milliseconds since the metrics core was created.
+    pub uptime_ms: u64,
+    /// Admission attempts.
+    pub requests: u64,
+    /// Finished generations.
+    pub completed: u64,
+    /// Admission-control rejections.
+    pub rejected_overload: u64,
+    /// Draining-time rejections.
+    pub rejected_shutdown: u64,
+    /// Decode failures.
+    pub failed: u64,
+    /// Deadline expiries.
+    pub deadline_exceeded: u64,
+    /// Total new tokens produced.
+    pub tokens_out: u64,
+    /// Total prompt tokens consumed.
+    pub prompt_tokens: u64,
+    /// Completions per second of uptime.
+    pub requests_per_sec: f64,
+    /// New tokens per second of uptime.
+    pub tokens_per_sec: f64,
+    /// Median admission-to-completion latency (upper bound, ms).
+    pub latency_p50_ms: f64,
+    /// 95th-percentile admission-to-completion latency (upper bound, ms).
+    pub latency_p95_ms: f64,
+    /// Median queue wait (upper bound, ms).
+    pub queue_p50_ms: f64,
+    /// 95th-percentile queue wait (upper bound, ms).
+    pub queue_p95_ms: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bound_observations() {
+        let h = Histogram::default();
+        for us in [10u64, 100, 1_000, 10_000, 100_000] {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 5);
+        // p50 of {10,100,1000,10000,100000}: the 3rd observation (1000 µs)
+        // lands in bucket [512, 1024), upper edge 1023.
+        assert_eq!(h.quantile_upper_us(0.5), 1023);
+        assert!(h.quantile_upper_us(1.0) >= 100_000);
+        assert!(h.quantile_upper_us(0.01) >= 10);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_upper_us(0.95), 0);
+    }
+
+    #[test]
+    fn zero_and_huge_observations_clamp_into_range() {
+        let h = Histogram::default();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile_upper_us(1.0) > 0);
+    }
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let m = Metrics::new();
+        m.on_request();
+        m.on_request();
+        m.on_admitted(12);
+        m.on_first_slice(500);
+        m.on_completed(32, 2_000);
+        m.on_rejected_overload();
+        let snap = m.snapshot();
+        assert_eq!(snap.requests, 2);
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.rejected_overload, 1);
+        assert_eq!(snap.tokens_out, 32);
+        assert_eq!(snap.prompt_tokens, 12);
+        assert!(snap.latency_p50_ms > 0.0);
+        let json = serde_json::to_string(&snap).expect("serialize");
+        let back: MetricsSnapshot = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back.completed, 1);
+    }
+}

@@ -1,0 +1,299 @@
+//! The wire protocol: newline-delimited JSON over TCP.
+//!
+//! Every message is one JSON object on one line, terminated by `\n`. A
+//! client writes a [`Request`] line and reads exactly one [`Response`] line
+//! back; requests on one connection are handled in order. The `type` field
+//! discriminates variants, e.g.:
+//!
+//! ```text
+//! → {"type":"generate","model":"merge:eda-qwen+instruct-qwen@0.6","prompt":"Q:...;A:"}
+//! ← {"type":"generation","model":"merge:eda-qwen+instruct-qwen@0.6000","text":"...","tokens":24,...}
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use chipalign_nn::generate::GenerateConfig;
+
+use crate::ServeError;
+
+/// Protocol version reported by `ping`.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// A client-to-server message.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum Request {
+    /// Run one generation session.
+    Generate(GenerateRequest),
+    /// List loaded models and the zoo models that can be served by slug.
+    Models,
+    /// Materialize (train/load/merge as needed) a model without generating,
+    /// so a later `generate` hits a warm registry — this is the hot-swap
+    /// path for rolling out a new λ.
+    Load {
+        /// Model spec (zoo slug, `merge:<chip>+<instruct>@<λ>`, or
+        /// `file:<path>`).
+        model: String,
+    },
+    /// Evict a previously materialized model from the registry cache.
+    Unload {
+        /// The spec or registered name to evict.
+        model: String,
+    },
+    /// Fetch a metrics snapshot.
+    Metrics,
+    /// Liveness check.
+    Ping,
+}
+
+/// Parameters for one generation session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GenerateRequest {
+    /// Model spec (zoo slug, `merge:<chip>+<instruct>@<λ>`, `file:<path>`,
+    /// or a name registered via the API).
+    pub model: String,
+    /// The text prompt.
+    pub prompt: String,
+    /// Maximum number of new tokens (clamped to the server's cap).
+    #[serde(default = "default_max_new_tokens")]
+    pub max_new_tokens: usize,
+    /// Softmax temperature; `0` is greedy.
+    #[serde(default)]
+    pub temperature: f32,
+    /// Top-k truncation (`0` disables).
+    #[serde(default)]
+    pub top_k: usize,
+    /// Nucleus mass (`1.0` disables).
+    #[serde(default = "default_top_p")]
+    pub top_p: f32,
+    /// Stop at `<eos>`.
+    #[serde(default = "default_true")]
+    pub stop_at_eos: bool,
+    /// Sampling seed.
+    #[serde(default)]
+    pub seed: u64,
+    /// Per-request deadline in milliseconds, measured from admission. When
+    /// absent, the server's default applies.
+    #[serde(default)]
+    pub deadline_ms: Option<u64>,
+}
+
+fn default_max_new_tokens() -> usize {
+    64
+}
+
+fn default_top_p() -> f32 {
+    1.0
+}
+
+fn default_true() -> bool {
+    true
+}
+
+impl GenerateRequest {
+    /// A greedy request with server defaults for everything else.
+    #[must_use]
+    pub fn greedy(model: &str, prompt: &str, max_new_tokens: usize) -> Self {
+        GenerateRequest {
+            model: model.to_string(),
+            prompt: prompt.to_string(),
+            max_new_tokens,
+            temperature: 0.0,
+            top_k: 0,
+            top_p: 1.0,
+            stop_at_eos: true,
+            seed: 0,
+            deadline_ms: None,
+        }
+    }
+
+    /// The decoding configuration this request asks for, with the token
+    /// budget clamped to `cap`.
+    #[must_use]
+    pub fn decode_config(&self, cap: usize) -> GenerateConfig {
+        GenerateConfig {
+            max_new_tokens: self.max_new_tokens.min(cap),
+            temperature: self.temperature,
+            top_k: self.top_k,
+            top_p: self.top_p,
+            stop_at_eos: self.stop_at_eos,
+            seed: self.seed,
+        }
+    }
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum Response {
+    /// A finished generation.
+    Generation(Generation),
+    /// Registry listing.
+    Models {
+        /// Cache keys of every materialized model.
+        loaded: Vec<String>,
+        /// Zoo slugs that can be requested directly or as merge
+        /// ingredients.
+        zoo: Vec<String>,
+    },
+    /// A `load` completed; `model` is the canonical cache key.
+    Loaded {
+        /// Canonical registry key of the materialized model.
+        model: String,
+    },
+    /// An `unload` completed.
+    Unloaded {
+        /// The spec that was evicted.
+        model: String,
+        /// Whether anything was actually removed.
+        evicted: bool,
+    },
+    /// A metrics snapshot.
+    Metrics(crate::metrics::MetricsSnapshot),
+    /// Reply to `ping`.
+    Pong {
+        /// Protocol version.
+        version: u32,
+    },
+    /// The request failed.
+    Error(WireError),
+}
+
+/// One finished generation session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Generation {
+    /// Canonical registry key of the model that served the request.
+    pub model: String,
+    /// The generated text (special tokens stripped).
+    pub text: String,
+    /// Number of new tokens produced.
+    pub tokens: usize,
+    /// Number of prompt tokens consumed.
+    pub prompt_tokens: usize,
+    /// Why the session ended.
+    pub finish: FinishReason,
+    /// Time spent queued before the first decode slice, in milliseconds.
+    pub queue_ms: u64,
+    /// Total time from admission to completion, in milliseconds.
+    pub latency_ms: u64,
+}
+
+/// Why a generation session ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum FinishReason {
+    /// The model emitted `<eos>`.
+    Eos,
+    /// The token budget was exhausted.
+    Length,
+}
+
+/// A structured error on the wire.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireError {
+    /// Machine-readable error class.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// Machine-readable error classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ErrorCode {
+    /// The request was malformed or semantically invalid.
+    BadRequest,
+    /// The model spec names nothing servable.
+    UnknownModel,
+    /// Admission control rejected the request; retry later.
+    Overloaded,
+    /// The per-request deadline expired.
+    DeadlineExceeded,
+    /// The server is draining.
+    ShuttingDown,
+    /// Unexpected server-side failure.
+    Internal,
+}
+
+/// Serializes `msg` as one newline-terminated JSON line.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Protocol`] if serialization fails (it cannot for
+/// these types in practice) and [`ServeError::Io`] on write failure.
+pub fn write_line<W: std::io::Write, T: Serialize>(w: &mut W, msg: &T) -> Result<(), ServeError> {
+    let json = serde_json::to_string(msg).map_err(|e| ServeError::Protocol {
+        detail: format!("serialize: {e}"),
+    })?;
+    w.write_all(json.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Parses one JSON line into a message.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Protocol`] for malformed JSON.
+pub fn parse_line<T: for<'de> Deserialize<'de>>(line: &str) -> Result<T, ServeError> {
+    serde_json::from_str(line.trim()).map_err(|e| ServeError::Protocol {
+        detail: format!("malformed message: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_through_json() {
+        let req = Request::Generate(GenerateRequest::greedy("instruct-qwen", "Q:x;A:", 16));
+        let json = serde_json::to_string(&req).expect("serialize");
+        assert!(json.contains("\"type\":\"generate\""));
+        let back: Request = parse_line(&json).expect("parse");
+        match back {
+            Request::Generate(g) => {
+                assert_eq!(g.model, "instruct-qwen");
+                assert_eq!(g.max_new_tokens, 16);
+                assert!(g.stop_at_eos);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generate_request_defaults_apply() {
+        let g: GenerateRequest =
+            parse_line(r#"{"model":"instruct-qwen","prompt":"hi"}"#).expect("parse");
+        assert_eq!(g.max_new_tokens, 64);
+        assert_eq!(g.temperature, 0.0);
+        assert_eq!(g.top_p, 1.0);
+        assert!(g.stop_at_eos);
+        assert!(g.deadline_ms.is_none());
+        let cfg = g.decode_config(32);
+        assert_eq!(cfg.max_new_tokens, 32, "budget clamps to the server cap");
+        cfg.validate().expect("defaults are valid");
+    }
+
+    #[test]
+    fn error_codes_serialize_snake_case() {
+        let resp = Response::Error(WireError {
+            code: ErrorCode::DeadlineExceeded,
+            detail: "too slow".into(),
+        });
+        let json = serde_json::to_string(&resp).expect("serialize");
+        assert!(json.contains("\"deadline_exceeded\""));
+        let back: Response = parse_line(&json).expect("parse");
+        match back {
+            Response::Error(w) => assert_eq!(w.code, ErrorCode::DeadlineExceeded),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_line_is_a_protocol_error() {
+        let r: Result<Request, _> = parse_line("{not json");
+        assert!(matches!(r, Err(ServeError::Protocol { .. })));
+    }
+}

@@ -1,0 +1,391 @@
+//! The model registry: every checkpoint the server can put behind a spec.
+//!
+//! Three kinds of spec resolve to a servable model:
+//!
+//! * **Zoo slugs** (`instruct-qwen`, `eda-qwen`, `chipnemo`, …) — trained
+//!   on demand by [`chipalign_pipeline::zoo::Zoo`] and loaded from its
+//!   on-disk cache (`artifacts/zoo`) when present.
+//! * **Geodesic merges** (`merge:<chip>+<instruct>@<λ>`) — materialized on
+//!   demand with [`chipalign_merge::GeodesicMerge`] from two zoo
+//!   ingredients and cached per λ, so hot-swapping a served model to a new
+//!   interpolation point is one `load` request, no restart.
+//! * **Checkpoint files** (`file:<path>.calt`) — loaded with
+//!   [`chipalign_model::format`].
+//!
+//! All materialized models live behind `Arc`s in one cache keyed by a
+//! canonical spec string; [`ModelRegistry::register`] inserts programmatic
+//! models (tests, canaries) under arbitrary names.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use chipalign_merge::{GeodesicMerge, Merger};
+use chipalign_model::format;
+use chipalign_nn::TinyLm;
+use chipalign_pipeline::zoo::{Backbone, Zoo, ZooModel};
+
+use crate::ServeError;
+
+/// Every zoo model the registry can name.
+#[must_use]
+pub fn all_zoo_models() -> Vec<ZooModel> {
+    let mut models = Vec::new();
+    for b in [
+        Backbone::QwenTiny,
+        Backbone::LlamaTiny,
+        Backbone::LlamaLarge,
+    ] {
+        models.push(ZooModel::Base(b));
+        models.push(ZooModel::Instruct(b));
+    }
+    models.push(ZooModel::Eda(Backbone::QwenTiny));
+    models.push(ZooModel::Eda(Backbone::LlamaTiny));
+    models.push(ZooModel::ChipNemo);
+    models.push(ZooModel::GeneralStrong);
+    models.push(ZooModel::RagEda);
+    models
+}
+
+fn zoo_model_from_slug(slug: &str) -> Option<ZooModel> {
+    all_zoo_models().into_iter().find(|m| m.slug() == slug)
+}
+
+/// A parsed model specification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelSpec {
+    /// A zoo model by slug.
+    Zoo(ZooModel),
+    /// A ChipAlign geodesic merge of two zoo models at `lambda`.
+    Merged {
+        /// The domain-adapted ingredient (first merge argument).
+        chip: ZooModel,
+        /// The instruction-aligned ingredient.
+        instruct: ZooModel,
+        /// The interpolation point in `[0, 1]`.
+        lambda: f32,
+    },
+    /// A checkpoint file in the crate's `.calt` format.
+    File(PathBuf),
+}
+
+impl ModelSpec {
+    /// Parses a spec string.
+    ///
+    /// Grammar: `<zoo-slug>` | `merge:<chip-slug>+<instruct-slug>@<λ>` |
+    /// `file:<path>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] for unknown slugs and
+    /// [`ServeError::BadRequest`] for malformed merge specs.
+    pub fn parse(spec: &str) -> Result<Self, ServeError> {
+        let spec = spec.trim();
+        if let Some(path) = spec.strip_prefix("file:") {
+            if path.is_empty() {
+                return Err(ServeError::BadRequest {
+                    detail: "file: spec needs a path".into(),
+                });
+            }
+            return Ok(ModelSpec::File(PathBuf::from(path)));
+        }
+        if let Some(rest) = spec.strip_prefix("merge:") {
+            let (pair, lambda_str) =
+                rest.rsplit_once('@')
+                    .ok_or_else(|| ServeError::BadRequest {
+                        detail: format!("merge spec {spec:?} needs `@<lambda>`"),
+                    })?;
+            let (chip_slug, instruct_slug) =
+                pair.split_once('+').ok_or_else(|| ServeError::BadRequest {
+                    detail: format!("merge spec {spec:?} needs `<chip>+<instruct>`"),
+                })?;
+            let chip = zoo_model_from_slug(chip_slug).ok_or_else(|| ServeError::UnknownModel {
+                spec: chip_slug.to_string(),
+            })?;
+            let instruct =
+                zoo_model_from_slug(instruct_slug).ok_or_else(|| ServeError::UnknownModel {
+                    spec: instruct_slug.to_string(),
+                })?;
+            let lambda: f32 = lambda_str.parse().map_err(|_| ServeError::BadRequest {
+                detail: format!("bad lambda {lambda_str:?} in {spec:?}"),
+            })?;
+            if !lambda.is_finite() || !(0.0..=1.0).contains(&lambda) {
+                return Err(ServeError::BadRequest {
+                    detail: format!("lambda must lie in [0, 1], got {lambda}"),
+                });
+            }
+            return Ok(ModelSpec::Merged {
+                chip,
+                instruct,
+                lambda,
+            });
+        }
+        zoo_model_from_slug(spec)
+            .map(ModelSpec::Zoo)
+            .ok_or_else(|| ServeError::UnknownModel {
+                spec: spec.to_string(),
+            })
+    }
+
+    /// The canonical cache key (λ normalized to four decimals so `0.6` and
+    /// `0.60` hit the same entry).
+    #[must_use]
+    pub fn key(&self) -> String {
+        match self {
+            ModelSpec::Zoo(m) => m.slug(),
+            ModelSpec::Merged {
+                chip,
+                instruct,
+                lambda,
+            } => format!("merge:{}+{}@{:.4}", chip.slug(), instruct.slug(), lambda),
+            ModelSpec::File(p) => format!("file:{}", p.display()),
+        }
+    }
+}
+
+/// The registry: zoo access plus a cache of materialized models.
+pub struct ModelRegistry {
+    zoo: Zoo,
+    cache: Mutex<HashMap<String, Arc<TinyLm>>>,
+    /// Serializes expensive materializations (training, merging) so two
+    /// concurrent requests for the same λ build it once.
+    build_lock: Mutex<()>,
+}
+
+impl std::fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ModelRegistry({:?}, {} cached)",
+            self.zoo,
+            self.loaded().len()
+        )
+    }
+}
+
+impl ModelRegistry {
+    /// Creates a registry over a zoo.
+    #[must_use]
+    pub fn new(zoo: Zoo) -> Self {
+        ModelRegistry {
+            zoo,
+            cache: Mutex::new(HashMap::new()),
+            build_lock: Mutex::new(()),
+        }
+    }
+
+    /// The backing zoo.
+    #[must_use]
+    pub fn zoo(&self) -> &Zoo {
+        &self.zoo
+    }
+
+    /// Registers a model under an arbitrary name (hot-swap path for
+    /// programmatically built checkpoints), replacing any previous entry.
+    pub fn register(&self, name: &str, model: TinyLm) -> Arc<TinyLm> {
+        let arc = Arc::new(model);
+        self.cache
+            .lock()
+            .expect("registry lock")
+            .insert(name.to_string(), Arc::clone(&arc));
+        arc
+    }
+
+    /// Resolves a spec string to a servable model, materializing it on
+    /// first use. Returns the canonical key together with the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns spec-parse errors, and forwards zoo-training, merge, and
+    /// checkpoint-I/O failures.
+    pub fn resolve_str(&self, spec: &str) -> Result<(String, Arc<TinyLm>), ServeError> {
+        // Registered names take priority and need no parse.
+        if let Some(m) = self.cache.lock().expect("registry lock").get(spec.trim()) {
+            return Ok((spec.trim().to_string(), Arc::clone(m)));
+        }
+        let parsed = ModelSpec::parse(spec)?;
+        let model = self.resolve(&parsed)?;
+        Ok((parsed.key(), model))
+    }
+
+    /// Resolves a parsed spec, materializing it on first use.
+    ///
+    /// # Errors
+    ///
+    /// Forwards zoo-training, merge, and checkpoint-I/O failures.
+    pub fn resolve(&self, spec: &ModelSpec) -> Result<Arc<TinyLm>, ServeError> {
+        let key = spec.key();
+        if let Some(m) = self.cache.lock().expect("registry lock").get(&key) {
+            return Ok(Arc::clone(m));
+        }
+        // Build outside the cache lock (materialization can take seconds to
+        // minutes) but under the build lock so concurrent misses for the
+        // same key don't duplicate the work.
+        let _build = self.build_lock.lock().expect("registry build lock");
+        if let Some(m) = self.cache.lock().expect("registry lock").get(&key) {
+            return Ok(Arc::clone(m));
+        }
+        let built = Arc::new(self.materialize(spec)?);
+        self.cache
+            .lock()
+            .expect("registry lock")
+            .insert(key, Arc::clone(&built));
+        Ok(built)
+    }
+
+    fn materialize(&self, spec: &ModelSpec) -> Result<TinyLm, ServeError> {
+        match spec {
+            ModelSpec::Zoo(m) => Ok(self.zoo.model(*m)?),
+            ModelSpec::Merged {
+                chip,
+                instruct,
+                lambda,
+            } => {
+                let chip_ckpt = self.zoo.model(*chip)?.to_checkpoint()?;
+                let instruct_ckpt = self.zoo.model(*instruct)?.to_checkpoint()?;
+                let merged = GeodesicMerge::new(*lambda)?.merge_pair(&chip_ckpt, &instruct_ckpt)?;
+                Ok(TinyLm::from_checkpoint(&merged)?)
+            }
+            ModelSpec::File(path) => {
+                let ckpt = format::load(path)?;
+                Ok(TinyLm::from_checkpoint(&ckpt)?)
+            }
+        }
+    }
+
+    /// Evicts a materialized model; returns whether anything was removed.
+    /// The next request for the spec rebuilds it (hot-swap after a zoo
+    /// cache update).
+    pub fn evict(&self, spec: &str) -> bool {
+        let key = match ModelSpec::parse(spec) {
+            Ok(parsed) => parsed.key(),
+            Err(_) => spec.trim().to_string(),
+        };
+        let mut cache = self.cache.lock().expect("registry lock");
+        cache.remove(&key).is_some() || cache.remove(spec.trim()).is_some()
+    }
+
+    /// Cache keys of every materialized model, sorted.
+    #[must_use]
+    pub fn loaded(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .cache
+            .lock()
+            .expect("registry lock")
+            .keys()
+            .cloned()
+            .collect();
+        keys.sort();
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chipalign_model::ArchSpec;
+    use chipalign_pipeline::zoo::{Quality, ZooConfig};
+    use chipalign_tensor::rng::Pcg32;
+
+    fn registry() -> ModelRegistry {
+        let zoo = Zoo::new(ZooConfig {
+            quality: Quality::Smoke,
+            seed: 7,
+            cache_dir: None,
+        })
+        .expect("zoo");
+        ModelRegistry::new(zoo)
+    }
+
+    fn random_model(seed: u64) -> TinyLm {
+        let mut arch = ArchSpec::tiny("reg");
+        arch.vocab_size = 99;
+        TinyLm::new(&arch, &mut Pcg32::seed(seed)).expect("model")
+    }
+
+    #[test]
+    fn spec_parsing_accepts_the_three_forms() {
+        assert_eq!(
+            ModelSpec::parse("instruct-qwen").expect("ok"),
+            ModelSpec::Zoo(ZooModel::Instruct(Backbone::QwenTiny))
+        );
+        match ModelSpec::parse("merge:eda-qwen+instruct-qwen@0.6").expect("ok") {
+            ModelSpec::Merged {
+                chip,
+                instruct,
+                lambda,
+            } => {
+                assert_eq!(chip, ZooModel::Eda(Backbone::QwenTiny));
+                assert_eq!(instruct, ZooModel::Instruct(Backbone::QwenTiny));
+                assert!((lambda - 0.6).abs() < 1e-6);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(matches!(
+            ModelSpec::parse("file:artifacts/zoo/x.calt").expect("ok"),
+            ModelSpec::File(_)
+        ));
+    }
+
+    #[test]
+    fn spec_parsing_rejects_garbage() {
+        assert!(matches!(
+            ModelSpec::parse("no-such-model"),
+            Err(ServeError::UnknownModel { .. })
+        ));
+        assert!(matches!(
+            ModelSpec::parse("merge:eda-qwen+instruct-qwen"),
+            Err(ServeError::BadRequest { .. })
+        ));
+        assert!(matches!(
+            ModelSpec::parse("merge:eda-qwen+instruct-qwen@1.5"),
+            Err(ServeError::BadRequest { .. })
+        ));
+        assert!(matches!(
+            ModelSpec::parse("merge:eda-qwen+instruct-qwen@nan"),
+            Err(ServeError::BadRequest { .. })
+        ));
+        assert!(matches!(
+            ModelSpec::parse("merge:bogus+instruct-qwen@0.5"),
+            Err(ServeError::UnknownModel { .. })
+        ));
+        assert!(matches!(
+            ModelSpec::parse("file:"),
+            Err(ServeError::BadRequest { .. })
+        ));
+    }
+
+    #[test]
+    fn merged_keys_normalize_lambda_formatting() {
+        let a = ModelSpec::parse("merge:eda-qwen+instruct-qwen@0.6").expect("ok");
+        let b = ModelSpec::parse("merge:eda-qwen+instruct-qwen@0.60").expect("ok");
+        assert_eq!(a.key(), b.key());
+        assert_eq!(a.key(), "merge:eda-qwen+instruct-qwen@0.6000");
+    }
+
+    #[test]
+    fn registered_models_resolve_by_name_and_evict() {
+        let reg = registry();
+        reg.register("canary", random_model(3));
+        let (key, m) = reg.resolve_str("canary").expect("ok");
+        assert_eq!(key, "canary");
+        assert_eq!(m.arch().name, "reg");
+        assert_eq!(reg.loaded(), vec!["canary".to_string()]);
+        assert!(reg.evict("canary"));
+        assert!(!reg.evict("canary"));
+        assert!(reg.loaded().is_empty());
+    }
+
+    #[test]
+    fn all_zoo_models_have_unique_slugs() {
+        let models = all_zoo_models();
+        assert_eq!(models.len(), 11);
+        let mut slugs: Vec<String> = models.iter().map(|m| m.slug()).collect();
+        slugs.sort();
+        slugs.dedup();
+        assert_eq!(slugs.len(), 11, "slugs must be unique");
+        for m in models {
+            assert_eq!(zoo_model_from_slug(&m.slug()), Some(m));
+        }
+    }
+}

@@ -1,0 +1,514 @@
+//! The session scheduler: continuous batching over a worker pool.
+//!
+//! Every admitted request becomes a *session* owning its own
+//! [`chipalign_nn::StepDecoder`] (and therefore its own KV cache). Workers
+//! repeatedly pop a session from a shared run queue, decode a short *slice*
+//! of tokens, and push the session back if it isn't finished. That
+//! round-robin slicing is the continuous-batching property: a 1000-token
+//! generation never blocks a 10-token one for more than a slice, new
+//! sessions join the rotation the moment a worker frees up, and with `W`
+//! workers up to `W` sessions decode truly in parallel.
+//!
+//! Admission control is a hard bound on sessions in flight (queued +
+//! running): beyond it, [`Scheduler::submit`] fails fast with
+//! [`ServeError::Overloaded`] instead of buffering without limit. Each
+//! session may carry a deadline, checked between decode steps, so a stuck
+//! or oversized request cannot pin a worker forever. [`Scheduler::shutdown`]
+//! stops admissions; workers then drain every queued session to completion
+//! before exiting, which is what makes server shutdown graceful.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use chipalign_nn::generate::{GenerateConfig, StepDecoder};
+use chipalign_nn::TinyLm;
+
+use crate::metrics::Metrics;
+use crate::protocol::FinishReason;
+use crate::ServeError;
+
+/// Scheduler tuning knobs.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Worker threads decoding sessions in parallel.
+    pub workers: usize,
+    /// Hard bound on sessions in flight (queued + running); submissions
+    /// beyond it are rejected with `Overloaded`.
+    pub max_sessions: usize,
+    /// Tokens decoded per scheduling slice before a session rotates to the
+    /// back of the queue. Smaller = fairer, larger = less queue churn.
+    pub slice_tokens: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+                .min(8),
+            max_sessions: 64,
+            slice_tokens: 8,
+        }
+    }
+}
+
+/// One admitted generation request.
+#[derive(Debug, Clone)]
+pub struct SessionRequest {
+    /// The model to decode with.
+    pub model: Arc<TinyLm>,
+    /// Prompt token ids (non-empty).
+    pub prompt: Vec<u32>,
+    /// Decoding configuration (validated at prefill).
+    pub cfg: GenerateConfig,
+    /// Absolute deadline; checked between decode steps.
+    pub deadline: Option<Instant>,
+}
+
+/// A finished session's payload.
+#[derive(Debug, Clone)]
+pub struct SessionResult {
+    /// The new tokens, in order.
+    pub tokens: Vec<u32>,
+    /// Why decoding stopped.
+    pub finish: FinishReason,
+    /// Microseconds between admission and the first decode slice.
+    pub queue_us: u64,
+    /// Microseconds between admission and completion.
+    pub total_us: u64,
+}
+
+/// What a worker sends back when a session leaves the system.
+pub type SessionOutcome = Result<SessionResult, ServeError>;
+
+enum TaskState {
+    /// Prompt not yet prefilled (prefill happens on a worker, not on the
+    /// submitting connection thread).
+    Pending(SessionRequest),
+    /// Mid-generation.
+    Running {
+        decoder: StepDecoder,
+        deadline: Option<Instant>,
+    },
+}
+
+struct Task {
+    state: TaskState,
+    produced: Vec<u32>,
+    reply: Sender<SessionOutcome>,
+    admitted: Instant,
+    queue_us: Option<u64>,
+}
+
+struct Inner {
+    cfg: SchedulerConfig,
+    queue: Mutex<VecDeque<Task>>,
+    available: Condvar,
+    /// Sessions in flight: queued + currently on a worker.
+    active: AtomicUsize,
+    draining: AtomicBool,
+    metrics: Arc<Metrics>,
+}
+
+/// The scheduler: a run queue plus its worker pool.
+pub struct Scheduler {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Scheduler({} workers, {} active)",
+            self.inner.cfg.workers,
+            self.inner.active.load(Ordering::Relaxed)
+        )
+    }
+}
+
+impl Scheduler {
+    /// Starts the worker pool.
+    #[must_use]
+    pub fn start(cfg: SchedulerConfig, metrics: Arc<Metrics>) -> Self {
+        let cfg = SchedulerConfig {
+            workers: cfg.workers.max(1),
+            max_sessions: cfg.max_sessions.max(1),
+            slice_tokens: cfg.slice_tokens.max(1),
+        };
+        let inner = Arc::new(Inner {
+            cfg: cfg.clone(),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            active: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+            metrics,
+        });
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("chipalign-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Scheduler {
+            inner,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Sessions in flight (queued + running).
+    #[must_use]
+    pub fn active(&self) -> usize {
+        self.inner.active.load(Ordering::SeqCst)
+    }
+
+    /// Admits a session, returning the channel its outcome will arrive on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ShuttingDown`] once draining has begun and
+    /// [`ServeError::Overloaded`] when the in-flight bound is reached; both
+    /// fail fast without queueing.
+    pub fn submit(&self, req: SessionRequest) -> Result<Receiver<SessionOutcome>, ServeError> {
+        let inner = &self.inner;
+        inner.metrics.on_request();
+        if inner.draining.load(Ordering::SeqCst) {
+            inner.metrics.on_rejected_shutdown();
+            return Err(ServeError::ShuttingDown);
+        }
+        // Reserve a slot atomically so concurrent submissions cannot
+        // overshoot the bound.
+        let capacity = inner.cfg.max_sessions;
+        if inner
+            .active
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < capacity).then_some(n + 1)
+            })
+            .is_err()
+        {
+            inner.metrics.on_rejected_overload();
+            return Err(ServeError::Overloaded {
+                active: inner.active.load(Ordering::SeqCst),
+                capacity,
+            });
+        }
+        inner.metrics.on_admitted(req.prompt.len());
+        let (tx, rx) = std::sync::mpsc::channel();
+        let task = Task {
+            state: TaskState::Pending(req),
+            produced: Vec::new(),
+            reply: tx,
+            admitted: Instant::now(),
+            queue_us: None,
+        };
+        inner.queue.lock().expect("scheduler queue").push_back(task);
+        inner.available.notify_one();
+        Ok(rx)
+    }
+
+    /// Stops admitting new sessions. Already-admitted sessions keep
+    /// decoding until they finish.
+    pub fn shutdown(&self) {
+        self.inner.draining.store(true, Ordering::SeqCst);
+        self.inner.available.notify_all();
+    }
+
+    /// Initiates shutdown and blocks until every worker has drained the
+    /// queue and exited.
+    pub fn join(&self) {
+        self.shutdown();
+        let handles: Vec<JoinHandle<()>> = self
+            .workers
+            .lock()
+            .expect("scheduler workers")
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.join();
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let task = {
+            let mut queue = inner.queue.lock().expect("scheduler queue");
+            loop {
+                if let Some(task) = queue.pop_front() {
+                    break task;
+                }
+                if inner.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = inner.available.wait(queue).expect("scheduler queue");
+            }
+        };
+        run_slice(inner, task);
+    }
+}
+
+/// Decodes one slice of a session; re-queues it if it isn't finished.
+fn run_slice(inner: &Inner, mut task: Task) {
+    // First slice: prefill the prompt (the expensive O(prompt) part) on
+    // this worker and record how long the session waited in queue.
+    let (mut decoder, deadline) = match task.state {
+        TaskState::Pending(req) => {
+            let queue_us = elapsed_us(task.admitted);
+            task.queue_us = Some(queue_us);
+            inner.metrics.on_first_slice(queue_us);
+            if past(req.deadline) {
+                inner.metrics.on_deadline_exceeded();
+                finish(inner, &task.reply, Err(deadline_error(task.admitted)));
+                return;
+            }
+            match StepDecoder::new(&req.model, &req.prompt, &req.cfg) {
+                Ok(decoder) => (decoder, req.deadline),
+                Err(e) => {
+                    inner.metrics.on_failed();
+                    finish(inner, &task.reply, Err(e.into()));
+                    return;
+                }
+            }
+        }
+        TaskState::Running { decoder, deadline } => (decoder, deadline),
+    };
+
+    for _ in 0..inner.cfg.slice_tokens {
+        if past(deadline) {
+            inner.metrics.on_deadline_exceeded();
+            finish(inner, &task.reply, Err(deadline_error(task.admitted)));
+            return;
+        }
+        match decoder.step() {
+            Ok(Some(token)) => task.produced.push(token),
+            Ok(None) => {
+                let finish_reason = if decoder.stopped_at_eos() {
+                    FinishReason::Eos
+                } else {
+                    FinishReason::Length
+                };
+                let total_us = elapsed_us(task.admitted);
+                inner.metrics.on_completed(task.produced.len(), total_us);
+                let result = SessionResult {
+                    tokens: std::mem::take(&mut task.produced),
+                    finish: finish_reason,
+                    queue_us: task.queue_us.unwrap_or(0),
+                    total_us,
+                };
+                finish(inner, &task.reply, Ok(result));
+                return;
+            }
+            Err(e) => {
+                inner.metrics.on_failed();
+                finish(inner, &task.reply, Err(e.into()));
+                return;
+            }
+        }
+    }
+
+    // Slice exhausted with the session still alive: rotate to the back of
+    // the queue so other sessions get their turn.
+    task.state = TaskState::Running { decoder, deadline };
+    inner.queue.lock().expect("scheduler queue").push_back(task);
+    inner.available.notify_one();
+}
+
+fn finish(inner: &Inner, reply: &Sender<SessionOutcome>, outcome: SessionOutcome) {
+    // The receiver may have given up (client gone); that's not an error.
+    let _ = reply.send(outcome);
+    inner.active.fetch_sub(1, Ordering::SeqCst);
+}
+
+fn past(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+fn deadline_error(admitted: Instant) -> ServeError {
+    ServeError::DeadlineExceeded {
+        waited_ms: elapsed_us(admitted) / 1_000,
+    }
+}
+
+fn elapsed_us(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chipalign_model::ArchSpec;
+    use chipalign_tensor::rng::Pcg32;
+    use std::time::Duration;
+
+    fn model() -> Arc<TinyLm> {
+        let mut arch = ArchSpec::tiny("sched");
+        arch.vocab_size = 99;
+        Arc::new(TinyLm::new(&arch, &mut Pcg32::seed(11)).expect("model"))
+    }
+
+    fn greedy(max_new_tokens: usize) -> GenerateConfig {
+        GenerateConfig {
+            max_new_tokens,
+            stop_at_eos: false,
+            ..GenerateConfig::default()
+        }
+    }
+
+    fn request(model: &Arc<TinyLm>, budget: usize, deadline: Option<Instant>) -> SessionRequest {
+        SessionRequest {
+            model: Arc::clone(model),
+            prompt: vec![5, 6, 7],
+            cfg: greedy(budget),
+            deadline,
+        }
+    }
+
+    #[test]
+    fn sessions_complete_and_match_generate() {
+        let m = model();
+        let scheduler = Scheduler::start(
+            SchedulerConfig {
+                workers: 2,
+                max_sessions: 8,
+                slice_tokens: 4,
+            },
+            Arc::new(Metrics::new()),
+        );
+        let rx = scheduler.submit(request(&m, 24, None)).expect("admit");
+        let result = rx.recv().expect("outcome").expect("ok");
+        assert_eq!(result.tokens.len(), 24);
+        assert_eq!(result.finish, FinishReason::Length);
+        let reference = chipalign_nn::generate::generate(&m, &[5, 6, 7], &greedy(24)).expect("ok");
+        assert_eq!(result.tokens, reference, "scheduled == single-threaded");
+        scheduler.join();
+    }
+
+    #[test]
+    fn many_interleaved_sessions_each_match_generate() {
+        let m = model();
+        let scheduler = Scheduler::start(
+            SchedulerConfig {
+                workers: 2,
+                max_sessions: 16,
+                slice_tokens: 2,
+            },
+            Arc::new(Metrics::new()),
+        );
+        // Mixed lengths force interleaving across slices.
+        let budgets = [3usize, 17, 9, 40, 1, 25];
+        let receivers: Vec<_> = budgets
+            .iter()
+            .map(|&b| scheduler.submit(request(&m, b, None)).expect("admit"))
+            .collect();
+        for (rx, &budget) in receivers.into_iter().zip(&budgets) {
+            let result = rx.recv().expect("outcome").expect("ok");
+            let reference =
+                chipalign_nn::generate::generate(&m, &[5, 6, 7], &greedy(budget)).expect("ok");
+            assert_eq!(result.tokens, reference, "budget {budget}");
+        }
+        assert_eq!(scheduler.active(), 0);
+        scheduler.join();
+    }
+
+    #[test]
+    fn admission_bound_rejects_fast() {
+        let m = model();
+        let scheduler = Scheduler::start(
+            SchedulerConfig {
+                workers: 1,
+                max_sessions: 2,
+                slice_tokens: 1,
+            },
+            Arc::new(Metrics::new()),
+        );
+        // Two slow sessions occupy both slots; deadlines keep the test
+        // finite even on a loaded machine.
+        let deadline = Some(Instant::now() + Duration::from_millis(400));
+        let rx1 = scheduler
+            .submit(request(&m, 1_000_000, deadline))
+            .expect("one");
+        let rx2 = scheduler
+            .submit(request(&m, 1_000_000, deadline))
+            .expect("two");
+        let third = scheduler.submit(request(&m, 4, None));
+        assert!(
+            matches!(third, Err(ServeError::Overloaded { capacity: 2, .. })),
+            "third submission must be rejected, got {third:?}"
+        );
+        // Both occupants eventually leave (deadline or completion).
+        assert!(rx1.recv().is_ok());
+        assert!(rx2.recv().is_ok());
+        assert_eq!(scheduler.active(), 0);
+        scheduler.join();
+    }
+
+    #[test]
+    fn deadline_is_reported_as_such() {
+        let m = model();
+        let metrics = Arc::new(Metrics::new());
+        let scheduler = Scheduler::start(
+            SchedulerConfig {
+                workers: 1,
+                max_sessions: 4,
+                slice_tokens: 1,
+            },
+            Arc::clone(&metrics),
+        );
+        let deadline = Some(Instant::now() + Duration::from_millis(50));
+        let rx = scheduler
+            .submit(request(&m, 10_000_000, deadline))
+            .expect("admit");
+        let outcome = rx.recv().expect("outcome");
+        assert!(
+            matches!(outcome, Err(ServeError::DeadlineExceeded { .. })),
+            "got {outcome:?}"
+        );
+        assert_eq!(metrics.snapshot().deadline_exceeded, 1);
+        scheduler.join();
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_sessions_and_rejects_new_ones() {
+        let m = model();
+        let scheduler = Scheduler::start(
+            SchedulerConfig {
+                workers: 2,
+                max_sessions: 8,
+                slice_tokens: 2,
+            },
+            Arc::new(Metrics::new()),
+        );
+        let receivers: Vec<_> = (0..4)
+            .map(|_| scheduler.submit(request(&m, 30, None)).expect("admit"))
+            .collect();
+        scheduler.shutdown();
+        assert!(matches!(
+            scheduler.submit(request(&m, 4, None)),
+            Err(ServeError::ShuttingDown)
+        ));
+        // join() returns only after the queue is drained — so every
+        // receiver must already hold a completed generation.
+        scheduler.join();
+        for rx in receivers {
+            let result = rx
+                .try_recv()
+                .expect("drained before join returned")
+                .expect("ok");
+            assert_eq!(result.tokens.len(), 30);
+        }
+    }
+}

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# The tier-1 gate: build, tests, and lints for the whole workspace.
+# Run before every merge; CHIPALIGN_QUALITY=smoke keeps zoo-training
+# tests at seconds-scale.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CHIPALIGN_QUALITY="${CHIPALIGN_QUALITY:-smoke}"
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci: build + tests + clippy all green"

@@ -18,6 +18,9 @@
 //!   QA, industrial chip QA, IFEval, multi-choice chip QA).
 //! * [`pipeline`] — the model zoo and one experiment runner per paper
 //!   table/figure.
+//! * [`serve`] — a continuous-batching TCP inference server with
+//!   hot-swappable geodesic merges (`merge:<chip>+<instruct>@<λ>` specs),
+//!   admission control, and wire-queryable metrics.
 //!
 //! # Quickstart
 //!
@@ -50,4 +53,5 @@ pub use chipalign_model as model;
 pub use chipalign_nn as nn;
 pub use chipalign_pipeline as pipeline;
 pub use chipalign_rag as rag;
+pub use chipalign_serve as serve;
 pub use chipalign_tensor as tensor;
