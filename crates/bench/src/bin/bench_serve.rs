@@ -114,6 +114,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 workers,
                 max_sessions: sessions.max(1) * 2,
                 slice_tokens: 8,
+                stall_slices: 32,
             },
             max_new_tokens_cap: budget.max(1),
             default_deadline_ms: None,

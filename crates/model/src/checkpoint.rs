@@ -69,9 +69,7 @@ impl Checkpoint {
                 let (r, c) = arch.shape_of(&name).expect("own names are valid");
                 let kind = arch.kind_of(&name).expect("own names are valid");
                 let m = match kind {
-                    ParamKind::Embedding | ParamKind::LmHead => {
-                        Matrix::randn(r, c, 0.02, rng)
-                    }
+                    ParamKind::Embedding | ParamKind::LmHead => Matrix::randn(r, c, 0.02, rng),
                     k if k.is_norm() => Matrix::ones(r, c),
                     _ => Matrix::xavier(r, c, rng),
                 };
@@ -290,6 +288,16 @@ impl Checkpoint {
         self.tensors.values().all(Matrix::all_finite)
     }
 
+    /// Name of the first tensor (in canonical order) containing a NaN or
+    /// infinite value, or `None` when the checkpoint is entirely finite.
+    #[must_use]
+    pub fn first_non_finite(&self) -> Option<&str> {
+        self.tensors
+            .iter()
+            .find(|(_, t)| !t.all_finite())
+            .map(|(n, _)| n.as_str())
+    }
+
     /// `true` if the two checkpoints agree elementwise within `tol`.
     #[must_use]
     pub fn approx_eq(&self, other: &Checkpoint, tol: f32) -> bool {
@@ -402,9 +410,7 @@ mod tests {
         let c = Checkpoint::random(&a, &mut Pcg32::seed(4));
         let doubled = c.map_tensors(|_, t| t.scale(2.0));
         doubled.validate().expect("still valid");
-        assert!(
-            (doubled.global_norm() - 2.0 * c.global_norm()).abs() < 1e-3 * c.global_norm()
-        );
+        assert!((doubled.global_norm() - 2.0 * c.global_norm()).abs() < 1e-3 * c.global_norm());
     }
 
     #[test]
@@ -432,8 +438,10 @@ mod tests {
     fn all_finite_detects_nan() {
         let mut c = Checkpoint::zeros(&arch());
         assert!(c.all_finite());
+        assert_eq!(c.first_non_finite(), None);
         let t = c.get_mut("model.norm.weight").expect("present");
         t.data_mut()[0] = f32::NAN;
         assert!(!c.all_finite());
+        assert_eq!(c.first_non_finite(), Some("model.norm.weight"));
     }
 }

@@ -38,6 +38,16 @@ pub enum ModelError {
         /// What went wrong during decoding.
         detail: String,
     },
+    /// A tensor's stored checksum does not match its payload bytes.
+    ChecksumMismatch {
+        /// Name of the tensor whose checksum failed.
+        tensor: String,
+    },
+    /// A tensor contains NaN or infinite values.
+    NonFinite {
+        /// Name of the first offending tensor.
+        tensor: String,
+    },
     /// An I/O error occurred while reading or writing a checkpoint file.
     Io(std::io::Error),
 }
@@ -66,6 +76,12 @@ impl fmt::Display for ModelError {
             }
             ModelError::Corrupt { detail } => {
                 write!(f, "corrupt checkpoint data: {detail}")
+            }
+            ModelError::ChecksumMismatch { tensor } => {
+                write!(f, "checksum mismatch for tensor `{tensor}`")
+            }
+            ModelError::NonFinite { tensor } => {
+                write!(f, "tensor `{tensor}` contains non-finite values")
             }
             ModelError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
         }
@@ -122,6 +138,20 @@ mod tests {
         let err: ModelError = TensorError::Empty { op: "mean" }.into();
         assert!(err.source().is_some());
         assert!(err.to_string().contains("tensor error"));
+    }
+
+    #[test]
+    fn display_checksum_and_non_finite() {
+        let err = ModelError::ChecksumMismatch {
+            tensor: "lm_head.weight".into(),
+        };
+        assert!(err.to_string().contains("checksum"));
+        assert!(err.to_string().contains("lm_head.weight"));
+        let err = ModelError::NonFinite {
+            tensor: "model.norm.weight".into(),
+        };
+        assert!(err.to_string().contains("non-finite"));
+        assert!(err.to_string().contains("model.norm.weight"));
     }
 
     #[test]

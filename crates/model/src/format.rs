@@ -8,13 +8,24 @@
 //!
 //! ```text
 //! magic   b"CALT"
-//! version u32 (currently 1)
+//! version u32 (currently 2; version-1 files remain readable)
 //! arch    name:str vocab:u64 d_model:u64 n_layers:u64 n_heads:u64 d_ff:u64 max_seq:u64
 //! meta    count:u32 { key:str value:str }*
-//! tensors count:u32 { name:str rows:u64 cols:u64 data:[f32]* }*
+//! tensors count:u32 { name:str rows:u64 cols:u64 data:[f32]* tcrc:u64 }*
 //! crc     u64  FNV-1a over everything before it
 //! str     len:u32 utf8-bytes
 //! ```
+//!
+//! Version 2 embeds a per-tensor FNV-1a checksum (`tcrc`) over each tensor's
+//! payload bytes, so a load failure names the damaged tensor instead of just
+//! "file corrupt"; version-1 files (no `tcrc`) still decode. Loads also
+//! reject non-finite weights — a checkpoint with NaN/Inf can only produce
+//! garbage generations, so it is refused up front with
+//! [`ModelError::NonFinite`].
+//!
+//! [`save`] is crash-safe: bytes are written to a temporary sibling file,
+//! fsynced, and renamed into place, so a crash or torn write mid-save can
+//! never leave a half-written checkpoint at the destination path.
 //!
 //! # Example
 //!
@@ -33,7 +44,8 @@
 
 use std::collections::BTreeMap;
 use std::fs;
-use std::path::Path;
+use std::io::Write;
+use std::path::{Path, PathBuf};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use chipalign_tensor::Matrix;
@@ -41,14 +53,22 @@ use chipalign_tensor::Matrix;
 use crate::{ArchSpec, Checkpoint, ModelError};
 
 const MAGIC: &[u8; 4] = b"CALT";
-const VERSION: u32 = 1;
+/// Current on-disk version. Version 1 (no per-tensor checksums) is still
+/// accepted by [`decode`].
+const VERSION: u32 = 2;
+/// Oldest version [`decode`] accepts.
+const MIN_VERSION: u32 = 1;
 
-/// Serializes a checkpoint to its binary representation.
+/// Serializes a checkpoint to its binary representation (version 2).
 #[must_use]
 pub fn encode(ckpt: &Checkpoint) -> Bytes {
+    encode_with_version(ckpt, VERSION)
+}
+
+fn encode_with_version(ckpt: &Checkpoint, version: u32) -> Bytes {
     let mut buf = BytesMut::with_capacity(64 + ckpt.scalar_count() * 4);
     buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
+    buf.put_u32_le(version);
     let arch = ckpt.arch();
     put_str(&mut buf, &arch.name);
     for dim in [
@@ -71,8 +91,13 @@ pub fn encode(ckpt: &Checkpoint) -> Bytes {
         put_str(&mut buf, name);
         buf.put_u64_le(tensor.rows() as u64);
         buf.put_u64_le(tensor.cols() as u64);
+        let data_start = buf.len();
         for &x in tensor.data() {
             buf.put_f32_le(x);
+        }
+        if version >= 2 {
+            let tcrc = fnv1a(&buf[data_start..]);
+            buf.put_u64_le(tcrc);
         }
     }
     let crc = fnv1a(&buf);
@@ -80,13 +105,17 @@ pub fn encode(ckpt: &Checkpoint) -> Bytes {
     buf.freeze()
 }
 
-/// Deserializes a checkpoint from bytes produced by [`encode`].
+/// Deserializes a checkpoint from bytes produced by [`encode`] (either
+/// format version).
 ///
 /// # Errors
 ///
 /// Returns [`ModelError::Corrupt`] for truncated data, a bad magic/version,
-/// a checksum mismatch, or invalid UTF-8; and the usual validation errors if
-/// the decoded tensors do not instantiate the decoded architecture.
+/// a whole-file checksum mismatch, or invalid UTF-8;
+/// [`ModelError::ChecksumMismatch`] when a version-2 tensor fails its
+/// embedded checksum; [`ModelError::NonFinite`] when a tensor holds NaN or
+/// infinite weights; and the usual validation errors if the decoded tensors
+/// do not instantiate the decoded architecture.
 pub fn decode(data: &[u8]) -> Result<Checkpoint, ModelError> {
     if data.len() < MAGIC.len() + 4 + 8 {
         return Err(corrupt("shorter than minimum header"));
@@ -104,7 +133,7 @@ pub fn decode(data: &[u8]) -> Result<Checkpoint, ModelError> {
         return Err(corrupt("bad magic"));
     }
     let version = take(&mut buf, 4)?.get_u32_le();
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(corrupt(&format!("unsupported version {version}")));
     }
 
@@ -143,10 +172,23 @@ pub fn decode(data: &[u8]) -> Result<Checkpoint, ModelError> {
         let n = rows
             .checked_mul(cols)
             .ok_or_else(|| corrupt("tensor size overflow"))?;
+        let byte_len = n
+            .checked_mul(4)
+            .ok_or_else(|| corrupt("tensor byte size overflow"))?;
+        let payload_bytes = take(&mut buf, byte_len)?;
+        if version >= 2 {
+            let stored_tcrc = take(&mut buf, 8)?.get_u64_le();
+            if fnv1a(payload_bytes) != stored_tcrc {
+                return Err(ModelError::ChecksumMismatch { tensor: tname });
+            }
+        }
+        let mut payload = payload_bytes;
         let mut values = Vec::with_capacity(n);
-        let mut payload = take(&mut buf, n * 4)?;
         for _ in 0..n {
             values.push(payload.get_f32_le());
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(ModelError::NonFinite { tensor: tname });
         }
         let m = Matrix::from_vec(rows, cols, values)?;
         tensors.insert(tname, m);
@@ -157,14 +199,29 @@ pub fn decode(data: &[u8]) -> Result<Checkpoint, ModelError> {
     Checkpoint::from_parts(arch, tensors, metadata)
 }
 
-/// Writes a checkpoint to a file.
+/// Writes a checkpoint to a file, crash-safely: the bytes land in a
+/// temporary sibling (`<name>.<pid>.tmp`), are fsynced, and are renamed
+/// into place, so a crash mid-save never leaves a torn file at `path`.
 ///
 /// # Errors
 ///
-/// Returns [`ModelError::Io`] on filesystem failures.
+/// Returns [`ModelError::Io`] on filesystem failures; the temporary file is
+/// removed on any failure.
 pub fn save(ckpt: &Checkpoint, path: impl AsRef<Path>) -> Result<(), ModelError> {
-    fs::write(path, encode(ckpt))?;
-    Ok(())
+    let path = path.as_ref();
+    let tmp = tmp_sibling(path);
+    let result = (|| -> Result<(), ModelError> {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(&encode(ckpt))?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
 }
 
 /// Reads a checkpoint from a file written by [`save`].
@@ -176,6 +233,17 @@ pub fn save(ckpt: &Checkpoint, path: impl AsRef<Path>) -> Result<(), ModelError>
 pub fn load(path: impl AsRef<Path>) -> Result<Checkpoint, ModelError> {
     let data = fs::read(path)?;
     decode(&data)
+}
+
+/// The temporary sibling a [`save`] to `path` stages its bytes in. The pid
+/// suffix keeps concurrent saves from different processes from clobbering
+/// each other's staging file.
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map_or_else(|| std::ffi::OsString::from("ckpt"), |n| n.to_os_string());
+    name.push(format!(".{}.tmp", std::process::id()));
+    path.with_file_name(name)
 }
 
 fn put_str(buf: &mut BytesMut, s: &str) {
@@ -227,12 +295,23 @@ mod tests {
         ckpt
     }
 
+    /// Refits the trailing whole-file CRC so targeted per-tensor damage is
+    /// not masked by the outer checksum.
+    fn refit_file_crc(data: &mut [u8]) {
+        let body_len = data.len() - 8;
+        let crc = fnv1a(&data[..body_len]);
+        data[body_len..].copy_from_slice(&crc.to_le_bytes());
+    }
+
     #[test]
     fn round_trip_exact() {
         let ckpt = sample();
         let back = decode(&encode(&ckpt)).expect("round trip");
         assert!(ckpt.approx_eq(&back, 0.0));
-        assert_eq!(back.metadata().get("origin").map(String::as_str), Some("unit-test"));
+        assert_eq!(
+            back.metadata().get("origin").map(String::as_str),
+            Some("unit-test")
+        );
         assert_eq!(back.arch(), ckpt.arch());
     }
 
@@ -246,6 +325,29 @@ mod tests {
         let back = load(&path).expect("load");
         assert!(ckpt.approx_eq(&back, 0.0));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_leaves_no_temporary_behind() {
+        let dir = std::env::temp_dir().join("chipalign-fmt-atomic");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("atomic.calt");
+        save(&sample(), &path).expect("save");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("readdir")
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "staging file must be renamed away");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_into_missing_directory_is_a_clean_io_error() {
+        let path = std::env::temp_dir()
+            .join("chipalign-no-such-dir")
+            .join("x.calt");
+        assert!(matches!(save(&sample(), &path), Err(ModelError::Io(_))));
     }
 
     #[test]
@@ -268,13 +370,52 @@ mod tests {
     }
 
     #[test]
+    fn per_tensor_checksum_names_the_damaged_tensor() {
+        // Flip a byte in the last tensor's payload and refit the outer CRC,
+        // so only the embedded per-tensor checksum can catch it. Layout
+        // tail: ... data | tcrc(8) | file-crc(8).
+        let mut data = encode(&sample()).to_vec();
+        let idx = data.len() - 17; // last payload byte of the last tensor
+        data[idx] ^= 0xFF;
+        refit_file_crc(&mut data);
+        match decode(&data) {
+            Err(ModelError::ChecksumMismatch { tensor }) => {
+                assert!(!tensor.is_empty(), "mismatch must name a tensor");
+            }
+            other => panic!("expected per-tensor checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn old_version_1_files_still_load() {
+        let ckpt = sample();
+        let v1 = encode_with_version(&ckpt, 1);
+        assert_ne!(v1.len(), encode(&ckpt).len(), "v1 carries no tensor crcs");
+        let back = decode(&v1).expect("v1 decode");
+        assert!(ckpt.approx_eq(&back, 0.0));
+    }
+
+    #[test]
+    fn non_finite_weights_are_rejected_at_load() {
+        let mut ckpt = sample();
+        ckpt.get_mut("model.norm.weight")
+            .expect("present")
+            .data_mut()[0] = f32::NAN;
+        let data = encode(&ckpt);
+        match decode(&data) {
+            Err(ModelError::NonFinite { tensor }) => {
+                assert_eq!(tensor, "model.norm.weight");
+            }
+            other => panic!("expected non-finite rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn detects_bad_magic() {
         let mut data = encode(&sample()).to_vec();
         data[0] = b'X';
         // Fix up the checksum so only the magic is wrong.
-        let body_len = data.len() - 8;
-        let crc = fnv1a(&data[..body_len]);
-        data[body_len..].copy_from_slice(&crc.to_le_bytes());
+        refit_file_crc(&mut data);
         let err = decode(&data);
         assert!(matches!(err, Err(ModelError::Corrupt { .. })));
     }
@@ -283,9 +424,7 @@ mod tests {
     fn detects_bad_version() {
         let mut data = encode(&sample()).to_vec();
         data[4] = 99;
-        let body_len = data.len() - 8;
-        let crc = fnv1a(&data[..body_len]);
-        data[body_len..].copy_from_slice(&crc.to_le_bytes());
+        refit_file_crc(&mut data);
         match decode(&data) {
             Err(ModelError::Corrupt { detail }) => assert!(detail.contains("version")),
             other => panic!("expected corrupt-version, got {other:?}"),

@@ -4,12 +4,23 @@
 //! and blocks until the matching response line arrives. It exists for
 //! tests, the load generator, and examples — any newline-JSON-speaking
 //! client in any language works equally well.
+//!
+//! [`Retrier`] layers jittered exponential backoff on top: connect
+//! failures and `overloaded` rejections — the two transient fault classes
+//! a well-behaved client should absorb — are retried up to a bounded
+//! attempt budget, with a deterministic (seeded) jitter stream and an
+//! injectable sleep function so retry schedules are unit-testable without
+//! wall-clock time.
 
 use std::io::{BufRead, BufReader};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Duration;
 
-use crate::metrics::MetricsSnapshot;
-use crate::protocol::{self, GenerateRequest, Generation, Request, Response};
+use chipalign_tensor::rng::Pcg32;
+
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::protocol::{self, ErrorCode, GenerateRequest, Generation, Request, Response};
 use crate::ServeError;
 
 /// A blocking connection to a running server.
@@ -143,5 +154,343 @@ impl Client {
 fn unexpected(resp: &Response) -> ServeError {
     ServeError::Protocol {
         detail: format!("unexpected response variant: {resp:?}"),
+    }
+}
+
+/// Backoff policy for [`Retrier`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (`1` = no retries).
+    pub max_attempts: u32,
+    /// Delay before the first retry; doubles each further retry.
+    pub base_delay_ms: u64,
+    /// Upper bound on any single delay.
+    pub max_delay_ms: u64,
+    /// Fraction of each delay randomized away (`0.0` = fixed delays,
+    /// `0.5` = each delay uniformly in `[delay/2, delay]`). Jitter
+    /// de-synchronizes client herds after an outage.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay_ms: 50,
+            max_delay_ms: 2_000,
+            jitter: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `attempt` (1-based), after jitter,
+    /// drawn from `rng`.
+    fn delay(&self, attempt: u32, rng: &mut Pcg32) -> Duration {
+        let exp = self
+            .base_delay_ms
+            .saturating_mul(1u64 << attempt.saturating_sub(1).min(32));
+        let capped = exp.min(self.max_delay_ms) as f64;
+        let jitter = self.jitter.clamp(0.0, 1.0) * capped * rng.uniform_f64();
+        Duration::from_millis((capped - jitter) as u64)
+    }
+}
+
+/// What to sleep with — injectable so tests assert the schedule instead of
+/// waiting it out.
+type Sleeper = Box<dyn FnMut(Duration) + Send>;
+
+/// A retrying front end over [`Client`] operations: bounded attempts,
+/// exponential backoff, deterministic seeded jitter.
+///
+/// Only *transient* failures are retried: connect-time I/O errors and
+/// server `overloaded` rejections. A generation that failed any other way
+/// (bad request, deadline, internal error) is returned immediately —
+/// generations are not idempotent from the server's accounting
+/// perspective, so blind retries would be wrong.
+pub struct Retrier {
+    policy: RetryPolicy,
+    rng: Pcg32,
+    sleeper: Sleeper,
+    metrics: Option<Arc<Metrics>>,
+}
+
+impl std::fmt::Debug for Retrier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Retrier({:?})", self.policy)
+    }
+}
+
+impl Retrier {
+    /// Creates a retrier; `seed` drives the jitter stream, so a given
+    /// (policy, seed) pair always produces the same backoff schedule.
+    #[must_use]
+    pub fn new(policy: RetryPolicy, seed: u64) -> Self {
+        Retrier {
+            policy,
+            rng: Pcg32::seed(seed).derive(0x5e77),
+            sleeper: Box::new(std::thread::sleep),
+            metrics: None,
+        }
+    }
+
+    /// Replaces the sleep function (tests inject a recorder instead of
+    /// blocking).
+    #[must_use]
+    pub fn with_sleeper(mut self, sleeper: impl FnMut(Duration) + Send + 'static) -> Self {
+        self.sleeper = Box::new(sleeper);
+        self
+    }
+
+    /// Attaches a metrics core; each retry (not first attempts) increments
+    /// `retries_attempted`.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Arc<Metrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Connects with retry on I/O failure, under the retrier's policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns the final attempt's error once the attempt budget is spent.
+    pub fn connect<A: ToSocketAddrs>(&mut self, addr: A) -> Result<Client, ServeError> {
+        let policy = self.policy.clone();
+        self.connect_with(addr, &policy)
+    }
+
+    /// [`Retrier::connect`] with a per-call policy override.
+    ///
+    /// # Errors
+    ///
+    /// Returns the final attempt's error once the attempt budget is spent.
+    pub fn connect_with<A: ToSocketAddrs>(
+        &mut self,
+        addr: A,
+        policy: &RetryPolicy,
+    ) -> Result<Client, ServeError> {
+        self.run(policy, retry_connect_errors, |_| Client::connect(&addr))
+    }
+
+    /// Runs one generation over a fresh connection, retrying connect
+    /// failures and `overloaded` rejections under the retrier's policy.
+    /// Each attempt carries its 1-based index minus one in
+    /// `retry_attempt`, so the server can count retry traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the final attempt's error once the attempt budget is spent;
+    /// non-transient errors return immediately.
+    pub fn generate<A: ToSocketAddrs>(
+        &mut self,
+        addr: A,
+        req: &GenerateRequest,
+    ) -> Result<Generation, ServeError> {
+        let policy = self.policy.clone();
+        self.generate_with(addr, req, &policy)
+    }
+
+    /// [`Retrier::generate`] with a per-call policy override.
+    ///
+    /// # Errors
+    ///
+    /// Returns the final attempt's error once the attempt budget is spent;
+    /// non-transient errors return immediately.
+    pub fn generate_with<A: ToSocketAddrs>(
+        &mut self,
+        addr: A,
+        req: &GenerateRequest,
+        policy: &RetryPolicy,
+    ) -> Result<Generation, ServeError> {
+        self.run(policy, retry_generate_errors, |attempt| {
+            let mut client = Client::connect(&addr)?;
+            let mut req = req.clone();
+            req.retry_attempt = attempt;
+            client.generate(req)
+        })
+    }
+
+    /// The retry loop shared by every operation: run `op`, consult
+    /// `retry_on` for transience, back off, repeat within the attempt
+    /// budget.
+    fn run<T>(
+        &mut self,
+        policy: &RetryPolicy,
+        retry_on: fn(&ServeError) -> bool,
+        mut op: impl FnMut(u32) -> Result<T, ServeError>,
+    ) -> Result<T, ServeError> {
+        let attempts = policy.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            match op(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) if attempt + 1 < attempts && retry_on(&e) => {
+                    attempt += 1;
+                    if let Some(m) = &self.metrics {
+                        m.on_retry_attempted();
+                    }
+                    (self.sleeper)(policy.delay(attempt, &mut self.rng));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Connect path: any I/O error is worth retrying (server restarting, SYN
+/// backlog full, transient network trouble).
+fn retry_connect_errors(e: &ServeError) -> bool {
+    matches!(e, ServeError::Io(_))
+}
+
+/// Generate path: retry connect-level I/O trouble and explicit
+/// `overloaded` rejections — the server made no progress on the session in
+/// either case, so a retry cannot duplicate work.
+fn retry_generate_errors(e: &ServeError) -> bool {
+    match e {
+        ServeError::Io(_) => true,
+        ServeError::Remote(w) => w.code == ErrorCode::Overloaded,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// A sleeper that records every requested delay instead of blocking.
+    fn recording_sleeper() -> (Arc<Mutex<Vec<Duration>>>, Sleeper) {
+        let log: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
+        let writer = Arc::clone(&log);
+        let sleeper = Box::new(move |d: Duration| {
+            writer.lock().expect("sleep log").push(d);
+        });
+        (log, sleeper)
+    }
+
+    fn overloaded() -> ServeError {
+        ServeError::Remote(crate::protocol::WireError {
+            code: ErrorCode::Overloaded,
+            detail: "full".into(),
+        })
+    }
+
+    fn policy(max_attempts: u32, jitter: f64) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            base_delay_ms: 100,
+            max_delay_ms: 10_000,
+            jitter,
+        }
+    }
+
+    #[test]
+    fn retries_until_success_with_exponential_backoff() {
+        let (log, sleeper) = recording_sleeper();
+        let mut retrier = Retrier::new(policy(5, 0.0), 1);
+        retrier.sleeper = sleeper;
+        let mut failures_left = 3;
+        let result = retrier.run(&policy(5, 0.0), retry_generate_errors, |attempt| {
+            if failures_left > 0 {
+                failures_left -= 1;
+                Err(overloaded())
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(result.expect("succeeds on 4th attempt"), 3);
+        let delays: Vec<u64> = log
+            .lock()
+            .expect("log")
+            .iter()
+            .map(|d| d.as_millis() as u64)
+            .collect();
+        assert_eq!(delays, vec![100, 200, 400], "doubling, no jitter");
+    }
+
+    #[test]
+    fn non_transient_errors_fail_immediately() {
+        let (log, sleeper) = recording_sleeper();
+        let mut retrier = Retrier::new(policy(5, 0.0), 2);
+        retrier.sleeper = sleeper;
+        let mut calls = 0;
+        let result: Result<(), _> = retrier.run(&policy(5, 0.0), retry_generate_errors, |_| {
+            calls += 1;
+            Err(ServeError::BadRequest {
+                detail: "bad".into(),
+            })
+        });
+        assert!(matches!(result, Err(ServeError::BadRequest { .. })));
+        assert_eq!(calls, 1, "no retry on a permanent error");
+        assert!(log.lock().expect("log").is_empty());
+    }
+
+    #[test]
+    fn attempt_budget_bounds_retries_and_returns_last_error() {
+        let (log, sleeper) = recording_sleeper();
+        let mut retrier = Retrier::new(policy(3, 0.0), 3);
+        retrier.sleeper = sleeper;
+        let mut calls = 0u32;
+        let result: Result<(), _> = retrier.run(&policy(3, 0.0), retry_generate_errors, |_| {
+            calls += 1;
+            Err(overloaded())
+        });
+        assert!(matches!(result, Err(ServeError::Remote(_))));
+        assert_eq!(calls, 3, "max_attempts includes the first try");
+        assert_eq!(log.lock().expect("log").len(), 2, "sleeps between tries");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_bounded() {
+        let schedule = |seed: u64| -> Vec<Duration> {
+            let (log, sleeper) = recording_sleeper();
+            let mut retrier = Retrier::new(policy(4, 0.5), seed);
+            retrier.sleeper = sleeper;
+            let _ = retrier.run(&policy(4, 0.5), retry_generate_errors, |_| {
+                Err::<(), _>(overloaded())
+            });
+            let out = log.lock().expect("log").clone();
+            out
+        };
+        let a = schedule(7);
+        assert_eq!(a, schedule(7), "same seed, same schedule");
+        assert_ne!(a, schedule(8), "different seed, different jitter");
+        for (i, d) in a.iter().enumerate() {
+            let full = 100u64 << i;
+            let ms = d.as_millis() as u64;
+            assert!(
+                ms > full / 2 - 1 && ms <= full,
+                "delay {i} = {ms}ms outside jitter window ({full}ms nominal)"
+            );
+        }
+    }
+
+    #[test]
+    fn delays_cap_at_max_delay() {
+        let pol = RetryPolicy {
+            max_attempts: 10,
+            base_delay_ms: 100,
+            max_delay_ms: 300,
+            jitter: 0.0,
+        };
+        let mut rng = Pcg32::seed(1);
+        assert_eq!(pol.delay(1, &mut rng).as_millis(), 100);
+        assert_eq!(pol.delay(2, &mut rng).as_millis(), 200);
+        assert_eq!(pol.delay(3, &mut rng).as_millis(), 300, "caps");
+        assert_eq!(pol.delay(9, &mut rng).as_millis(), 300, "stays capped");
+    }
+
+    #[test]
+    fn retries_are_counted_in_metrics() {
+        let metrics = Arc::new(Metrics::new());
+        let (_log, sleeper) = recording_sleeper();
+        let mut retrier = Retrier::new(policy(3, 0.0), 4).with_metrics(Arc::clone(&metrics));
+        retrier.sleeper = sleeper;
+        let _ = retrier.run(&policy(3, 0.0), retry_generate_errors, |_| {
+            Err::<(), _>(overloaded())
+        });
+        assert_eq!(metrics.snapshot().retries_attempted, 2);
     }
 }

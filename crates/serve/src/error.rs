@@ -51,6 +51,24 @@ pub enum ServeError {
         /// What was wrong with it.
         detail: String,
     },
+    /// A decode slice panicked; the session was cancelled but the worker
+    /// pool kept serving.
+    WorkerPanic {
+        /// The panic payload, when it was a string.
+        detail: String,
+    },
+    /// The session watchdog cancelled a session for making no token
+    /// progress.
+    Stalled {
+        /// Consecutive zero-progress scheduler slices observed.
+        slices: u64,
+    },
+    /// An internal invariant failed; the request cannot be served but the
+    /// server is still healthy.
+    Internal {
+        /// What went wrong.
+        detail: String,
+    },
     /// The server reported an error over the wire (client side).
     Remote(WireError),
 }
@@ -64,7 +82,9 @@ impl ServeError {
             ServeError::UnknownModel { .. } => ErrorCode::UnknownModel,
             ServeError::Overloaded { .. } => ErrorCode::Overloaded,
             ServeError::ShuttingDown => ErrorCode::ShuttingDown,
-            ServeError::DeadlineExceeded { .. } => ErrorCode::DeadlineExceeded,
+            ServeError::DeadlineExceeded { .. } | ServeError::Stalled { .. } => {
+                ErrorCode::DeadlineExceeded
+            }
             ServeError::Remote(w) => w.code,
             ServeError::Nn(NnError::BadConfig { .. })
             | ServeError::Nn(NnError::BadSequence { .. })
@@ -104,6 +124,14 @@ impl fmt::Display for ServeError {
                 write!(f, "deadline exceeded after {waited_ms} ms")
             }
             ServeError::BadRequest { detail } => write!(f, "bad request: {detail}"),
+            ServeError::WorkerPanic { detail } => {
+                write!(f, "session cancelled: decode slice panicked: {detail}")
+            }
+            ServeError::Stalled { slices } => write!(
+                f,
+                "session stalled: no token progress for {slices} scheduler slices"
+            ),
+            ServeError::Internal { detail } => write!(f, "internal error: {detail}"),
             ServeError::Remote(w) => write!(f, "server error [{:?}]: {}", w.code, w.detail),
         }
     }
@@ -170,6 +198,22 @@ mod tests {
         };
         assert_eq!(bad.to_wire().code, ErrorCode::BadRequest);
         assert!(bad.to_wire().detail.contains("empty prompt"));
+    }
+
+    #[test]
+    fn fault_variants_map_to_structured_codes() {
+        let panic = ServeError::WorkerPanic {
+            detail: "injected".into(),
+        };
+        assert_eq!(panic.code(), ErrorCode::Internal);
+        assert!(panic.to_string().contains("panicked"));
+        let stalled = ServeError::Stalled { slices: 3 };
+        assert_eq!(stalled.code(), ErrorCode::DeadlineExceeded);
+        assert!(stalled.to_string().contains("3 scheduler slices"));
+        let internal = ServeError::Internal {
+            detail: "invariant".into(),
+        };
+        assert_eq!(internal.code(), ErrorCode::Internal);
     }
 
     #[test]

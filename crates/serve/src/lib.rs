@@ -52,16 +52,19 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod client;
 pub mod error;
+#[cfg(feature = "fault-inject")]
+pub mod faults;
 pub mod metrics;
 pub mod protocol;
 pub mod registry;
 pub mod scheduler;
 pub mod server;
 
-pub use client::Client;
+pub use client::{Client, Retrier, RetryPolicy};
 pub use error::ServeError;
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use protocol::{

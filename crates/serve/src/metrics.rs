@@ -79,6 +79,16 @@ pub struct Metrics {
     failed: AtomicU64,
     /// Sessions that hit their deadline.
     deadline_exceeded: AtomicU64,
+    /// Decode slices that panicked (session cancelled, worker survived).
+    worker_panics: AtomicU64,
+    /// Sessions cancelled by the stall watchdog.
+    watchdog_cancels: AtomicU64,
+    /// Checkpoint loads rejected for checksum/corruption/non-finite data.
+    checksum_failures: AtomicU64,
+    /// Generate requests that arrived flagged as client retries.
+    retries_attempted: AtomicU64,
+    /// Worker threads that died and re-entered their loop.
+    workers_respawned: AtomicU64,
     /// New tokens produced by completed sessions.
     tokens_out: AtomicU64,
     /// Prompt tokens consumed by admitted sessions.
@@ -99,6 +109,11 @@ impl Default for Metrics {
             rejected_shutdown: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            watchdog_cancels: AtomicU64::new(0),
+            checksum_failures: AtomicU64::new(0),
+            retries_attempted: AtomicU64::new(0),
+            workers_respawned: AtomicU64::new(0),
             tokens_out: AtomicU64::new(0),
             prompt_tokens: AtomicU64::new(0),
             latency: Histogram::default(),
@@ -157,6 +172,33 @@ impl Metrics {
         self.failed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a decode slice cancelled by a caught panic.
+    pub fn on_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a session cancelled by the stall watchdog.
+    pub fn on_watchdog_cancel(&self) {
+        self.watchdog_cancels.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a checkpoint rejected at load for checksum, corruption, or
+    /// non-finite weights.
+    pub fn on_checksum_failure(&self) {
+        self.checksum_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an incoming generate request that a client flagged as a
+    /// retry of an earlier attempt.
+    pub fn on_retry_attempted(&self) {
+        self.retries_attempted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a worker thread dying and re-entering its loop.
+    pub fn on_worker_respawned(&self) {
+        self.workers_respawned.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent-enough point-in-time view (individual counters are read
     /// relaxed; rates use wall-clock uptime).
     #[must_use]
@@ -173,6 +215,11 @@ impl Metrics {
             rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            watchdog_cancels: self.watchdog_cancels.load(Ordering::Relaxed),
+            checksum_failures: self.checksum_failures.load(Ordering::Relaxed),
+            retries_attempted: self.retries_attempted.load(Ordering::Relaxed),
+            workers_respawned: self.workers_respawned.load(Ordering::Relaxed),
             tokens_out,
             prompt_tokens: self.prompt_tokens.load(Ordering::Relaxed),
             requests_per_sec: completed as f64 / uptime_s,
@@ -202,6 +249,22 @@ pub struct MetricsSnapshot {
     pub failed: u64,
     /// Deadline expiries.
     pub deadline_exceeded: u64,
+    /// Decode slices that panicked (the session was cancelled with a
+    /// structured error; the worker survived).
+    #[serde(default)]
+    pub worker_panics: u64,
+    /// Sessions cancelled by the stall watchdog.
+    #[serde(default)]
+    pub watchdog_cancels: u64,
+    /// Checkpoint loads rejected for checksum/corruption/non-finite data.
+    #[serde(default)]
+    pub checksum_failures: u64,
+    /// Generate requests flagged by clients as retries.
+    #[serde(default)]
+    pub retries_attempted: u64,
+    /// Worker threads that died and were respawned.
+    #[serde(default)]
+    pub workers_respawned: u64,
     /// Total new tokens produced.
     pub tokens_out: u64,
     /// Total prompt tokens consumed.
@@ -273,5 +336,45 @@ mod tests {
         let json = serde_json::to_string(&snap).expect("serialize");
         let back: MetricsSnapshot = serde_json::from_str(&json).expect("parse");
         assert_eq!(back.completed, 1);
+    }
+
+    #[test]
+    fn fault_counters_are_independent() {
+        let m = Metrics::new();
+        m.on_worker_panic();
+        m.on_watchdog_cancel();
+        m.on_watchdog_cancel();
+        m.on_checksum_failure();
+        m.on_retry_attempted();
+        m.on_worker_respawned();
+        let snap = m.snapshot();
+        assert_eq!(snap.worker_panics, 1);
+        assert_eq!(snap.watchdog_cancels, 2);
+        assert_eq!(snap.checksum_failures, 1);
+        assert_eq!(snap.retries_attempted, 1);
+        assert_eq!(snap.workers_respawned, 1);
+        assert_eq!(snap.failed, 0, "fault counters must not bleed into failed");
+    }
+
+    #[test]
+    fn snapshot_without_fault_fields_still_parses() {
+        // A v1 server's snapshot predates the fault counters; the client
+        // must still accept it (serde defaults).
+        let m = Metrics::new();
+        let mut v: serde_json::Value =
+            serde_json::from_str(&serde_json::to_string(&m.snapshot()).expect("serialize"))
+                .expect("value");
+        let obj = v.as_object_mut().expect("object");
+        for field in [
+            "worker_panics",
+            "watchdog_cancels",
+            "checksum_failures",
+            "retries_attempted",
+            "workers_respawned",
+        ] {
+            obj.remove(field);
+        }
+        let back: MetricsSnapshot = serde_json::from_value(v).expect("parse without fault fields");
+        assert_eq!(back.worker_panics, 0);
     }
 }

@@ -16,8 +16,11 @@ use chipalign_nn::generate::GenerateConfig;
 
 use crate::ServeError;
 
-/// Protocol version reported by `ping`.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Protocol version reported by `ping`. Version 2 adds the fault-tolerance
+/// surface: the `retry_attempt` generate field and the fault counters in
+/// metrics snapshots. Both are additive with serde defaults, so v1 clients
+/// interoperate with v2 servers and vice versa.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// A client-to-server message.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -76,6 +79,11 @@ pub struct GenerateRequest {
     /// absent, the server's default applies.
     #[serde(default)]
     pub deadline_ms: Option<u64>,
+    /// Which retry of this request this is (`0` = first attempt). Set by
+    /// [`crate::client::Retrier`]; the server counts non-zero attempts in
+    /// the `retries_attempted` metric.
+    #[serde(default)]
+    pub retry_attempt: u32,
 }
 
 fn default_max_new_tokens() -> usize {
@@ -104,6 +112,7 @@ impl GenerateRequest {
             stop_at_eos: true,
             seed: 0,
             deadline_ms: None,
+            retry_attempt: 0,
         }
     }
 
@@ -271,6 +280,7 @@ mod tests {
         assert_eq!(g.top_p, 1.0);
         assert!(g.stop_at_eos);
         assert!(g.deadline_ms.is_none());
+        assert_eq!(g.retry_attempt, 0, "v1 requests parse as first attempts");
         let cfg = g.decode_config(32);
         assert_eq!(cfg.max_new_tokens, 32, "budget clamps to the server cap");
         cfg.validate().expect("defaults are valid");

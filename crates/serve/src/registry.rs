@@ -15,17 +15,41 @@
 //! All materialized models live behind `Arc`s in one cache keyed by a
 //! canonical spec string; [`ModelRegistry::register`] inserts programmatic
 //! models (tests, canaries) under arbitrary names.
+//!
+//! # Integrity
+//!
+//! The registry never serves a checkpoint it hasn't vetted: merged models
+//! are validated ([`Checkpoint::validate`]) and scanned for non-finite
+//! weights before they are cached, and a poisoned merge is reported as a
+//! structured error rather than entering the cache. With a persist
+//! directory configured ([`ModelRegistry::with_persist_dir`]), merges are
+//! saved crash-safely and a torn or corrupted persisted file is detected
+//! at load, counted in `checksum_failures`, removed, and rebuilt from its
+//! ingredients.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 use chipalign_merge::{GeodesicMerge, Merger};
-use chipalign_model::format;
+use chipalign_model::{format, Checkpoint, ModelError};
 use chipalign_nn::TinyLm;
 use chipalign_pipeline::zoo::{Backbone, Zoo, ZooModel};
 
+use crate::metrics::Metrics;
 use crate::ServeError;
+
+/// Whether a load failure means the bytes on disk are damaged (as opposed
+/// to e.g. a plain I/O error), so the file is worth deleting and
+/// rebuilding.
+fn is_integrity_error(e: &ModelError) -> bool {
+    matches!(
+        e,
+        ModelError::Corrupt { .. }
+            | ModelError::ChecksumMismatch { .. }
+            | ModelError::NonFinite { .. }
+    )
+}
 
 /// Every zoo model the registry can name.
 #[must_use]
@@ -150,6 +174,12 @@ pub struct ModelRegistry {
     /// Serializes expensive materializations (training, merging) so two
     /// concurrent requests for the same λ build it once.
     build_lock: Mutex<()>,
+    /// When set, merged checkpoints are persisted here (crash-safely) and
+    /// reloaded instead of re-merged on later resolves.
+    persist_dir: Option<PathBuf>,
+    /// Attached by the server so integrity failures show up in
+    /// `checksum_failures`; absent in library use.
+    metrics: OnceLock<Arc<Metrics>>,
 }
 
 impl std::fmt::Debug for ModelRegistry {
@@ -171,7 +201,29 @@ impl ModelRegistry {
             zoo,
             cache: Mutex::new(HashMap::new()),
             build_lock: Mutex::new(()),
+            persist_dir: None,
+            metrics: OnceLock::new(),
         }
+    }
+
+    /// Configures a directory where merged checkpoints are persisted
+    /// (crash-safely, via write-to-temp-then-rename) and reloaded from on
+    /// later resolves instead of re-merging. The directory is created if
+    /// missing; a torn or corrupted persisted file is detected at load,
+    /// removed, and rebuilt from its ingredients.
+    #[must_use]
+    pub fn with_persist_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        let dir = dir.into();
+        let _ = std::fs::create_dir_all(&dir);
+        self.persist_dir = Some(dir);
+        self
+    }
+
+    /// Attaches a metrics core so integrity failures are counted in
+    /// `checksum_failures`. Only the first attachment wins (the server
+    /// calls this at bind).
+    pub fn attach_metrics(&self, metrics: Arc<Metrics>) {
+        let _ = self.metrics.set(metrics);
     }
 
     /// The backing zoo.
@@ -180,14 +232,19 @@ impl ModelRegistry {
         &self.zoo
     }
 
+    /// Locks the model cache, recovering from poisoning: cache mutations
+    /// are single `HashMap` operations that cannot be observed half-done,
+    /// so the map is always consistent even if a panic interrupted a
+    /// previous holder.
+    fn cache_lock(&self) -> MutexGuard<'_, HashMap<String, Arc<TinyLm>>> {
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Registers a model under an arbitrary name (hot-swap path for
     /// programmatically built checkpoints), replacing any previous entry.
     pub fn register(&self, name: &str, model: TinyLm) -> Arc<TinyLm> {
         let arc = Arc::new(model);
-        self.cache
-            .lock()
-            .expect("registry lock")
-            .insert(name.to_string(), Arc::clone(&arc));
+        self.cache_lock().insert(name.to_string(), Arc::clone(&arc));
         arc
     }
 
@@ -200,7 +257,7 @@ impl ModelRegistry {
     /// checkpoint-I/O failures.
     pub fn resolve_str(&self, spec: &str) -> Result<(String, Arc<TinyLm>), ServeError> {
         // Registered names take priority and need no parse.
-        if let Some(m) = self.cache.lock().expect("registry lock").get(spec.trim()) {
+        if let Some(m) = self.cache_lock().get(spec.trim()) {
             return Ok((spec.trim().to_string(), Arc::clone(m)));
         }
         let parsed = ModelSpec::parse(spec)?;
@@ -215,25 +272,33 @@ impl ModelRegistry {
     /// Forwards zoo-training, merge, and checkpoint-I/O failures.
     pub fn resolve(&self, spec: &ModelSpec) -> Result<Arc<TinyLm>, ServeError> {
         let key = spec.key();
-        if let Some(m) = self.cache.lock().expect("registry lock").get(&key) {
+        if let Some(m) = self.cache_lock().get(&key) {
             return Ok(Arc::clone(m));
         }
         // Build outside the cache lock (materialization can take seconds to
         // minutes) but under the build lock so concurrent misses for the
         // same key don't duplicate the work.
-        let _build = self.build_lock.lock().expect("registry build lock");
-        if let Some(m) = self.cache.lock().expect("registry lock").get(&key) {
+        let _build = self
+            .build_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(m) = self.cache_lock().get(&key) {
             return Ok(Arc::clone(m));
         }
-        let built = Arc::new(self.materialize(spec)?);
-        self.cache
-            .lock()
-            .expect("registry lock")
-            .insert(key, Arc::clone(&built));
+        let built = Arc::new(self.materialize(spec, &key)?);
+        self.cache_lock().insert(key, Arc::clone(&built));
         Ok(built)
     }
 
-    fn materialize(&self, spec: &ModelSpec) -> Result<TinyLm, ServeError> {
+    fn materialize(&self, spec: &ModelSpec, key: &str) -> Result<TinyLm, ServeError> {
+        #[cfg(feature = "fault-inject")]
+        {
+            if crate::faults::should_fire(crate::faults::Site::RegistryResolve, key) {
+                return Err(ServeError::Internal {
+                    detail: format!("injected registry load failure for {key}"),
+                });
+            }
+        }
         match spec {
             ModelSpec::Zoo(m) => Ok(self.zoo.model(*m)?),
             ModelSpec::Merged {
@@ -241,15 +306,105 @@ impl ModelRegistry {
                 instruct,
                 lambda,
             } => {
+                if let Some(model) = self.load_persisted(key)? {
+                    return Ok(model);
+                }
                 let chip_ckpt = self.zoo.model(*chip)?.to_checkpoint()?;
                 let instruct_ckpt = self.zoo.model(*instruct)?.to_checkpoint()?;
-                let merged = GeodesicMerge::new(*lambda)?.merge_pair(&chip_ckpt, &instruct_ckpt)?;
+                #[cfg_attr(not(feature = "fault-inject"), allow(unused_mut))]
+                let mut merged =
+                    GeodesicMerge::new(*lambda)?.merge_pair(&chip_ckpt, &instruct_ckpt)?;
+                #[cfg(feature = "fault-inject")]
+                {
+                    if crate::faults::should_fire(crate::faults::Site::MergePoison, key) {
+                        if let Some(t) = merged.get_mut("model.norm.weight") {
+                            t.data_mut()[0] = f32::NAN;
+                        }
+                    }
+                }
+                // Vet the merge before it can reach the cache or disk: a
+                // poisoned checkpoint is reported, never served.
+                merged.validate()?;
+                if let Some(tensor) = merged.first_non_finite() {
+                    self.note_integrity_failure();
+                    return Err(ServeError::Model(ModelError::NonFinite {
+                        tensor: tensor.to_string(),
+                    }));
+                }
+                self.persist(key, &merged);
                 Ok(TinyLm::from_checkpoint(&merged)?)
             }
             ModelSpec::File(path) => {
-                let ckpt = format::load(path)?;
+                let ckpt = format::load(path).map_err(|e| {
+                    if is_integrity_error(&e) {
+                        self.note_integrity_failure();
+                    }
+                    e
+                })?;
                 Ok(TinyLm::from_checkpoint(&ckpt)?)
             }
+        }
+    }
+
+    /// The file a merged checkpoint with cache key `key` persists to, or
+    /// `None` when no persist directory is configured. Keys are sanitized
+    /// to a filesystem-safe alphabet.
+    #[must_use]
+    pub fn persist_path(&self, key: &str) -> Option<PathBuf> {
+        let dir = self.persist_dir.as_ref()?;
+        let safe: String = key
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+        Some(dir.join(format!("{safe}.calt")))
+    }
+
+    /// Tries to reload a previously persisted merge. A damaged file
+    /// (truncated, bit-flipped, non-finite) is counted, deleted, and
+    /// reported as a miss so the caller rebuilds from ingredients; only
+    /// genuine I/O errors propagate.
+    fn load_persisted(&self, key: &str) -> Result<Option<TinyLm>, ServeError> {
+        let Some(path) = self.persist_path(key) else {
+            return Ok(None);
+        };
+        if !path.exists() {
+            return Ok(None);
+        }
+        match format::load(&path) {
+            Ok(ckpt) => Ok(Some(TinyLm::from_checkpoint(&ckpt)?)),
+            Err(e) if is_integrity_error(&e) => {
+                self.note_integrity_failure();
+                let _ = std::fs::remove_file(&path);
+                Ok(None)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Best-effort persist of a vetted merge: failure only costs a rebuild
+    /// on the next resolve, so errors are swallowed.
+    fn persist(&self, key: &str, merged: &Checkpoint) {
+        let Some(path) = self.persist_path(key) else {
+            return;
+        };
+        #[cfg(feature = "fault-inject")]
+        {
+            if crate::faults::should_fire(crate::faults::Site::TornWrite, key) {
+                // Simulate a crash mid-write through a non-atomic writer:
+                // only the first half of the encoding reaches the final
+                // path. `format::save` itself never does this — that is
+                // the point of the injection.
+                let bytes = format::encode(merged);
+                let _ = std::fs::write(&path, &bytes[..bytes.len() / 2]);
+                return;
+            }
+        }
+        let _ = format::save(merged, &path);
+    }
+
+    fn note_integrity_failure(&self) {
+        if let Some(m) = self.metrics.get() {
+            m.on_checksum_failure();
         }
     }
 
@@ -261,20 +416,14 @@ impl ModelRegistry {
             Ok(parsed) => parsed.key(),
             Err(_) => spec.trim().to_string(),
         };
-        let mut cache = self.cache.lock().expect("registry lock");
+        let mut cache = self.cache_lock();
         cache.remove(&key).is_some() || cache.remove(spec.trim()).is_some()
     }
 
     /// Cache keys of every materialized model, sorted.
     #[must_use]
     pub fn loaded(&self) -> Vec<String> {
-        let mut keys: Vec<String> = self
-            .cache
-            .lock()
-            .expect("registry lock")
-            .keys()
-            .cloned()
-            .collect();
+        let mut keys: Vec<String> = self.cache_lock().keys().cloned().collect();
         keys.sort();
         keys
     }
@@ -374,6 +523,49 @@ mod tests {
         assert!(reg.evict("canary"));
         assert!(!reg.evict("canary"));
         assert!(reg.loaded().is_empty());
+    }
+
+    #[test]
+    fn persist_path_sanitizes_keys_and_requires_a_dir() {
+        let reg = registry();
+        assert!(reg.persist_path("merge:a+b@0.5").is_none(), "no dir set");
+        let dir = std::env::temp_dir().join("chipalign-reg-persist");
+        let reg = registry().with_persist_dir(&dir);
+        let path = reg
+            .persist_path("merge:eda-qwen+instruct-qwen@0.6000")
+            .expect("dir set");
+        let name = path
+            .file_name()
+            .expect("name")
+            .to_string_lossy()
+            .into_owned();
+        assert_eq!(name, "merge-eda-qwen-instruct-qwen-0-6000.calt");
+        assert!(path.starts_with(&dir));
+    }
+
+    #[test]
+    fn corrupt_file_spec_is_rejected_and_counted() {
+        let dir = std::env::temp_dir().join("chipalign-reg-corrupt");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("damaged.calt");
+        let ckpt = random_model(5).to_checkpoint().expect("ckpt");
+        let mut bytes = format::encode(&ckpt).to_vec();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("write");
+
+        let reg = registry();
+        let metrics = Arc::new(Metrics::new());
+        reg.attach_metrics(Arc::clone(&metrics));
+        let spec = format!("file:{}", path.display());
+        let err = reg.resolve_str(&spec);
+        assert!(
+            matches!(err, Err(ServeError::Model(ModelError::Corrupt { .. }))),
+            "got {err:?}"
+        );
+        assert_eq!(metrics.snapshot().checksum_failures, 1);
+        assert!(reg.loaded().is_empty(), "damaged model must not be cached");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -16,11 +16,31 @@
 //! or oversized request cannot pin a worker forever. [`Scheduler::shutdown`]
 //! stops admissions; workers then drain every queued session to completion
 //! before exiting, which is what makes server shutdown graceful.
+//!
+//! # Fault tolerance
+//!
+//! Every decode slice runs under [`std::panic::catch_unwind`], so a panic
+//! inside one session — a poisoned checkpoint, a decoder bug — cancels
+//! *that* session with a structured [`ServeError::WorkerPanic`] while the
+//! worker moves on to the next one. A panic that escapes the slice guard
+//! (the worker loop itself dying) is caught one level up and the worker
+//! re-enters its loop, so the pool's capacity survives; the session it was
+//! holding is reported to its client as a structured internal error by the
+//! session's drop guard, never as a silent hang.
+//!
+//! A tick-based *watchdog* covers the remaining failure mode: a session
+//! that stays alive but stops producing tokens. Progress is measured in
+//! scheduler slices, not wall-clock time, so the check is deterministic
+//! under test; after [`SchedulerConfig::stall_slices`] consecutive
+//! zero-progress slices the session is cancelled with
+//! [`ServeError::Stalled`], which maps to the `deadline_exceeded` wire
+//! code.
 
 use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -30,6 +50,11 @@ use chipalign_nn::TinyLm;
 use crate::metrics::Metrics;
 use crate::protocol::FinishReason;
 use crate::ServeError;
+
+/// How many times a dead worker re-enters its loop before giving up and
+/// letting the thread exit (a backstop against a deterministic panic on
+/// the pop path itself looping forever).
+const MAX_RESPAWNS: u32 = 8;
 
 /// Scheduler tuning knobs.
 #[derive(Debug, Clone)]
@@ -42,6 +67,12 @@ pub struct SchedulerConfig {
     /// Tokens decoded per scheduling slice before a session rotates to the
     /// back of the queue. Smaller = fairer, larger = less queue churn.
     pub slice_tokens: usize,
+    /// Consecutive scheduler slices a session may spend making zero token
+    /// progress before the watchdog cancels it with a
+    /// `deadline_exceeded`-class error. `0` disables the watchdog. The
+    /// unit is slices, not seconds, so watchdog behaviour is deterministic
+    /// in tests.
+    pub stall_slices: u64,
 }
 
 impl Default for SchedulerConfig {
@@ -53,6 +84,7 @@ impl Default for SchedulerConfig {
                 .min(8),
             max_sessions: 64,
             slice_tokens: 8,
+            stall_slices: 32,
         }
     }
 }
@@ -68,6 +100,10 @@ pub struct SessionRequest {
     pub cfg: GenerateConfig,
     /// Absolute deadline; checked between decode steps.
     pub deadline: Option<Instant>,
+    /// Free-form session label (the server passes the canonical model
+    /// key); used to scope injected faults to specific sessions in chaos
+    /// tests.
+    pub tag: String,
 }
 
 /// A finished session's payload.
@@ -95,14 +131,44 @@ enum TaskState {
         decoder: StepDecoder,
         deadline: Option<Instant>,
     },
+    /// Placeholder left behind while a slice borrows the real state. Only
+    /// observable after a panic interrupted a slice; decoding a tombstone
+    /// is reported as a structured internal error, never a second panic.
+    Tombstone,
 }
 
 struct Task {
     state: TaskState,
+    /// Session label for fault-rule matching (see [`SessionRequest::tag`]).
+    #[cfg_attr(not(feature = "fault-inject"), allow(dead_code))]
+    tag: String,
     produced: Vec<u32>,
     reply: Sender<SessionOutcome>,
     admitted: Instant,
     queue_us: Option<u64>,
+    /// Consecutive scheduled slices with zero token progress.
+    stalled_slices: u64,
+    /// Shared in-flight counter, held so the drop guard can release the
+    /// admission slot even when the task dies with its worker.
+    active: Arc<AtomicUsize>,
+    /// Set by `finish`; suppresses the drop guard on the normal path.
+    finished: bool,
+}
+
+impl Drop for Task {
+    /// Last-resort cleanup: if a task is dropped without being finished —
+    /// its worker thread died mid-slice — the client still gets a
+    /// structured error instead of a hung channel, and the admission slot
+    /// is released so capacity doesn't leak.
+    fn drop(&mut self) {
+        if self.finished {
+            return;
+        }
+        let _ = self.reply.send(Err(ServeError::Internal {
+            detail: "session lost: worker died mid-slice".to_string(),
+        }));
+        self.active.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 struct Inner {
@@ -110,7 +176,7 @@ struct Inner {
     queue: Mutex<VecDeque<Task>>,
     available: Condvar,
     /// Sessions in flight: queued + currently on a worker.
-    active: AtomicUsize,
+    active: Arc<AtomicUsize>,
     draining: AtomicBool,
     metrics: Arc<Metrics>,
 }
@@ -132,20 +198,31 @@ impl std::fmt::Debug for Scheduler {
     }
 }
 
+/// Locks the run queue, recovering from poisoning. Decoding happens
+/// outside this lock, so a session panic can only interrupt plain queue
+/// operations that never leave the deque in a torn state — recovering the
+/// guard is sound and keeps one poisoned session from wedging the pool.
+fn lock_queue(inner: &Inner) -> MutexGuard<'_, VecDeque<Task>> {
+    inner.queue.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 impl Scheduler {
     /// Starts the worker pool.
     #[must_use]
     pub fn start(cfg: SchedulerConfig, metrics: Arc<Metrics>) -> Self {
+        #[cfg(feature = "fault-inject")]
+        quiet_worker_panics();
         let cfg = SchedulerConfig {
             workers: cfg.workers.max(1),
             max_sessions: cfg.max_sessions.max(1),
             slice_tokens: cfg.slice_tokens.max(1),
+            stall_slices: cfg.stall_slices,
         };
         let inner = Arc::new(Inner {
             cfg: cfg.clone(),
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
-            active: AtomicUsize::new(0),
+            active: Arc::new(AtomicUsize::new(0)),
             draining: AtomicBool::new(false),
             metrics,
         });
@@ -154,7 +231,7 @@ impl Scheduler {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
                     .name(format!("chipalign-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&inner))
+                    .spawn(move || worker_main(&inner))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -202,14 +279,19 @@ impl Scheduler {
         }
         inner.metrics.on_admitted(req.prompt.len());
         let (tx, rx) = std::sync::mpsc::channel();
+        let tag = req.tag.clone();
         let task = Task {
             state: TaskState::Pending(req),
+            tag,
             produced: Vec::new(),
             reply: tx,
             admitted: Instant::now(),
             queue_us: None,
+            stalled_slices: 0,
+            active: Arc::clone(&inner.active),
+            finished: false,
         };
-        inner.queue.lock().expect("scheduler queue").push_back(task);
+        lock_queue(inner).push_back(task);
         inner.available.notify_one();
         Ok(rx)
     }
@@ -228,7 +310,7 @@ impl Scheduler {
         let handles: Vec<JoinHandle<()>> = self
             .workers
             .lock()
-            .expect("scheduler workers")
+            .unwrap_or_else(PoisonError::into_inner)
             .drain(..)
             .collect();
         for h in handles {
@@ -243,10 +325,29 @@ impl Drop for Scheduler {
     }
 }
 
+/// Worker thread entry point: re-enters the pop/decode loop if it dies
+/// from a panic that escaped the per-slice guard, so one bad pop doesn't
+/// permanently shrink the pool.
+fn worker_main(inner: &Inner) {
+    let mut respawns = 0u32;
+    loop {
+        match std::panic::catch_unwind(AssertUnwindSafe(|| worker_loop(inner))) {
+            Ok(()) => return, // clean drain
+            Err(_) => {
+                inner.metrics.on_worker_respawned();
+                respawns += 1;
+                if respawns > MAX_RESPAWNS {
+                    return;
+                }
+            }
+        }
+    }
+}
+
 fn worker_loop(inner: &Inner) {
     loop {
         let task = {
-            let mut queue = inner.queue.lock().expect("scheduler queue");
+            let mut queue = lock_queue(inner);
             loop {
                 if let Some(task) = queue.pop_front() {
                     break task;
@@ -254,83 +355,193 @@ fn worker_loop(inner: &Inner) {
                 if inner.draining.load(Ordering::SeqCst) {
                     return;
                 }
-                queue = inner.available.wait(queue).expect("scheduler queue");
+                queue = inner
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
+        #[cfg(feature = "fault-inject")]
+        {
+            // Panic *outside* the slice guard: kills this worker_loop call
+            // outright. The task's drop guard reports the session; the
+            // respawn path in worker_main restores pool capacity.
+            if crate::faults::should_fire(crate::faults::Site::WorkerDeath, &task.tag) {
+                panic!("injected worker death");
+            }
+        }
         run_slice(inner, task);
     }
 }
 
-/// Decodes one slice of a session; re-queues it if it isn't finished.
+/// Runs one decode slice under a panic guard and routes the outcome:
+/// requeue, completion, structured error, or panic-turned-error.
 fn run_slice(inner: &Inner, mut task: Task) {
-    // First slice: prefill the prompt (the expensive O(prompt) part) on
-    // this worker and record how long the session waited in queue.
-    let (mut decoder, deadline) = match task.state {
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| decode_slice(inner, &mut task)));
+    match outcome {
+        Ok(Ok(SliceStatus::Continue)) => {
+            // Slice exhausted with the session still alive: rotate to the
+            // back of the queue so other sessions get their turn.
+            lock_queue(inner).push_back(task);
+            inner.available.notify_one();
+        }
+        Ok(Ok(SliceStatus::Done(result))) => {
+            inner
+                .metrics
+                .on_completed(result.tokens.len(), result.total_us);
+            finish(inner, task, Ok(result));
+        }
+        Ok(Err(e)) => {
+            match &e {
+                ServeError::DeadlineExceeded { .. } => inner.metrics.on_deadline_exceeded(),
+                ServeError::Stalled { .. } => inner.metrics.on_watchdog_cancel(),
+                _ => inner.metrics.on_failed(),
+            }
+            finish(inner, task, Err(e));
+        }
+        Err(payload) => {
+            // The slice panicked. The decoder is gone (its frame unwound),
+            // but the task survived: cancel just this session and keep the
+            // worker serving.
+            inner.metrics.on_worker_panic();
+            let detail = panic_detail(payload.as_ref());
+            finish(inner, task, Err(ServeError::WorkerPanic { detail }));
+        }
+    }
+}
+
+/// What one guarded decode slice did with its session.
+enum SliceStatus {
+    /// Session still alive; requeue it.
+    Continue,
+    /// Session finished with this payload.
+    Done(SessionResult),
+}
+
+/// Decodes up to `slice_tokens` tokens for one session. Pure with respect
+/// to scheduler structures: no locks are held while decoding, so a panic
+/// here cannot poison the queue.
+fn decode_slice(inner: &Inner, task: &mut Task) -> Result<SliceStatus, ServeError> {
+    let (mut decoder, deadline) = match std::mem::replace(&mut task.state, TaskState::Tombstone) {
         TaskState::Pending(req) => {
+            // First slice: prefill the prompt (the expensive O(prompt)
+            // part) on this worker and record the queue wait.
             let queue_us = elapsed_us(task.admitted);
             task.queue_us = Some(queue_us);
             inner.metrics.on_first_slice(queue_us);
             if past(req.deadline) {
-                inner.metrics.on_deadline_exceeded();
-                finish(inner, &task.reply, Err(deadline_error(task.admitted)));
-                return;
+                return Err(deadline_error(task.admitted));
             }
-            match StepDecoder::new(&req.model, &req.prompt, &req.cfg) {
-                Ok(decoder) => (decoder, req.deadline),
-                Err(e) => {
-                    inner.metrics.on_failed();
-                    finish(inner, &task.reply, Err(e.into()));
-                    return;
-                }
-            }
+            let decoder = StepDecoder::new(&req.model, &req.prompt, &req.cfg)?;
+            (decoder, req.deadline)
         }
         TaskState::Running { decoder, deadline } => (decoder, deadline),
+        TaskState::Tombstone => {
+            return Err(ServeError::Internal {
+                detail: "scheduler invariant violated: task rescheduled in tombstone state"
+                    .to_string(),
+            })
+        }
     };
 
+    #[cfg(feature = "fault-inject")]
+    {
+        if crate::faults::should_fire(crate::faults::Site::WorkerPanic, &task.tag) {
+            panic!("injected worker panic");
+        }
+        if crate::faults::should_fire(crate::faults::Site::SessionStall, &task.tag) {
+            // Simulate a slice that makes no token progress: hand the
+            // decoder back untouched and let the watchdog account for it.
+            task.state = TaskState::Running { decoder, deadline };
+            return watchdog_tick(inner, task);
+        }
+    }
+
+    let before = task.produced.len();
     for _ in 0..inner.cfg.slice_tokens {
         if past(deadline) {
-            inner.metrics.on_deadline_exceeded();
-            finish(inner, &task.reply, Err(deadline_error(task.admitted)));
-            return;
+            return Err(deadline_error(task.admitted));
         }
-        match decoder.step() {
-            Ok(Some(token)) => task.produced.push(token),
-            Ok(None) => {
+        match decoder.step()? {
+            Some(token) => task.produced.push(token),
+            None => {
                 let finish_reason = if decoder.stopped_at_eos() {
                     FinishReason::Eos
                 } else {
                     FinishReason::Length
                 };
                 let total_us = elapsed_us(task.admitted);
-                inner.metrics.on_completed(task.produced.len(), total_us);
-                let result = SessionResult {
+                return Ok(SliceStatus::Done(SessionResult {
                     tokens: std::mem::take(&mut task.produced),
                     finish: finish_reason,
                     queue_us: task.queue_us.unwrap_or(0),
                     total_us,
-                };
-                finish(inner, &task.reply, Ok(result));
-                return;
-            }
-            Err(e) => {
-                inner.metrics.on_failed();
-                finish(inner, &task.reply, Err(e.into()));
-                return;
+                }));
             }
         }
     }
 
-    // Slice exhausted with the session still alive: rotate to the back of
-    // the queue so other sessions get their turn.
     task.state = TaskState::Running { decoder, deadline };
-    inner.queue.lock().expect("scheduler queue").push_back(task);
-    inner.available.notify_one();
+    if task.produced.len() == before {
+        // A full slice with zero tokens produced. Impossible for today's
+        // StepDecoder (every step yields or finishes) but load-bearing for
+        // injected stalls and future cooperative decoders.
+        return watchdog_tick(inner, task);
+    }
+    task.stalled_slices = 0;
+    Ok(SliceStatus::Continue)
 }
 
-fn finish(inner: &Inner, reply: &Sender<SessionOutcome>, outcome: SessionOutcome) {
+/// Accounts one zero-progress slice against the session's stall budget.
+fn watchdog_tick(inner: &Inner, task: &mut Task) -> Result<SliceStatus, ServeError> {
+    task.stalled_slices += 1;
+    let limit = inner.cfg.stall_slices;
+    if limit > 0 && task.stalled_slices >= limit {
+        return Err(ServeError::Stalled {
+            slices: task.stalled_slices,
+        });
+    }
+    Ok(SliceStatus::Continue)
+}
+
+/// Sends the outcome and releases the admission slot exactly once.
+fn finish(inner: &Inner, mut task: Task, outcome: SessionOutcome) {
+    task.finished = true;
     // The receiver may have given up (client gone); that's not an error.
-    let _ = reply.send(outcome);
+    let _ = task.reply.send(outcome);
     inner.active.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Renders a caught panic payload for the structured error (panics carry
+/// `&str` or `String` in practice; anything else gets a placeholder).
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Installs (once) a panic hook that suppresses the default stderr
+/// backtrace for panics on scheduler worker threads — chaos tests inject
+/// panics on purpose, and the structured error is the real signal.
+#[cfg(feature = "fault-inject")]
+fn quiet_worker_panics() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let on_worker = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("chipalign-serve-worker-"));
+            if !on_worker {
+                previous(info);
+            }
+        }));
+    });
 }
 
 fn past(deadline: Option<Instant>) -> bool {
@@ -374,20 +585,23 @@ mod tests {
             prompt: vec![5, 6, 7],
             cfg: greedy(budget),
             deadline,
+            tag: "test".to_string(),
+        }
+    }
+
+    fn config(workers: usize, max_sessions: usize, slice_tokens: usize) -> SchedulerConfig {
+        SchedulerConfig {
+            workers,
+            max_sessions,
+            slice_tokens,
+            stall_slices: 32,
         }
     }
 
     #[test]
     fn sessions_complete_and_match_generate() {
         let m = model();
-        let scheduler = Scheduler::start(
-            SchedulerConfig {
-                workers: 2,
-                max_sessions: 8,
-                slice_tokens: 4,
-            },
-            Arc::new(Metrics::new()),
-        );
+        let scheduler = Scheduler::start(config(2, 8, 4), Arc::new(Metrics::new()));
         let rx = scheduler.submit(request(&m, 24, None)).expect("admit");
         let result = rx.recv().expect("outcome").expect("ok");
         assert_eq!(result.tokens.len(), 24);
@@ -400,14 +614,7 @@ mod tests {
     #[test]
     fn many_interleaved_sessions_each_match_generate() {
         let m = model();
-        let scheduler = Scheduler::start(
-            SchedulerConfig {
-                workers: 2,
-                max_sessions: 16,
-                slice_tokens: 2,
-            },
-            Arc::new(Metrics::new()),
-        );
+        let scheduler = Scheduler::start(config(2, 16, 2), Arc::new(Metrics::new()));
         // Mixed lengths force interleaving across slices.
         let budgets = [3usize, 17, 9, 40, 1, 25];
         let receivers: Vec<_> = budgets
@@ -427,14 +634,7 @@ mod tests {
     #[test]
     fn admission_bound_rejects_fast() {
         let m = model();
-        let scheduler = Scheduler::start(
-            SchedulerConfig {
-                workers: 1,
-                max_sessions: 2,
-                slice_tokens: 1,
-            },
-            Arc::new(Metrics::new()),
-        );
+        let scheduler = Scheduler::start(config(1, 2, 1), Arc::new(Metrics::new()));
         // Two slow sessions occupy both slots; deadlines keep the test
         // finite even on a loaded machine.
         let deadline = Some(Instant::now() + Duration::from_millis(400));
@@ -460,14 +660,7 @@ mod tests {
     fn deadline_is_reported_as_such() {
         let m = model();
         let metrics = Arc::new(Metrics::new());
-        let scheduler = Scheduler::start(
-            SchedulerConfig {
-                workers: 1,
-                max_sessions: 4,
-                slice_tokens: 1,
-            },
-            Arc::clone(&metrics),
-        );
+        let scheduler = Scheduler::start(config(1, 4, 1), Arc::clone(&metrics));
         let deadline = Some(Instant::now() + Duration::from_millis(50));
         let rx = scheduler
             .submit(request(&m, 10_000_000, deadline))
@@ -484,14 +677,7 @@ mod tests {
     #[test]
     fn shutdown_drains_in_flight_sessions_and_rejects_new_ones() {
         let m = model();
-        let scheduler = Scheduler::start(
-            SchedulerConfig {
-                workers: 2,
-                max_sessions: 8,
-                slice_tokens: 2,
-            },
-            Arc::new(Metrics::new()),
-        );
+        let scheduler = Scheduler::start(config(2, 8, 2), Arc::new(Metrics::new()));
         let receivers: Vec<_> = (0..4)
             .map(|_| scheduler.submit(request(&m, 30, None)).expect("admit"))
             .collect();
@@ -509,6 +695,84 @@ mod tests {
                 .expect("drained before join returned")
                 .expect("ok");
             assert_eq!(result.tokens.len(), 30);
+        }
+    }
+
+    #[cfg(feature = "fault-inject")]
+    mod injected {
+        use super::*;
+        use crate::faults::{self, Site, Trigger};
+
+        fn tagged(model: &Arc<TinyLm>, budget: usize, tag: &str) -> SessionRequest {
+            SessionRequest {
+                tag: tag.to_string(),
+                ..request(model, budget, None)
+            }
+        }
+
+        #[test]
+        fn slice_panic_cancels_only_the_poisoned_session() {
+            let _scope = faults::scope(21);
+            faults::arm(Site::WorkerPanic, Some("poison"), Trigger::Once(1));
+            let m = model();
+            let metrics = Arc::new(Metrics::new());
+            let scheduler = Scheduler::start(config(2, 8, 4), Arc::clone(&metrics));
+            let poisoned = scheduler.submit(tagged(&m, 24, "poison")).expect("admit");
+            let healthy = scheduler.submit(tagged(&m, 24, "healthy")).expect("admit");
+            let bad = poisoned.recv().expect("outcome");
+            assert!(
+                matches!(bad, Err(ServeError::WorkerPanic { .. })),
+                "got {bad:?}"
+            );
+            let good = healthy.recv().expect("outcome").expect("ok");
+            let reference =
+                chipalign_nn::generate::generate(&m, &[5, 6, 7], &greedy(24)).expect("ok");
+            assert_eq!(good.tokens, reference, "healthy session unaffected");
+            assert_eq!(metrics.snapshot().worker_panics, 1);
+            assert_eq!(scheduler.active(), 0);
+            scheduler.join();
+        }
+
+        #[test]
+        fn watchdog_cancels_a_stalled_session_after_the_slice_budget() {
+            let _scope = faults::scope(22);
+            faults::arm(Site::SessionStall, Some("stuck"), Trigger::Always);
+            let m = model();
+            let metrics = Arc::new(Metrics::new());
+            let mut cfg = config(1, 4, 4);
+            cfg.stall_slices = 3;
+            let scheduler = Scheduler::start(cfg, Arc::clone(&metrics));
+            let rx = scheduler.submit(tagged(&m, 24, "stuck")).expect("admit");
+            let outcome = rx.recv().expect("outcome");
+            assert!(
+                matches!(outcome, Err(ServeError::Stalled { slices: 3 })),
+                "got {outcome:?}"
+            );
+            assert_eq!(metrics.snapshot().watchdog_cancels, 1);
+            scheduler.join();
+        }
+
+        #[test]
+        fn dead_worker_respawns_and_keeps_serving() {
+            let _scope = faults::scope(23);
+            faults::arm(Site::WorkerDeath, Some("victim"), Trigger::Once(1));
+            let m = model();
+            let metrics = Arc::new(Metrics::new());
+            let scheduler = Scheduler::start(config(1, 4, 4), Arc::clone(&metrics));
+            let doomed = scheduler.submit(tagged(&m, 24, "victim")).expect("admit");
+            let outcome = doomed.recv().expect("drop guard must report");
+            assert!(
+                matches!(outcome, Err(ServeError::Internal { .. })),
+                "got {outcome:?}"
+            );
+            // The single worker died holding the session — the respawned
+            // loop must still serve the next one.
+            let next = scheduler.submit(tagged(&m, 8, "after")).expect("admit");
+            let result = next.recv().expect("outcome").expect("ok");
+            assert_eq!(result.tokens.len(), 8);
+            assert_eq!(metrics.snapshot().workers_respawned, 1);
+            assert_eq!(scheduler.active(), 0);
+            scheduler.join();
         }
     }
 }

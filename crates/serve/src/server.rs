@@ -16,7 +16,7 @@
 use std::io::{BufRead, BufReader, ErrorKind};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -90,6 +90,7 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let metrics = Arc::new(Metrics::new());
+        registry.attach_metrics(Arc::clone(&metrics));
         let scheduler = Scheduler::start(cfg.scheduler.clone(), Arc::clone(&metrics));
         let inner = Arc::new(ServerInner {
             registry,
@@ -103,7 +104,7 @@ impl Server {
         let accept_thread = std::thread::Builder::new()
             .name("chipalign-serve-accept".to_string())
             .spawn(move || accept_loop(&listener, &accept_inner))
-            .expect("spawn accept thread");
+            .map_err(ServeError::Io)?;
         Ok(Server {
             inner,
             addr,
@@ -133,7 +134,12 @@ impl Server {
     /// returns. Safe to call more than once.
     pub fn shutdown(&self) {
         self.inner.stop.store(true, Ordering::SeqCst);
-        if let Some(handle) = self.accept_thread.lock().expect("accept handle").take() {
+        let handle = self
+            .accept_thread
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(handle) = handle {
             let _ = handle.join();
         }
         self.inner.scheduler.join();
@@ -244,6 +250,9 @@ fn serve_generation(
             detail: "prompt must not be empty".into(),
         });
     }
+    if gen.retry_attempt > 0 {
+        inner.metrics.on_retry_attempted();
+    }
     let cfg = gen.decode_config(inner.cfg.max_new_tokens_cap);
     cfg.validate().map_err(ServeError::from)?;
     let (key, model) = inner.registry.resolve_str(&gen.model)?;
@@ -257,8 +266,26 @@ fn serve_generation(
         prompt,
         cfg,
         deadline,
+        tag: key.clone(),
     })?;
-    let result = rx.recv().map_err(|_| ServeError::ShuttingDown)??;
+    #[cfg(feature = "fault-inject")]
+    {
+        // An admitted session whose client vanished: drop the receiver so
+        // the worker's send fails harmlessly, exactly as when a TCP peer
+        // disappears mid-generation.
+        if crate::faults::should_fire(crate::faults::Site::ClientDisconnect, &gen.model) {
+            drop(rx);
+            return Err(ServeError::Internal {
+                detail: "injected client disconnect: session abandoned".to_string(),
+            });
+        }
+    }
+    // A closed channel here means the session died with its worker in a way
+    // even the drop guard could not report — an internal fault, not a
+    // shutdown (graceful drains always answer every admitted session).
+    let result = rx.recv().map_err(|_| ServeError::Internal {
+        detail: "session lost: outcome channel closed without a reply".to_string(),
+    })??;
     Ok(Generation {
         model: key,
         text: inner.tokenizer.decode(&result.tokens),

@@ -31,6 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 workers: 4,
                 max_sessions: 16,
                 slice_tokens: 8,
+                stall_slices: 32,
             },
             max_new_tokens_cap: 128,
             default_deadline_ms: Some(60_000),

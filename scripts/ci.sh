@@ -11,4 +11,10 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "ci: build + tests + clippy all green"
+# Chaos suite: deterministic fault injection behind the fault-inject
+# feature (never part of release builds), plus a lint pass over the
+# feature-gated code paths.
+cargo test -q -p chipalign-serve --features fault-inject
+cargo clippy -p chipalign-serve --all-targets --features fault-inject -- -D warnings
+
+echo "ci: build + tests + chaos + clippy all green"
