@@ -1,0 +1,210 @@
+//! Kernel micro-benchmark baseline: times the blocked GEMM family, the
+//! KV-cached decode matvec path, and a full geodesic merge materialization,
+//! and writes `BENCH_kernels.json` at the repo root so future PRs have a
+//! perf trajectory to regress against.
+//!
+//! ```text
+//! cargo run --release -p chipalign-bench --bin bench_kernels            # full run + JSON
+//! cargo run --release -p chipalign-bench --bin bench_kernels -- --smoke # tiny shapes, no JSON
+//! ```
+//!
+//! Everything is seeded (inputs come from `Pcg32`) and each timing is the
+//! median of `CHIPALIGN_BENCH_REPS` repetitions (default 9, 3 in smoke
+//! mode), so runs are comparable across commits on the same machine.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use chipalign_bench::harness;
+use chipalign_merge::{GeodesicMerge, Merger};
+use chipalign_model::{ArchSpec, Checkpoint};
+use chipalign_nn::{KvCache, TinyLm};
+use chipalign_tensor::rng::Pcg32;
+use chipalign_tensor::Matrix;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One timed kernel configuration.
+#[derive(Debug, Serialize)]
+struct KernelTiming {
+    /// Kernel name (`matmul`, `matmul_bt`, `matmul_at`, `transpose`,
+    /// `matvec`, `decode_step`, `geodesic_merge`).
+    kernel: String,
+    /// Human-readable problem shape, e.g. `128x128x128`.
+    shape: String,
+    /// Repetitions the median is taken over.
+    reps: usize,
+    /// Median wall-clock time per repetition, microseconds.
+    median_us: f64,
+    /// Fastest repetition, microseconds.
+    min_us: f64,
+    /// Useful work rate at the median (multiply-accumulates per second for
+    /// GEMM/matvec, tokens/sec for decode, tensors/sec for merge); `0` when
+    /// not meaningful.
+    rate: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct KernelBench {
+    mode: String,
+    reps: usize,
+    timings: Vec<KernelTiming>,
+}
+
+/// Times `f` `reps` times and returns `(median_us, min_us)`.
+fn time_median(reps: usize, mut f: impl FnMut()) -> (f64, f64) {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    (samples[samples.len() / 2], samples[0])
+}
+
+fn gemm_timings(sizes: &[usize], reps: usize, out: &mut Vec<KernelTiming>) {
+    for &s in sizes {
+        let mut rng = Pcg32::seed(41);
+        let a = Matrix::randn(s, s, 1.0, &mut rng);
+        let b = Matrix::randn(s, s, 1.0, &mut rng);
+        let macs = (s * s * s) as f64;
+        let mut push =
+            |kernel: &str, (median_us, min_us): (f64, f64), out: &mut Vec<KernelTiming>| {
+                out.push(KernelTiming {
+                    kernel: kernel.to_string(),
+                    shape: format!("{s}x{s}x{s}"),
+                    reps,
+                    median_us,
+                    min_us,
+                    rate: macs / (median_us / 1e6),
+                });
+            };
+        let t = time_median(reps, || {
+            black_box(a.matmul(&b).expect("conformable"));
+        });
+        push("matmul", t, out);
+        let t = time_median(reps, || {
+            black_box(a.matmul_bt(&b).expect("conformable"));
+        });
+        push("matmul_bt", t, out);
+        let t = time_median(reps, || {
+            black_box(a.matmul_at(&b).expect("conformable"));
+        });
+        push("matmul_at", t, out);
+        let (median_us, min_us) = time_median(reps, || {
+            black_box(a.transpose());
+        });
+        out.push(KernelTiming {
+            kernel: "transpose".to_string(),
+            shape: format!("{s}x{s}"),
+            reps,
+            median_us,
+            min_us,
+            rate: 0.0,
+        });
+    }
+}
+
+fn matvec_timings(sizes: &[usize], reps: usize, out: &mut Vec<KernelTiming>) {
+    for &s in sizes {
+        let mut rng = Pcg32::seed(42);
+        let w = Matrix::randn(s, s, 1.0, &mut rng);
+        let x = Matrix::randn(1, s, 1.0, &mut rng);
+        let (median_us, min_us) = time_median(reps, || {
+            black_box(w.matvec(x.data()).expect("conformable"));
+        });
+        out.push(KernelTiming {
+            kernel: "matvec".to_string(),
+            shape: format!("{s}x{s} . {s}"),
+            reps,
+            median_us,
+            min_us,
+            rate: (s * s) as f64 / (median_us / 1e6),
+        });
+    }
+}
+
+fn decode_timing(tokens: usize, reps: usize, out: &mut Vec<KernelTiming>) {
+    let mut arch = ArchSpec::tiny("bench-kernels");
+    arch.vocab_size = 99;
+    let model = TinyLm::new(&arch, &mut Pcg32::seed(7)).expect("valid arch");
+    let budget = tokens.min(arch.max_seq_len);
+    let (median_us, min_us) = time_median(reps, || {
+        let mut cache = KvCache::new(&model);
+        for i in 0..budget {
+            black_box(cache.decode_step((4 + i % 90) as u32).expect("in vocab"));
+        }
+    });
+    out.push(KernelTiming {
+        kernel: "decode_step".to_string(),
+        shape: format!("{budget} tokens, kv-cached"),
+        reps,
+        median_us,
+        min_us,
+        rate: budget as f64 / (median_us / 1e6),
+    });
+}
+
+fn merge_timing(reps: usize, out: &mut Vec<KernelTiming>) {
+    let arch = ArchSpec::tiny("bench-merge");
+    let chip = Checkpoint::random(&arch, &mut Pcg32::seed(1));
+    let instruct = Checkpoint::random(&arch, &mut Pcg32::seed(2));
+    let merger = GeodesicMerge::recommended();
+    let tensors = chip.param_count();
+    let (median_us, min_us) = time_median(reps, || {
+        black_box(merger.merge_pair(&chip, &instruct).expect("conformable"));
+    });
+    out.push(KernelTiming {
+        kernel: "geodesic_merge".to_string(),
+        shape: format!("{tensors} tensors, lambda=0.6"),
+        reps,
+        median_us,
+        min_us,
+        rate: tensors as f64 / (median_us / 1e6),
+    });
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let reps = env_usize("CHIPALIGN_BENCH_REPS", if smoke { 3 } else { 9 });
+    let gemm_sizes: &[usize] = if smoke { &[8, 24] } else { &[32, 64, 128, 256] };
+    let matvec_sizes: &[usize] = if smoke { &[16] } else { &[64, 256, 1024] };
+    let decode_tokens = if smoke { 8 } else { 32 };
+
+    let mut timings = Vec::new();
+    gemm_timings(gemm_sizes, reps, &mut timings);
+    matvec_timings(matvec_sizes, reps, &mut timings);
+    decode_timing(decode_tokens, reps, &mut timings);
+    merge_timing(reps, &mut timings);
+
+    for t in &timings {
+        eprintln!(
+            "[bench_kernels] {:<16} {:<24} median {:>10.1} us  min {:>10.1} us",
+            t.kernel, t.shape, t.median_us, t.min_us
+        );
+    }
+
+    if smoke {
+        eprintln!("[bench_kernels] smoke mode: skipping BENCH_kernels.json");
+        return Ok(());
+    }
+
+    let report = KernelBench {
+        mode: "paper".to_string(),
+        reps,
+        timings,
+    };
+    let out = harness::workspace_root().join("BENCH_kernels.json");
+    std::fs::write(&out, serde_json::to_string_pretty(&report)?)?;
+    eprintln!("[bench_kernels] wrote {}", out.display());
+    Ok(())
+}

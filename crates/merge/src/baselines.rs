@@ -14,10 +14,18 @@
 //! finetuned from; it is supplied at construction time so that every method
 //! exposes the same pairwise [`Merger`] interface used by the experiment
 //! pipeline.
+//!
+//! Like the geodesic path, every `merge_many` here materializes tensors in
+//! parallel with rayon (tensors are independent, so the fan-out is
+//! embarrassingly parallel) and then inserts the results serially in
+//! canonical name order. The stochastic methods stay deterministic under
+//! parallelism because each (tensor, task) pair derives its own RNG stream
+//! from the seed — no RNG state is shared across rayon tasks.
 
 use chipalign_model::Checkpoint;
 use chipalign_tensor::rng::Pcg32;
 use chipalign_tensor::Matrix;
+use rayon::prelude::*;
 
 use crate::{check_conformable, MergeError, Merger};
 
@@ -68,13 +76,20 @@ impl ModelSoup {
             check_conformable(models[0], other)?;
         }
         let weight = 1.0 / models.len() as f32;
-        let mut out = models[0].map_tensors(|_, t| t.scale(weight));
-        for model in &models[1..] {
-            for (name, tensor) in model.iter() {
-                out.get_mut(name)
-                    .expect("conformable")
-                    .axpy(weight, tensor)?;
-            }
+        let names: Vec<&str> = models[0].names();
+        let merged: Vec<(&str, Matrix)> = names
+            .par_iter()
+            .map(|&name| {
+                let mut acc = models[0].get(name).expect("conformable").scale(weight);
+                for model in &models[1..] {
+                    acc.axpy(weight, model.get(name).expect("conformable"))?;
+                }
+                Ok((name, acc))
+            })
+            .collect::<Result<_, MergeError>>()?;
+        let mut out = models[0].clone();
+        for (name, tensor) in merged {
+            out.insert(name, tensor).expect("shape preserved by mean");
         }
         out.set_metadata("merge.method", "ModelSoup");
         Ok(out)
@@ -142,16 +157,23 @@ impl TaskArithmetic {
         for t in tasks {
             check_conformable(&self.base, t)?;
         }
-        let mut out = self.base.clone();
         let per_task = self.scale / tasks.len() as f32;
-        for task in tasks {
-            for (name, tensor) in task.iter() {
+        let names: Vec<&str> = self.base.names();
+        let merged: Vec<(&str, Matrix)> = names
+            .par_iter()
+            .map(|&name| {
                 let base_t = self.base.get(name).expect("conformable");
-                let delta = tensor.sub(base_t)?;
-                out.get_mut(name)
-                    .expect("conformable")
-                    .axpy(per_task, &delta)?;
-            }
+                let mut acc = base_t.clone();
+                for task in tasks {
+                    let delta = task.get(name).expect("conformable").sub(base_t)?;
+                    acc.axpy(per_task, &delta)?;
+                }
+                Ok((name, acc))
+            })
+            .collect::<Result<_, MergeError>>()?;
+        let mut out = self.base.clone();
+        for (name, tensor) in merged {
+            out.insert(name, tensor).expect("shape preserved by update");
         }
         out.set_metadata("merge.method", "TA");
         Ok(out)
@@ -233,21 +255,29 @@ impl Ties {
         for t in tasks {
             check_conformable(&self.base, t)?;
         }
+        let names: Vec<&str> = self.base.names();
+        let merged: Vec<(&str, Matrix)> = names
+            .par_iter()
+            .map(|&name| {
+                let base_t = self.base.get(name).expect("conformable");
+                // 1. Trim each task vector to its top-density entries.
+                let trimmed: Vec<Vec<f32>> = tasks
+                    .iter()
+                    .map(|task| {
+                        let delta = task.get(name).expect("conformable").sub(base_t)?;
+                        Ok(trim_to_density(delta.data(), self.density))
+                    })
+                    .collect::<Result<_, MergeError>>()?;
+                let fused = elect_and_merge(&trimmed);
+                let fused_m = Matrix::from_vec(base_t.rows(), base_t.cols(), fused)?;
+                let mut acc = base_t.clone();
+                acc.axpy(self.scale, &fused_m)?;
+                Ok((name, acc))
+            })
+            .collect::<Result<_, MergeError>>()?;
         let mut out = self.base.clone();
-        for (name, base_t) in self.base.iter() {
-            // 1. Trim each task vector to its top-density entries.
-            let trimmed: Vec<Vec<f32>> = tasks
-                .iter()
-                .map(|task| {
-                    let delta = task.get(name).expect("conformable").sub(base_t)?;
-                    Ok(trim_to_density(delta.data(), self.density))
-                })
-                .collect::<Result<_, MergeError>>()?;
-            let fused = elect_and_merge(&trimmed);
-            let fused_m = Matrix::from_vec(base_t.rows(), base_t.cols(), fused)?;
-            out.get_mut(name)
-                .expect("conformable")
-                .axpy(self.scale, &fused_m)?;
+        for (name, tensor) in merged {
+            out.insert(name, tensor).expect("shape preserved by update");
         }
         out.set_metadata("merge.method", "TIES");
         Ok(out)
@@ -354,22 +384,33 @@ impl Della {
             check_conformable(&self.base, t)?;
         }
         let root = Pcg32::seed(self.seed);
+        let names: Vec<&str> = self.base.names();
+        let merged: Vec<(&str, Matrix)> = names
+            .par_iter()
+            .enumerate()
+            .map(|(tensor_idx, &name)| {
+                let base_t = self.base.get(name).expect("conformable");
+                let pruned: Vec<Vec<f32>> = tasks
+                    .iter()
+                    .enumerate()
+                    .map(|(task_idx, task)| {
+                        let delta = task.get(name).expect("conformable").sub(base_t)?;
+                        // Index-derived stream: independent of rayon's
+                        // scheduling, so parallel merging stays seeded.
+                        let mut rng = root.derive((tensor_idx as u64) << 16 | task_idx as u64);
+                        Ok(self.magprune(delta.data(), &mut rng))
+                    })
+                    .collect::<Result<_, MergeError>>()?;
+                let fused = elect_and_merge(&pruned);
+                let fused_m = Matrix::from_vec(base_t.rows(), base_t.cols(), fused)?;
+                let mut acc = base_t.clone();
+                acc.axpy(self.scale, &fused_m)?;
+                Ok((name, acc))
+            })
+            .collect::<Result<_, MergeError>>()?;
         let mut out = self.base.clone();
-        for (tensor_idx, (name, base_t)) in self.base.iter().enumerate() {
-            let pruned: Vec<Vec<f32>> = tasks
-                .iter()
-                .enumerate()
-                .map(|(task_idx, task)| {
-                    let delta = task.get(name).expect("conformable").sub(base_t)?;
-                    let mut rng = root.derive((tensor_idx as u64) << 16 | task_idx as u64);
-                    Ok(self.magprune(delta.data(), &mut rng))
-                })
-                .collect::<Result<_, MergeError>>()?;
-            let fused = elect_and_merge(&pruned);
-            let fused_m = Matrix::from_vec(base_t.rows(), base_t.cols(), fused)?;
-            out.get_mut(name)
-                .expect("conformable")
-                .axpy(self.scale, &fused_m)?;
+        for (name, tensor) in merged {
+            out.insert(name, tensor).expect("shape preserved by update");
         }
         out.set_metadata("merge.method", "DELLA");
         Ok(out)
@@ -494,25 +535,36 @@ impl Dare {
         let root = Pcg32::seed(self.seed);
         let keep_scale = 1.0 / (1.0 - self.drop_rate);
         let per_task = self.scale / tasks.len() as f32;
-        let mut out = self.base.clone();
-        for (tensor_idx, (name, base_t)) in self.base.iter().enumerate() {
-            for (task_idx, task) in tasks.iter().enumerate() {
-                let delta = task.get(name).expect("conformable").sub(base_t)?;
-                let mut rng = root.derive((tensor_idx as u64) << 20 | task_idx as u64);
-                let (rows, cols) = delta.shape();
-                let mut data = delta.into_vec();
-                for v in &mut data {
-                    if rng.chance(self.drop_rate) {
-                        *v = 0.0;
-                    } else {
-                        *v *= keep_scale;
+        let names: Vec<&str> = self.base.names();
+        let merged: Vec<(&str, Matrix)> = names
+            .par_iter()
+            .enumerate()
+            .map(|(tensor_idx, &name)| {
+                let base_t = self.base.get(name).expect("conformable");
+                let mut acc = base_t.clone();
+                for (task_idx, task) in tasks.iter().enumerate() {
+                    let delta = task.get(name).expect("conformable").sub(base_t)?;
+                    // Index-derived stream keeps the drops seeded under
+                    // parallel materialization.
+                    let mut rng = root.derive((tensor_idx as u64) << 20 | task_idx as u64);
+                    let (rows, cols) = delta.shape();
+                    let mut data = delta.into_vec();
+                    for v in &mut data {
+                        if rng.chance(self.drop_rate) {
+                            *v = 0.0;
+                        } else {
+                            *v *= keep_scale;
+                        }
                     }
+                    let dropped = Matrix::from_vec(rows, cols, data)?;
+                    acc.axpy(per_task, &dropped)?;
                 }
-                let dropped = Matrix::from_vec(rows, cols, data)?;
-                out.get_mut(name)
-                    .expect("conformable")
-                    .axpy(per_task, &dropped)?;
-            }
+                Ok((name, acc))
+            })
+            .collect::<Result<_, MergeError>>()?;
+        let mut out = self.base.clone();
+        for (name, tensor) in merged {
+            out.insert(name, tensor).expect("shape preserved by update");
         }
         out.set_metadata("merge.method", "DARE");
         Ok(out)

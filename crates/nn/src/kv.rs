@@ -10,6 +10,13 @@
 //! the full forward pass (same RoPE angles, same masking), so greedy
 //! decodes agree token-for-token with the uncached implementation; a unit
 //! test pins that equivalence.
+//!
+//! Performance note: every per-token projection (and the LM head) goes
+//! through [`Matrix::matvec`] — the tensor crate's single-row fast path —
+//! rather than a `1 × d` matmul, and the per-head score→softmax→context
+//! sequence runs fused over one reusable scratch buffer, so a decode step
+//! allocates no `1 × seq` intermediates per head per layer. A test below
+//! pins the fast-path routing via [`chipalign_tensor::tune::matvec_calls`].
 
 use chipalign_tensor::ops;
 use chipalign_tensor::Matrix;
@@ -53,6 +60,9 @@ pub struct KvCache {
     model: TinyLm,
     layers: Vec<LayerKv>,
     len: usize,
+    /// Reusable per-head attention-score scratch (capacity grows to the
+    /// longest sequence seen), so decode steps allocate no score vectors.
+    score_buf: Vec<f32>,
 }
 
 impl KvCache {
@@ -69,6 +79,7 @@ impl KvCache {
                 })
                 .collect(),
             len: 0,
+            score_buf: Vec::new(),
         }
     }
 
@@ -143,6 +154,10 @@ impl KvCache {
         // Embedding row.
         let mut h: Vec<f32> = params.embed.row(token as usize).to_vec();
 
+        // Reusable score scratch, taken out of self so the layer loop can
+        // borrow `self.layers` mutably alongside it.
+        let mut scores = std::mem::take(&mut self.score_buf);
+
         for (layer, kv) in params.layers.iter().zip(&mut self.layers) {
             // Attention block.
             let h_norm = rmsnorm_row(&h, layer.norm1.data());
@@ -159,12 +174,16 @@ impl KvCache {
             for hh in 0..n_heads {
                 let lo = hh * head_dim;
                 let hi = lo + head_dim;
-                // Scores against every cached position (causal by
-                // construction: the cache only holds positions <= pos).
-                let mut scores: Vec<f32> =
+                // Fused score→softmax→context over the scratch buffer:
+                // scores against every cached position (causal by
+                // construction: the cache only holds positions <= pos),
+                // normalised and contracted against V without allocating a
+                // per-head vector.
+                scores.clear();
+                scores.extend(
                     kv.k.iter()
-                        .map(|krow| ops::dot(&q[lo..hi], &krow[lo..hi]) * scale)
-                        .collect();
+                        .map(|krow| ops::dot(&q[lo..hi], &krow[lo..hi]) * scale),
+                );
                 ops::softmax_inplace(&mut scores);
                 for (w, vrow) in scores.iter().zip(&kv.v) {
                     for (c, &vv) in ctx[lo..hi].iter_mut().zip(&vrow[lo..hi]) {
@@ -192,18 +211,19 @@ impl KvCache {
             }
         }
 
+        self.score_buf = scores;
+
         let h_final = rmsnorm_row(&h, params.final_norm.data());
-        let logits = (0..arch.vocab_size)
-            .map(|v| ops::dot(&h_final, params.lm_head.row(v)))
-            .collect();
+        let logits = project(&h_final, &params.lm_head);
         self.len += 1;
         Ok(logits)
     }
 }
 
-/// `y = x · Wᵀ` for a single row.
+/// `y = x · Wᵀ` for a single row, via the tensor crate's matvec fast path.
 fn project(x: &[f32], w: &Matrix) -> Vec<f32> {
-    (0..w.rows()).map(|r| ops::dot(x, w.row(r))).collect()
+    w.matvec(x)
+        .expect("projection shapes are fixed by the architecture")
 }
 
 /// Single-row RMSNorm (same ε as the batched path).
@@ -297,6 +317,20 @@ mod tests {
         let reference = fresh.prefill(&[7, 12, 17]).expect("ok");
         assert_eq!(replayed, reference, "reset must fully clear cached state");
         assert_eq!(used.len(), fresh.len());
+    }
+
+    #[test]
+    fn decode_goes_through_matvec_fast_path() {
+        // Per token: 7 projections (q,k,v,o,gate,up,down) × 2 layers plus
+        // the LM head = 15 matvec calls; 3 tokens = 45. The counter is
+        // process-wide, so assert a lower bound on the delta rather than an
+        // exact count (other tests may decode concurrently).
+        let m = model();
+        let mut cache = KvCache::new(&m);
+        let before = chipalign_tensor::tune::matvec_calls();
+        cache.prefill(&[5, 10, 15]).expect("ok");
+        let delta = chipalign_tensor::tune::matvec_calls() - before;
+        assert!(delta >= 45, "expected >= 45 matvec calls, saw {delta}");
     }
 
     #[test]

@@ -5,7 +5,10 @@
 //! residual → pre-RMSNorm → SwiGLU MLP → residual; final RMSNorm and an
 //! untied LM head. Everything is `f32`; matrices are `(seq × features)`
 //! activations against `(out × in)` weights, so projections are
-//! `x · Wᵀ` ([`Matrix::matmul_bt`]).
+//! `x · Wᵀ` ([`Matrix::matmul_bt`]). Single-token sequences (`seq == 1`)
+//! automatically take the kernel's matvec fast path via its `m == 1`
+//! dispatch, with the same accumulation order as the KV-cached decode in
+//! [`crate::KvCache`], so the two paths agree numerically.
 
 use chipalign_model::{ArchSpec, Checkpoint, ModelError};
 use chipalign_tensor::ops;

@@ -1,0 +1,161 @@
+//! Kernel-equivalence pin: greedy transcripts must be byte-identical across
+//! every decode path the workspace has, using a fixed-seed model.
+//!
+//! Three implementations produce the "same" greedy continuation:
+//!
+//! 1. the served path (scheduler slices driving `StepDecoder` sessions),
+//! 2. a single-threaded `generate()` (`StepDecoder` over `KvCache`, which
+//!    runs on the matvec fast path),
+//! 3. a from-scratch full-forward argmax loop (`TinyLm::logits` over the
+//!    whole growing sequence, which runs on the batched GEMM kernels).
+//!
+//! Pinning all three to the same byte-for-byte transcript is what lets the
+//! tensor crate swap kernel implementations (blocked tiles, lane-split
+//! dots, matvec dispatch) without anyone downstream noticing: a kernel
+//! change that altered accumulation order between the batched and
+//! single-token paths would break this test before it shipped.
+
+use chipalign_model::ArchSpec;
+use chipalign_nn::generate::{generate, GenerateConfig};
+use chipalign_nn::{CharTokenizer, TinyLm, BOS};
+use chipalign_pipeline::zoo::{Quality, Zoo, ZooConfig};
+use chipalign_serve::{
+    Client, GenerateRequest, ModelRegistry, SchedulerConfig, Server, ServerConfig,
+};
+use chipalign_tensor::ops;
+use chipalign_tensor::rng::Pcg32;
+
+fn pinned_model() -> TinyLm {
+    let mut arch = ArchSpec::tiny("kernel-eq");
+    arch.vocab_size = 99;
+    TinyLm::new(&arch, &mut Pcg32::seed(20_250_806)).expect("model")
+}
+
+fn registry_with_pinned() -> ModelRegistry {
+    let zoo = Zoo::new(ZooConfig {
+        quality: Quality::Smoke,
+        seed: 7,
+        cache_dir: None,
+    })
+    .expect("zoo");
+    let registry = ModelRegistry::new(zoo);
+    registry.register("pinned", pinned_model());
+    registry
+}
+
+/// Greedy continuation via repeated full forward passes: the batched-GEMM
+/// decode path, no KV cache involved.
+fn full_forward_greedy(model: &TinyLm, prompt: &[u32], budget: usize) -> Vec<u32> {
+    let mut seq = prompt.to_vec();
+    let mut new_tokens = Vec::with_capacity(budget);
+    for _ in 0..budget {
+        let logits = model.logits(&seq).expect("within context");
+        let last = logits.row(logits.rows() - 1);
+        let next = ops::argmax(last).expect("non-empty vocab") as u32;
+        seq.push(next);
+        new_tokens.push(next);
+    }
+    new_tokens
+}
+
+/// The acceptance pin: served, `generate()`, and full-forward greedy
+/// transcripts are byte-identical on a fixed-seed model. Prompt + budget
+/// stay within `max_seq_len` so the full-forward loop sees exactly the
+/// token window the cached paths do (no slide).
+#[test]
+fn greedy_transcripts_identical_across_all_decode_paths() {
+    let server = Server::bind(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            scheduler: SchedulerConfig {
+                workers: 2,
+                max_sessions: 8,
+                slice_tokens: 4,
+                stall_slices: 32,
+            },
+            max_new_tokens_cap: 10_000_000,
+            default_deadline_ms: None,
+        },
+        registry_with_pinned(),
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let model = pinned_model();
+    let tok = CharTokenizer::new();
+    let budget = 20;
+    // BOS + 11 prompt chars + 20 new tokens = 32 = max_seq_len exactly.
+    for prompt in ["kernel swap", "clock tree?", "hold margin"] {
+        let mut req = GenerateRequest::greedy("pinned", prompt, budget);
+        req.stop_at_eos = false;
+        let served = client.generate(req.clone()).expect("generate");
+
+        let mut ids = vec![BOS];
+        ids.extend(tok.encode(prompt));
+        assert!(
+            ids.len() + budget <= model.arch().max_seq_len,
+            "test must stay inside the context window"
+        );
+        let cfg = GenerateConfig {
+            max_new_tokens: budget,
+            stop_at_eos: false,
+            ..GenerateConfig::default()
+        };
+        let stepped = generate(&model, &ids, &cfg).expect("kv-cached reference");
+        let forwarded = full_forward_greedy(&model, &ids, budget);
+
+        assert_eq!(
+            stepped, forwarded,
+            "KV-cached and full-forward greedy diverged for {prompt:?}"
+        );
+        assert_eq!(
+            served.text,
+            tok.decode(&stepped),
+            "served transcript not byte-identical for {prompt:?}"
+        );
+        assert_eq!(served.tokens, budget);
+    }
+    server.shutdown();
+}
+
+/// The same pin through the context-window slide: longer generations force
+/// `StepDecoder` to re-prefill, and the served output must still match a
+/// single-threaded `generate()` byte for byte.
+#[test]
+fn served_greedy_identical_through_window_slide() {
+    let server = Server::bind(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            scheduler: SchedulerConfig {
+                workers: 2,
+                max_sessions: 8,
+                slice_tokens: 4,
+                stall_slices: 64,
+            },
+            max_new_tokens_cap: 10_000_000,
+            default_deadline_ms: None,
+        },
+        registry_with_pinned(),
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let model = pinned_model();
+    let tok = CharTokenizer::new();
+    let budget = 64; // max_seq_len is 32: at least one slide re-prefill.
+    let mut req = GenerateRequest::greedy("pinned", "slide please", budget);
+    req.stop_at_eos = false;
+    let served = client.generate(req).expect("generate");
+
+    let mut ids = vec![BOS];
+    ids.extend(tok.encode("slide please"));
+    let cfg = GenerateConfig {
+        max_new_tokens: budget,
+        stop_at_eos: false,
+        ..GenerateConfig::default()
+    };
+    let expected = generate(&model, &ids, &cfg).expect("reference");
+    assert_eq!(served.text, tok.decode(&expected));
+    assert_eq!(served.tokens, budget);
+    server.shutdown();
+}

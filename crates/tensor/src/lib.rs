@@ -12,6 +12,11 @@
 //!   platforms without pulling an RNG dependency into the numerics core.
 //! * [`stats`] — scalar statistics over weight matrices (cosine similarity,
 //!   the interpolation angle Θ used by geodesic merging, simple summaries).
+//! * [`tune`] — every kernel block size and parallel-dispatch threshold as a
+//!   named, documented constant, plus the matvec fast-path call counter that
+//!   lets decode paths prove which kernel they ran on.
+//! * [`reference`] — the retained naive kernels, used as differential-test
+//!   oracles for the blocked implementations (1e-4 relative tolerance).
 //!
 //! The ChipAlign paper (DAC 2025) treats each weight matrix
 //! `W ∈ R^{p×q}` as a point that can be projected onto the unit
@@ -44,8 +49,10 @@
 mod error;
 mod matrix;
 pub mod ops;
+pub mod reference;
 pub mod rng;
 pub mod stats;
+pub mod tune;
 
 pub use error::TensorError;
 pub use matrix::Matrix;

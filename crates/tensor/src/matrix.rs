@@ -3,10 +3,7 @@ use std::fmt;
 use rayon::prelude::*;
 
 use crate::rng::Pcg32;
-use crate::TensorError;
-
-/// Minimum element count before matmul parallelises across rows.
-const PAR_THRESHOLD: usize = 32 * 1024;
+use crate::{tune, TensorError};
 
 /// A dense, row-major `f32` matrix.
 ///
@@ -373,8 +370,12 @@ impl Matrix {
 
     /// Matrix product `self · other`.
     ///
-    /// Parallelises across output rows once the output exceeds an internal
-    /// threshold.
+    /// The kernel processes each output row in fixed-width column tiles
+    /// ([`tune::GEMM_COL_TILE`]) whose partial sums live in a stack array the
+    /// compiler keeps in vector registers, and parallelises across output
+    /// rows with rayon once `m·n·k` reaches [`tune::PAR_FLOP_THRESHOLD`].
+    /// Vector-shaped products (`m == 1` or `n == 1`) dispatch to the
+    /// [`Matrix::vecmat`]/[`Matrix::matvec`] fast paths.
     ///
     /// # Errors
     ///
@@ -388,20 +389,20 @@ impl Matrix {
             });
         }
         let (m, k, n) = (self.rows, self.cols, other.cols);
+        if m == 1 {
+            return Matrix::from_vec(1, n, other.vecmat(&self.data)?);
+        }
+        if n == 1 {
+            return Matrix::from_vec(m, 1, self.matvec(&other.data)?);
+        }
         let mut out = vec![0.0f32; m * n];
+        if out.is_empty() {
+            return Matrix::from_vec(m, n, out);
+        }
         let body = |(r, out_row): (usize, &mut [f32])| {
-            let a_row = &self.data[r * k..(r + 1) * k];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[kk * n..(kk + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
+            gemm_row_tiled(&self.data[r * k..(r + 1) * k], &other.data, n, out_row);
         };
-        if m * n * k >= PAR_THRESHOLD {
+        if m * n * k >= tune::PAR_FLOP_THRESHOLD {
             out.par_chunks_mut(n).enumerate().for_each(body);
         } else {
             out.chunks_mut(n).enumerate().for_each(body);
@@ -410,6 +411,14 @@ impl Matrix {
     }
 
     /// Matrix product `self · otherᵀ` without materialising the transpose.
+    ///
+    /// Each output row is a batch of dot products against the rows of
+    /// `other`; the kernel blocks over `k` ([`tune::GEMM_K_BLOCK`]) so a
+    /// panel of the left-hand row stays cache-hot while it sweeps `other`,
+    /// computes every dot with the lane-split reduction
+    /// ([`tune::DOT_LANES`]), and parallelises across output rows above
+    /// [`tune::PAR_FLOP_THRESHOLD`]. `m == 1` (the KV-cached decode shape)
+    /// dispatches to [`Matrix::matvec`].
     ///
     /// # Errors
     ///
@@ -423,19 +432,20 @@ impl Matrix {
             });
         }
         let (m, k, n) = (self.rows, self.cols, other.rows);
+        if m == 1 {
+            return Matrix::from_vec(1, n, other.matvec(&self.data)?);
+        }
+        if n == 1 {
+            return Matrix::from_vec(m, 1, self.matvec(&other.data)?);
+        }
         let mut out = vec![0.0f32; m * n];
+        if out.is_empty() {
+            return Matrix::from_vec(m, n, out);
+        }
         let body = |(r, out_row): (usize, &mut [f32])| {
-            let a_row = &self.data[r * k..(r + 1) * k];
-            for (c, o) in out_row.iter_mut().enumerate() {
-                let b_row = &other.data[c * k..(c + 1) * k];
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
+            gemm_bt_row(&self.data[r * k..(r + 1) * k], &other.data, k, out_row);
         };
-        if m * n * k >= PAR_THRESHOLD {
+        if m * n * k >= tune::PAR_FLOP_THRESHOLD {
             out.par_chunks_mut(n).enumerate().for_each(body);
         } else {
             out.chunks_mut(n).enumerate().for_each(body);
@@ -444,6 +454,13 @@ impl Matrix {
     }
 
     /// Matrix product `selfᵀ · other` without materialising the transpose.
+    ///
+    /// Rank-1-free formulation: output row `r` reads column `r` of `self`
+    /// (stride `m`) against the rows of `other`, so every output row is
+    /// written by exactly one task and the kernel gets the same
+    /// parallel-vs-serial dispatch as its siblings (rayon across output rows
+    /// above [`tune::PAR_FLOP_THRESHOLD`]), with the same column-tiled
+    /// register accumulation as [`Matrix::matmul`].
     ///
     /// # Errors
     ///
@@ -458,34 +475,96 @@ impl Matrix {
         }
         let (k, m, n) = (self.rows, self.cols, other.cols);
         let mut out = vec![0.0f32; m * n];
-        // Accumulate k rank-1 updates; serial because m*n is usually small
-        // relative to k in gradient computations, and updates alias rows.
-        for kk in 0..k {
-            let a_row = &self.data[kk * m..(kk + 1) * m];
-            let b_row = &other.data[kk * n..(kk + 1) * n];
-            for (r, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out[r * n..(r + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
+        if out.is_empty() {
+            return Matrix::from_vec(m, n, out);
+        }
+        let body = |(r, out_row): (usize, &mut [f32])| {
+            gemm_at_row(&self.data, &other.data, r, m, k, n, out_row);
+        };
+        if m * n * k >= tune::PAR_FLOP_THRESHOLD {
+            out.par_chunks_mut(n).enumerate().for_each(body);
+        } else {
+            out.chunks_mut(n).enumerate().for_each(body);
         }
         Matrix::from_vec(m, n, out)
     }
 
+    /// Matrix–vector product `self · x` (with `x` a column vector of length
+    /// `self.cols()`), one lane-split dot product per row.
+    ///
+    /// This is the fast path that dominates KV-cached decode: every
+    /// projection of a single token is a `(out × in) · in` product, and
+    /// skipping the `Matrix` wrapper avoids both the `1 × n` allocation and
+    /// the general kernel's tiling overhead. Parallelises across rows above
+    /// [`tune::PAR_FLOP_THRESHOLD`]. Each call is counted in
+    /// [`tune::matvec_calls`] so decode paths can prove they use it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.cols() != x.len()`.
+    pub fn matvec(&self, x: &[f32]) -> Result<Vec<f32>, TensorError> {
+        if self.cols != x.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (x.len(), 1),
+            });
+        }
+        tune::note_matvec();
+        if self.rows * self.cols >= tune::PAR_FLOP_THRESHOLD {
+            Ok((0..self.rows)
+                .into_par_iter()
+                .map(|r| dot_lanes(self.row(r), x))
+                .collect())
+        } else {
+            Ok((0..self.rows).map(|r| dot_lanes(self.row(r), x)).collect())
+        }
+    }
+
+    /// Vector–matrix product `xᵀ · self` (with `x` a row vector of length
+    /// `self.rows()`), using the same column-tiled register accumulation as
+    /// [`Matrix::matmul`]. Counted in [`tune::matvec_calls`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `x.len() != self.rows()`.
+    pub fn vecmat(&self, x: &[f32]) -> Result<Vec<f32>, TensorError> {
+        if x.len() != self.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "vecmat",
+                lhs: (1, x.len()),
+                rhs: self.shape(),
+            });
+        }
+        tune::note_matvec();
+        let mut out = vec![0.0f32; self.cols];
+        gemm_row_tiled(x, &self.data, self.cols, &mut out);
+        Ok(out)
+    }
+
     /// Returns the transposed matrix.
+    ///
+    /// Blocked over [`tune::TRANSPOSE_BLOCK`]-sided square tiles so both the
+    /// row-major reads and the column-major writes of a tile stay in L1.
     #[must_use]
     pub fn transpose(&self) -> Self {
-        let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+        let (rows, cols) = (self.rows, self.cols);
+        let mut out = vec![0.0f32; rows * cols];
+        let block = tune::TRANSPOSE_BLOCK;
+        for r0 in (0..rows).step_by(block) {
+            for c0 in (0..cols).step_by(block) {
+                for r in r0..rows.min(r0 + block) {
+                    for c in c0..cols.min(c0 + block) {
+                        out[c * rows + r] = self.data[r * cols + c];
+                    }
+                }
             }
         }
-        out
+        Matrix {
+            rows: cols,
+            cols: rows,
+            data: out,
+        }
     }
 
     /// Frobenius norm `||W||_F = sqrt(Σ w_ij²)`, accumulated in `f64`.
@@ -572,6 +651,84 @@ impl Matrix {
                 rhs: other.shape(),
             })
         }
+    }
+}
+
+/// Lane-split dot product: [`tune::DOT_LANES`] independent partial sums so
+/// the reduction has no serial floating-point dependency chain and
+/// autovectorises.
+fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; tune::DOT_LANES];
+    let mut a_chunks = a.chunks_exact(tune::DOT_LANES);
+    let mut b_chunks = b.chunks_exact(tune::DOT_LANES);
+    for (ca, cb) in (&mut a_chunks).zip(&mut b_chunks) {
+        for ((lane, &x), &y) in lanes.iter_mut().zip(ca).zip(cb) {
+            *lane += x * y;
+        }
+    }
+    let tail: f32 = a_chunks
+        .remainder()
+        .iter()
+        .zip(b_chunks.remainder())
+        .map(|(&x, &y)| x * y)
+        .sum();
+    lanes.iter().sum::<f32>() + tail
+}
+
+/// One output row of `A·B`: sweep `a_row` once per [`tune::GEMM_COL_TILE`]
+/// tile of output columns, accumulating the tile in a stack array the
+/// compiler keeps in vector registers.
+fn gemm_row_tiled(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
+    let mut j0 = 0;
+    while j0 < n {
+        let w = tune::GEMM_COL_TILE.min(n - j0);
+        let mut acc = [0.0f32; tune::GEMM_COL_TILE];
+        for (kk, &a) in a_row.iter().enumerate() {
+            let b_strip = &b[kk * n + j0..kk * n + j0 + w];
+            for (ac, &bv) in acc.iter_mut().zip(b_strip) {
+                *ac += a * bv;
+            }
+        }
+        out_row[j0..j0 + w].copy_from_slice(&acc[..w]);
+        j0 += w;
+    }
+}
+
+/// One output row of `A·Bᵀ`: block `a_row` into [`tune::GEMM_K_BLOCK`]-long
+/// panels that stay L1-resident while dotted against every row of `B`.
+///
+/// For `k <= GEMM_K_BLOCK` this is a single whole-row [`dot_lanes`] per
+/// output element — the same accumulation order as [`Matrix::matvec`], which
+/// keeps full-sequence forward and KV-cached decode numerically identical.
+fn gemm_bt_row(a_row: &[f32], b: &[f32], k: usize, out_row: &mut [f32]) {
+    let mut k0 = 0;
+    while k0 < k {
+        let kw = tune::GEMM_K_BLOCK.min(k - k0);
+        let a_panel = &a_row[k0..k0 + kw];
+        for (c, o) in out_row.iter_mut().enumerate() {
+            *o += dot_lanes(a_panel, &b[c * k + k0..c * k + k0 + kw]);
+        }
+        k0 += kw;
+    }
+}
+
+/// One output row of `Aᵀ·B`: output row `r` reads column `r` of `A` (stride
+/// `m`) against the rows of `B`, column-tiled like [`gemm_row_tiled`]. No
+/// rank-1 updates, so rows never alias and row-parallelism is safe.
+fn gemm_at_row(a: &[f32], b: &[f32], r: usize, m: usize, k: usize, n: usize, out_row: &mut [f32]) {
+    let mut j0 = 0;
+    while j0 < n {
+        let w = tune::GEMM_COL_TILE.min(n - j0);
+        let mut acc = [0.0f32; tune::GEMM_COL_TILE];
+        for kk in 0..k {
+            let av = a[kk * m + r];
+            let b_strip = &b[kk * n + j0..kk * n + j0 + w];
+            for (ac, &bv) in acc.iter_mut().zip(b_strip) {
+                *ac += av * bv;
+            }
+        }
+        out_row[j0..j0 + w].copy_from_slice(&acc[..w]);
+        j0 += w;
     }
 }
 
@@ -742,6 +899,93 @@ mod tests {
             (0..64).map(|k| a.row(r)[k] * b.row(k)[c]).sum()
         });
         assert!(big.approx_eq(&reference, 1e-3));
+    }
+
+    #[test]
+    fn matmul_at_parallel_path_crosses_threshold() {
+        // 40·40·40 = 64000 >= PAR_FLOP_THRESHOLD, so this exercises the
+        // rayon dispatch that replaced the old always-serial rank-1 loop.
+        let mut rng = Pcg32::seed(11);
+        let a = Matrix::randn(40, 40, 0.5, &mut rng);
+        let b = Matrix::randn(40, 40, 0.5, &mut rng);
+        assert!(a.rows() * a.cols() * b.cols() >= tune::PAR_FLOP_THRESHOLD);
+        let fast = a.matmul_at(&b).expect("conformable");
+        let slow = a.transpose().matmul(&b).expect("conformable");
+        assert!(fast.approx_eq(&slow, 1e-3));
+    }
+
+    #[test]
+    fn matvec_matches_column_matmul() {
+        let mut rng = Pcg32::seed(12);
+        let w = Matrix::randn(9, 21, 1.0, &mut rng);
+        let x: Vec<f32> = (0..21).map(|i| (i as f32).sin()).collect();
+        let fast = w.matvec(&x).expect("conformable");
+        let col = Matrix::from_vec(21, 1, x).expect("ok");
+        let slow = w.matmul(&col).expect("conformable");
+        assert_eq!(fast.len(), 9);
+        for (a, b) in fast.iter().zip(slow.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+        assert!(w.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn vecmat_matches_row_matmul_bt() {
+        let mut rng = Pcg32::seed(13);
+        let w = Matrix::randn(17, 5, 1.0, &mut rng);
+        let x: Vec<f32> = (0..17).map(|i| (i as f32).cos()).collect();
+        let fast = w.vecmat(&x).expect("conformable");
+        // xᵀ·W == (Wᵀ·x)ᵀ, so compare against the transposed matvec.
+        let slow = w.transpose().matvec(&x).expect("conformable");
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((a - b).abs() < 1e-5);
+        }
+        assert!(w.vecmat(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn single_row_matmul_uses_vector_path() {
+        let mut rng = Pcg32::seed(14);
+        let a = Matrix::randn(1, 33, 1.0, &mut rng);
+        let b = Matrix::randn(33, 19, 1.0, &mut rng);
+        let before = tune::matvec_calls();
+        let c = a.matmul(&b).expect("conformable");
+        let d = a.matmul_bt(&b.transpose()).expect("conformable");
+        assert!(tune::matvec_calls() >= before + 2);
+        assert_eq!(c.shape(), (1, 19));
+        assert!(c.approx_eq(&d, 1e-5));
+    }
+
+    #[test]
+    fn matmul_handles_zero_sized_shapes() {
+        let a = Matrix::zeros(0, 4);
+        let b = Matrix::zeros(4, 3);
+        assert_eq!(a.matmul(&b).expect("conformable").shape(), (0, 3));
+        let c = Matrix::zeros(3, 0);
+        assert_eq!(b.matmul(&c).expect("conformable").shape(), (4, 0));
+        let d = Matrix::zeros(2, 0);
+        assert_eq!(
+            d.matmul(&c.transpose()).expect("conformable").shape(),
+            (2, 3)
+        );
+        assert_eq!(
+            c.matmul_at(&Matrix::zeros(3, 2)).expect("ok").shape(),
+            (0, 2)
+        );
+    }
+
+    #[test]
+    fn transpose_blocked_matches_naive_on_odd_shapes() {
+        // 37 and 50 straddle TRANSPOSE_BLOCK boundaries on both axes.
+        let mut rng = Pcg32::seed(15);
+        let a = Matrix::randn(37, 50, 1.0, &mut rng);
+        let t = a.transpose();
+        assert_eq!(t.shape(), (50, 37));
+        for r in 0..37 {
+            for c in 0..50 {
+                assert_eq!(t.get(c, r), a.get(r, c));
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Naive reference kernels, retained as differential-test oracles.
+//!
+//! These are the original straight-loop implementations the blocked kernels
+//! in [`Matrix`] replaced. They are deliberately simple — one scalar
+//! accumulator, no tiling, no parallelism — so their correctness is obvious
+//! by inspection, and the property tests in `tests/proptests.rs` hold the
+//! optimized kernels to them within a 1e-4 relative tolerance across random
+//! shapes (including `m == 1` and non-multiple-of-block sizes).
+//!
+//! Nothing on a hot path calls into this module.
+
+use crate::{Matrix, TensorError};
+
+/// Naive `a · b` (triple loop, row-major accumulation).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `a.cols() != b.rows()`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Result<Matrix, TensorError> {
+    if a.cols() != b.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "reference::matmul",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let (m, n) = (a.rows(), b.cols());
+    let mut out = vec![0.0f32; m * n];
+    for (r, out_row) in out.chunks_mut(n.max(1)).enumerate().take(m) {
+        for (kk, &av) in a.row(r).iter().enumerate() {
+            for (o, &bv) in out_row.iter_mut().zip(&b.data()[kk * n..(kk + 1) * n]) {
+                *o += av * bv;
+            }
+        }
+    }
+    Matrix::from_vec(m, n, out)
+}
+
+/// Naive `a · bᵀ` (dot product of row pairs).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `a.cols() != b.cols()`.
+pub fn matmul_bt(a: &Matrix, b: &Matrix) -> Result<Matrix, TensorError> {
+    if a.cols() != b.cols() {
+        return Err(TensorError::ShapeMismatch {
+            op: "reference::matmul_bt",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let (m, n) = (a.rows(), b.rows());
+    let mut out = vec![0.0f32; m * n];
+    for (r, out_row) in out.chunks_mut(n.max(1)).enumerate().take(m) {
+        for (c, o) in out_row.iter_mut().enumerate() {
+            *o = a.row(r).iter().zip(b.row(c)).map(|(&x, &y)| x * y).sum();
+        }
+    }
+    Matrix::from_vec(m, n, out)
+}
+
+/// Naive `aᵀ · b` (accumulated rank-1 updates, serial).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `a.rows() != b.rows()`.
+pub fn matmul_at(a: &Matrix, b: &Matrix) -> Result<Matrix, TensorError> {
+    if a.rows() != b.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "reference::matmul_at",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let (k, m, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = vec![0.0f32; m * n];
+    for kk in 0..k {
+        let b_row = b.row(kk);
+        for (r, &av) in a.row(kk).iter().enumerate() {
+            for (o, &bv) in out[r * n..(r + 1) * n].iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+    Matrix::from_vec(m, n, out)
+}
+
+/// Naive element-by-element transpose.
+#[must_use]
+pub fn transpose(a: &Matrix) -> Matrix {
+    Matrix::from_fn(a.cols(), a.rows(), |r, c| a.row(c)[r])
+}
+
+/// Naive `a · x` for a column vector `x` (one sequential dot per row).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `a.cols() != x.len()`.
+pub fn matvec(a: &Matrix, x: &[f32]) -> Result<Vec<f32>, TensorError> {
+    if a.cols() != x.len() {
+        return Err(TensorError::ShapeMismatch {
+            op: "reference::matvec",
+            lhs: a.shape(),
+            rhs: (x.len(), 1),
+        });
+    }
+    Ok((0..a.rows())
+        .map(|r| a.row(r).iter().zip(x).map(|(&w, &v)| w * v).sum())
+        .collect())
+}
+
+/// Naive `xᵀ · a` for a row vector `x` (accumulated scaled rows).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `x.len() != a.rows()`.
+pub fn vecmat(x: &[f32], a: &Matrix) -> Result<Vec<f32>, TensorError> {
+    if x.len() != a.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "reference::vecmat",
+            lhs: (1, x.len()),
+            rhs: a.shape(),
+        });
+    }
+    let mut out = vec![0.0f32; a.cols()];
+    for (r, &xv) in x.iter().enumerate() {
+        for (o, &av) in out.iter_mut().zip(a.row(r)) {
+            *o += xv * av;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Pcg32;
+
+    #[test]
+    fn reference_matmul_known_result() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).expect("ok");
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]).expect("ok");
+        let c = matmul(&a, &b).expect("conformable");
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn reference_variants_agree_with_each_other() {
+        let mut rng = Pcg32::seed(17);
+        let a = Matrix::randn(5, 7, 1.0, &mut rng);
+        let b = Matrix::randn(7, 4, 1.0, &mut rng);
+        let direct = matmul(&a, &b).expect("ok");
+        let via_bt = matmul_bt(&a, &transpose(&b)).expect("ok");
+        let via_at = matmul_at(&transpose(&a), &b).expect("ok");
+        assert!(direct.approx_eq(&via_bt, 1e-4));
+        assert!(direct.approx_eq(&via_at, 1e-4));
+    }
+
+    #[test]
+    fn reference_vector_paths_match_matmul() {
+        let mut rng = Pcg32::seed(18);
+        let w = Matrix::randn(6, 9, 1.0, &mut rng);
+        let x: Vec<f32> = (0..9).map(|i| i as f32 * 0.25 - 1.0).collect();
+        let mv = matvec(&w, &x).expect("ok");
+        let col = Matrix::from_vec(9, 1, x.clone()).expect("ok");
+        let full = matmul(&w, &col).expect("ok");
+        assert_eq!(mv.len(), 6);
+        for (a, b) in mv.iter().zip(full.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+        let y: Vec<f32> = (0..6).map(|i| 0.5 - i as f32 * 0.1).collect();
+        let vm = vecmat(&y, &w).expect("ok");
+        let row = Matrix::from_vec(1, 6, y).expect("ok");
+        let full = matmul(&row, &w).expect("ok");
+        for (a, b) in vm.iter().zip(full.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn reference_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matmul(&a, &b).is_err());
+        assert!(matmul_bt(&a, &Matrix::zeros(2, 4)).is_err());
+        assert!(matmul_at(&a, &Matrix::zeros(3, 2)).is_err());
+        assert!(matvec(&a, &[1.0]).is_err());
+        assert!(vecmat(&[1.0], &a).is_err());
+    }
+}

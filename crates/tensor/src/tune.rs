@@ -1,0 +1,94 @@
+//! Kernel tuning knobs: every block size and dispatch threshold used by the
+//! dense kernels in [`crate::Matrix`], in one place.
+//!
+//! The values below were chosen for the small-to-medium matrices this
+//! workspace actually multiplies (embedding tables up to a few hundred rows,
+//! `d_model`-sized projections, `seq × seq` attention scores) running on
+//! ordinary x86-64/aarch64 cores. They are compile-time constants rather
+//! than runtime configuration so the optimizer can fully unroll the tiled
+//! inner loops; changing them only requires re-running
+//! `cargo run -p chipalign-bench --bin bench_kernels` to re-baseline.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Minimum `m · n · k` multiply-accumulate count before a GEMM-family kernel
+/// parallelises across output rows with rayon.
+///
+/// Below this, the rayon fork/join overhead (~microseconds) exceeds the work
+/// itself; above it, row-parallelism is embarrassingly parallel because each
+/// output row is written by exactly one task.
+pub const PAR_FLOP_THRESHOLD: usize = 32 * 1024;
+
+/// Width (in `f32` elements) of the fixed output-column tile used by the
+/// `A·B` and `Aᵀ·B` kernels.
+///
+/// Each tile's partial sums live in a stack array of this size, which the
+/// compiler keeps in vector registers across the whole `k` loop — the store
+/// to the output row happens once per tile instead of once per
+/// multiply-accumulate. 16 floats = one 512-bit or two 256-bit vectors.
+pub const GEMM_COL_TILE: usize = 16;
+
+/// Depth of the `k`-panel used by the `A·Bᵀ` kernel.
+///
+/// A panel of the left-hand row this long (1 KiB) stays L1-resident while it
+/// is dotted against every row of `B`, so large-`k` products stream `B`
+/// once per panel instead of thrashing the cache once per output element.
+pub const GEMM_K_BLOCK: usize = 256;
+
+/// Number of independent partial-sum lanes used by the blocked dot product.
+///
+/// Splitting the reduction into this many accumulators breaks the serial
+/// floating-point dependency chain so the loop vectorises; 8 lanes = one
+/// 256-bit vector of `f32`.
+pub const DOT_LANES: usize = 8;
+
+/// Side length of the square tiles used by the blocked transpose.
+///
+/// A 32×32 `f32` tile is 4 KiB — both the row-major reads and the
+/// column-major writes of one tile fit in L1 simultaneously.
+pub const TRANSPOSE_BLOCK: usize = 32;
+
+/// Process-wide count of matrix–vector fast-path invocations
+/// ([`crate::Matrix::matvec`] and [`crate::Matrix::vecmat`], including the
+/// `m == 1`/`n == 1` dispatches inside the matmul family).
+static MATVEC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Records one matrix–vector fast-path hit. Relaxed ordering: the counter is
+/// a monotonic diagnostic, never a synchronisation point.
+pub(crate) fn note_matvec() {
+    MATVEC_CALLS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Returns the number of matrix–vector fast-path invocations since process
+/// start.
+///
+/// The counter is monotonic and process-wide; tests assert deltas (`after -
+/// before >= expected`) rather than absolute values so they stay correct
+/// when other threads decode concurrently. This is how the KV-cached decode
+/// path in `chipalign-nn` proves it really runs on the matvec kernel.
+#[must_use]
+pub fn matvec_calls() -> u64 {
+    MATVEC_CALLS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_sane() {
+        assert!(GEMM_COL_TILE.is_power_of_two());
+        assert!(DOT_LANES.is_power_of_two());
+        assert!(GEMM_K_BLOCK >= GEMM_COL_TILE);
+        assert!(TRANSPOSE_BLOCK >= 8);
+        assert!(PAR_FLOP_THRESHOLD > GEMM_COL_TILE * GEMM_K_BLOCK);
+    }
+
+    #[test]
+    fn matvec_counter_is_monotonic() {
+        let before = matvec_calls();
+        note_matvec();
+        note_matvec();
+        assert!(matvec_calls() >= before + 2);
+    }
+}

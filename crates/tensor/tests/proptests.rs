@@ -6,13 +6,22 @@
 //! relies on.
 
 use chipalign_tensor::rng::Pcg32;
-use chipalign_tensor::{stats, Matrix};
+use chipalign_tensor::{reference, stats, Matrix};
 use proptest::prelude::*;
 
 /// Builds a deterministic random matrix from a proptest-chosen seed.
 fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
     let mut rng = Pcg32::seed(seed);
     Matrix::randn(rows, cols, 1.0, &mut rng)
+}
+
+/// `|a - b| <= 1e-4 · max(|b|, 1)` elementwise — the documented tolerance the
+/// blocked kernels are held to against the naive references.
+fn close_rel(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(&x, &y)| (x - y).abs() <= 1e-4 * y.abs().max(1.0))
 }
 
 proptest! {
@@ -90,6 +99,67 @@ proptest! {
         // Convexity: ||lerp|| <= max endpoint norm (plus fp slack).
         let bound = a.frobenius_norm().max(b.frobenius_norm());
         prop_assert!(l.frobenius_norm() <= bound + 1e-4);
+    }
+
+    #[test]
+    fn blocked_matmul_matches_reference(seed in 0u64..1000, m in 1usize..40, k in 1usize..70, n in 1usize..40) {
+        // Ranges deliberately straddle GEMM_COL_TILE (16) and DOT_LANES (8)
+        // multiples, and m == 1 hits the vecmat dispatch.
+        let a = mat(m, k, seed);
+        let b = mat(k, n, seed.wrapping_add(1));
+        let fast = a.matmul(&b).unwrap();
+        let slow = reference::matmul(&a, &b).unwrap();
+        prop_assert!(close_rel(fast.data(), slow.data()));
+    }
+
+    #[test]
+    fn blocked_matmul_bt_matches_reference(seed in 0u64..1000, m in 1usize..40, k in 1usize..70, n in 1usize..40) {
+        let a = mat(m, k, seed);
+        let b = mat(n, k, seed.wrapping_add(1));
+        let fast = a.matmul_bt(&b).unwrap();
+        let slow = reference::matmul_bt(&a, &b).unwrap();
+        prop_assert!(close_rel(fast.data(), slow.data()));
+    }
+
+    #[test]
+    fn blocked_matmul_at_matches_reference(seed in 0u64..1000, k in 1usize..70, m in 1usize..40, n in 1usize..40) {
+        let a = mat(k, m, seed);
+        let b = mat(k, n, seed.wrapping_add(1));
+        let fast = a.matmul_at(&b).unwrap();
+        let slow = reference::matmul_at(&a, &b).unwrap();
+        prop_assert!(close_rel(fast.data(), slow.data()));
+    }
+
+    #[test]
+    fn single_row_matmul_matches_reference(seed in 0u64..1000, k in 1usize..300, n in 1usize..40) {
+        // The m == 1 decode shape, with k crossing GEMM_K_BLOCK-free and
+        // lane-remainder territory.
+        let a = mat(1, k, seed);
+        let b = mat(k, n, seed.wrapping_add(1));
+        let fast = a.matmul(&b).unwrap();
+        let slow = reference::matmul(&a, &b).unwrap();
+        prop_assert!(close_rel(fast.data(), slow.data()));
+    }
+
+    #[test]
+    fn matvec_and_vecmat_match_reference(seed in 0u64..1000, rows in 1usize..60, cols in 1usize..60) {
+        let w = mat(rows, cols, seed);
+        let x = mat(1, cols, seed.wrapping_add(1));
+        let fast = w.matvec(x.data()).unwrap();
+        let slow = reference::matvec(&w, x.data()).unwrap();
+        prop_assert!(close_rel(&fast, &slow));
+        let y = mat(1, rows, seed.wrapping_add(2));
+        let fast = w.vecmat(y.data()).unwrap();
+        let slow = reference::vecmat(y.data(), &w).unwrap();
+        prop_assert!(close_rel(&fast, &slow));
+    }
+
+    #[test]
+    fn blocked_transpose_matches_reference(seed in 0u64..1000, rows in 1usize..80, cols in 1usize..80) {
+        let a = mat(rows, cols, seed);
+        let fast = a.transpose();
+        let slow = reference::transpose(&a);
+        prop_assert!(fast == slow);
     }
 
     #[test]

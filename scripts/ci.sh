@@ -17,4 +17,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q -p chipalign-serve --features fault-inject
 cargo clippy -p chipalign-serve --all-targets --features fault-inject -- -D warnings
 
-echo "ci: build + tests + chaos + clippy all green"
+# Kernel layer: the tensor crate stays clippy-clean at -D warnings, and
+# the kernel micro-bench must run end to end (smoke shapes, no JSON).
+cargo clippy -p chipalign-tensor -- -D warnings
+cargo run --release -p chipalign-bench --bin bench_kernels -- --smoke
+
+echo "ci: build + tests + chaos + clippy + kernel smoke all green"
