@@ -40,9 +40,10 @@ fn bench_substrates(c: &mut Criterion) {
         });
     });
 
+    let shared = std::sync::Arc::new(model.clone());
     c.bench_function("kv_prefill_160_plus_40_steps", |b| {
         b.iter(|| {
-            let mut cache = KvCache::new(&model);
+            let mut cache = KvCache::new(&shared);
             cache.prefill(black_box(&tokens)).expect("ok");
             let mut last = 4u32;
             for _ in 0..40 {
@@ -74,9 +75,7 @@ fn bench_substrates(c: &mut Criterion) {
     let docs = OpenRoadBenchmark::corpus_documents();
     let retriever = Retriever::build(Chunker::default().chunk_all(&docs));
     c.bench_function("rag_retrieve_top2", |b| {
-        b.iter(|| {
-            black_box(retriever.retrieve(black_box("what does the gpl cmd do?"), 2))
-        });
+        b.iter(|| black_box(retriever.retrieve(black_box("what does the gpl cmd do?"), 2)));
     });
 }
 

@@ -1,0 +1,203 @@
+//! Batch-throughput benchmark: sweeps the batched decode engine over
+//! batch sizes {1, 2, 4, 8, 16} at a *fixed total token count*, so every
+//! configuration does exactly the same amount of work and the numbers
+//! isolate what batching buys — amortizing weight traversal across
+//! sessions via the skinny-GEMM projections in
+//! [`chipalign_nn::KvCache::decode_batch`].
+//!
+//! ```text
+//! cargo run --release -p chipalign-bench --bin bench_batch            # full run + JSON
+//! cargo run --release -p chipalign-bench --bin bench_batch -- --smoke # tiny sweep, no JSON
+//! ```
+//!
+//! Everything is seeded (model weights and prompts come from `Pcg32`) and
+//! each configuration's timing is the median of `CHIPALIGN_BENCH_REPS`
+//! repetitions (default 7, 3 in smoke mode). Session setup (cache
+//! allocation + prompt prefill) happens outside the timed region: only
+//! decode steps are measured. The full run writes `BENCH_batch.json` at
+//! the repo root, including the headline batch-8 over batch-1 speedup.
+
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+use chipalign_bench::harness;
+use chipalign_model::ArchSpec;
+use chipalign_nn::{KvCache, TinyLm};
+use chipalign_tensor::ops;
+use chipalign_tensor::rng::Pcg32;
+
+/// Tokens each session decodes before being replaced by a fresh one;
+/// keeps every session well inside the context window.
+const TOKENS_PER_SESSION: usize = 64;
+const TOKENS_PER_SESSION_SMOKE: usize = 8;
+const PROMPT_LEN: usize = 8;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A substrate big enough for the GEMM-vs-matvec tradeoff to be visible
+/// (the `ArchSpec::tiny` window is too small to hold bench-length
+/// sessions).
+fn bench_arch() -> ArchSpec {
+    ArchSpec {
+        name: "bench-batch".into(),
+        vocab_size: 99,
+        d_model: 48,
+        n_layers: 2,
+        n_heads: 4,
+        d_ff: 96,
+        max_seq_len: 256,
+    }
+}
+
+/// One timed batch-size configuration.
+#[derive(Debug, Serialize)]
+struct BatchTiming {
+    /// Sessions advanced together per decode step.
+    batch: usize,
+    /// Fresh-session rounds run to reach the fixed total.
+    rounds: usize,
+    /// Total new tokens decoded (identical across all configurations).
+    total_tokens: usize,
+    /// Repetitions the median is taken over.
+    reps: usize,
+    /// Median wall-clock decode time per repetition, microseconds.
+    median_us: f64,
+    /// Fastest repetition, microseconds.
+    min_us: f64,
+    /// New tokens per second at the median.
+    tokens_per_sec: f64,
+    /// Median microseconds per decoded token (batch-wide: a batch-8 step
+    /// producing 8 tokens counts 8).
+    us_per_token: f64,
+    /// Median microseconds per decode *step* (one `decode_batch` call).
+    us_per_step: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BatchBench {
+    mode: String,
+    reps: usize,
+    total_tokens: usize,
+    tokens_per_session: usize,
+    timings: Vec<BatchTiming>,
+    /// Batch-8 tokens/sec over batch-1 tokens/sec: the headline number.
+    speedup_8_over_1: f64,
+}
+
+/// Decodes `total_tokens` greedy tokens in rounds of `batch` fresh
+/// sessions, `tokens_per_session` tokens each, and returns decode-only
+/// wall time. Session setup (allocation + prefill) is excluded.
+fn run_once(
+    model: &std::sync::Arc<TinyLm>,
+    batch: usize,
+    rounds: usize,
+    tokens_per_session: usize,
+) -> Duration {
+    let mut decode_time = Duration::ZERO;
+    for round in 0..rounds {
+        // Distinct seeded prompts per session so the batch holds genuinely
+        // divergent KV histories, like real traffic would.
+        let mut caches: Vec<KvCache> = (0..batch)
+            .map(|s| {
+                let prompt: Vec<u32> = (0..PROMPT_LEN)
+                    .map(|i| (4 + (round * 31 + s * 7 + i) % 90) as u32)
+                    .collect();
+                let mut cache = KvCache::new(model);
+                cache.prefill(&prompt).expect("prompt fits the window");
+                cache
+            })
+            .collect();
+        let mut tokens: Vec<u32> = (0..batch).map(|s| (4 + s % 90) as u32).collect();
+        let t0 = Instant::now();
+        for _ in 0..tokens_per_session {
+            let mut refs: Vec<&mut KvCache> = caches.iter_mut().collect();
+            let logits = KvCache::decode_batch(&mut refs, &tokens).expect("within window");
+            for (next, row) in tokens.iter_mut().zip(&logits) {
+                *next = ops::argmax(row).expect("non-empty vocab") as u32;
+            }
+        }
+        decode_time += t0.elapsed();
+    }
+    decode_time
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let reps = env_usize("CHIPALIGN_BENCH_REPS", if smoke { 3 } else { 7 });
+    let tokens_per_session = if smoke {
+        TOKENS_PER_SESSION_SMOKE
+    } else {
+        TOKENS_PER_SESSION
+    };
+    let batches: &[usize] = &[1, 2, 4, 8, 16];
+    // Fixed total work: the largest batch runs exactly one round of fresh
+    // sessions, every smaller batch runs proportionally more rounds.
+    let total_tokens = batches.iter().max().copied().unwrap_or(1) * tokens_per_session;
+
+    let model = std::sync::Arc::new(
+        TinyLm::new(&bench_arch(), &mut Pcg32::seed(20_250_806)).expect("arch"),
+    );
+
+    let mut timings: Vec<BatchTiming> = Vec::new();
+    for &batch in batches {
+        let rounds = total_tokens / (batch * tokens_per_session);
+        let mut samples: Vec<f64> = (0..reps)
+            .map(|_| run_once(&model, batch, rounds, tokens_per_session).as_secs_f64() * 1e6)
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        let median_us = samples[samples.len() / 2];
+        let min_us = samples[0];
+        let steps = (rounds * tokens_per_session) as f64;
+        timings.push(BatchTiming {
+            batch,
+            rounds,
+            total_tokens,
+            reps,
+            median_us,
+            min_us,
+            tokens_per_sec: total_tokens as f64 / (median_us / 1e6),
+            us_per_token: median_us / total_tokens as f64,
+            us_per_step: median_us / steps,
+        });
+    }
+
+    for t in &timings {
+        eprintln!(
+            "[bench_batch] batch {:>2}  {:>7.0} tok/s  {:>7.2} us/token  {:>7.2} us/step  (median {:>9.1} us over {} reps)",
+            t.batch, t.tokens_per_sec, t.us_per_token, t.us_per_step, t.median_us, t.reps
+        );
+    }
+
+    let rate = |b: usize| {
+        timings
+            .iter()
+            .find(|t| t.batch == b)
+            .map_or(0.0, |t| t.tokens_per_sec)
+    };
+    let speedup_8_over_1 = rate(8) / rate(1).max(1e-9);
+    eprintln!("[bench_batch] batch-8 over batch-1: {speedup_8_over_1:.2}x");
+
+    if smoke {
+        eprintln!("[bench_batch] smoke mode: skipping BENCH_batch.json");
+        return Ok(());
+    }
+
+    let report = BatchBench {
+        mode: "paper".to_string(),
+        reps,
+        total_tokens,
+        tokens_per_session,
+        timings,
+        speedup_8_over_1,
+    };
+    let out = harness::workspace_root().join("BENCH_batch.json");
+    std::fs::write(&out, serde_json::to_string_pretty(&report)?)?;
+    eprintln!("[bench_batch] wrote {}", out.display());
+    Ok(())
+}

@@ -136,7 +136,7 @@ fn matvec_timings(sizes: &[usize], reps: usize, out: &mut Vec<KernelTiming>) {
 fn decode_timing(tokens: usize, reps: usize, out: &mut Vec<KernelTiming>) {
     let mut arch = ArchSpec::tiny("bench-kernels");
     arch.vocab_size = 99;
-    let model = TinyLm::new(&arch, &mut Pcg32::seed(7)).expect("valid arch");
+    let model = std::sync::Arc::new(TinyLm::new(&arch, &mut Pcg32::seed(7)).expect("valid arch"));
     let budget = tokens.min(arch.max_seq_len);
     let (median_us, min_us) = time_median(reps, || {
         let mut cache = KvCache::new(&model);

@@ -13,7 +13,9 @@
 //!
 //! Environment knobs: `CHIPALIGN_QUALITY` (`smoke`/`paper`),
 //! `CHIPALIGN_SERVE_WORKERS` (default 4), `CHIPALIGN_SERVE_SESSIONS`
-//! (default 32), `CHIPALIGN_SERVE_TOKENS` (per-request budget, default 48).
+//! (default 32), `CHIPALIGN_SERVE_TOKENS` (per-request budget, default 48),
+//! `CHIPALIGN_SERVE_MAX_BATCH` (sessions advanced together per slice,
+//! default 8; 1 disables cross-session batching).
 
 use std::time::Instant;
 
@@ -103,6 +105,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workers = env_usize("CHIPALIGN_SERVE_WORKERS", 4);
     let sessions = env_usize("CHIPALIGN_SERVE_SESSIONS", 32);
     let budget = env_usize("CHIPALIGN_SERVE_TOKENS", 48);
+    let max_batch = env_usize("CHIPALIGN_SERVE_MAX_BATCH", 8);
     let quality = std::env::var("CHIPALIGN_QUALITY").unwrap_or_else(|_| "paper".to_string());
 
     let zoo = harness::paper_zoo()?;
@@ -115,6 +118,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 max_sessions: sessions.max(1) * 2,
                 slice_tokens: 8,
                 stall_slices: 32,
+                max_batch,
             },
             max_new_tokens_cap: budget.max(1),
             default_deadline_ms: None,
@@ -182,6 +186,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let server_metrics = admin.metrics()?;
     server.shutdown();
+
+    // How full the batches actually ran: occupancy histogram entry `n`
+    // counts slices that advanced exactly `n` sessions together.
+    let occupancy: String = server_metrics
+        .batch_occupancy
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .map(|(n, c)| format!("{n}:{c}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    eprintln!(
+        "[bench_serve] batched slices {} (max_batch {max_batch}), occupancy [{occupancy}]",
+        server_metrics.batched_slices
+    );
 
     let speedup = batched.tokens_per_sec / serialized.tokens_per_sec.max(1e-9);
     let report = ServeBench {

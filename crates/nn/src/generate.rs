@@ -5,9 +5,12 @@
 //! argmax decoding). When the context fills up, the window slides left so
 //! generation can continue past `max_seq_len`.
 
+use std::sync::Arc;
+
 use chipalign_tensor::ops;
 use chipalign_tensor::rng::Pcg32;
 
+use crate::kv::KvCache;
 use crate::model::TinyLm;
 use crate::tokenizer::{CharTokenizer, EOS};
 use crate::NnError;
@@ -89,6 +92,8 @@ impl GenerateConfig {
 /// # Example
 ///
 /// ```
+/// use std::sync::Arc;
+///
 /// use chipalign_model::ArchSpec;
 /// use chipalign_nn::generate::{GenerateConfig, StepDecoder};
 /// use chipalign_nn::TinyLm;
@@ -97,7 +102,7 @@ impl GenerateConfig {
 /// # fn main() -> Result<(), chipalign_nn::NnError> {
 /// let mut arch = ArchSpec::tiny("step");
 /// arch.vocab_size = 99;
-/// let model = TinyLm::new(&arch, &mut Pcg32::seed(1))?;
+/// let model = Arc::new(TinyLm::new(&arch, &mut Pcg32::seed(1))?);
 /// let cfg = GenerateConfig { max_new_tokens: 4, ..GenerateConfig::default() };
 /// let mut session = StepDecoder::new(&model, &[5, 6, 7], &cfg)?;
 /// let mut out = Vec::new();
@@ -130,7 +135,7 @@ impl StepDecoder {
     /// Returns [`NnError::BadConfig`] for an invalid configuration (see
     /// [`GenerateConfig::validate`]), [`NnError::BadSequence`] for an empty
     /// prompt, and forwards any forward-pass failure.
-    pub fn new(model: &TinyLm, prompt: &[u32], cfg: &GenerateConfig) -> Result<Self, NnError> {
+    pub fn new(model: &Arc<TinyLm>, prompt: &[u32], cfg: &GenerateConfig) -> Result<Self, NnError> {
         cfg.validate()?;
         if prompt.is_empty() {
             return Err(NnError::BadSequence {
@@ -142,7 +147,7 @@ impl StepDecoder {
         // Prefill the most recent window, leaving one slot for the first
         // generated token.
         let start = context.len().saturating_sub(max_ctx.saturating_sub(1));
-        let mut cache = crate::kv::KvCache::new(model);
+        let mut cache = KvCache::new(model);
         let last_logits = cache.prefill(&context[start..])?;
         Ok(StepDecoder {
             cfg: *cfg,
@@ -167,7 +172,98 @@ impl StepDecoder {
         if self.done {
             return Ok(None);
         }
-        let next = if self.cfg.temperature <= 0.0 {
+        let next = self.choose_next();
+        self.commit(next);
+        if self.done {
+            return Ok(Some(next));
+        }
+        if self.cache.len() >= self.max_ctx {
+            self.slide()?;
+        } else {
+            self.last_logits = self.cache.decode_step(next)?;
+        }
+        Ok(Some(next))
+    }
+
+    /// Advances many sessions by one token each, returning each session's
+    /// new token in submission order (`None` for sessions that were already
+    /// done).
+    ///
+    /// This is `step()` run in lockstep: every live session chooses and
+    /// commits its next token from its own logits and RNG stream, then the
+    /// sessions that need an ordinary decode are grouped by model
+    /// allocation and advanced through [`KvCache::decode_batch`] — one
+    /// `N × d` GEMM per projection instead of N matvecs. Sessions at a
+    /// context-window boundary slide individually (a slide is a multi-token
+    /// re-prefill, not a decode step). Token streams are **bit-identical**
+    /// to stepping each session alone, pinned by tests.
+    ///
+    /// # Errors
+    ///
+    /// Forwards forward-pass failures. Like a failed `step()`, a failed
+    /// batch leaves the affected sessions mid-token (chosen but not
+    /// advanced); callers should treat them as poisoned and cancel.
+    pub fn step_batch(sessions: &mut [&mut StepDecoder]) -> Result<Vec<Option<u32>>, NnError> {
+        let mut out = vec![None; sessions.len()];
+        // Phase 1: choose and commit each live session's next token —
+        // exactly the first half of `step()`, so RNG streams and stop
+        // conditions stay in lockstep with sequential stepping.
+        let mut slide: Vec<usize> = Vec::new();
+        let mut group_of: Vec<Option<usize>> = vec![None; sessions.len()];
+        let mut group_keys: Vec<usize> = Vec::new();
+        for (i, s) in sessions.iter_mut().enumerate() {
+            if s.done {
+                continue;
+            }
+            let next = s.choose_next();
+            s.commit(next);
+            out[i] = Some(next);
+            if s.done {
+                continue;
+            }
+            if s.cache.len() >= s.max_ctx {
+                slide.push(i);
+            } else {
+                let key = Arc::as_ptr(s.cache.model()) as usize;
+                let gid = group_keys
+                    .iter()
+                    .position(|&k| k == key)
+                    .unwrap_or_else(|| {
+                        group_keys.push(key);
+                        group_keys.len() - 1
+                    });
+                group_of[i] = Some(gid);
+            }
+        }
+        // Phase 2a: window slides re-prefill their own cache in place.
+        for &i in &slide {
+            sessions[i].slide()?;
+        }
+        // Phase 2b: one batched decode per model group.
+        for gid in 0..group_keys.len() {
+            let mut members: Vec<usize> = Vec::new();
+            let mut tokens: Vec<u32> = Vec::new();
+            let mut caches: Vec<&mut KvCache> = Vec::new();
+            for (i, s) in sessions.iter_mut().enumerate() {
+                if group_of[i] == Some(gid) {
+                    members.push(i);
+                    tokens.push(*s.context.last().expect("committed above"));
+                    caches.push(&mut s.cache);
+                }
+            }
+            let logits = KvCache::decode_batch(&mut caches, &tokens)?;
+            drop(caches);
+            for (&i, row) in members.iter().zip(logits) {
+                sessions[i].last_logits = row;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Chooses the next token from the current logits (greedy argmax at
+    /// temperature 0, otherwise the seeded sampling stream).
+    fn choose_next(&mut self) -> u32 {
+        if self.cfg.temperature <= 0.0 {
             ops::argmax(&self.last_logits).expect("vocab is non-empty") as u32
         } else {
             sample_from_logits(
@@ -177,27 +273,32 @@ impl StepDecoder {
                 self.cfg.top_p,
                 &mut self.rng,
             )
-        };
+        }
+    }
+
+    /// Records a chosen token: context, budget, and stop-condition
+    /// bookkeeping (everything `step()` does between choosing a token and
+    /// advancing the cache).
+    fn commit(&mut self, next: u32) {
         self.emitted += 1;
         self.context.push(next);
         if self.cfg.stop_at_eos && next == EOS {
             self.saw_eos = true;
             self.done = true;
-            return Ok(Some(next));
-        }
-        if self.emitted >= self.cfg.max_new_tokens {
+        } else if self.emitted >= self.cfg.max_new_tokens {
             self.done = true;
-            return Ok(Some(next));
         }
-        if self.cache.len() >= self.max_ctx {
-            // Slide: re-prefill the cache over the most recent window.
-            let start = self.context.len() - (self.max_ctx - 1);
-            self.cache.reset();
-            self.last_logits = self.cache.prefill(&self.context[start..])?;
-        } else {
-            self.last_logits = self.cache.decode_step(next)?;
-        }
-        Ok(Some(next))
+    }
+
+    /// Context-window slide: re-prefills the *existing* cache over the most
+    /// recent window. `reset()` keeps the per-layer bucket allocations, the
+    /// score scratch, and the shared model `Arc`, so a slide allocates no
+    /// model state — it is pure bookkeeping plus the window replay.
+    fn slide(&mut self) -> Result<(), NnError> {
+        let start = self.context.len() - (self.max_ctx - 1);
+        self.cache.reset();
+        self.last_logits = self.cache.prefill(&self.context[start..])?;
+        Ok(())
     }
 
     /// Whether the session has produced its final token.
@@ -237,7 +338,11 @@ impl StepDecoder {
 /// [`NnError::BadSequence`] for an empty prompt, and forwards any
 /// forward-pass failure.
 pub fn generate(model: &TinyLm, prompt: &[u32], cfg: &GenerateConfig) -> Result<Vec<u32>, NnError> {
-    let mut session = StepDecoder::new(model, prompt, cfg)?;
+    // One-shot sessions wrap the model in a fresh Arc; this clone is the
+    // same cost the KvCache used to pay per session before weights were
+    // shared.
+    let model = Arc::new(model.clone());
+    let mut session = StepDecoder::new(&model, prompt, cfg)?;
     let mut new_tokens = Vec::with_capacity(cfg.max_new_tokens);
     while let Some(next) = session.step()? {
         new_tokens.push(next);
@@ -538,6 +643,7 @@ mod tests {
             ..GenerateConfig::default()
         };
         let reference = generate(&model, &[5, 6], &cfg).expect("ok");
+        let model = Arc::new(model);
         let mut session = StepDecoder::new(&model, &[5, 6], &cfg).expect("ok");
         let mut stepped = Vec::new();
         while let Some(tok) = session.step().expect("ok") {
@@ -562,6 +668,7 @@ mod tests {
             seed: 13,
         };
         let reference = generate(&model, &[5, 6], &cfg).expect("ok");
+        let model = Arc::new(model);
         let mut session = StepDecoder::new(&model, &[5, 6], &cfg).expect("ok");
         let mut stepped = Vec::new();
         while let Some(tok) = session.step().expect("ok") {
@@ -572,7 +679,7 @@ mod tests {
 
     #[test]
     fn step_decoder_tracks_context_and_truncates_long_prompts() {
-        let model = trained_on(&[5, 6, 7, 8, 9]);
+        let model = Arc::new(trained_on(&[5, 6, 7, 8, 9]));
         // Prompt longer than max_seq_len (32): prefill must keep only the
         // most recent window yet remember the full context.
         let prompt: Vec<u32> = (0..40).map(|i| 4 + (i % 90)).collect();
@@ -585,6 +692,166 @@ mod tests {
         session.step().expect("ok");
         assert_eq!(session.context().len(), prompt.len() + 1);
         assert_eq!(&session.context()[..prompt.len()], &prompt[..]);
+    }
+
+    /// Drives `sessions` to completion with `step_batch`, collecting each
+    /// session's token stream.
+    fn drain_batched(mut sessions: Vec<StepDecoder>) -> Vec<Vec<u32>> {
+        let mut outs: Vec<Vec<u32>> = vec![Vec::new(); sessions.len()];
+        loop {
+            let mut refs: Vec<&mut StepDecoder> = sessions.iter_mut().collect();
+            let step = StepDecoder::step_batch(&mut refs).expect("ok");
+            let mut any = false;
+            for (out, tok) in outs.iter_mut().zip(step) {
+                if let Some(tok) = tok {
+                    out.push(tok);
+                    any = true;
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        outs
+    }
+
+    fn drain_sequential(
+        model: &Arc<TinyLm>,
+        prompts: &[&[u32]],
+        cfg: &GenerateConfig,
+    ) -> Vec<Vec<u32>> {
+        prompts
+            .iter()
+            .map(|p| {
+                let mut s = StepDecoder::new(model, p, cfg).expect("ok");
+                let mut out = Vec::new();
+                while let Some(tok) = s.step().expect("ok") {
+                    out.push(tok);
+                }
+                out
+            })
+            .collect()
+    }
+
+    #[test]
+    fn step_batch_matches_sequential_greedy_with_window_slides() {
+        // 64 new tokens on a 32-position context: every session slides
+        // twice mid-batch, at different rounds (ragged prompt lengths).
+        let model = Arc::new(trained_on(&[5, 6, 7, 8, 9]));
+        let cfg = GenerateConfig {
+            max_new_tokens: 64,
+            stop_at_eos: false,
+            ..GenerateConfig::default()
+        };
+        let prompts: [&[u32]; 4] = [&[5, 6], &[5, 6, 7], &[9, 8, 7, 6], &[5]];
+        let reference = drain_sequential(&model, &prompts, &cfg);
+        let sessions: Vec<StepDecoder> = prompts
+            .iter()
+            .map(|p| StepDecoder::new(&model, p, &cfg).expect("ok"))
+            .collect();
+        let batched = drain_batched(sessions);
+        assert_eq!(batched, reference, "batched greedy transcripts drifted");
+    }
+
+    #[test]
+    fn step_batch_matches_sequential_when_sampling() {
+        // Sampling is the sharpest bit-identity probe: any drift in the
+        // logits flips `choose_weighted` and the transcripts diverge.
+        let model = Arc::new(trained_on(&[5, 6, 7, 8, 9]));
+        let mk = |seed| GenerateConfig {
+            max_new_tokens: 20,
+            temperature: 1.2,
+            top_k: 8,
+            top_p: 0.9,
+            stop_at_eos: false,
+            seed,
+        };
+        let prompts: [&[u32]; 3] = [&[5, 6], &[6, 7, 8], &[9, 5]];
+        let reference: Vec<Vec<u32>> = prompts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let mut s = StepDecoder::new(&model, p, &mk(i as u64)).expect("ok");
+                let mut out = Vec::new();
+                while let Some(tok) = s.step().expect("ok") {
+                    out.push(tok);
+                }
+                out
+            })
+            .collect();
+        let sessions: Vec<StepDecoder> = prompts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| StepDecoder::new(&model, p, &mk(i as u64)).expect("ok"))
+            .collect();
+        let batched = drain_batched(sessions);
+        assert_eq!(batched, reference, "per-session RNG streams drifted");
+    }
+
+    #[test]
+    fn step_batch_groups_sessions_by_model_allocation() {
+        // Two distinct models interleaved in one batch: step_batch must
+        // split them into per-model GEMM groups and still match the
+        // dedicated per-session drivers.
+        let m1 = Arc::new(trained_on(&[5, 6, 7, 8, 9]));
+        let m2 = Arc::new(trained_on(&[10, 20, 30, 40, 50, 60]));
+        let cfg = GenerateConfig {
+            max_new_tokens: 12,
+            stop_at_eos: false,
+            ..GenerateConfig::default()
+        };
+        let plan: [(&Arc<TinyLm>, &[u32]); 4] = [
+            (&m1, &[5, 6]),
+            (&m2, &[10, 20]),
+            (&m1, &[6, 7]),
+            (&m2, &[20, 30]),
+        ];
+        let reference: Vec<Vec<u32>> = plan
+            .iter()
+            .map(|(m, p)| {
+                let mut s = StepDecoder::new(m, p, &cfg).expect("ok");
+                let mut out = Vec::new();
+                while let Some(tok) = s.step().expect("ok") {
+                    out.push(tok);
+                }
+                out
+            })
+            .collect();
+        let sessions: Vec<StepDecoder> = plan
+            .iter()
+            .map(|(m, p)| StepDecoder::new(m, p, &cfg).expect("ok"))
+            .collect();
+        let batched = drain_batched(sessions);
+        assert_eq!(batched, reference, "mixed-model batch drifted");
+    }
+
+    #[test]
+    fn step_batch_skips_finished_sessions() {
+        let model = Arc::new(trained_on(&[5, 6, 7, 8, 9]));
+        let short = GenerateConfig {
+            max_new_tokens: 2,
+            stop_at_eos: false,
+            ..GenerateConfig::default()
+        };
+        let long = GenerateConfig {
+            max_new_tokens: 6,
+            ..short
+        };
+        let mut a = StepDecoder::new(&model, &[5, 6], &short).expect("ok");
+        let mut b = StepDecoder::new(&model, &[6, 7], &long).expect("ok");
+        for round in 0..6 {
+            let mut refs = [&mut a, &mut b];
+            let step = StepDecoder::step_batch(&mut refs).expect("ok");
+            if round >= 2 {
+                assert!(step[0].is_none(), "finished session must yield None");
+            }
+            if round < 6 {
+                assert!(step[1].is_some());
+            }
+        }
+        assert!(a.is_done() && b.is_done());
+        assert_eq!(a.emitted(), 2);
+        assert_eq!(b.emitted(), 6);
     }
 
     #[test]

@@ -17,6 +17,16 @@
 //! sequence runs fused over one reusable scratch buffer, so a decode step
 //! allocates no `1 × seq` intermediates per head per layer. A test below
 //! pins the fast-path routing via [`chipalign_tensor::tune::matvec_calls`].
+//!
+//! Batching note: [`KvCache::decode_batch`] advances N sessions that share
+//! one model by one token each, stacking the per-session hidden states so
+//! every projection runs as a single `N × d` GEMM (the tensor crate's
+//! skinny-m kernel) while attention stays per-session over ragged cache
+//! lengths. Its logits are bit-identical to N independent
+//! [`KvCache::decode_step`] calls — the serving scheduler relies on that to
+//! keep batched transcripts byte-equal to unbatched ones.
+
+use std::sync::Arc;
 
 use chipalign_tensor::ops;
 use chipalign_tensor::Matrix;
@@ -38,6 +48,8 @@ struct LayerKv {
 /// # Example
 ///
 /// ```
+/// use std::sync::Arc;
+///
 /// use chipalign_model::ArchSpec;
 /// use chipalign_nn::{KvCache, TinyLm};
 /// use chipalign_tensor::rng::Pcg32;
@@ -45,7 +57,7 @@ struct LayerKv {
 /// # fn main() -> Result<(), chipalign_nn::NnError> {
 /// let mut arch = ArchSpec::tiny("kv");
 /// arch.vocab_size = 99;
-/// let model = TinyLm::new(&arch, &mut Pcg32::seed(1))?;
+/// let model = Arc::new(TinyLm::new(&arch, &mut Pcg32::seed(1))?);
 /// let mut cache = KvCache::new(&model);
 /// let logits = cache.prefill(&[5, 6, 7])?;
 /// assert_eq!(logits.len(), 99);
@@ -57,7 +69,7 @@ struct LayerKv {
 /// ```
 #[derive(Debug, Clone)]
 pub struct KvCache {
-    model: TinyLm,
+    model: Arc<TinyLm>,
     layers: Vec<LayerKv>,
     len: usize,
     /// Reusable per-head attention-score scratch (capacity grows to the
@@ -66,12 +78,17 @@ pub struct KvCache {
 }
 
 impl KvCache {
-    /// Creates an empty cache bound to a model (cloned; the model is small).
+    /// Creates an empty cache bound to a shared model.
+    ///
+    /// The cache holds an [`Arc`] clone, so every concurrent session
+    /// decodes against one model allocation and per-session memory is
+    /// O(cached keys/values), not O(model). Sessions created from the same
+    /// `Arc` are eligible for [`KvCache::decode_batch`].
     #[must_use]
-    pub fn new(model: &TinyLm) -> Self {
+    pub fn new(model: &Arc<TinyLm>) -> Self {
         let n_layers = model.arch().n_layers;
         KvCache {
-            model: model.clone(),
+            model: Arc::clone(model),
             layers: (0..n_layers)
                 .map(|_| LayerKv {
                     k: Vec::new(),
@@ -81,6 +98,12 @@ impl KvCache {
             len: 0,
             score_buf: Vec::new(),
         }
+    }
+
+    /// The shared model this cache decodes against.
+    #[must_use]
+    pub fn model(&self) -> &Arc<TinyLm> {
+        &self.model
     }
 
     /// Number of positions processed so far.
@@ -170,27 +193,7 @@ impl KvCache {
             kv.v.push(v);
 
             let mut ctx = vec![0.0f32; d];
-            let scale = 1.0 / (head_dim as f32).sqrt();
-            for hh in 0..n_heads {
-                let lo = hh * head_dim;
-                let hi = lo + head_dim;
-                // Fused score→softmax→context over the scratch buffer:
-                // scores against every cached position (causal by
-                // construction: the cache only holds positions <= pos),
-                // normalised and contracted against V without allocating a
-                // per-head vector.
-                scores.clear();
-                scores.extend(
-                    kv.k.iter()
-                        .map(|krow| ops::dot(&q[lo..hi], &krow[lo..hi]) * scale),
-                );
-                ops::softmax_inplace(&mut scores);
-                for (w, vrow) in scores.iter().zip(&kv.v) {
-                    for (c, &vv) in ctx[lo..hi].iter_mut().zip(&vrow[lo..hi]) {
-                        *c += w * vv;
-                    }
-                }
-            }
+            fused_attention(&q, kv, n_heads, head_dim, &mut scores, &mut ctx);
             let attn_out = project(&ctx, &layer.wo);
             for (a, b) in h.iter_mut().zip(&attn_out) {
                 *a += b;
@@ -218,12 +221,203 @@ impl KvCache {
         self.len += 1;
         Ok(logits)
     }
+
+    /// Advances N decoding sessions that share one model by one token each,
+    /// returning each session's next-token logits in submission order.
+    ///
+    /// The per-session hidden states are stacked row-wise into an
+    /// `N × d_model` matrix so every projection (QKV, attention output,
+    /// SwiGLU, LM head) runs as a single [`Matrix::matmul_bt`] — the
+    /// tall-skinny GEMM shape the tensor crate tunes for — while attention
+    /// stays per-session over each cache's own fused
+    /// score→softmax→context scratch, because cache lengths are ragged.
+    ///
+    /// Logits are **bit-identical** to calling [`KvCache::decode_step`] on
+    /// each session independently: for `N ≤
+    /// chipalign_tensor::tune::GEMM_SKINNY_M_MAX` the skinny kernel
+    /// accumulates every output row in exactly [`Matrix::matvec`]'s order,
+    /// and the normalisation, RoPE, and attention code is shared verbatim
+    /// with the single-session path. Tests here and in the tensor crate pin
+    /// this.
+    ///
+    /// All validation happens before any session is touched: on error, no
+    /// cache has advanced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] if `tokens.len() != sessions.len()`
+    /// or the sessions do not all share one model allocation,
+    /// [`NnError::BadSequence`] if any session's context window is full,
+    /// and [`NnError::BadToken`] for any out-of-vocabulary id.
+    pub fn decode_batch(
+        sessions: &mut [&mut KvCache],
+        tokens: &[u32],
+    ) -> Result<Vec<Vec<f32>>, NnError> {
+        if sessions.len() != tokens.len() {
+            return Err(NnError::BadConfig {
+                detail: format!(
+                    "decode_batch got {} sessions but {} tokens",
+                    sessions.len(),
+                    tokens.len()
+                ),
+            });
+        }
+        let Some(first) = sessions.first() else {
+            return Ok(Vec::new());
+        };
+        let model = Arc::clone(&first.model);
+        let arch = model.arch().clone();
+        for (i, s) in sessions.iter().enumerate() {
+            if !Arc::ptr_eq(&s.model, &model) {
+                return Err(NnError::BadConfig {
+                    detail: format!("decode_batch session {i} is bound to a different model"),
+                });
+            }
+            if s.len >= arch.max_seq_len {
+                return Err(NnError::BadSequence {
+                    detail: format!("kv cache full at {} positions (session {i})", s.len),
+                });
+            }
+        }
+        for &t in tokens {
+            if t as usize >= arch.vocab_size {
+                return Err(NnError::BadToken {
+                    id: t,
+                    vocab: arch.vocab_size,
+                });
+            }
+        }
+        if sessions.len() == 1 {
+            // A batch of one is exactly the matvec decode fast path.
+            return Ok(vec![sessions[0].decode_step(tokens[0])?]);
+        }
+
+        let n = sessions.len();
+        let d = arch.d_model;
+        let n_heads = arch.n_heads;
+        let head_dim = arch.head_dim();
+        let params = model.params();
+
+        // Stack the embedding rows: one hidden-state row per session.
+        let mut h = Matrix::zeros(n, d);
+        for (r, &t) in tokens.iter().enumerate() {
+            h.row_mut(r).copy_from_slice(params.embed.row(t as usize));
+        }
+
+        for (li, layer) in params.layers.iter().enumerate() {
+            // Attention block: projections batched across sessions.
+            let mut hn = Matrix::zeros(n, d);
+            for r in 0..n {
+                let normed = rmsnorm_row(h.row(r), layer.norm1.data());
+                hn.row_mut(r).copy_from_slice(&normed);
+            }
+            let mut q = project_rows(&hn, &layer.wq);
+            let mut k = project_rows(&hn, &layer.wk);
+            let v = project_rows(&hn, &layer.wv);
+            for r in 0..n {
+                let pos = sessions[r].len;
+                rope_row(q.row_mut(r), pos, n_heads, head_dim);
+                rope_row(k.row_mut(r), pos, n_heads, head_dim);
+            }
+            // Attention stays per-session: cache lengths are ragged.
+            let mut ctx = Matrix::zeros(n, d);
+            for r in 0..n {
+                let session = &mut *sessions[r];
+                let kv = &mut session.layers[li];
+                kv.k.push(k.row(r).to_vec());
+                kv.v.push(v.row(r).to_vec());
+                let mut scores = std::mem::take(&mut session.score_buf);
+                fused_attention(q.row(r), kv, n_heads, head_dim, &mut scores, ctx.row_mut(r));
+                session.score_buf = scores;
+            }
+            let attn_out = project_rows(&ctx, &layer.wo);
+            for r in 0..n {
+                for (a, b) in h.row_mut(r).iter_mut().zip(attn_out.row(r)) {
+                    *a += b;
+                }
+            }
+
+            // MLP block.
+            let mut hn2 = Matrix::zeros(n, d);
+            for r in 0..n {
+                let normed = rmsnorm_row(h.row(r), layer.norm2.data());
+                hn2.row_mut(r).copy_from_slice(&normed);
+            }
+            let gate = project_rows(&hn2, &layer.wg);
+            let up = project_rows(&hn2, &layer.wu);
+            let mut act = Matrix::zeros(n, gate.cols());
+            for r in 0..n {
+                for ((a, &g), &u) in act.row_mut(r).iter_mut().zip(gate.row(r)).zip(up.row(r)) {
+                    *a = ops::silu(g) * u;
+                }
+            }
+            let mlp_out = project_rows(&act, &layer.wd);
+            for r in 0..n {
+                for (a, b) in h.row_mut(r).iter_mut().zip(mlp_out.row(r)) {
+                    *a += b;
+                }
+            }
+        }
+
+        let mut hf = Matrix::zeros(n, d);
+        for r in 0..n {
+            let normed = rmsnorm_row(h.row(r), params.final_norm.data());
+            hf.row_mut(r).copy_from_slice(&normed);
+        }
+        let logits = project_rows(&hf, &params.lm_head);
+        for s in sessions.iter_mut() {
+            s.len += 1;
+        }
+        Ok((0..n).map(|r| logits.row(r).to_vec()).collect())
+    }
 }
 
 /// `y = x · Wᵀ` for a single row, via the tensor crate's matvec fast path.
 fn project(x: &[f32], w: &Matrix) -> Vec<f32> {
     w.matvec(x)
         .expect("projection shapes are fixed by the architecture")
+}
+
+/// `Y = X · Wᵀ` for a stack of rows, via the batched GEMM path. Row `r` of
+/// the result is bit-identical to `project(x.row(r), w)`: the tensor
+/// crate's skinny-m kernel accumulates in matvec order.
+fn project_rows(x: &Matrix, w: &Matrix) -> Matrix {
+    x.matmul_bt(w)
+        .expect("projection shapes are fixed by the architecture")
+}
+
+/// Fused per-head score→softmax→context for one query row against one
+/// session's cached K/V rows, accumulating into `ctx` (which must arrive
+/// zeroed). Scores go against every cached position (causal by
+/// construction: the cache only holds positions `<= pos`), are normalised
+/// in place over the reusable scratch, and contracted against V without
+/// allocating a per-head vector. Shared verbatim by
+/// [`KvCache::decode_step`] and [`KvCache::decode_batch`] so the two paths
+/// cannot drift numerically.
+fn fused_attention(
+    q: &[f32],
+    kv: &LayerKv,
+    n_heads: usize,
+    head_dim: usize,
+    scores: &mut Vec<f32>,
+    ctx: &mut [f32],
+) {
+    let scale = 1.0 / (head_dim as f32).sqrt();
+    for hh in 0..n_heads {
+        let lo = hh * head_dim;
+        let hi = lo + head_dim;
+        scores.clear();
+        scores.extend(
+            kv.k.iter()
+                .map(|krow| ops::dot(&q[lo..hi], &krow[lo..hi]) * scale),
+        );
+        ops::softmax_inplace(scores);
+        for (w, vrow) in scores.iter().zip(&kv.v) {
+            for (c, &vv) in ctx[lo..hi].iter_mut().zip(&vrow[lo..hi]) {
+                *c += w * vv;
+            }
+        }
+    }
 }
 
 /// Single-row RMSNorm (same ε as the batched path).
@@ -254,10 +448,10 @@ mod tests {
     use chipalign_model::ArchSpec;
     use chipalign_tensor::rng::Pcg32;
 
-    fn model() -> TinyLm {
+    fn model() -> Arc<TinyLm> {
         let mut arch = ArchSpec::tiny("kv");
         arch.vocab_size = 99;
-        TinyLm::new(&arch, &mut Pcg32::seed(77)).expect("valid")
+        Arc::new(TinyLm::new(&arch, &mut Pcg32::seed(77)).expect("valid"))
     }
 
     #[test]
@@ -343,5 +537,129 @@ mod tests {
         ));
         assert!(cache.prefill(&[]).is_err());
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn decode_batch_is_bitwise_identical_to_sequential() {
+        // Ragged histories: every session enters the batch at a different
+        // cache length, and the batch runs for several rounds so the
+        // lengths stay staggered throughout.
+        let m = model();
+        let histories: [&[u32]; 4] = [&[5], &[5, 10], &[5, 10, 15, 20], &[7, 3, 9, 22, 41, 2, 8]];
+        let mk = |h: &&[u32]| {
+            let mut c = KvCache::new(&m);
+            c.prefill(h).expect("ok");
+            c
+        };
+        let mut seq: Vec<KvCache> = histories.iter().map(mk).collect();
+        let mut bat: Vec<KvCache> = histories.iter().map(mk).collect();
+
+        for round in 0..3u32 {
+            let toks: Vec<u32> = [11u32, 22, 33, 44].iter().map(|&t| t + round).collect();
+            let expected: Vec<Vec<f32>> = seq
+                .iter_mut()
+                .zip(&toks)
+                .map(|(c, &t)| c.decode_step(t).expect("ok"))
+                .collect();
+            let mut refs: Vec<&mut KvCache> = bat.iter_mut().collect();
+            let got = KvCache::decode_batch(&mut refs, &toks).expect("ok");
+            assert_eq!(got, expected, "round {round} drifted from sequential");
+        }
+        for (a, b) in seq.iter().zip(&bat) {
+            assert_eq!(a.len(), b.len());
+        }
+    }
+
+    #[test]
+    fn decode_batch_handles_empty_and_single() {
+        let m = model();
+        let mut none: Vec<&mut KvCache> = Vec::new();
+        assert!(KvCache::decode_batch(&mut none, &[])
+            .expect("ok")
+            .is_empty());
+
+        let mut a = KvCache::new(&m);
+        a.prefill(&[5, 6]).expect("ok");
+        let mut reference = KvCache::new(&m);
+        reference.prefill(&[5, 6]).expect("ok");
+        let expected = reference.decode_step(7).expect("ok");
+        let mut batch = [&mut a];
+        let got = KvCache::decode_batch(&mut batch, &[7]).expect("ok");
+        assert_eq!(got, vec![expected]);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn decode_batch_validates_before_touching_any_session() {
+        let m = model();
+        let mut a = KvCache::new(&m);
+        a.prefill(&[5, 6]).expect("ok");
+        let mut b = KvCache::new(&m);
+        b.prefill(&[5]).expect("ok");
+
+        // Session/token count mismatch.
+        {
+            let mut batch = [&mut a, &mut b];
+            assert!(matches!(
+                KvCache::decode_batch(&mut batch, &[1]),
+                Err(NnError::BadConfig { .. })
+            ));
+        }
+        // Out-of-vocabulary token in the *second* slot: the first session
+        // must not have advanced either.
+        {
+            let mut batch = [&mut a, &mut b];
+            assert!(matches!(
+                KvCache::decode_batch(&mut batch, &[1, 200]),
+                Err(NnError::BadToken { .. })
+            ));
+        }
+        // Same weights, different allocation: batching requires one Arc.
+        let other = model();
+        let mut c = KvCache::new(&other);
+        c.prefill(&[5]).expect("ok");
+        {
+            let mut batch = [&mut a, &mut c];
+            assert!(matches!(
+                KvCache::decode_batch(&mut batch, &[1, 2]),
+                Err(NnError::BadConfig { .. })
+            ));
+        }
+        assert_eq!(a.len(), 2, "failed batches must not advance any session");
+        assert_eq!(b.len(), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn decode_batch_rejects_full_cache_without_side_effects() {
+        let m = model(); // max_seq_len = 32
+        let mut full = KvCache::new(&m);
+        for i in 0..32 {
+            full.decode_step(4 + (i % 90) as u32).expect("ok");
+        }
+        let mut fresh = KvCache::new(&m);
+        fresh.prefill(&[5]).expect("ok");
+        let mut batch = [&mut fresh, &mut full];
+        assert!(matches!(
+            KvCache::decode_batch(&mut batch, &[1, 2]),
+            Err(NnError::BadSequence { .. })
+        ));
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(full.len(), 32);
+    }
+
+    #[test]
+    fn sessions_share_one_model_allocation() {
+        let m = model();
+        let base = Arc::strong_count(&m);
+        let caches: Vec<KvCache> = (0..8).map(|_| KvCache::new(&m)).collect();
+        assert_eq!(
+            Arc::strong_count(&m),
+            base + 8,
+            "each cache must hold an Arc, not a model clone"
+        );
+        for c in &caches {
+            assert!(Arc::ptr_eq(c.model(), &m));
+        }
     }
 }

@@ -20,6 +20,11 @@
 //! * [`generate`]/[`score`] — greedy and temperature decoding, and the
 //!   length-normalised answer log-likelihood used by the multi-choice chip
 //!   QA benchmark (Figure 7).
+//! * [`KvCache`] — incremental decoding over a shared (`Arc`) model, one
+//!   cache per session, with [`KvCache::decode_batch`] advancing many
+//!   sessions through one GEMM per projection — bit-identical to stepping
+//!   each session alone, which is what lets the serving scheduler batch
+//!   without changing a single output byte.
 //!
 //! Models convert losslessly to and from [`chipalign_model::Checkpoint`],
 //! which is what the merge crate operates on.

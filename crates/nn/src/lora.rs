@@ -181,11 +181,7 @@ impl LoraModel {
     ///
     /// Returns [`NnError::BadConfig`] for an empty dataset or invalid
     /// optimizer settings, and forwards any forward/backward failure.
-    pub fn train(
-        &mut self,
-        data: &[Example],
-        cfg: &TrainConfig,
-    ) -> Result<Vec<f32>, NnError> {
+    pub fn train(&mut self, data: &[Example], cfg: &TrainConfig) -> Result<Vec<f32>, NnError> {
         if data.is_empty() {
             return Err(NnError::BadConfig {
                 detail: "LoRA training requires a non-empty dataset".into(),
@@ -216,9 +212,7 @@ impl LoraModel {
                 // dA = s·Bᵀ·dW, dB = s·dW·Aᵀ.
                 for l in 0..n_layers {
                     let lg = &full.layers[l];
-                    let weight_grads = [
-                        &lg.wq, &lg.wk, &lg.wv, &lg.wo, &lg.wg, &lg.wu, &lg.wd,
-                    ];
+                    let weight_grads = [&lg.wq, &lg.wk, &lg.wv, &lg.wo, &lg.wg, &lg.wu, &lg.wd];
                     for (t, dw) in weight_grads.into_iter().enumerate() {
                         let idx = 2 * (l * TARGETS_PER_LAYER + t);
                         let a = &self.adapters[idx];
@@ -246,9 +240,9 @@ impl LoraModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use chipalign_model::ArchSpec;
     use crate::optim::AdamConfig;
     use crate::train::TrainConfig;
+    use chipalign_model::ArchSpec;
 
     fn base() -> TinyLm {
         let mut arch = ArchSpec::tiny("lora");
@@ -259,8 +253,8 @@ mod tests {
     #[test]
     fn fresh_adapters_are_identity() {
         let b = base();
-        let lora = LoraModel::new(b.clone(), LoraConfig::default(), &mut Pcg32::seed(1))
-            .expect("ok");
+        let lora =
+            LoraModel::new(b.clone(), LoraConfig::default(), &mut Pcg32::seed(1)).expect("ok");
         let merged = lora.merged_model().expect("ok");
         let x = b.logits(&[4, 8, 15]).expect("ok");
         let y = merged.logits(&[4, 8, 15]).expect("ok");
@@ -292,8 +286,7 @@ mod tests {
         let b = base();
         let total = b.params().scalar_count();
         let lora =
-            LoraModel::new(b, LoraConfig { rank: 2, alpha: 4 }, &mut Pcg32::seed(1))
-                .expect("ok");
+            LoraModel::new(b, LoraConfig { rank: 2, alpha: 4 }, &mut Pcg32::seed(1)).expect("ok");
         assert!(lora.trainable_count() > 0);
         assert!(
             lora.trainable_count() < total / 2,
@@ -367,8 +360,8 @@ mod tests {
 
     #[test]
     fn empty_dataset_rejected() {
-        let mut lora = LoraModel::new(base(), LoraConfig::default(), &mut Pcg32::seed(1))
-            .expect("ok");
+        let mut lora =
+            LoraModel::new(base(), LoraConfig::default(), &mut Pcg32::seed(1)).expect("ok");
         let cfg = TrainConfig::default();
         assert!(lora.train(&[], &cfg).is_err());
     }

@@ -83,7 +83,8 @@ impl TinyLm {
     /// Returns [`NnError::BadConfig`] if the architecture is internally
     /// inconsistent (see [`ArchSpec::check`]).
     pub fn new(arch: &ArchSpec, rng: &mut Pcg32) -> Result<Self, NnError> {
-        arch.check().map_err(|detail| NnError::BadConfig { detail })?;
+        arch.check()
+            .map_err(|detail| NnError::BadConfig { detail })?;
         Ok(TinyLm {
             arch: arch.clone(),
             params: ParamSet::init(arch, rng),
@@ -177,7 +178,8 @@ impl TinyLm {
         // Token embedding.
         let mut h = Matrix::zeros(seq, d);
         for (t, &tok) in tokens.iter().enumerate() {
-            h.row_mut(t).copy_from_slice(self.params.embed.row(tok as usize));
+            h.row_mut(t)
+                .copy_from_slice(self.params.embed.row(tok as usize));
         }
         let h0 = h.clone();
 
@@ -272,11 +274,7 @@ impl TinyLm {
     ///
     /// Returns a tensor error if `dlogits` does not match the cached
     /// sequence's `(seq × vocab)` shape.
-    pub fn backward(
-        &self,
-        cache: &ForwardCache,
-        dlogits: &Matrix,
-    ) -> Result<ParamSet, NnError> {
+    pub fn backward(&self, cache: &ForwardCache, dlogits: &Matrix) -> Result<ParamSet, NnError> {
         let seq = cache.tokens.len();
         let n_heads = self.arch.n_heads;
         let head_dim = self.arch.head_dim();
@@ -296,11 +294,9 @@ impl TinyLm {
         grads.final_norm = dg_final;
 
         // Layers in reverse.
-        for (layer, lcache, lgrads) in itertools_rev(
-            &self.params.layers,
-            &cache.layers,
-            &mut grads.layers,
-        ) {
+        for (layer, lcache, lgrads) in
+            itertools_rev(&self.params.layers, &cache.layers, &mut grads.layers)
+        {
             // --- MLP block backward ---
             // h_out = h_mid + act · Wdᵀ
             let dmlp_out = dh.clone();
@@ -308,9 +304,9 @@ impl TinyLm {
             let dact = dmlp_out.matmul(&layer.wd)?;
             // act = silu(gate) ⊙ up
             let dup = dact.zip_map(&lcache.gate, |da, g| da * ops::silu(g))?;
-            let dgate =
-                dact.zip_map(&lcache.up, |da, u| da * u)?
-                    .zip_map(&lcache.gate, |dau, g| dau * ops::silu_grad(g))?;
+            let dgate = dact
+                .zip_map(&lcache.up, |da, u| da * u)?
+                .zip_map(&lcache.gate, |dau, g| dau * ops::silu_grad(g))?;
             lgrads.wg = dgate.matmul_at_checked(&lcache.h_norm2)?;
             lgrads.wu = dup.matmul_at_checked(&lcache.h_norm2)?;
             let mut dh_norm2 = dgate.matmul(&layer.wg)?;
@@ -462,8 +458,7 @@ fn rope_inplace(m: &mut Matrix, n_heads: usize, head_dim: usize, sign: f32) {
         for hh in 0..n_heads {
             let base = hh * head_dim;
             for i in 0..head_dim / 2 {
-                let theta =
-                    t as f32 * ROPE_BASE.powf(-2.0 * i as f32 / head_dim as f32);
+                let theta = t as f32 * ROPE_BASE.powf(-2.0 * i as f32 / head_dim as f32);
                 let (sin, cos) = (sign * theta).sin_cos();
                 let a = row[base + 2 * i];
                 let b = row[base + 2 * i + 1];
@@ -555,14 +550,8 @@ mod tests {
     #[test]
     fn forward_rejects_bad_input() {
         let m = model(1);
-        assert!(matches!(
-            m.forward(&[]),
-            Err(NnError::BadSequence { .. })
-        ));
-        assert!(matches!(
-            m.forward(&[999]),
-            Err(NnError::BadToken { .. })
-        ));
+        assert!(matches!(m.forward(&[]), Err(NnError::BadSequence { .. })));
+        assert!(matches!(m.forward(&[999]), Err(NnError::BadToken { .. })));
         let too_long = vec![1u32; 33];
         assert!(matches!(
             m.forward(&too_long),
@@ -599,11 +588,7 @@ mod tests {
         let b = m.logits(&[6, 5, 7]).expect("ok");
         let last_a: Vec<f32> = a.row(2).to_vec();
         let last_b: Vec<f32> = b.row(2).to_vec();
-        let diff: f32 = last_a
-            .iter()
-            .zip(&last_b)
-            .map(|(x, y)| (x - y).abs())
-            .sum();
+        let diff: f32 = last_a.iter().zip(&last_b).map(|(x, y)| (x - y).abs()).sum();
         assert!(diff > 1e-4, "prefix order was invisible: RoPE inert");
     }
 

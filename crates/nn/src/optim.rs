@@ -188,7 +188,9 @@ impl FlatAdam {
             });
         }
         let zeros = |ms: &[Matrix]| -> Vec<Matrix> {
-            ms.iter().map(|m| Matrix::zeros(m.rows(), m.cols())).collect()
+            ms.iter()
+                .map(|m| Matrix::zeros(m.rows(), m.cols()))
+                .collect()
         };
         Ok(FlatAdam {
             cfg,

@@ -230,9 +230,7 @@ impl ParamSet {
                 wk: grab(&format!("model.layers.{i}.self_attn.k_proj.weight"))?,
                 wv: grab(&format!("model.layers.{i}.self_attn.v_proj.weight"))?,
                 wo: grab(&format!("model.layers.{i}.self_attn.o_proj.weight"))?,
-                norm2: grab(&format!(
-                    "model.layers.{i}.post_attention_layernorm.weight"
-                ))?,
+                norm2: grab(&format!("model.layers.{i}.post_attention_layernorm.weight"))?,
                 wg: grab(&format!("model.layers.{i}.mlp.gate_proj.weight"))?,
                 wu: grab(&format!("model.layers.{i}.mlp.up_proj.weight"))?,
                 wd: grab(&format!("model.layers.{i}.mlp.down_proj.weight"))?,

@@ -84,10 +84,10 @@ pub fn choose(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use chipalign_model::ArchSpec;
-    use chipalign_tensor::rng::Pcg32;
     use crate::train::{train, Example, TrainConfig};
     use crate::AdamConfig;
+    use chipalign_model::ArchSpec;
+    use chipalign_tensor::rng::Pcg32;
 
     fn arch() -> ArchSpec {
         let mut a = ArchSpec::tiny("score");

@@ -78,9 +78,7 @@ impl CharTokenizer {
     /// `<unk>`, which becomes `\u{FFFD}` so information loss stays visible.
     #[must_use]
     pub fn decode(&self, ids: &[u32]) -> String {
-        ids.iter()
-            .filter_map(|&id| self.id_to_char(id))
-            .collect()
+        ids.iter().filter_map(|&id| self.id_to_char(id)).collect()
     }
 
     /// Maps one character to its token id.

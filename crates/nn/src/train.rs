@@ -88,11 +88,7 @@ impl Default for TrainConfig {
 /// Returns [`NnError::BadConfig`] for an empty dataset or zero steps/batch,
 /// and forwards forward/backward failures (e.g. an example longer than the
 /// context window).
-pub fn train(
-    model: &mut TinyLm,
-    data: &[Example],
-    cfg: &TrainConfig,
-) -> Result<Vec<f32>, NnError> {
+pub fn train(model: &mut TinyLm, data: &[Example], cfg: &TrainConfig) -> Result<Vec<f32>, NnError> {
     if data.is_empty() {
         return Err(NnError::BadConfig {
             detail: "training requires a non-empty dataset".into(),

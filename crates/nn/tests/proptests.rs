@@ -85,6 +85,44 @@ proptest! {
     }
 
     #[test]
+    fn decode_batch_bitwise_matches_sequential_on_random_histories(
+        seed in 0u64..40,
+        histories in proptest::collection::vec(
+            proptest::collection::vec(0u32..32, 1..12),
+            2..8,
+        ),
+        steps in proptest::collection::vec(0u32..32, 1..4),
+    ) {
+        // Arbitrary ragged prefill histories, arbitrary batch width 2..8,
+        // several batched rounds: logits and cache lengths must equal the
+        // one-session-at-a-time path exactly (==, not a tolerance).
+        let model = std::sync::Arc::new(TinyLm::new(&arch(), &mut Pcg32::seed(seed)).unwrap());
+        let mk = |h: &Vec<u32>| {
+            let mut c = KvCache::new(&model);
+            c.prefill(h).unwrap();
+            c
+        };
+        let mut seq: Vec<KvCache> = histories.iter().map(mk).collect();
+        let mut bat: Vec<KvCache> = histories.iter().map(mk).collect();
+        for &tok in &steps {
+            if seq.iter().any(|c| c.len() >= arch().max_seq_len) {
+                break; // next round would overflow some window
+            }
+            let toks = vec![tok; seq.len()];
+            let expected: Vec<Vec<f32>> = seq
+                .iter_mut()
+                .map(|c| c.decode_step(tok).unwrap())
+                .collect();
+            let mut refs: Vec<&mut KvCache> = bat.iter_mut().collect();
+            let got = KvCache::decode_batch(&mut refs, &toks).unwrap();
+            prop_assert_eq!(got, expected);
+        }
+        for (a, b) in seq.iter().zip(&bat) {
+            prop_assert_eq!(a.len(), b.len());
+        }
+    }
+
+    #[test]
     fn kv_cache_matches_full_forward_across_window_slides(
         seed in 0u64..40,
         // max_seq_len is 16, so prompts of 12..24 tokens cover "almost
@@ -92,7 +130,7 @@ proptest! {
         prompt in proptest::collection::vec(0u32..32, 12..24),
         extra in 8usize..20,
     ) {
-        let model = TinyLm::new(&arch(), &mut Pcg32::seed(seed)).unwrap();
+        let model = std::sync::Arc::new(TinyLm::new(&arch(), &mut Pcg32::seed(seed)).unwrap());
         let max_ctx = arch().max_seq_len;
         let mut context = prompt.clone();
 

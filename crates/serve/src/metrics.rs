@@ -15,6 +15,11 @@ use serde::{Deserialize, Serialize};
 /// Number of power-of-two buckets: covers 1 µs .. ~2^47 µs (~4 years).
 const BUCKETS: usize = 48;
 
+/// Buckets in the batch-occupancy histogram: index `n` counts slices that
+/// advanced exactly `n` sessions, with everything `>= 16` folded into the
+/// last slot (the scheduler's `max_batch` rarely exceeds it in practice).
+const BATCH_BUCKETS: usize = 17;
+
 /// A lock-free power-of-two latency histogram over microseconds.
 #[derive(Debug)]
 pub struct Histogram {
@@ -89,6 +94,11 @@ pub struct Metrics {
     retries_attempted: AtomicU64,
     /// Worker threads that died and re-entered their loop.
     workers_respawned: AtomicU64,
+    /// Slices that advanced two or more sessions through one batched step.
+    batched_slices: AtomicU64,
+    /// How many sessions each dequeued slice advanced (index = batch size,
+    /// `>= 16` folded into the last bucket).
+    batch_occupancy: [AtomicU64; BATCH_BUCKETS],
     /// New tokens produced by completed sessions.
     tokens_out: AtomicU64,
     /// Prompt tokens consumed by admitted sessions.
@@ -114,6 +124,8 @@ impl Default for Metrics {
             checksum_failures: AtomicU64::new(0),
             retries_attempted: AtomicU64::new(0),
             workers_respawned: AtomicU64::new(0),
+            batched_slices: AtomicU64::new(0),
+            batch_occupancy: std::array::from_fn(|_| AtomicU64::new(0)),
             tokens_out: AtomicU64::new(0),
             prompt_tokens: AtomicU64::new(0),
             latency: Histogram::default(),
@@ -199,6 +211,14 @@ impl Metrics {
         self.workers_respawned.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a dequeued slice that advanced `n` sessions together.
+    pub fn on_batch(&self, n: usize) {
+        self.batch_occupancy[n.min(BATCH_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        if n >= 2 {
+            self.batched_slices.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// A consistent-enough point-in-time view (individual counters are read
     /// relaxed; rates use wall-clock uptime).
     #[must_use]
@@ -220,6 +240,12 @@ impl Metrics {
             checksum_failures: self.checksum_failures.load(Ordering::Relaxed),
             retries_attempted: self.retries_attempted.load(Ordering::Relaxed),
             workers_respawned: self.workers_respawned.load(Ordering::Relaxed),
+            batched_slices: self.batched_slices.load(Ordering::Relaxed),
+            batch_occupancy: self
+                .batch_occupancy
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
             tokens_out,
             prompt_tokens: self.prompt_tokens.load(Ordering::Relaxed),
             requests_per_sec: completed as f64 / uptime_s,
@@ -265,6 +291,14 @@ pub struct MetricsSnapshot {
     /// Worker threads that died and were respawned.
     #[serde(default)]
     pub workers_respawned: u64,
+    /// Slices that advanced two or more sessions through one batched step.
+    #[serde(default)]
+    pub batched_slices: u64,
+    /// Batch-occupancy histogram: entry `n` counts slices that advanced
+    /// exactly `n` sessions (`>= 16` folded into the last entry). Empty
+    /// when the snapshot came from a server without batching.
+    #[serde(default)]
+    pub batch_occupancy: Vec<u64>,
     /// Total new tokens produced.
     pub tokens_out: u64,
     /// Total prompt tokens consumed.
@@ -357,6 +391,25 @@ mod tests {
     }
 
     #[test]
+    fn batch_occupancy_buckets_and_counter() {
+        let m = Metrics::new();
+        m.on_batch(1);
+        m.on_batch(1);
+        m.on_batch(4);
+        m.on_batch(16);
+        m.on_batch(100); // folds into the last bucket
+        let snap = m.snapshot();
+        assert_eq!(snap.batch_occupancy.len(), BATCH_BUCKETS);
+        assert_eq!(snap.batch_occupancy[1], 2);
+        assert_eq!(snap.batch_occupancy[4], 1);
+        assert_eq!(snap.batch_occupancy[16], 2);
+        assert_eq!(
+            snap.batched_slices, 3,
+            "single-session slices must not count as batched"
+        );
+    }
+
+    #[test]
     fn snapshot_without_fault_fields_still_parses() {
         // A v1 server's snapshot predates the fault counters; the client
         // must still accept it (serde defaults).
@@ -371,10 +424,14 @@ mod tests {
             "checksum_failures",
             "retries_attempted",
             "workers_respawned",
+            "batched_slices",
+            "batch_occupancy",
         ] {
             obj.remove(field);
         }
         let back: MetricsSnapshot = serde_json::from_value(v).expect("parse without fault fields");
         assert_eq!(back.worker_panics, 0);
+        assert_eq!(back.batched_slices, 0);
+        assert!(back.batch_occupancy.is_empty());
     }
 }

@@ -9,6 +9,19 @@
 //! sessions join the rotation the moment a worker frees up, and with `W`
 //! workers up to `W` sessions decode truly in parallel.
 //!
+//! # Batched decoding
+//!
+//! With [`SchedulerConfig::max_batch`] above 1, a worker drains up to
+//! `max_batch` runnable sessions in one pop and advances them *together*
+//! through [`StepDecoder::step_batch`], which turns the per-token
+//! projection matvecs into one skinny GEMM per projection across the whole
+//! batch. Because the batched kernel is bit-identical to stepping each
+//! session alone (pinned by tests in `chipalign-nn` and `chipalign-tensor`),
+//! batching changes throughput and nothing else: greedy transcripts are
+//! byte-identical at every `max_batch`. A batch of one falls back to the
+//! unbatched [`run_slice`] path, so `max_batch == 1` reproduces the old
+//! scheduler exactly.
+//!
 //! Admission control is a hard bound on sessions in flight (queued +
 //! running): beyond it, [`Scheduler::submit`] fails fast with
 //! [`ServeError::Overloaded`] instead of buffering without limit. Each
@@ -73,6 +86,13 @@ pub struct SchedulerConfig {
     /// unit is slices, not seconds, so watchdog behaviour is deterministic
     /// in tests.
     pub stall_slices: u64,
+    /// Most sessions a worker advances together per slice. `1` reproduces
+    /// the unbatched scheduler exactly; larger values amortize weight
+    /// traversal across sessions via the skinny-GEMM decode path without
+    /// changing any output byte. Clamped at start-up to
+    /// `[1, GEMM_SKINNY_M_MAX]` — beyond the skinny tile the batched step
+    /// would leave the kernel that guarantees bit-identity.
+    pub max_batch: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -82,9 +102,14 @@ impl Default for SchedulerConfig {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(4)
                 .min(8),
-            max_sessions: 64,
+            // Sessions share one model allocation (`Arc<TinyLm>` inside
+            // every KV cache), so the per-session footprint is just the
+            // cache itself — in-flight capacity can sit well above the old
+            // weights-per-session bound.
+            max_sessions: 256,
             slice_tokens: 8,
             stall_slices: 32,
+            max_batch: 8,
         }
     }
 }
@@ -217,6 +242,9 @@ impl Scheduler {
             max_sessions: cfg.max_sessions.max(1),
             slice_tokens: cfg.slice_tokens.max(1),
             stall_slices: cfg.stall_slices,
+            max_batch: cfg
+                .max_batch
+                .clamp(1, chipalign_tensor::tune::GEMM_SKINNY_M_MAX),
         };
         let inner = Arc::new(Inner {
             cfg: cfg.clone(),
@@ -346,11 +374,14 @@ fn worker_main(inner: &Inner) {
 
 fn worker_loop(inner: &Inner) {
     loop {
-        let task = {
+        let mut batch = {
             let mut queue = lock_queue(inner);
             loop {
-                if let Some(task) = queue.pop_front() {
-                    break task;
+                if !queue.is_empty() {
+                    // Drain up to `max_batch` runnable sessions in one pop:
+                    // everything taken here advances together this slice.
+                    let take = inner.cfg.max_batch.min(queue.len());
+                    break queue.drain(..take).collect::<Vec<Task>>();
                 }
                 if inner.draining.load(Ordering::SeqCst) {
                     return;
@@ -364,13 +395,24 @@ fn worker_loop(inner: &Inner) {
         #[cfg(feature = "fault-inject")]
         {
             // Panic *outside* the slice guard: kills this worker_loop call
-            // outright. The task's drop guard reports the session; the
-            // respawn path in worker_main restores pool capacity.
-            if crate::faults::should_fire(crate::faults::Site::WorkerDeath, &task.tag) {
+            // outright. The drop guard of every task in the batch reports
+            // its session; the respawn path in worker_main restores pool
+            // capacity.
+            if batch
+                .iter()
+                .any(|t| crate::faults::should_fire(crate::faults::Site::WorkerDeath, &t.tag))
+            {
                 panic!("injected worker death");
             }
         }
-        run_slice(inner, task);
+        inner.metrics.on_batch(batch.len());
+        if batch.len() == 1 {
+            if let Some(task) = batch.pop() {
+                run_slice(inner, task);
+            }
+        } else {
+            run_batch_slice(inner, batch);
+        }
     }
 }
 
@@ -391,14 +433,7 @@ fn run_slice(inner: &Inner, mut task: Task) {
                 .on_completed(result.tokens.len(), result.total_us);
             finish(inner, task, Ok(result));
         }
-        Ok(Err(e)) => {
-            match &e {
-                ServeError::DeadlineExceeded { .. } => inner.metrics.on_deadline_exceeded(),
-                ServeError::Stalled { .. } => inner.metrics.on_watchdog_cancel(),
-                _ => inner.metrics.on_failed(),
-            }
-            finish(inner, task, Err(e));
-        }
+        Ok(Err(e)) => fail_finish(inner, task, e),
         Err(payload) => {
             // The slice panicked. The decoder is gone (its frame unwound),
             // but the task survived: cancel just this session and keep the
@@ -406,6 +441,188 @@ fn run_slice(inner: &Inner, mut task: Task) {
             inner.metrics.on_worker_panic();
             let detail = panic_detail(payload.as_ref());
             finish(inner, task, Err(ServeError::WorkerPanic { detail }));
+        }
+    }
+}
+
+/// Routes a structured failure: classifies it for metrics, then delivers
+/// it. Panics are counted once where they are caught, not here.
+fn fail_finish(inner: &Inner, task: Task, e: ServeError) {
+    match &e {
+        ServeError::DeadlineExceeded { .. } => inner.metrics.on_deadline_exceeded(),
+        ServeError::Stalled { .. } => inner.metrics.on_watchdog_cancel(),
+        ServeError::WorkerPanic { .. } => {}
+        _ => inner.metrics.on_failed(),
+    }
+    finish(inner, task, Err(e));
+}
+
+/// One member of a batched slice: the task plus its live decoder state.
+struct BatchMember {
+    task: Task,
+    decoder: StepDecoder,
+    deadline: Option<Instant>,
+    /// `produced.len()` at slice start, for the zero-progress watchdog.
+    before: usize,
+    /// Injected stall: sit out every round this slice, then take a
+    /// watchdog tick — exactly like the unbatched stall site.
+    stalled: bool,
+    end: MemberEnd,
+}
+
+/// Where a batch member stands as the slice settles.
+enum MemberEnd {
+    /// Still decoding: requeue for the next slice.
+    Live,
+    /// Finished; payload for the client.
+    Done(SessionResult),
+    /// Cancelled with a structured error.
+    Failed(ServeError),
+}
+
+/// Advances a whole batch of sessions together for one slice.
+///
+/// Fault semantics mirror the single-session path *per member*: decoder
+/// resolution (prefill) runs under a per-session panic guard, so a
+/// poisoned session is cancelled alone while its batch-mates proceed;
+/// deadlines are swept between decode rounds; members that end the slice
+/// with zero progress take a watchdog tick. The one batch-wide hazard is a
+/// panic inside the joint batched step — it cannot be attributed to a
+/// single session and may leave batch-mates mid-token, so every session
+/// that was stepping is cancelled with a structured `WorkerPanic`.
+fn run_batch_slice(inner: &Inner, batch: Vec<Task>) {
+    // Phase 1: resolve every member's decoder under its own guard.
+    let mut members: Vec<BatchMember> = Vec::with_capacity(batch.len());
+    for mut task in batch {
+        let resolved = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let pair = take_decoder(inner, &mut task)?;
+            #[cfg(feature = "fault-inject")]
+            if crate::faults::should_fire(crate::faults::Site::WorkerPanic, &task.tag) {
+                panic!("injected worker panic");
+            }
+            Ok(pair)
+        }));
+        match resolved {
+            Err(payload) => {
+                inner.metrics.on_worker_panic();
+                let detail = panic_detail(payload.as_ref());
+                finish(inner, task, Err(ServeError::WorkerPanic { detail }));
+            }
+            Ok(Err(e)) => fail_finish(inner, task, e),
+            Ok(Ok((decoder, deadline))) => {
+                #[cfg(feature = "fault-inject")]
+                let stalled =
+                    crate::faults::should_fire(crate::faults::Site::SessionStall, &task.tag);
+                #[cfg(not(feature = "fault-inject"))]
+                let stalled = false;
+                let before = task.produced.len();
+                members.push(BatchMember {
+                    task,
+                    decoder,
+                    deadline,
+                    before,
+                    stalled,
+                    end: MemberEnd::Live,
+                });
+            }
+        }
+    }
+
+    // Phase 2: decode rounds. All live, non-stalled members advance
+    // together through one batched step per round.
+    for _ in 0..inner.cfg.slice_tokens {
+        // Deadline sweep, mirroring the single-session between-step check.
+        for m in &mut members {
+            if matches!(m.end, MemberEnd::Live) && past(m.deadline) {
+                m.end = MemberEnd::Failed(deadline_error(m.task.admitted));
+            }
+        }
+        let mut stepped: Vec<usize> = Vec::new();
+        let mut steppers: Vec<&mut StepDecoder> = Vec::new();
+        for (i, m) in members.iter_mut().enumerate() {
+            if matches!(m.end, MemberEnd::Live) && !m.stalled {
+                stepped.push(i);
+                steppers.push(&mut m.decoder);
+            }
+        }
+        if steppers.is_empty() {
+            break;
+        }
+        let round =
+            std::panic::catch_unwind(AssertUnwindSafe(|| StepDecoder::step_batch(&mut steppers)));
+        drop(steppers);
+        match round {
+            Err(payload) => {
+                inner.metrics.on_worker_panic();
+                let detail = panic_detail(payload.as_ref());
+                for &i in &stepped {
+                    members[i].end = MemberEnd::Failed(ServeError::WorkerPanic {
+                        detail: detail.clone(),
+                    });
+                }
+                break;
+            }
+            Ok(Err(e)) => {
+                // A structured error from the joint step is also
+                // unattributable: a member may hold a committed but
+                // unadvanced token. Cancel everyone who was stepping.
+                let detail = format!("batched decode step failed: {e}");
+                for &i in &stepped {
+                    members[i].end = MemberEnd::Failed(ServeError::Internal {
+                        detail: detail.clone(),
+                    });
+                }
+                break;
+            }
+            Ok(Ok(tokens)) => {
+                for (&i, token) in stepped.iter().zip(tokens) {
+                    let m = &mut members[i];
+                    match token {
+                        Some(t) => m.task.produced.push(t),
+                        None => m.end = MemberEnd::Done(session_result(&mut m.task, &m.decoder)),
+                    }
+                }
+            }
+        }
+    }
+
+    // Watchdog accounting for members still live with zero progress this
+    // slice (injected stalls always; a cooperative decoder possibly).
+    for m in &mut members {
+        if !matches!(m.end, MemberEnd::Live) {
+            continue;
+        }
+        if m.task.produced.len() == m.before {
+            if let Err(e) = watchdog_tick(inner, &mut m.task) {
+                m.end = MemberEnd::Failed(e);
+            }
+        } else {
+            m.task.stalled_slices = 0;
+        }
+    }
+
+    // Settle: requeue survivors in their original order, deliver the rest.
+    for m in members {
+        let BatchMember {
+            mut task,
+            decoder,
+            deadline,
+            end,
+            ..
+        } = m;
+        match end {
+            MemberEnd::Live => {
+                task.state = TaskState::Running { decoder, deadline };
+                lock_queue(inner).push_back(task);
+                inner.available.notify_one();
+            }
+            MemberEnd::Done(result) => {
+                inner
+                    .metrics
+                    .on_completed(result.tokens.len(), result.total_us);
+                finish(inner, task, Ok(result));
+            }
+            MemberEnd::Failed(e) => fail_finish(inner, task, e),
         }
     }
 }
@@ -418,14 +635,16 @@ enum SliceStatus {
     Done(SessionResult),
 }
 
-/// Decodes up to `slice_tokens` tokens for one session. Pure with respect
-/// to scheduler structures: no locks are held while decoding, so a panic
-/// here cannot poison the queue.
-fn decode_slice(inner: &Inner, task: &mut Task) -> Result<SliceStatus, ServeError> {
-    let (mut decoder, deadline) = match std::mem::replace(&mut task.state, TaskState::Tombstone) {
+/// Takes a task's decoder for one slice: first-slice prefill for `Pending`
+/// (the expensive O(prompt) part runs on the worker, and the queue wait is
+/// recorded), pass-through for `Running`, structured error for `Tombstone`.
+/// Shared by the single-session and batched slice paths.
+fn take_decoder(
+    inner: &Inner,
+    task: &mut Task,
+) -> Result<(StepDecoder, Option<Instant>), ServeError> {
+    match std::mem::replace(&mut task.state, TaskState::Tombstone) {
         TaskState::Pending(req) => {
-            // First slice: prefill the prompt (the expensive O(prompt)
-            // part) on this worker and record the queue wait.
             let queue_us = elapsed_us(task.admitted);
             task.queue_us = Some(queue_us);
             inner.metrics.on_first_slice(queue_us);
@@ -433,16 +652,35 @@ fn decode_slice(inner: &Inner, task: &mut Task) -> Result<SliceStatus, ServeErro
                 return Err(deadline_error(task.admitted));
             }
             let decoder = StepDecoder::new(&req.model, &req.prompt, &req.cfg)?;
-            (decoder, req.deadline)
+            Ok((decoder, req.deadline))
         }
-        TaskState::Running { decoder, deadline } => (decoder, deadline),
-        TaskState::Tombstone => {
-            return Err(ServeError::Internal {
-                detail: "scheduler invariant violated: task rescheduled in tombstone state"
-                    .to_string(),
-            })
-        }
+        TaskState::Running { decoder, deadline } => Ok((decoder, deadline)),
+        TaskState::Tombstone => Err(ServeError::Internal {
+            detail: "scheduler invariant violated: task rescheduled in tombstone state".to_string(),
+        }),
+    }
+}
+
+/// Builds the payload for a session whose decoder just reported completion.
+fn session_result(task: &mut Task, decoder: &StepDecoder) -> SessionResult {
+    let finish = if decoder.stopped_at_eos() {
+        FinishReason::Eos
+    } else {
+        FinishReason::Length
     };
+    SessionResult {
+        tokens: std::mem::take(&mut task.produced),
+        finish,
+        queue_us: task.queue_us.unwrap_or(0),
+        total_us: elapsed_us(task.admitted),
+    }
+}
+
+/// Decodes up to `slice_tokens` tokens for one session. Pure with respect
+/// to scheduler structures: no locks are held while decoding, so a panic
+/// here cannot poison the queue.
+fn decode_slice(inner: &Inner, task: &mut Task) -> Result<SliceStatus, ServeError> {
+    let (mut decoder, deadline) = take_decoder(inner, task)?;
 
     #[cfg(feature = "fault-inject")]
     {
@@ -464,20 +702,7 @@ fn decode_slice(inner: &Inner, task: &mut Task) -> Result<SliceStatus, ServeErro
         }
         match decoder.step()? {
             Some(token) => task.produced.push(token),
-            None => {
-                let finish_reason = if decoder.stopped_at_eos() {
-                    FinishReason::Eos
-                } else {
-                    FinishReason::Length
-                };
-                let total_us = elapsed_us(task.admitted);
-                return Ok(SliceStatus::Done(SessionResult {
-                    tokens: std::mem::take(&mut task.produced),
-                    finish: finish_reason,
-                    queue_us: task.queue_us.unwrap_or(0),
-                    total_us,
-                }));
-            }
+            None => return Ok(SliceStatus::Done(session_result(task, &decoder))),
         }
     }
 
@@ -589,12 +814,22 @@ mod tests {
         }
     }
 
+    /// Unbatched config: keeps the pre-batching tests pinned to the exact
+    /// single-session slice path.
     fn config(workers: usize, max_sessions: usize, slice_tokens: usize) -> SchedulerConfig {
         SchedulerConfig {
             workers,
             max_sessions,
             slice_tokens,
             stall_slices: 32,
+            max_batch: 1,
+        }
+    }
+
+    fn batched(workers: usize, slice_tokens: usize, max_batch: usize) -> SchedulerConfig {
+        SchedulerConfig {
+            max_batch,
+            ..config(workers, 16, slice_tokens)
         }
     }
 
@@ -628,6 +863,54 @@ mod tests {
             assert_eq!(result.tokens, reference, "budget {budget}");
         }
         assert_eq!(scheduler.active(), 0);
+        scheduler.join();
+    }
+
+    #[test]
+    fn batched_sessions_complete_and_match_generate() {
+        let m = model();
+        let metrics = Arc::new(Metrics::new());
+        // One worker + narrow slices force real batches: after the first
+        // requeue the queue always holds several runnable sessions.
+        let scheduler = Scheduler::start(batched(1, 2, 4), Arc::clone(&metrics));
+        let budgets = [3usize, 17, 9, 40, 1, 25];
+        let receivers: Vec<_> = budgets
+            .iter()
+            .map(|&b| scheduler.submit(request(&m, b, None)).expect("admit"))
+            .collect();
+        for (rx, &budget) in receivers.into_iter().zip(&budgets) {
+            let result = rx.recv().expect("outcome").expect("ok");
+            let reference =
+                chipalign_nn::generate::generate(&m, &[5, 6, 7], &greedy(budget)).expect("ok");
+            assert_eq!(result.tokens, reference, "budget {budget}");
+        }
+        let snap = metrics.snapshot();
+        assert!(
+            snap.batched_slices > 0,
+            "six queued sessions on one worker must have shared a slice"
+        );
+        assert_eq!(
+            snap.batch_occupancy.iter().sum::<u64>(),
+            snap.batch_occupancy[1] + snap.batched_slices,
+            "every dequeued slice is either single-session or batched"
+        );
+        assert_eq!(scheduler.active(), 0);
+        scheduler.join();
+    }
+
+    #[test]
+    fn max_batch_is_clamped_to_the_skinny_gemm_tile() {
+        let scheduler = Scheduler::start(
+            SchedulerConfig {
+                max_batch: 10_000,
+                ..SchedulerConfig::default()
+            },
+            Arc::new(Metrics::new()),
+        );
+        assert_eq!(
+            scheduler.inner.cfg.max_batch,
+            chipalign_tensor::tune::GEMM_SKINNY_M_MAX
+        );
         scheduler.join();
     }
 

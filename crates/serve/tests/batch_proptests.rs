@@ -1,0 +1,150 @@
+//! Property tests for the batched scheduler: random admission/completion
+//! interleavings, random session mixes, and every `max_batch` in
+//! `{1, 2, 4}` must be invisible in the per-session transcripts — each one
+//! byte-identical to a single-threaded `generate()` — while the metrics
+//! stay internally consistent.
+//!
+//! These drive the [`Scheduler`] directly (no TCP) so each case is cheap
+//! enough to run dozens of random schedules.
+
+use std::sync::Arc;
+
+use chipalign_model::ArchSpec;
+use chipalign_nn::generate::{generate, GenerateConfig};
+use chipalign_nn::TinyLm;
+use chipalign_serve::{Metrics, Scheduler, SchedulerConfig, SessionRequest};
+use chipalign_tensor::rng::Pcg32;
+use proptest::prelude::*;
+
+fn model(seed: u64) -> Arc<TinyLm> {
+    let mut arch = ArchSpec::tiny("batch-prop");
+    arch.vocab_size = 99;
+    Arc::new(TinyLm::new(&arch, &mut Pcg32::seed(seed)).expect("model"))
+}
+
+fn greedy(max_new_tokens: usize) -> GenerateConfig {
+    GenerateConfig {
+        max_new_tokens,
+        stop_at_eos: false,
+        ..GenerateConfig::default()
+    }
+}
+
+/// One session in a random schedule: its budget, prompt, and whether the
+/// submitting thread first waits for an *earlier* session to complete —
+/// which is what interleaves admissions with completions.
+#[derive(Debug, Clone)]
+struct Job {
+    budget: usize,
+    prompt: Vec<u32>,
+    wait_first: bool,
+}
+
+fn job_strategy() -> impl Strategy<Value = Job> {
+    (
+        1usize..24,
+        proptest::collection::vec(4u32..90, 1..6),
+        proptest::bool::ANY,
+    )
+        .prop_map(|(budget, prompt, wait_first)| Job {
+            budget,
+            prompt,
+            wait_first,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_interleavings_are_invisible_at_every_max_batch(
+        seed in 0u64..20,
+        jobs in proptest::collection::vec(job_strategy(), 2..10),
+        max_batch_idx in 0usize..3,
+        workers in 1usize..3,
+        slice_tokens in 1usize..4,
+    ) {
+        let max_batch = [1usize, 2, 4][max_batch_idx];
+        let m = model(seed);
+        let metrics = Arc::new(Metrics::new());
+        let scheduler = Scheduler::start(
+            SchedulerConfig {
+                workers,
+                max_sessions: jobs.len(),
+                slice_tokens,
+                stall_slices: 32,
+                max_batch,
+            },
+            Arc::clone(&metrics),
+        );
+
+        // Random interleaving: before some admissions, block on the oldest
+        // outstanding session, so completions are threaded through the
+        // admission sequence instead of all landing at the end.
+        let mut pending = std::collections::VecDeque::new();
+        let mut results = Vec::with_capacity(jobs.len());
+        for job in &jobs {
+            if job.wait_first {
+                if let Some((rx, j)) = pending.pop_front() {
+                    results.push((outcome_tokens(rx), j));
+                }
+            }
+            let rx = scheduler
+                .submit(SessionRequest {
+                    model: Arc::clone(&m),
+                    prompt: job.prompt.clone(),
+                    cfg: greedy(job.budget),
+                    deadline: None,
+                    tag: "prop".to_string(),
+                })
+                .expect("within max_sessions by construction");
+            pending.push_back((rx, job.clone()));
+        }
+        while let Some((rx, j)) = pending.pop_front() {
+            results.push((outcome_tokens(rx), j));
+        }
+
+        for (tokens, job) in &results {
+            let reference = generate(&m, &job.prompt, &greedy(job.budget)).expect("reference");
+            prop_assert_eq!(
+                tokens,
+                &reference,
+                "transcript changed under max_batch={} workers={}",
+                max_batch,
+                workers
+            );
+        }
+
+        prop_assert_eq!(scheduler.active(), 0);
+        scheduler.join();
+        let snap = metrics.snapshot();
+        prop_assert_eq!(snap.completed, jobs.len() as u64);
+        prop_assert_eq!(snap.failed, 0);
+        prop_assert_eq!(snap.worker_panics, 0);
+        prop_assert_eq!(snap.watchdog_cancels, 0);
+        let expected_tokens: u64 = jobs.iter().map(|j| j.budget as u64).sum();
+        prop_assert_eq!(snap.tokens_out, expected_tokens);
+        // Occupancy bookkeeping: every dequeued slice lands in exactly one
+        // bucket, batched_slices counts exactly the multi-session ones, and
+        // no slice can exceed the configured batch width.
+        let occupied: u64 = snap.batch_occupancy.iter().sum();
+        prop_assert_eq!(occupied, snap.batch_occupancy[1] + snap.batched_slices);
+        for (n, &count) in snap.batch_occupancy.iter().enumerate() {
+            if n > max_batch {
+                prop_assert_eq!(count, 0, "slice wider than max_batch={}", max_batch);
+            }
+        }
+        if max_batch == 1 {
+            prop_assert_eq!(snap.batched_slices, 0);
+        }
+    }
+}
+
+fn outcome_tokens(
+    rx: std::sync::mpsc::Receiver<chipalign_serve::scheduler::SessionOutcome>,
+) -> Vec<u32> {
+    rx.recv()
+        .expect("scheduler always reports")
+        .expect("no faults armed")
+        .tokens
+}

@@ -39,11 +39,14 @@ fn smoke_zoo(seed: u64) -> Zoo {
 fn server_config(workers: usize, stall_slices: u64) -> ServerConfig {
     ServerConfig {
         addr: "127.0.0.1:0".to_string(),
+        // max_batch 1 pins the single-session slice path; batched fault
+        // isolation has its own test below.
         scheduler: SchedulerConfig {
             workers,
             max_sessions: 16,
             slice_tokens: 4,
             stall_slices,
+            max_batch: 1,
         },
         max_new_tokens_cap: 10_000_000,
         default_deadline_ms: None,
@@ -141,6 +144,96 @@ fn worker_panic_cancels_only_the_poisoned_session() {
     assert_fault_counters(&snap, (1, 0, 0, 0));
     assert_eq!(snap.failed, 0, "a panic is not a decode failure");
     assert_eq!(snap.completed, 1);
+    assert_clean_drain(server);
+}
+
+/// Batched fault isolation: a panic injected into one session of a full
+/// batch cancels only that session. Its batch-mates — advanced through the
+/// very same `step_batch` calls — finish byte-identical to a
+/// single-threaded `generate()`, and exactly one panic is counted.
+#[test]
+fn batched_panic_cancels_only_the_poisoned_batch_mate() {
+    let _scope = faults::scope(110);
+    // Fire on the poisoned session's *third* slice: by then all four
+    // concurrent sessions are admitted and the single worker is draining
+    // them together, so the panic lands mid-batch.
+    faults::arm(Site::WorkerPanic, Some("poison"), Trigger::Once(3));
+
+    let registry = ModelRegistry::new(smoke_zoo(39));
+    // One underlying model under both names: batches mix poisoned and
+    // healthy sessions, and one reference transcript covers them all.
+    let shared = random_model(13);
+    registry.register("healthy", shared.clone());
+    registry.register("poison", shared.clone());
+    let cfg = ServerConfig {
+        scheduler: SchedulerConfig {
+            workers: 1,
+            max_sessions: 16,
+            slice_tokens: 4,
+            stall_slices: 32,
+            max_batch: 4,
+        },
+        ..server_config(1, 32)
+    };
+    let server = Server::bind(cfg, registry).expect("bind");
+    let addr = server.local_addr();
+    let metrics = server.metrics();
+
+    // Budget 200 (dozens of slices, several window slides) plus a start
+    // barrier: all four requests are in flight together, so the single
+    // worker has no choice but to form real batches.
+    let budget = 200;
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(4));
+    let handles: Vec<_> = ["healthy", "healthy", "healthy", "poison"]
+        .into_iter()
+        .map(|name| {
+            let barrier = std::sync::Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut req = GenerateRequest::greedy(name, "same prompt", budget);
+                req.stop_at_eos = false;
+                barrier.wait();
+                (name, client.generate(req))
+            })
+        })
+        .collect();
+    let mut poisoned = None;
+    let mut healthy_texts = Vec::new();
+    for h in handles {
+        let (name, outcome) = h.join().expect("client thread");
+        if name == "poison" {
+            poisoned = Some(remote_code(outcome));
+        } else {
+            healthy_texts.push(outcome.expect("healthy generate").text);
+        }
+    }
+
+    let (code, detail) = poisoned.expect("poisoned outcome");
+    assert_eq!(code, ErrorCode::Internal);
+    assert!(detail.contains("panic"), "detail names the panic: {detail}");
+
+    let tok = CharTokenizer::new();
+    let mut ids = vec![BOS];
+    ids.extend(tok.encode("same prompt"));
+    let mut reference_req = GenerateRequest::greedy("healthy", "same prompt", budget);
+    reference_req.stop_at_eos = false;
+    let expected = generate(&shared, &ids, &reference_req.decode_config(10_000_000)).expect("ref");
+    for (i, text) in healthy_texts.iter().enumerate() {
+        assert_eq!(
+            text,
+            &tok.decode(&expected),
+            "batch-mate {i} must be byte-identical to generate()"
+        );
+    }
+
+    let snap = metrics.snapshot();
+    assert_fault_counters(&snap, (1, 0, 0, 0));
+    assert_eq!(snap.completed, 3, "three healthy batch-mates finished");
+    assert_eq!(snap.failed, 0, "a panic is not a decode failure");
+    assert!(
+        snap.batched_slices >= 1,
+        "four concurrent sessions on one worker must have batched: {snap:?}"
+    );
     assert_clean_drain(server);
 }
 
@@ -422,6 +515,7 @@ fn retrier_rides_out_overload_against_a_live_server() {
             max_sessions: 1,
             slice_tokens: 4,
             stall_slices: 32,
+            max_batch: 1,
         },
         ..server_config(1, 32)
     };

@@ -28,11 +28,14 @@ fn smoke_zoo(seed: u64) -> Zoo {
 fn server_config(workers: usize, max_sessions: usize) -> ServerConfig {
     ServerConfig {
         addr: "127.0.0.1:0".to_string(),
+        // max_batch 4: the end-to-end suite runs with real cross-session
+        // batching on — transcripts are pinned byte-identical regardless.
         scheduler: SchedulerConfig {
             workers,
             max_sessions,
             slice_tokens: 4,
             stall_slices: 32,
+            max_batch: 4,
         },
         max_new_tokens_cap: 10_000_000,
         default_deadline_ms: None,

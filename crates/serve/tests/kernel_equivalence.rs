@@ -72,6 +72,7 @@ fn greedy_transcripts_identical_across_all_decode_paths() {
                 max_sessions: 8,
                 slice_tokens: 4,
                 stall_slices: 32,
+                max_batch: 1,
             },
             max_new_tokens_cap: 10_000_000,
             default_deadline_ms: None,
@@ -131,6 +132,7 @@ fn served_greedy_identical_through_window_slide() {
                 max_sessions: 8,
                 slice_tokens: 4,
                 stall_slices: 64,
+                max_batch: 1,
             },
             max_new_tokens_cap: 10_000_000,
             default_deadline_ms: None,
@@ -158,4 +160,79 @@ fn served_greedy_identical_through_window_slide() {
     assert_eq!(served.text, tok.decode(&expected));
     assert_eq!(served.tokens, budget);
     server.shutdown();
+}
+
+/// The batched-scheduler pin: at every `max_batch`, concurrent greedy
+/// sessions — including one long enough to slide the context window —
+/// produce transcripts byte-identical to single-threaded `generate()`.
+/// One worker forces the queue to drain in real batches, so at
+/// `max_batch >= 2` the skinny-GEMM `decode_batch` path is what actually
+/// produced the served bytes.
+#[test]
+fn batched_transcripts_identical_across_max_batch_sweep() {
+    let model = pinned_model();
+    let tok = CharTokenizer::new();
+    // Budget 64 exceeds max_seq_len (32): that session must re-prefill
+    // through at least one window slide while batched with the others.
+    let jobs: &[(&str, usize)] = &[
+        ("kernel swap", 20),
+        ("clock tree?", 20),
+        ("slide please", 64),
+        ("hold margin", 12),
+        ("skinny gemm", 28),
+    ];
+    let expected: Vec<String> = jobs
+        .iter()
+        .map(|&(prompt, budget)| {
+            let mut ids = vec![BOS];
+            ids.extend(tok.encode(prompt));
+            let cfg = GenerateConfig {
+                max_new_tokens: budget,
+                stop_at_eos: false,
+                ..GenerateConfig::default()
+            };
+            tok.decode(&generate(&model, &ids, &cfg).expect("reference"))
+        })
+        .collect();
+
+    for max_batch in [1usize, 2, 4, 8] {
+        let server = Server::bind(
+            ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                scheduler: SchedulerConfig {
+                    workers: 1,
+                    max_sessions: 8,
+                    slice_tokens: 4,
+                    stall_slices: 64,
+                    max_batch,
+                },
+                max_new_tokens_cap: 10_000_000,
+                default_deadline_ms: None,
+            },
+            registry_with_pinned(),
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+        let served: Vec<String> = std::thread::scope(|s| {
+            let handles: Vec<_> = jobs
+                .iter()
+                .map(|&(prompt, budget)| {
+                    s.spawn(move || {
+                        let mut client = Client::connect(addr).expect("connect");
+                        let mut req = GenerateRequest::greedy("pinned", prompt, budget);
+                        req.stop_at_eos = false;
+                        client.generate(req).expect("generate").text
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        for ((got, want), &(prompt, _)) in served.iter().zip(&expected).zip(jobs) {
+            assert_eq!(got, want, "max_batch={max_batch}, prompt {prompt:?}");
+        }
+        server.shutdown();
+    }
 }

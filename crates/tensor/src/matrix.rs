@@ -231,7 +231,11 @@ impl Matrix {
     /// Panics if `r >= self.rows()`.
     #[must_use]
     pub fn row(&self, r: usize) -> &[f32] {
-        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row {r} out of bounds for {} rows",
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -241,7 +245,11 @@ impl Matrix {
     ///
     /// Panics if `r >= self.rows()`.
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
-        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row {r} out of bounds for {} rows",
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -418,7 +426,11 @@ impl Matrix {
     /// computes every dot with the lane-split reduction
     /// ([`tune::DOT_LANES`]), and parallelises across output rows above
     /// [`tune::PAR_FLOP_THRESHOLD`]. `m == 1` (the KV-cached decode shape)
-    /// dispatches to [`Matrix::matvec`].
+    /// dispatches to [`Matrix::matvec`]; `2 ≤ m ≤
+    /// [`tune::GEMM_SKINNY_M_MAX`]` (the *batched* decode shape) takes a
+    /// skinny kernel whose whole-row dots accumulate in exactly
+    /// [`Matrix::matvec`]'s order, so stacking rows never changes the bits
+    /// of any row's result.
     ///
     /// # Errors
     ///
@@ -442,8 +454,14 @@ impl Matrix {
         if out.is_empty() {
             return Matrix::from_vec(m, n, out);
         }
+        let skinny = m <= tune::GEMM_SKINNY_M_MAX;
         let body = |(r, out_row): (usize, &mut [f32])| {
-            gemm_bt_row(&self.data[r * k..(r + 1) * k], &other.data, k, out_row);
+            let a_row = &self.data[r * k..(r + 1) * k];
+            if skinny {
+                gemm_bt_skinny_row(a_row, &other.data, k, out_row);
+            } else {
+                gemm_bt_row(a_row, &other.data, k, out_row);
+            }
         };
         if m * n * k >= tune::PAR_FLOP_THRESHOLD {
             out.par_chunks_mut(n).enumerate().for_each(body);
@@ -712,6 +730,23 @@ fn gemm_bt_row(a_row: &[f32], b: &[f32], k: usize, out_row: &mut [f32]) {
     }
 }
 
+/// One output row of `A·Bᵀ` for tall-skinny `A` (`2 ≤ m ≤
+/// [`tune::GEMM_SKINNY_M_MAX`]`, the batched-decode shape): one whole-row
+/// [`dot_lanes`] per output element, with no k-panel split.
+///
+/// A single dot per element keeps the accumulation order identical to
+/// [`Matrix::matvec`] at *any* `k` — [`gemm_bt_row`] only guarantees that
+/// for `k ≤ GEMM_K_BLOCK` — which is what lets batched decode stay
+/// bit-for-bit equal to per-session decode. It also writes each output
+/// element exactly once instead of once per k-panel; with at most 32
+/// left-hand rows the panelling has nothing to amortise, so its extra
+/// `out_row` read-modify-write traffic only costs.
+fn gemm_bt_skinny_row(a_row: &[f32], b: &[f32], k: usize, out_row: &mut [f32]) {
+    for (c, o) in out_row.iter_mut().enumerate() {
+        *o = dot_lanes(a_row, &b[c * k..(c + 1) * k]);
+    }
+}
+
 /// One output row of `Aᵀ·B`: output row `r` reads column `r` of `A` (stride
 /// `m`) against the rows of `B`, column-tiled like [`gemm_row_tiled`]. No
 /// rank-1 updates, so rows never alias and row-parallelism is safe.
@@ -954,6 +989,37 @@ mod tests {
         assert!(tune::matvec_calls() >= before + 2);
         assert_eq!(c.shape(), (1, 19));
         assert!(c.approx_eq(&d, 1e-5));
+    }
+
+    #[test]
+    fn skinny_matmul_bt_rows_are_bitwise_matvec() {
+        // k = 700 > GEMM_K_BLOCK: the panelled kernel would split the
+        // reduction here, so this pins that the skinny path really is a
+        // single whole-row dot per element — every output row must equal
+        // the standalone matvec of that row, bit for bit.
+        let mut rng = Pcg32::seed(21);
+        let a = Matrix::randn(8, 700, 1.0, &mut rng);
+        let b = Matrix::randn(40, 700, 1.0, &mut rng);
+        assert!(a.rows() <= tune::GEMM_SKINNY_M_MAX);
+        let batched = a.matmul_bt(&b).expect("conformable");
+        for r in 0..a.rows() {
+            let single = b.matvec(a.row(r)).expect("conformable");
+            assert_eq!(batched.row(r), &single[..], "row {r} drifted");
+        }
+    }
+
+    #[test]
+    fn matmul_bt_agrees_across_skinny_boundary() {
+        // m = 2, the last skinny width, and the first panelled width must
+        // all agree with the explicit-transpose formulation.
+        let mut rng = Pcg32::seed(22);
+        for m in [2, tune::GEMM_SKINNY_M_MAX, tune::GEMM_SKINNY_M_MAX + 1] {
+            let a = Matrix::randn(m, 300, 1.0, &mut rng);
+            let b = Matrix::randn(10, 300, 1.0, &mut rng);
+            let fast = a.matmul_bt(&b).expect("conformable");
+            let slow = a.matmul(&b.transpose()).expect("conformable");
+            assert!(fast.approx_eq(&slow, 1e-3), "m = {m} diverged");
+        }
     }
 
     #[test]

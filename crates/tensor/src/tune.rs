@@ -42,6 +42,20 @@ pub const GEMM_K_BLOCK: usize = 256;
 /// 256-bit vector of `f32`.
 pub const DOT_LANES: usize = 8;
 
+/// Largest left-hand row count `m` routed to the skinny `A·Bᵀ` kernel
+/// (`2 ≤ m ≤ GEMM_SKINNY_M_MAX`; `m == 1` already takes the matvec path).
+///
+/// Batched decode stacks one hidden-state row per session, so its
+/// projections are exactly this tall-skinny shape. The skinny kernel dots
+/// whole rows with no [`GEMM_K_BLOCK`] panel split, which (a) accumulates
+/// every output element in the same order as [`crate::Matrix::matvec`] —
+/// the invariant that keeps batched decode bit-identical to per-session
+/// decode at any `k` — and (b) writes each output element once instead of
+/// once per k-panel, which is all the panelling buys when the whole
+/// left-hand side is at most 32 rows. 32 also bounds the decode batch the
+/// serve scheduler will form (`max_batch` is clamped to it upstream).
+pub const GEMM_SKINNY_M_MAX: usize = 32;
+
 /// Side length of the square tiles used by the blocked transpose.
 ///
 /// A 32×32 `f32` tile is 4 KiB — both the row-major reads and the
@@ -80,6 +94,8 @@ mod tests {
         assert!(GEMM_COL_TILE.is_power_of_two());
         assert!(DOT_LANES.is_power_of_two());
         assert!(GEMM_K_BLOCK >= GEMM_COL_TILE);
+        assert!(GEMM_SKINNY_M_MAX >= 2);
+        assert!(GEMM_SKINNY_M_MAX.is_power_of_two());
         assert!(TRANSPOSE_BLOCK >= 8);
         assert!(PAR_FLOP_THRESHOLD > GEMM_COL_TILE * GEMM_K_BLOCK);
     }

@@ -122,6 +122,32 @@ proptest! {
     }
 
     #[test]
+    fn skinny_matmul_bt_matches_reference(seed in 0u64..1000, m in 2usize..=32, k in 1usize..300, n in 1usize..24) {
+        // The batched-decode shape: tall-skinny A, with k crossing
+        // GEMM_K_BLOCK so the skinny dispatch (not the panelled kernel) is
+        // what gets exercised at large depth.
+        let a = mat(m, k, seed);
+        let b = mat(n, k, seed.wrapping_add(1));
+        let fast = a.matmul_bt(&b).unwrap();
+        let slow = reference::matmul_bt(&a, &b).unwrap();
+        prop_assert!(close_rel(fast.data(), slow.data()));
+    }
+
+    #[test]
+    fn skinny_matmul_bt_rows_equal_matvec_bitwise(seed in 0u64..1000, m in 2usize..=32, k in 200usize..300, n in 1usize..16) {
+        // Bit-identity, not tolerance: stacking rows into one GEMM must not
+        // change any row's accumulation order relative to matvec. Batched
+        // decode equivalence in chipalign-nn is built on exactly this.
+        let a = mat(m, k, seed);
+        let b = mat(n, k, seed.wrapping_add(1));
+        let batched = a.matmul_bt(&b).unwrap();
+        for r in 0..m {
+            let single = b.matvec(a.row(r)).unwrap();
+            prop_assert_eq!(batched.row(r), &single[..]);
+        }
+    }
+
+    #[test]
     fn blocked_matmul_at_matches_reference(seed in 0u64..1000, k in 1usize..70, m in 1usize..40, n in 1usize..40) {
         let a = mat(k, m, seed);
         let b = mat(k, n, seed.wrapping_add(1));

@@ -32,6 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 max_sessions: 16,
                 slice_tokens: 8,
                 stall_slices: 32,
+                max_batch: 4,
             },
             max_new_tokens_cap: 128,
             default_deadline_ms: Some(60_000),

@@ -17,9 +17,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q -p chipalign-serve --features fault-inject
 cargo clippy -p chipalign-serve --all-targets --features fault-inject -- -D warnings
 
-# Kernel layer: the tensor crate stays clippy-clean at -D warnings, and
-# the kernel micro-bench must run end to end (smoke shapes, no JSON).
+# Kernel layer: the tensor and nn crates stay clippy-clean at
+# -D warnings, and the kernel + batch micro-benches must run end to end
+# (smoke shapes, no JSON).
 cargo clippy -p chipalign-tensor -- -D warnings
+cargo clippy -p chipalign-nn -- -D warnings
 cargo run --release -p chipalign-bench --bin bench_kernels -- --smoke
+cargo run --release -p chipalign-bench --bin bench_batch -- --smoke
 
-echo "ci: build + tests + chaos + clippy + kernel smoke all green"
+echo "ci: build + tests + chaos + clippy + kernel/batch smoke all green"
