@@ -1,0 +1,203 @@
+//! Prefill benchmark: times the three ways a prompt window can reach the
+//! KV cache — one-shot cold prefill, chunked prefill (the scheduler's
+//! head-of-line fix feeds prompts in bounded chunks), and a shared-prefix
+//! hit ([`chipalign_nn::KvCache::fork_from`] a donor cache, then prefill
+//! only the remainder) — across several prompt lengths.
+//!
+//! ```text
+//! cargo run --release -p chipalign-bench --bin bench_prefill            # full run + JSON
+//! cargo run --release -p chipalign-bench --bin bench_prefill -- --smoke # tiny sweep, no JSON
+//! ```
+//!
+//! Everything is seeded (model weights from `Pcg32`, prompts from a fixed
+//! formula) and each configuration's timing is the median of
+//! `CHIPALIGN_BENCH_REPS` repetitions (default 7, 3 in smoke mode). Cache
+//! allocation and donor construction happen outside the timed region. The
+//! full run writes `BENCH_prefill.json` at the repo root, including the
+//! headline prefix-hit speedup at the longest prompt and the chunking
+//! overhead (which should be noise: chunked prefill does the same token
+//! forwards in the same order).
+
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+use chipalign_bench::harness;
+use chipalign_model::ArchSpec;
+use chipalign_nn::{KvCache, TinyLm};
+use chipalign_tensor::rng::Pcg32;
+
+/// The scheduler's default prefill chunk size, mirrored here so the
+/// chunked timing reflects what `chipalign-serve` actually does.
+const CHUNK: usize = 32;
+/// Suffix tokens NOT covered by the donor in the prefix-hit scenario:
+/// models a repeated scaffold with a fresh question at the end.
+const FRESH_SUFFIX: usize = 8;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Same substrate as `bench_batch`: a window large enough to hold
+/// bench-length prompts (the `ArchSpec::tiny` window is 32 tokens).
+fn bench_arch() -> ArchSpec {
+    ArchSpec {
+        name: "bench-prefill".into(),
+        vocab_size: 99,
+        d_model: 48,
+        n_layers: 2,
+        n_heads: 4,
+        d_ff: 96,
+        max_seq_len: 256,
+    }
+}
+
+fn prompt(len: usize) -> Vec<u32> {
+    (0..len).map(|i| (4 + (i * 7) % 90) as u32).collect()
+}
+
+fn median_us(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn timed(f: impl FnOnce()) -> Duration {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed()
+}
+
+/// One prompt-length configuration.
+#[derive(Debug, Serialize)]
+struct PrefillTiming {
+    /// Prompt tokens prefilled.
+    prompt_len: usize,
+    /// Repetitions the medians are taken over.
+    reps: usize,
+    /// Median one-shot prefill time, microseconds.
+    cold_median_us: f64,
+    /// Median chunked prefill time (CHUNK-token slices), microseconds.
+    chunked_median_us: f64,
+    /// Chunked over cold, percent (expected ~0: same work, same order).
+    chunked_overhead_pct: f64,
+    /// Donor tokens reused in the prefix-hit scenario.
+    prefix_reused: usize,
+    /// Median fork-and-finish time on a prefix hit, microseconds.
+    prefix_hit_median_us: f64,
+    /// Cold over prefix-hit: what shared-prefix reuse buys.
+    prefix_speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct PrefillBench {
+    mode: String,
+    reps: usize,
+    chunk: usize,
+    timings: Vec<PrefillTiming>,
+    /// Prefix-hit speedup at the longest prompt: the headline number.
+    prefix_speedup_longest: f64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let reps = env_usize("CHIPALIGN_BENCH_REPS", if smoke { 3 } else { 7 });
+    let lengths: &[usize] = if smoke { &[16, 32] } else { &[64, 128, 224] };
+
+    let model = std::sync::Arc::new(
+        TinyLm::new(&bench_arch(), &mut Pcg32::seed(20_250_806)).expect("arch"),
+    );
+
+    let mut timings: Vec<PrefillTiming> = Vec::new();
+    for &len in lengths {
+        let tokens = prompt(len);
+        let reused = len.saturating_sub(FRESH_SUFFIX).max(1);
+        // Donor built once, outside the timed region: the serving-path
+        // analogue is a prefix snapshot already resident in the cache.
+        let mut donor = KvCache::new(&model);
+        donor.prefill(&tokens[..reused]).expect("fits window");
+
+        let mut cold = Vec::with_capacity(reps);
+        let mut chunked = Vec::with_capacity(reps);
+        let mut prefix_hit = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let mut cache = KvCache::new(&model);
+            cold.push(
+                timed(|| {
+                    cache.prefill(&tokens).expect("fits window");
+                })
+                .as_secs_f64()
+                    * 1e6,
+            );
+
+            let mut cache = KvCache::new(&model);
+            chunked.push(
+                timed(|| {
+                    for piece in tokens.chunks(CHUNK) {
+                        cache.prefill_chunk(piece).expect("fits window");
+                    }
+                })
+                .as_secs_f64()
+                    * 1e6,
+            );
+
+            prefix_hit.push(
+                timed(|| {
+                    let mut fork = donor.fork_from(reused).expect("within donor");
+                    fork.prefill_chunk(&tokens[reused..]).expect("fits window");
+                })
+                .as_secs_f64()
+                    * 1e6,
+            );
+        }
+
+        let cold_median_us = median_us(cold);
+        let chunked_median_us = median_us(chunked);
+        let prefix_hit_median_us = median_us(prefix_hit);
+        timings.push(PrefillTiming {
+            prompt_len: len,
+            reps,
+            cold_median_us,
+            chunked_median_us,
+            chunked_overhead_pct: (chunked_median_us / cold_median_us.max(1e-9) - 1.0) * 100.0,
+            prefix_reused: reused,
+            prefix_hit_median_us,
+            prefix_speedup: cold_median_us / prefix_hit_median_us.max(1e-9),
+        });
+    }
+
+    for t in &timings {
+        eprintln!(
+            "[bench_prefill] len {:>3}  cold {:>8.1} us  chunked {:>8.1} us ({:>+5.1}%)  prefix-hit {:>8.1} us ({:.2}x, {} reused)",
+            t.prompt_len,
+            t.cold_median_us,
+            t.chunked_median_us,
+            t.chunked_overhead_pct,
+            t.prefix_hit_median_us,
+            t.prefix_speedup,
+            t.prefix_reused,
+        );
+    }
+
+    let prefix_speedup_longest = timings.last().map_or(0.0, |t| t.prefix_speedup);
+    eprintln!("[bench_prefill] prefix-hit speedup at longest prompt: {prefix_speedup_longest:.2}x");
+
+    if smoke {
+        eprintln!("[bench_prefill] smoke mode: skipping BENCH_prefill.json");
+        return Ok(());
+    }
+
+    let report = PrefillBench {
+        mode: "paper".to_string(),
+        reps,
+        chunk: CHUNK,
+        timings,
+        prefix_speedup_longest,
+    };
+    let out = harness::workspace_root().join("BENCH_prefill.json");
+    std::fs::write(&out, serde_json::to_string_pretty(&report)?)?;
+    eprintln!("[bench_prefill] wrote {}", out.display());
+    Ok(())
+}

@@ -119,6 +119,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 slice_tokens: 8,
                 stall_slices: 32,
                 max_batch,
+                ..SchedulerConfig::default()
             },
             max_new_tokens_cap: budget.max(1),
             default_deadline_ms: None,

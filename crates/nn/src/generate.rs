@@ -122,6 +122,14 @@ pub struct StepDecoder {
     context: Vec<u32>,
     cache: crate::kv::KvCache,
     last_logits: Vec<f32>,
+    /// Next `context` index awaiting prefill. The session is mid-prefill
+    /// (initial prompt or a deferred window-slide replay) while
+    /// `prefill_next < prefill_end`; `step()` completes the remainder
+    /// before choosing a token, and schedulers may drain it earlier in
+    /// bounded chunks via [`StepDecoder::prefill_pending`].
+    prefill_next: usize,
+    /// One past the last `context` index scheduled for prefill.
+    prefill_end: usize,
     emitted: usize,
     done: bool,
     saw_eos: bool,
@@ -136,6 +144,28 @@ impl StepDecoder {
     /// [`GenerateConfig::validate`]), [`NnError::BadSequence`] for an empty
     /// prompt, and forwards any forward-pass failure.
     pub fn new(model: &Arc<TinyLm>, prompt: &[u32], cfg: &GenerateConfig) -> Result<Self, NnError> {
+        let mut session = Self::new_chunked(model, prompt, cfg)?;
+        session.prefill_pending(usize::MAX)?;
+        Ok(session)
+    }
+
+    /// Readies a session *without* prefilling: the prompt window is only
+    /// scheduled, and the caller drains it through
+    /// [`StepDecoder::prefill_pending`] (in chunks of its choosing) — or
+    /// lets the first [`StepDecoder::step`] finish it. Transcripts are
+    /// bit-identical to [`StepDecoder::new`] regardless of how the prefill
+    /// is chunked; the serving scheduler relies on this to interleave
+    /// long-prompt prefill with other sessions' decode slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] for an invalid configuration and
+    /// [`NnError::BadSequence`] for an empty prompt.
+    pub fn new_chunked(
+        model: &Arc<TinyLm>,
+        prompt: &[u32],
+        cfg: &GenerateConfig,
+    ) -> Result<Self, NnError> {
         cfg.validate()?;
         if prompt.is_empty() {
             return Err(NnError::BadSequence {
@@ -144,22 +174,115 @@ impl StepDecoder {
         }
         let max_ctx = model.arch().max_seq_len;
         let context: Vec<u32> = prompt.to_vec();
-        // Prefill the most recent window, leaving one slot for the first
-        // generated token.
+        // Schedule the most recent window for prefill, leaving one slot
+        // for the first generated token.
         let start = context.len().saturating_sub(max_ctx.saturating_sub(1));
-        let mut cache = KvCache::new(model);
-        let last_logits = cache.prefill(&context[start..])?;
+        let end = context.len();
         Ok(StepDecoder {
             cfg: *cfg,
             rng: Pcg32::seed(cfg.seed),
             max_ctx,
             context,
-            cache,
-            last_logits,
+            cache: KvCache::new(model),
+            last_logits: Vec::new(),
+            prefill_next: start,
+            prefill_end: end,
             emitted: 0,
             done: false,
             saw_eos: false,
         })
+    }
+
+    /// Whether the session still has prompt (or slide-replay) tokens to
+    /// prefill before it can choose its next token.
+    #[must_use]
+    pub fn is_prefilling(&self) -> bool {
+        self.prefill_next < self.prefill_end
+    }
+
+    /// Number of tokens still awaiting prefill.
+    #[must_use]
+    pub fn prefill_remaining(&self) -> usize {
+        self.prefill_end - self.prefill_next
+    }
+
+    /// The tokens still awaiting prefill (for a fresh session, the whole
+    /// prompt window — what a prefix cache should be probed with).
+    #[must_use]
+    pub fn pending_prefill(&self) -> &[u32] {
+        &self.context[self.prefill_next..self.prefill_end]
+    }
+
+    /// The session's KV cache (read-only; lets a serving layer snapshot a
+    /// freshly prefilled prompt via [`KvCache::fork_from`]).
+    #[must_use]
+    pub fn cache(&self) -> &KvCache {
+        &self.cache
+    }
+
+    /// Feeds up to `max_tokens` pending prefill tokens through the cache,
+    /// returning how many were fed (0 when nothing is pending). Any
+    /// chunking schedule yields logits bit-identical to a one-shot
+    /// prefill, so callers may freely mix chunk sizes across calls.
+    ///
+    /// # Errors
+    ///
+    /// Forwards forward-pass failures; the cursor only advances past
+    /// successfully processed tokens.
+    pub fn prefill_pending(&mut self, max_tokens: usize) -> Result<usize, NnError> {
+        let take = self.prefill_remaining().min(max_tokens);
+        if take == 0 {
+            return Ok(0);
+        }
+        let chunk_end = self.prefill_next + take;
+        self.last_logits = self
+            .cache
+            .prefill_chunk(&self.context[self.prefill_next..chunk_end])?;
+        self.prefill_next = chunk_end;
+        Ok(take)
+    }
+
+    /// Seeds a fresh session with an already-prefilled prompt prefix
+    /// (typically a [`KvCache::fork_from`] clone handed out by a prefix
+    /// cache), skipping that many prefill tokens. Returns the number of
+    /// positions adopted. Decoding continues bit-identically to a session
+    /// that prefilled the prefix itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] if the session has already prefilled
+    /// or emitted anything, or if the prefix is bound to a different model
+    /// allocation; [`NnError::BadSequence`] if the prefix is empty, covers
+    /// the whole pending window (at least one token must remain to produce
+    /// the first logits), or its token history does not match the window.
+    pub fn adopt_prefix(&mut self, prefix: KvCache) -> Result<usize, NnError> {
+        if self.emitted != 0 || !self.cache.is_empty() {
+            return Err(NnError::BadConfig {
+                detail: "adopt_prefix requires a fresh, un-prefilled session".into(),
+            });
+        }
+        if !Arc::ptr_eq(prefix.model(), self.cache.model()) {
+            return Err(NnError::BadConfig {
+                detail: "adopt_prefix: prefix is bound to a different model allocation".into(),
+            });
+        }
+        let p = prefix.len();
+        if p == 0 || p >= self.prefill_remaining() {
+            return Err(NnError::BadSequence {
+                detail: format!(
+                    "adopt_prefix: prefix of {p} positions must cover [1, {}) of the window",
+                    self.prefill_remaining()
+                ),
+            });
+        }
+        if prefix.tokens() != &self.context[self.prefill_next..self.prefill_next + p] {
+            return Err(NnError::BadSequence {
+                detail: "adopt_prefix: prefix token history does not match the prompt".into(),
+            });
+        }
+        self.cache = prefix;
+        self.prefill_next += p;
+        Ok(p)
     }
 
     /// Produces the next token, or `None` once the session has finished
@@ -172,13 +295,16 @@ impl StepDecoder {
         if self.done {
             return Ok(None);
         }
+        // Finish any pending prefill (initial prompt remainder or a
+        // deferred window-slide replay) before choosing a token.
+        self.prefill_pending(usize::MAX)?;
         let next = self.choose_next();
         self.commit(next);
         if self.done {
             return Ok(Some(next));
         }
         if self.cache.len() >= self.max_ctx {
-            self.slide()?;
+            self.begin_slide();
         } else {
             self.last_logits = self.cache.decode_step(next)?;
         }
@@ -189,14 +315,17 @@ impl StepDecoder {
     /// new token in submission order (`None` for sessions that were already
     /// done).
     ///
-    /// This is `step()` run in lockstep: every live session chooses and
-    /// commits its next token from its own logits and RNG stream, then the
-    /// sessions that need an ordinary decode are grouped by model
-    /// allocation and advanced through [`KvCache::decode_batch`] — one
-    /// `N × d` GEMM per projection instead of N matvecs. Sessions at a
-    /// context-window boundary slide individually (a slide is a multi-token
-    /// re-prefill, not a decode step). Token streams are **bit-identical**
-    /// to stepping each session alone, pinned by tests.
+    /// This is `step()` run in lockstep: every live session first finishes
+    /// any pending prefill (initial prompt remainder or a deferred
+    /// window-slide replay), then chooses and commits its next token from
+    /// its own logits and RNG stream; the sessions that need an ordinary
+    /// decode are grouped by model allocation and advanced through
+    /// [`KvCache::decode_batch`] — one `N × d` GEMM per projection instead
+    /// of N matvecs. Sessions that hit a context-window boundary defer
+    /// their slide: the cache resets and the window replay is scheduled as
+    /// a pending chunked prefill, consumed at the next step. Token streams
+    /// are **bit-identical** to stepping each session alone, pinned by
+    /// tests.
     ///
     /// # Errors
     ///
@@ -205,16 +334,17 @@ impl StepDecoder {
     /// advanced); callers should treat them as poisoned and cancel.
     pub fn step_batch(sessions: &mut [&mut StepDecoder]) -> Result<Vec<Option<u32>>, NnError> {
         let mut out = vec![None; sessions.len()];
-        // Phase 1: choose and commit each live session's next token —
-        // exactly the first half of `step()`, so RNG streams and stop
-        // conditions stay in lockstep with sequential stepping.
-        let mut slide: Vec<usize> = Vec::new();
+        // Phase 1: complete pending prefill, then choose and commit each
+        // live session's next token — exactly the first half of `step()`,
+        // so RNG streams and stop conditions stay in lockstep with
+        // sequential stepping.
         let mut group_of: Vec<Option<usize>> = vec![None; sessions.len()];
         let mut group_keys: Vec<usize> = Vec::new();
         for (i, s) in sessions.iter_mut().enumerate() {
             if s.done {
                 continue;
             }
+            s.prefill_pending(usize::MAX)?;
             let next = s.choose_next();
             s.commit(next);
             out[i] = Some(next);
@@ -222,7 +352,9 @@ impl StepDecoder {
                 continue;
             }
             if s.cache.len() >= s.max_ctx {
-                slide.push(i);
+                // Defer the slide replay; it runs as this session's
+                // pending prefill at the start of the next step.
+                s.begin_slide();
             } else {
                 let key = Arc::as_ptr(s.cache.model()) as usize;
                 let gid = group_keys
@@ -235,11 +367,7 @@ impl StepDecoder {
                 group_of[i] = Some(gid);
             }
         }
-        // Phase 2a: window slides re-prefill their own cache in place.
-        for &i in &slide {
-            sessions[i].slide()?;
-        }
-        // Phase 2b: one batched decode per model group.
+        // Phase 2: one batched decode per model group.
         for gid in 0..group_keys.len() {
             let mut members: Vec<usize> = Vec::new();
             let mut tokens: Vec<u32> = Vec::new();
@@ -290,15 +418,18 @@ impl StepDecoder {
         }
     }
 
-    /// Context-window slide: re-prefills the *existing* cache over the most
-    /// recent window. `reset()` keeps the per-layer bucket allocations, the
-    /// score scratch, and the shared model `Arc`, so a slide allocates no
-    /// model state — it is pure bookkeeping plus the window replay.
-    fn slide(&mut self) -> Result<(), NnError> {
+    /// Context-window slide, deferred: resets the *existing* cache and
+    /// schedules the most recent window as pending prefill, replayed (in
+    /// whatever chunks the caller chooses) before the next token is
+    /// chosen. `reset()` keeps the per-layer bucket allocations, the score
+    /// scratch, and the shared model `Arc`, so a slide allocates no model
+    /// state — it is pure bookkeeping; the window replay happens through
+    /// [`StepDecoder::prefill_pending`] like any other prefill.
+    fn begin_slide(&mut self) {
         let start = self.context.len() - (self.max_ctx - 1);
         self.cache.reset();
-        self.last_logits = self.cache.prefill(&self.context[start..])?;
-        Ok(())
+        self.prefill_next = start;
+        self.prefill_end = self.context.len();
     }
 
     /// Whether the session has produced its final token.
@@ -692,6 +823,137 @@ mod tests {
         session.step().expect("ok");
         assert_eq!(session.context().len(), prompt.len() + 1);
         assert_eq!(&session.context()[..prompt.len()], &prompt[..]);
+    }
+
+    #[test]
+    fn chunked_prefill_transcripts_match_one_shot_across_chunk_sizes() {
+        // 64 new tokens on a 32-position window also exercises deferred
+        // slides, whose replay goes through the same pending-prefill path.
+        let model = Arc::new(trained_on(&[5, 6, 7, 8, 9]));
+        let cfg = GenerateConfig {
+            max_new_tokens: 64,
+            stop_at_eos: false,
+            ..GenerateConfig::default()
+        };
+        let prompt: Vec<u32> = (0..20).map(|i| 4 + (i * 3) % 90).collect();
+        let mut reference = StepDecoder::new(&model, &prompt, &cfg).expect("ok");
+        let mut expected = Vec::new();
+        while let Some(tok) = reference.step().expect("ok") {
+            expected.push(tok);
+        }
+        for chunk in [1usize, 3, 7] {
+            let mut session = StepDecoder::new_chunked(&model, &prompt, &cfg).expect("ok");
+            assert!(session.is_prefilling());
+            assert_eq!(session.prefill_remaining(), prompt.len());
+            assert_eq!(session.pending_prefill(), &prompt[..]);
+            while session.is_prefilling() {
+                let fed = session.prefill_pending(chunk).expect("ok");
+                assert!(fed >= 1 && fed <= chunk);
+            }
+            assert_eq!(session.prefill_pending(chunk).expect("ok"), 0);
+            let mut out = Vec::new();
+            while let Some(tok) = session.step().expect("ok") {
+                out.push(tok);
+            }
+            assert_eq!(out, expected, "chunk size {chunk} drifted");
+        }
+        // Not draining manually at all is also fine: step() finishes it.
+        let mut lazy = StepDecoder::new_chunked(&model, &prompt, &cfg).expect("ok");
+        let mut out = Vec::new();
+        while let Some(tok) = lazy.step().expect("ok") {
+            out.push(tok);
+        }
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn adopted_prefix_transcript_matches_cold_prefill() {
+        let model = Arc::new(trained_on(&[5, 6, 7, 8, 9]));
+        let cfg = GenerateConfig {
+            max_new_tokens: 12,
+            stop_at_eos: false,
+            ..GenerateConfig::default()
+        };
+        let prompt: Vec<u32> = (0..10).map(|i| 4 + (i * 5) % 90).collect();
+        let mut reference = StepDecoder::new(&model, &prompt, &cfg).expect("ok");
+        let mut expected = Vec::new();
+        while let Some(tok) = reference.step().expect("ok") {
+            expected.push(tok);
+        }
+        // Donate a prefix prefilled by an unrelated session.
+        let mut donor = KvCache::new(&model);
+        donor.prefill(&prompt).expect("ok");
+        for p in [1usize, 4, 9] {
+            let mut session = StepDecoder::new_chunked(&model, &prompt, &cfg).expect("ok");
+            let adopted = session
+                .adopt_prefix(donor.fork_from(p).expect("ok"))
+                .expect("ok");
+            assert_eq!(adopted, p);
+            assert_eq!(session.prefill_remaining(), prompt.len() - p);
+            let mut out = Vec::new();
+            while let Some(tok) = session.step().expect("ok") {
+                out.push(tok);
+            }
+            assert_eq!(out, expected, "prefix of {p} positions drifted");
+        }
+    }
+
+    #[test]
+    fn adopt_prefix_rejects_mismatches() {
+        let model = Arc::new(trained_on(&[5, 6, 7, 8, 9]));
+        let cfg = GenerateConfig {
+            max_new_tokens: 4,
+            stop_at_eos: false,
+            ..GenerateConfig::default()
+        };
+        let prompt = [5u32, 6, 7, 8];
+        let mut donor = KvCache::new(&model);
+        donor.prefill(&prompt).expect("ok");
+
+        // Prefix must leave at least one pending token.
+        let mut fresh = StepDecoder::new_chunked(&model, &prompt, &cfg).expect("ok");
+        assert!(matches!(
+            fresh.adopt_prefix(donor.fork_from(4).expect("ok")),
+            Err(NnError::BadSequence { .. })
+        ));
+        // Empty prefix is useless.
+        assert!(matches!(
+            fresh.adopt_prefix(donor.fork_from(0).expect("ok")),
+            Err(NnError::BadSequence { .. })
+        ));
+        // Token mismatch: donor prefilled a different prompt.
+        let mut other = KvCache::new(&model);
+        other.prefill(&[9, 9]).expect("ok");
+        assert!(matches!(
+            fresh.adopt_prefix(other.fork_from(2).expect("ok")),
+            Err(NnError::BadSequence { .. })
+        ));
+        // Different model allocation.
+        let other_model = Arc::new(trained_on(&[10, 20, 30]));
+        let mut foreign = KvCache::new(&other_model);
+        foreign.prefill(&prompt[..2]).expect("ok");
+        assert!(matches!(
+            fresh.adopt_prefix(foreign.fork_from(2).expect("ok")),
+            Err(NnError::BadConfig { .. })
+        ));
+        // A session that already prefilled (or emitted) refuses adoption.
+        let mut started = StepDecoder::new(&model, &prompt, &cfg).expect("ok");
+        assert!(matches!(
+            started.adopt_prefix(donor.fork_from(2).expect("ok")),
+            Err(NnError::BadConfig { .. })
+        ));
+        // All rejections left the fresh session intact: it still decodes
+        // identically to a cold one.
+        let mut out = Vec::new();
+        while let Some(tok) = fresh.step().expect("ok") {
+            out.push(tok);
+        }
+        let mut cold = StepDecoder::new(&model, &prompt, &cfg).expect("ok");
+        let mut expected = Vec::new();
+        while let Some(tok) = cold.step().expect("ok") {
+            expected.push(tok);
+        }
+        assert_eq!(out, expected);
     }
 
     /// Drives `sessions` to completion with `step_batch`, collecting each

@@ -25,6 +25,17 @@
 //! lengths. Its logits are bit-identical to N independent
 //! [`KvCache::decode_step`] calls — the serving scheduler relies on that to
 //! keep batched transcripts byte-equal to unbatched ones.
+//!
+//! Prefill note: prefill is resumable. [`KvCache::prefill_chunk`] processes
+//! any slice of a prompt and returns, and the cache can continue from where
+//! it stopped later — each position's keys and values depend only on the
+//! tokens fed so far, so chunked prefill is bit-identical to a one-shot
+//! [`KvCache::prefill`] over the same tokens. [`KvCache::fork_from`] clones
+//! a cache's first P positions, which is what lets a serving-layer prefix
+//! cache hand a new session the K/V rows of an already-prefilled shared
+//! prompt prefix instead of recomputing them. The cache records the token
+//! at every cached position ([`KvCache::tokens`]) so prefix reuse can be
+//! validated against the new prompt.
 
 use std::sync::Arc;
 
@@ -72,6 +83,10 @@ pub struct KvCache {
     model: Arc<TinyLm>,
     layers: Vec<LayerKv>,
     len: usize,
+    /// The token fed at each cached position, in order (`tokens.len() ==
+    /// len`). Lets prefix reuse verify that a donated cache really holds
+    /// the prompt it claims to.
+    tokens: Vec<u32>,
     /// Reusable per-head attention-score scratch (capacity grows to the
     /// longest sequence seen), so decode steps allocate no score vectors.
     score_buf: Vec<f32>,
@@ -96,6 +111,7 @@ impl KvCache {
                 })
                 .collect(),
             len: 0,
+            tokens: Vec::new(),
             score_buf: Vec::new(),
         }
     }
@@ -118,6 +134,23 @@ impl KvCache {
         self.len == 0
     }
 
+    /// The token fed at each cached position, in order.
+    #[must_use]
+    pub fn tokens(&self) -> &[u32] {
+        &self.tokens
+    }
+
+    /// Approximate heap footprint of the cached keys and values, in bytes.
+    ///
+    /// Counts the K and V rows (`len × n_layers × 2 × d_model` floats);
+    /// bookkeeping (token history, scratch) is negligible next to them.
+    /// The serving-layer prefix cache uses this for its byte budget.
+    #[must_use]
+    pub fn kv_bytes(&self) -> usize {
+        let d = self.model.arch().d_model;
+        self.layers.len() * self.len * 2 * d * std::mem::size_of::<f32>()
+    }
+
     /// Clears every cached position while keeping the bound model (and the
     /// per-layer bucket allocations), so a decoding session can re-prefill
     /// after a context-window slide without cloning the model again.
@@ -127,6 +160,7 @@ impl KvCache {
             kv.v.clear();
         }
         self.len = 0;
+        self.tokens.clear();
     }
 
     /// Processes a prompt, returning the logits of its final position.
@@ -142,11 +176,72 @@ impl KvCache {
                 detail: "prefill requires at least one token".into(),
             });
         }
+        self.prefill_chunk(tokens)
+    }
+
+    /// Processes one chunk of a prompt, returning the logits of the chunk's
+    /// final position. Resumable: a prompt split into arbitrary chunks and
+    /// fed through successive `prefill_chunk` calls produces a cache (and
+    /// final logits) bit-identical to one-shot [`KvCache::prefill`] over
+    /// the whole prompt, because each position's K/V rows depend only on
+    /// the tokens fed before it. The serving scheduler uses this to
+    /// interleave long-prompt prefill with decode slices of other sessions.
+    ///
+    /// An empty chunk is a no-op returning empty logits (callers resuming a
+    /// finished prefill need no special case).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadSequence`] if the chunk (with the cache
+    /// contents) exceeds the architecture's context length, and
+    /// [`NnError::BadToken`] for out-of-vocabulary ids. On error the cache
+    /// retains every position processed before the failing token.
+    pub fn prefill_chunk(&mut self, tokens: &[u32]) -> Result<Vec<f32>, NnError> {
         let mut last = Vec::new();
         for &t in tokens {
             last = self.decode_step(t)?;
         }
         Ok(last)
+    }
+
+    /// Clones the first `positions` cached positions into a new independent
+    /// session bound to the same model allocation.
+    ///
+    /// The forked cache's K/V rows are byte-for-byte copies, so decoding
+    /// from it is bit-identical to decoding from a fresh cache prefilled
+    /// with the same leading tokens — each position's rotary encoding is
+    /// absolute, depending only on the tokens before it, never on what the
+    /// donor cached afterwards. This is the primitive behind shared-prefix
+    /// reuse: one prefill of a common prompt scaffold can seed many
+    /// sessions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadSequence`] if `positions` exceeds the donor's
+    /// cached length.
+    pub fn fork_from(&self, positions: usize) -> Result<KvCache, NnError> {
+        if positions > self.len {
+            return Err(NnError::BadSequence {
+                detail: format!(
+                    "cannot fork {positions} positions from a cache holding {}",
+                    self.len
+                ),
+            });
+        }
+        Ok(KvCache {
+            model: Arc::clone(&self.model),
+            layers: self
+                .layers
+                .iter()
+                .map(|kv| LayerKv {
+                    k: kv.k[..positions].to_vec(),
+                    v: kv.v[..positions].to_vec(),
+                })
+                .collect(),
+            len: positions,
+            tokens: self.tokens[..positions].to_vec(),
+            score_buf: Vec::new(),
+        })
     }
 
     /// Processes one token, returning the next-token logits.
@@ -219,6 +314,7 @@ impl KvCache {
         let h_final = rmsnorm_row(&h, params.final_norm.data());
         let logits = project(&h_final, &params.lm_head);
         self.len += 1;
+        self.tokens.push(token);
         Ok(logits)
     }
 
@@ -365,8 +461,9 @@ impl KvCache {
             hf.row_mut(r).copy_from_slice(&normed);
         }
         let logits = project_rows(&hf, &params.lm_head);
-        for s in sessions.iter_mut() {
+        for (s, &t) in sessions.iter_mut().zip(tokens) {
             s.len += 1;
+            s.tokens.push(t);
         }
         Ok((0..n).map(|r| logits.row(r).to_vec()).collect())
     }
@@ -646,6 +743,108 @@ mod tests {
         ));
         assert_eq!(fresh.len(), 1);
         assert_eq!(full.len(), 32);
+    }
+
+    #[test]
+    fn chunked_prefill_is_bitwise_identical_to_one_shot() {
+        let m = model();
+        let prompt: Vec<u32> = (0..12).map(|i| 4 + (i * 7) % 90).collect();
+        let mut one_shot = KvCache::new(&m);
+        let reference = one_shot.prefill(&prompt).expect("ok");
+        for split in [1usize, 3, 5, 11] {
+            let mut chunked = KvCache::new(&m);
+            let mut last = Vec::new();
+            for chunk in prompt.chunks(split) {
+                last = chunked.prefill_chunk(chunk).expect("ok");
+            }
+            assert_eq!(last, reference, "chunk size {split} drifted");
+            assert_eq!(chunked.len(), one_shot.len());
+            assert_eq!(chunked.tokens(), one_shot.tokens());
+            // And the caches must continue identically.
+            let a = chunked.decode_step(42).expect("ok");
+            let b = one_shot.clone().decode_step(42).expect("ok");
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn empty_prefill_chunk_is_a_no_op() {
+        let m = model();
+        let mut cache = KvCache::new(&m);
+        cache.prefill(&[5, 6]).expect("ok");
+        let logits = cache.prefill_chunk(&[]).expect("ok");
+        assert!(logits.is_empty());
+        assert_eq!(cache.len(), 2);
+        // One-shot prefill still rejects empty prompts.
+        assert!(cache.prefill(&[]).is_err());
+    }
+
+    #[test]
+    fn forked_prefix_continues_like_a_fresh_prefill() {
+        let m = model();
+        let prompt = [5u32, 10, 15, 20, 25, 30];
+        let mut donor = KvCache::new(&m);
+        donor.prefill(&prompt).expect("ok");
+        // Advance the donor past the fork point: the fork must not see it.
+        donor.decode_step(77).expect("ok");
+
+        for p in [1usize, 3, 6] {
+            let mut forked = donor.fork_from(p).expect("ok");
+            assert_eq!(forked.len(), p);
+            assert_eq!(forked.tokens(), &prompt[..p]);
+            assert!(Arc::ptr_eq(forked.model(), donor.model()));
+
+            let mut fresh = KvCache::new(&m);
+            fresh.prefill(&prompt[..p]).expect("ok");
+            let a = forked.decode_step(50).expect("ok");
+            let b = fresh.decode_step(50).expect("ok");
+            assert_eq!(a, b, "fork at {p} positions drifted from fresh prefill");
+        }
+    }
+
+    #[test]
+    fn fork_from_validates_positions_and_supports_zero() {
+        let m = model();
+        let mut donor = KvCache::new(&m);
+        donor.prefill(&[5, 6, 7]).expect("ok");
+        assert!(matches!(
+            donor.fork_from(4),
+            Err(NnError::BadSequence { .. })
+        ));
+        let empty = donor.fork_from(0).expect("ok");
+        assert!(empty.is_empty());
+        assert_eq!(empty.kv_bytes(), 0);
+    }
+
+    #[test]
+    fn token_history_tracks_every_path() {
+        let m = model();
+        let mut a = KvCache::new(&m);
+        a.prefill(&[5, 10]).expect("ok");
+        a.decode_step(15).expect("ok");
+        assert_eq!(a.tokens(), &[5, 10, 15]);
+
+        let mut b = KvCache::new(&m);
+        b.prefill(&[5]).expect("ok");
+        {
+            let mut batch = [&mut a, &mut b];
+            KvCache::decode_batch(&mut batch, &[20, 25]).expect("ok");
+        }
+        assert_eq!(a.tokens(), &[5, 10, 15, 20]);
+        assert_eq!(b.tokens(), &[5, 25]);
+
+        a.reset();
+        assert!(a.tokens().is_empty());
+    }
+
+    #[test]
+    fn kv_bytes_counts_cached_rows() {
+        let m = model();
+        let arch = m.arch().clone();
+        let mut cache = KvCache::new(&m);
+        assert_eq!(cache.kv_bytes(), 0);
+        cache.prefill(&[5, 6, 7]).expect("ok");
+        assert_eq!(cache.kv_bytes(), arch.n_layers * 3 * 2 * arch.d_model * 4);
     }
 
     #[test]

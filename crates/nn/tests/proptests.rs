@@ -1,7 +1,7 @@
 //! Property-based tests for the transformer substrate.
 
 use chipalign_model::ArchSpec;
-use chipalign_nn::generate::{generate, GenerateConfig};
+use chipalign_nn::generate::{generate, GenerateConfig, StepDecoder};
 use chipalign_nn::{loss, score, KvCache, TinyLm};
 use chipalign_tensor::{ops, rng::Pcg32};
 use proptest::prelude::*;
@@ -169,6 +169,104 @@ proptest! {
         // With >= 12 prompt tokens, a 16-slot window, and >= 8 decode steps
         // the slide path must have triggered at least once.
         prop_assert!(slides >= 1, "window slide path was not exercised");
+    }
+
+    #[test]
+    fn chunked_prefill_is_bitwise_identical_to_one_shot(
+        seed in 0u64..40,
+        prompt in proptest::collection::vec(0u32..32, 2..15),
+        chunk in 1usize..8,
+    ) {
+        // Feeding a prompt in arbitrary chunk sizes must reproduce the
+        // one-shot prefill exactly (==): same final logits, same cache
+        // length, same token history — and both must agree with a full
+        // uncached forward pass over the same tokens.
+        let model = std::sync::Arc::new(TinyLm::new(&arch(), &mut Pcg32::seed(seed)).unwrap());
+        let mut one_shot = KvCache::new(&model);
+        let reference = one_shot.prefill(&prompt).unwrap();
+
+        let mut chunked = KvCache::new(&model);
+        let mut last = Vec::new();
+        for piece in prompt.chunks(chunk) {
+            last = chunked.prefill_chunk(piece).unwrap();
+        }
+        prop_assert_eq!(&last, &reference, "chunked logits must match one-shot exactly");
+        prop_assert_eq!(chunked.len(), one_shot.len());
+        prop_assert_eq!(chunked.tokens(), one_shot.tokens());
+
+        let full = model.logits(&prompt).unwrap();
+        let t = prompt.len() - 1;
+        for v in 0..32 {
+            let f = full.get(t, v).unwrap();
+            prop_assert!(
+                (f - last[v]).abs() < 2e-3,
+                "chunked/full mismatch at vocab {}: {} vs {}", v, f, last[v],
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_decode_transcripts_match_generate_across_slides(
+        seed in 0u64..30,
+        prompt in proptest::collection::vec(0u32..32, 2..24),
+        chunk in 1usize..6,
+        budget in 4usize..16,
+    ) {
+        // Driving a StepDecoder with bounded prefill chunks — including
+        // the chunked replay of every deferred window slide — must emit
+        // the same tokens as the plain generate() loop, byte for byte.
+        let model = std::sync::Arc::new(TinyLm::new(&arch(), &mut Pcg32::seed(seed)).unwrap());
+        let cfg = GenerateConfig {
+            max_new_tokens: budget,
+            stop_at_eos: false,
+            ..GenerateConfig::default()
+        };
+        let reference = generate(&model, &prompt, &cfg).unwrap();
+        let mut dec = StepDecoder::new_chunked(&model, &prompt, &cfg).unwrap();
+        let mut out = Vec::new();
+        loop {
+            while dec.is_prefilling() {
+                dec.prefill_pending(chunk).unwrap();
+            }
+            match dec.step().unwrap() {
+                Some(t) => out.push(t),
+                None => break,
+            }
+        }
+        prop_assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn adopted_prefix_transcripts_match_cold_prefill(
+        seed in 0u64..30,
+        prompt in proptest::collection::vec(0u32..32, 2..24),
+        p_seed in 0usize..64,
+        budget in 4usize..16,
+    ) {
+        // A session seeded with a forked KV prefix of any length must
+        // decode the same transcript as one that prefilled from scratch.
+        let model = std::sync::Arc::new(TinyLm::new(&arch(), &mut Pcg32::seed(seed)).unwrap());
+        let cfg = GenerateConfig {
+            max_new_tokens: budget,
+            stop_at_eos: false,
+            ..GenerateConfig::default()
+        };
+        let reference = generate(&model, &prompt, &cfg).unwrap();
+        let mut dec = StepDecoder::new_chunked(&model, &prompt, &cfg).unwrap();
+        let window = dec.pending_prefill().to_vec();
+        if window.len() >= 2 {
+            let mut donor = KvCache::new(&model);
+            donor.prefill(&window).unwrap();
+            let p = 1 + p_seed % (window.len() - 1);
+            let fork = donor.fork_from(p).unwrap();
+            let adopted = dec.adopt_prefix(fork).unwrap();
+            prop_assert_eq!(adopted, p);
+        }
+        let mut out = Vec::new();
+        while let Some(t) = dec.step().unwrap() {
+            out.push(t);
+        }
+        prop_assert_eq!(out, reference);
     }
 
     #[test]

@@ -14,9 +14,13 @@
 //!   over a worker pool. Each session owns its KV cache via
 //!   [`chipalign_nn::StepDecoder`]; workers decode short slices and rotate
 //!   sessions round-robin, so long generations never starve short ones.
-//!   Admission control bounds sessions in flight and rejects the rest with
-//!   a structured `overloaded` error; per-request deadlines are enforced
-//!   between decode steps.
+//!   Long *prompts* don't starve anyone either: prefill runs in bounded
+//!   chunks interleaved with other sessions' decode slices, and repeated
+//!   prompt scaffolding is served from a shared-prefix KV cache
+//!   ([`prefix::PrefixCache`]) instead of being re-prefilled. Admission
+//!   control bounds sessions in flight and rejects the rest with a
+//!   structured `overloaded` error; per-request deadlines are enforced at
+//!   dequeue, before every prefill chunk, and between decode steps.
 //! - **TCP front end** ([`server::Server`]): newline-delimited JSON over
 //!   `std::net`, one response line per request line, graceful drain on
 //!   shutdown.
@@ -59,6 +63,7 @@ pub mod error;
 #[cfg(feature = "fault-inject")]
 pub mod faults;
 pub mod metrics;
+pub mod prefix;
 pub mod protocol;
 pub mod registry;
 pub mod scheduler;
@@ -67,6 +72,7 @@ pub mod server;
 pub use client::{Client, Retrier, RetryPolicy};
 pub use error::ServeError;
 pub use metrics::{Metrics, MetricsSnapshot};
+pub use prefix::{PrefixCache, PrefixCacheConfig};
 pub use protocol::{
     ErrorCode, FinishReason, GenerateRequest, Generation, Request, Response, WireError,
     PROTOCOL_VERSION,

@@ -103,10 +103,21 @@ pub struct Metrics {
     tokens_out: AtomicU64,
     /// Prompt tokens consumed by admitted sessions.
     prompt_tokens: AtomicU64,
+    /// Sessions seeded from the shared-prefix cache.
+    prefix_hits: AtomicU64,
+    /// Prompt tokens whose prefill was skipped thanks to a prefix hit.
+    prefix_tokens_reused: AtomicU64,
+    /// Prefill chunks processed by the scheduler (initial prompt slices
+    /// and window-slide replays alike).
+    prefill_chunks: AtomicU64,
+    /// Merged models evicted from the registry's LRU cache.
+    merge_evictions: AtomicU64,
     /// Admission-to-completion latency.
     latency: Histogram,
     /// Admission-to-first-decode-slice wait.
     queue_wait: Histogram,
+    /// Per-chunk prefill compute time.
+    prefill: Histogram,
 }
 
 impl Default for Metrics {
@@ -128,8 +139,13 @@ impl Default for Metrics {
             batch_occupancy: std::array::from_fn(|_| AtomicU64::new(0)),
             tokens_out: AtomicU64::new(0),
             prompt_tokens: AtomicU64::new(0),
+            prefix_hits: AtomicU64::new(0),
+            prefix_tokens_reused: AtomicU64::new(0),
+            prefill_chunks: AtomicU64::new(0),
+            merge_evictions: AtomicU64::new(0),
             latency: Histogram::default(),
             queue_wait: Histogram::default(),
+            prefill: Histogram::default(),
         }
     }
 }
@@ -211,6 +227,25 @@ impl Metrics {
         self.workers_respawned.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a session seeded from the shared-prefix cache with
+    /// `tokens_reused` already-prefilled positions.
+    pub fn on_prefix_hit(&self, tokens_reused: usize) {
+        self.prefix_hits.fetch_add(1, Ordering::Relaxed);
+        self.prefix_tokens_reused
+            .fetch_add(tokens_reused as u64, Ordering::Relaxed);
+    }
+
+    /// Records one prefill chunk and its compute time.
+    pub fn on_prefill_chunk(&self, us: u64) {
+        self.prefill_chunks.fetch_add(1, Ordering::Relaxed);
+        self.prefill.record(us);
+    }
+
+    /// Records a merged model evicted from the registry's LRU cache.
+    pub fn on_merge_eviction(&self) {
+        self.merge_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records a dequeued slice that advanced `n` sessions together.
     pub fn on_batch(&self, n: usize) {
         self.batch_occupancy[n.min(BATCH_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
@@ -248,12 +283,18 @@ impl Metrics {
                 .collect(),
             tokens_out,
             prompt_tokens: self.prompt_tokens.load(Ordering::Relaxed),
+            prefix_hits: self.prefix_hits.load(Ordering::Relaxed),
+            prefix_tokens_reused: self.prefix_tokens_reused.load(Ordering::Relaxed),
+            prefill_chunks: self.prefill_chunks.load(Ordering::Relaxed),
+            merge_evictions: self.merge_evictions.load(Ordering::Relaxed),
             requests_per_sec: completed as f64 / uptime_s,
             tokens_per_sec: tokens_out as f64 / uptime_s,
             latency_p50_ms: self.latency.quantile_upper_us(0.50) as f64 / 1e3,
             latency_p95_ms: self.latency.quantile_upper_us(0.95) as f64 / 1e3,
             queue_p50_ms: self.queue_wait.quantile_upper_us(0.50) as f64 / 1e3,
             queue_p95_ms: self.queue_wait.quantile_upper_us(0.95) as f64 / 1e3,
+            prefill_p50_ms: self.prefill.quantile_upper_us(0.50) as f64 / 1e3,
+            prefill_p95_ms: self.prefill.quantile_upper_us(0.95) as f64 / 1e3,
         }
     }
 }
@@ -303,6 +344,18 @@ pub struct MetricsSnapshot {
     pub tokens_out: u64,
     /// Total prompt tokens consumed.
     pub prompt_tokens: u64,
+    /// Sessions seeded from the shared-prefix cache.
+    #[serde(default)]
+    pub prefix_hits: u64,
+    /// Prompt tokens whose prefill was skipped thanks to prefix hits.
+    #[serde(default)]
+    pub prefix_tokens_reused: u64,
+    /// Prefill chunks processed by the scheduler.
+    #[serde(default)]
+    pub prefill_chunks: u64,
+    /// Merged models evicted from the registry's LRU cache.
+    #[serde(default)]
+    pub merge_evictions: u64,
     /// Completions per second of uptime.
     pub requests_per_sec: f64,
     /// New tokens per second of uptime.
@@ -315,6 +368,12 @@ pub struct MetricsSnapshot {
     pub queue_p50_ms: f64,
     /// 95th-percentile queue wait (upper bound, ms).
     pub queue_p95_ms: f64,
+    /// Median per-chunk prefill compute time (upper bound, ms).
+    #[serde(default)]
+    pub prefill_p50_ms: f64,
+    /// 95th-percentile per-chunk prefill compute time (upper bound, ms).
+    #[serde(default)]
+    pub prefill_p95_ms: f64,
 }
 
 #[cfg(test)]
@@ -410,6 +469,25 @@ mod tests {
     }
 
     #[test]
+    fn prefill_and_prefix_counters_flow_into_snapshot() {
+        let m = Metrics::new();
+        m.on_prefix_hit(24);
+        m.on_prefix_hit(8);
+        m.on_prefill_chunk(1_000);
+        m.on_prefill_chunk(2_000);
+        m.on_prefill_chunk(4_000);
+        m.on_merge_eviction();
+        let snap = m.snapshot();
+        assert_eq!(snap.prefix_hits, 2);
+        assert_eq!(snap.prefix_tokens_reused, 32);
+        assert_eq!(snap.prefill_chunks, 3);
+        assert_eq!(snap.merge_evictions, 1);
+        assert!(snap.prefill_p50_ms > 0.0);
+        assert!(snap.prefill_p95_ms >= snap.prefill_p50_ms);
+        assert_eq!(snap.failed, 0, "prefill counters must not bleed elsewhere");
+    }
+
+    #[test]
     fn snapshot_without_fault_fields_still_parses() {
         // A v1 server's snapshot predates the fault counters; the client
         // must still accept it (serde defaults).
@@ -426,6 +504,12 @@ mod tests {
             "workers_respawned",
             "batched_slices",
             "batch_occupancy",
+            "prefix_hits",
+            "prefix_tokens_reused",
+            "prefill_chunks",
+            "merge_evictions",
+            "prefill_p50_ms",
+            "prefill_p95_ms",
         ] {
             obj.remove(field);
         }
@@ -433,5 +517,9 @@ mod tests {
         assert_eq!(back.worker_panics, 0);
         assert_eq!(back.batched_slices, 0);
         assert!(back.batch_occupancy.is_empty());
+        assert_eq!(back.prefix_hits, 0);
+        assert_eq!(back.prefill_chunks, 0);
+        assert_eq!(back.merge_evictions, 0);
+        assert_eq!(back.prefill_p95_ms, 0.0);
     }
 }

@@ -1,0 +1,446 @@
+//! Shared-prefix KV reuse: a bounded longest-match cache of prefilled
+//! prompt prefixes.
+//!
+//! ChipAlign serving traffic is dominated by repeated prompt scaffolding —
+//! the same system/instruction prefix in front of every chip-QA question
+//! aimed at one `merge:<chip>+<instruct>@<λ>` model. Prefilling that
+//! scaffold again for every session is pure waste: a KV cache row depends
+//! only on the tokens fed before it (absolute rotary positions), so the
+//! rows computed for one session's prefix are bit-for-bit the rows any
+//! other session with the same leading tokens would compute. This module
+//! stores those rows once and hands out [`KvCache::fork_from`] clones.
+//!
+//! Structure: one token trie per model allocation, arena-allocated. Every
+//! node corresponds to a token prefix; nodes that were actually prefilled
+//! carry a donor [`KvCache`] snapshot. A lookup walks the query tokens
+//! from the root and returns a fork of the **deepest** snapshot passed —
+//! longest-match, so a cached full prompt also serves queries that share
+//! only its scaffold. Bounds: entry count and total KV bytes, evicting the
+//! least-recently-used snapshot (and pruning its now-bare trie branch)
+//! when either would overflow.
+//!
+//! Correctness note: the fork is validated again at adoption —
+//! [`chipalign_nn::generate::StepDecoder::adopt_prefix`] re-checks the
+//! token history and model identity — so a cache bug degrades to a served
+//! error, never to a silently wrong transcript. Equivalence tests pin that
+//! prefix-hit transcripts are byte-identical to cold prefills.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use chipalign_nn::{KvCache, TinyLm};
+
+/// Bounds for the [`PrefixCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixCacheConfig {
+    /// Maximum number of cached prefix snapshots across all models;
+    /// `0` disables the cache entirely.
+    pub max_entries: usize,
+    /// Maximum total KV bytes across all snapshots (approximate, counting
+    /// K/V rows). A single oversized snapshot is simply not admitted.
+    pub max_total_bytes: usize,
+}
+
+impl Default for PrefixCacheConfig {
+    fn default() -> Self {
+        PrefixCacheConfig {
+            max_entries: 32,
+            max_total_bytes: 64 * 1024 * 1024,
+        }
+    }
+}
+
+/// One arena-allocated trie node. `children` maps the next token to a
+/// node index; a node holding `entry` is a cached snapshot whose token
+/// path from the root is exactly `snapshot.tokens()`.
+#[derive(Debug)]
+struct Node {
+    children: HashMap<u32, usize>,
+    entry: Option<Entry>,
+    /// Arena index of the parent (`usize::MAX` for roots) and the token
+    /// edge leading here — lets eviction prune bare branches bottom-up.
+    parent: usize,
+    token: u32,
+}
+
+#[derive(Debug)]
+struct Entry {
+    snapshot: KvCache,
+    /// LRU stamp: bumped on every hit from a monotonic counter.
+    stamp: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    nodes: Vec<Node>,
+    /// Free arena slots left behind by pruned nodes, reused before growth.
+    free: Vec<usize>,
+    /// Root node per model allocation. The key is the model's `Arc`
+    /// pointer; safe as an identity because every snapshot under a root
+    /// holds a clone of that `Arc`, so the allocation cannot be reused
+    /// while its subtree is non-empty (roots are dropped with their last
+    /// snapshot).
+    roots: HashMap<usize, usize>,
+    entries: usize,
+    total_bytes: usize,
+    clock: u64,
+}
+
+/// A bounded, thread-safe longest-match cache of prefilled prompt
+/// prefixes. See the module docs for the design.
+#[derive(Debug)]
+pub struct PrefixCache {
+    cfg: PrefixCacheConfig,
+    inner: Mutex<Inner>,
+}
+
+impl PrefixCache {
+    /// Creates an empty cache with the given bounds.
+    #[must_use]
+    pub fn new(cfg: PrefixCacheConfig) -> Self {
+        PrefixCache {
+            cfg,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Whether the cache is configured to store anything at all.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.cfg.max_entries > 0 && self.cfg.max_total_bytes > 0
+    }
+
+    /// Number of cached snapshots.
+    #[must_use]
+    pub fn entries(&self) -> usize {
+        self.inner.lock().expect("prefix cache poisoned").entries
+    }
+
+    /// Approximate total KV bytes held by cached snapshots.
+    #[must_use]
+    pub fn total_bytes(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("prefix cache poisoned")
+            .total_bytes
+    }
+
+    /// Longest-match lookup: returns a forked KV cache covering the
+    /// longest cached prefix of `tokens` for this model allocation, plus
+    /// its length. Only *proper* prefixes are donated (`len <
+    /// tokens.len()`): the adopting session must keep at least one token
+    /// to prefill so it has logits to decode from. A cached entry equal
+    /// to the whole query (the repeated-prompt case) still hits — its
+    /// fork is trimmed to `tokens.len() - 1` positions. Hits refresh the
+    /// snapshot's LRU stamp.
+    #[must_use]
+    pub fn lookup(&self, model: &Arc<TinyLm>, tokens: &[u32]) -> Option<(KvCache, usize)> {
+        if !self.enabled() || tokens.len() < 2 {
+            return None;
+        }
+        let mut inner = self.inner.lock().expect("prefix cache poisoned");
+        let mut node = *inner.roots.get(&(Arc::as_ptr(model) as usize))?;
+        let mut best: Option<usize> = None;
+        for &t in tokens {
+            let Some(&child) = inner.nodes[node].children.get(&t) else {
+                break;
+            };
+            node = child;
+            if inner.nodes[node].entry.is_some() {
+                best = Some(node);
+            }
+        }
+        let best = best?;
+        let stamp = inner.next_stamp();
+        let entry = inner.nodes[best].entry.as_mut().expect("matched above");
+        entry.stamp = stamp;
+        // Belt and braces: identity keyed by pointer, verified by Arc.
+        if !Arc::ptr_eq(entry.snapshot.model(), model) {
+            return None;
+        }
+        let len = entry.snapshot.len().min(tokens.len() - 1);
+        let fork = entry.snapshot.fork_from(len).ok()?;
+        Some((fork, len))
+    }
+
+    /// Inserts a snapshot of `cache`'s full contents, keyed by its token
+    /// history. No-op if the cache is disabled, the snapshot is empty or
+    /// alone exceeds the byte budget, or an identical prefix is already
+    /// cached (its stamp is refreshed instead). Evicts least-recently-used
+    /// snapshots until both bounds hold.
+    pub fn insert(&self, cache: &KvCache) {
+        let bytes = cache.kv_bytes();
+        if !self.enabled() || cache.is_empty() || bytes > self.cfg.max_total_bytes {
+            return;
+        }
+        let Ok(snapshot) = cache.fork_from(cache.len()) else {
+            return;
+        };
+        let mut inner = self.inner.lock().expect("prefix cache poisoned");
+        let key = Arc::as_ptr(snapshot.model()) as usize;
+        let root = match inner.roots.get(&key) {
+            Some(&r) => r,
+            None => {
+                let r = inner.alloc(usize::MAX, 0);
+                inner.roots.insert(key, r);
+                r
+            }
+        };
+        let mut node = root;
+        for &t in snapshot.tokens() {
+            node = match inner.nodes[node].children.get(&t) {
+                Some(&child) => child,
+                None => {
+                    let child = inner.alloc(node, t);
+                    inner.nodes[node].children.insert(t, child);
+                    child
+                }
+            };
+        }
+        let stamp = inner.next_stamp();
+        if let Some(entry) = inner.nodes[node].entry.as_mut() {
+            entry.stamp = stamp;
+            return;
+        }
+        inner.entries += 1;
+        inner.total_bytes += bytes;
+        inner.nodes[node].entry = Some(Entry { snapshot, stamp });
+        while inner.entries > self.cfg.max_entries || inner.total_bytes > self.cfg.max_total_bytes {
+            // The just-inserted snapshot is the most recent; bounds are
+            // restored by evicting older ones (it alone fits, checked
+            // above).
+            if !inner.evict_lru() {
+                break;
+            }
+        }
+    }
+}
+
+impl Inner {
+    fn next_stamp(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn alloc(&mut self, parent: usize, token: u32) -> usize {
+        let node = Node {
+            children: HashMap::new(),
+            entry: None,
+            parent,
+            token,
+        };
+        if let Some(slot) = self.free.pop() {
+            self.nodes[slot] = node;
+            slot
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    /// Evicts the least-recently-used snapshot and prunes its branch up to
+    /// the nearest ancestor that still serves another snapshot or fork.
+    /// Returns false when the cache holds nothing to evict.
+    fn evict_lru(&mut self) -> bool {
+        let mut victim: Option<(usize, u64)> = None;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let Some(entry) = &n.entry {
+                if victim.is_none_or(|(_, stamp)| entry.stamp < stamp) {
+                    victim = Some((i, entry.stamp));
+                }
+            }
+        }
+        let Some((idx, _)) = victim else {
+            return false;
+        };
+        let entry = self.nodes[idx].entry.take().expect("victim holds entry");
+        self.entries -= 1;
+        self.total_bytes -= entry.snapshot.kv_bytes();
+        drop(entry);
+        // Prune bottom-up: remove nodes that now carry no entry and no
+        // children. Roots are dropped too so a stale model pointer can
+        // never match a future allocation at the same address.
+        let mut node = idx;
+        while node != usize::MAX {
+            let n = &self.nodes[node];
+            if n.entry.is_some() || !n.children.is_empty() {
+                break;
+            }
+            let parent = n.parent;
+            let token = n.token;
+            if parent == usize::MAX {
+                self.roots.retain(|_, &mut r| r != node);
+            } else {
+                self.nodes[parent].children.remove(&token);
+            }
+            self.nodes[node].children = HashMap::new();
+            self.free.push(node);
+            node = parent;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chipalign_model::ArchSpec;
+    use chipalign_tensor::rng::Pcg32;
+
+    fn model(seed: u64) -> Arc<TinyLm> {
+        let mut arch = ArchSpec::tiny("prefix");
+        arch.vocab_size = 99;
+        Arc::new(TinyLm::new(&arch, &mut Pcg32::seed(seed)).expect("model"))
+    }
+
+    fn prefilled(m: &Arc<TinyLm>, tokens: &[u32]) -> KvCache {
+        let mut c = KvCache::new(m);
+        c.prefill(tokens).expect("fits window");
+        c
+    }
+
+    #[test]
+    fn longest_match_wins_and_is_a_proper_prefix() {
+        let m = model(1);
+        let cache = PrefixCache::new(PrefixCacheConfig::default());
+        cache.insert(&prefilled(&m, &[5, 6]));
+        cache.insert(&prefilled(&m, &[5, 6, 7, 8]));
+        assert_eq!(cache.entries(), 2);
+
+        // Query extending the longer entry: longest match.
+        let (fork, len) = cache.lookup(&m, &[5, 6, 7, 8, 9]).expect("hit");
+        assert_eq!(len, 4);
+        assert_eq!(fork.tokens(), &[5, 6, 7, 8]);
+
+        // Query equal to the longer entry (a repeated prompt): the entry
+        // hits, trimmed to the longest *proper* prefix of the query.
+        let (fork, len) = cache.lookup(&m, &[5, 6, 7, 8]).expect("hit");
+        assert_eq!(len, 3);
+        assert_eq!(fork.tokens(), &[5, 6, 7]);
+
+        // Diverging query falls back to the shared stem.
+        let (_, len) = cache.lookup(&m, &[5, 6, 9, 9]).expect("hit");
+        assert_eq!(len, 2);
+
+        // No shared prefix at all.
+        assert!(cache.lookup(&m, &[9, 9, 9]).is_none());
+        // Too short to leave a pending token.
+        assert!(cache.lookup(&m, &[5]).is_none());
+    }
+
+    #[test]
+    fn forks_are_independent_of_the_cached_snapshot() {
+        let m = model(1);
+        let cache = PrefixCache::new(PrefixCacheConfig::default());
+        cache.insert(&prefilled(&m, &[5, 6, 7]));
+        let (mut fork, len) = cache.lookup(&m, &[5, 6, 7, 8]).expect("hit");
+        assert_eq!(len, 3);
+        // Advancing the fork must not disturb the cached snapshot.
+        fork.decode_step(42).expect("ok");
+        let (again, len) = cache.lookup(&m, &[5, 6, 7, 8]).expect("hit");
+        assert_eq!(len, 3);
+        assert_eq!(again.tokens(), &[5, 6, 7]);
+    }
+
+    #[test]
+    fn models_do_not_cross_pollinate() {
+        let a = model(1);
+        let b = model(2);
+        let cache = PrefixCache::new(PrefixCacheConfig::default());
+        cache.insert(&prefilled(&a, &[5, 6, 7]));
+        assert!(cache.lookup(&b, &[5, 6, 7, 8]).is_none());
+        let (fork, _) = cache.lookup(&a, &[5, 6, 7, 8]).expect("hit");
+        assert!(Arc::ptr_eq(fork.model(), &a));
+    }
+
+    #[test]
+    fn entry_bound_evicts_least_recently_used() {
+        let m = model(1);
+        let cache = PrefixCache::new(PrefixCacheConfig {
+            max_entries: 2,
+            max_total_bytes: usize::MAX,
+        });
+        cache.insert(&prefilled(&m, &[5, 6]));
+        cache.insert(&prefilled(&m, &[7, 8]));
+        // Touch [5,6] so [7,8] becomes the LRU.
+        assert!(cache.lookup(&m, &[5, 6, 9]).is_some());
+        cache.insert(&prefilled(&m, &[9, 10]));
+        assert_eq!(cache.entries(), 2);
+        assert!(cache.lookup(&m, &[5, 6, 9]).is_some(), "recently used kept");
+        assert!(cache.lookup(&m, &[9, 10, 11]).is_some(), "new entry kept");
+        assert!(cache.lookup(&m, &[7, 8, 9]).is_none(), "LRU evicted");
+    }
+
+    #[test]
+    fn byte_bound_evicts_and_oversized_snapshots_are_refused() {
+        let m = model(1);
+        let unit = prefilled(&m, &[5]).kv_bytes();
+        let cache = PrefixCache::new(PrefixCacheConfig {
+            max_entries: usize::MAX,
+            max_total_bytes: 5 * unit,
+        });
+        cache.insert(&prefilled(&m, &[5, 6])); // 2 units
+        cache.insert(&prefilled(&m, &[7, 8, 9])); // 3 units -> total 5
+        assert_eq!(cache.total_bytes(), 5 * unit);
+        // 2 more units overflow: the oldest entry goes.
+        cache.insert(&prefilled(&m, &[10, 11]));
+        assert!(cache.total_bytes() <= 5 * unit);
+        assert!(cache.lookup(&m, &[5, 6, 7]).is_none(), "oldest evicted");
+        assert!(cache.lookup(&m, &[7, 8, 9, 10]).is_some());
+        // A snapshot larger than the whole budget is refused outright.
+        let big = prefilled(&m, &(0..8).map(|i| 5 + i).collect::<Vec<_>>());
+        assert!(big.kv_bytes() > 5 * unit);
+        let before = cache.entries();
+        cache.insert(&big);
+        assert_eq!(cache.entries(), before);
+    }
+
+    #[test]
+    fn duplicate_insert_refreshes_instead_of_duplicating() {
+        let m = model(1);
+        let cache = PrefixCache::new(PrefixCacheConfig {
+            max_entries: 2,
+            max_total_bytes: usize::MAX,
+        });
+        cache.insert(&prefilled(&m, &[5, 6]));
+        cache.insert(&prefilled(&m, &[7, 8]));
+        // Re-inserting [5,6] refreshes its stamp: [7,8] is now the LRU.
+        cache.insert(&prefilled(&m, &[5, 6]));
+        assert_eq!(cache.entries(), 2);
+        cache.insert(&prefilled(&m, &[9, 10]));
+        assert!(cache.lookup(&m, &[5, 6, 9]).is_some(), "refreshed survives");
+        assert!(cache.lookup(&m, &[7, 8, 9]).is_none());
+    }
+
+    #[test]
+    fn disabled_cache_stores_nothing() {
+        let m = model(1);
+        let cache = PrefixCache::new(PrefixCacheConfig {
+            max_entries: 0,
+            max_total_bytes: usize::MAX,
+        });
+        assert!(!cache.enabled());
+        cache.insert(&prefilled(&m, &[5, 6]));
+        assert_eq!(cache.entries(), 0);
+        assert!(cache.lookup(&m, &[5, 6, 7]).is_none());
+    }
+
+    #[test]
+    fn eviction_prunes_shared_stems_only_when_bare() {
+        let m = model(1);
+        let cache = PrefixCache::new(PrefixCacheConfig {
+            max_entries: 2,
+            max_total_bytes: usize::MAX,
+        });
+        // Two entries sharing the stem [5, 6].
+        cache.insert(&prefilled(&m, &[5, 6, 7]));
+        cache.insert(&prefilled(&m, &[5, 6, 8]));
+        // Evict the first by inserting a third.
+        assert!(cache.lookup(&m, &[5, 6, 8, 9]).is_some()); // refresh second
+        cache.insert(&prefilled(&m, &[9, 10]));
+        // The shared stem must still route to the surviving sibling.
+        let (_, len) = cache.lookup(&m, &[5, 6, 8, 9]).expect("sibling survives");
+        assert_eq!(len, 3);
+        assert!(cache.lookup(&m, &[5, 6, 7, 9]).is_none(), "victim gone");
+    }
+}

@@ -16,6 +16,19 @@
 //! canonical spec string; [`ModelRegistry::register`] inserts programmatic
 //! models (tests, canaries) under arbitrary names.
 //!
+//! # Concurrency and bounds
+//!
+//! Materialization is deduplicated *per key*: concurrent resolves of the
+//! same spec elect one builder while the rest wait on a latch and adopt
+//! the builder's result, and resolves of *different* specs build in
+//! parallel (the old registry serialized every build behind one global
+//! lock). If a builder fails, a waiter takes over and retries rather than
+//! echoing the stale error. The cache itself is bounded for merge keys:
+//! beyond [`ModelRegistry::with_merge_capacity`] (default 32) the
+//! least-recently-used `merge:` entry is evicted and counted in the
+//! `merge_evictions` metric — a λ-sweep can no longer grow the cache
+//! without limit. Zoo slugs and registered names are never evicted.
+//!
 //! # Integrity
 //!
 //! The registry never serves a checkpoint it hasn't vetted: merged models
@@ -27,9 +40,9 @@
 //! at load, counted in `checksum_failures`, removed, and rebuilt from its
 //! ingredients.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
 use chipalign_merge::{GeodesicMerge, Merger};
 use chipalign_model::{format, Checkpoint, ModelError};
@@ -167,19 +180,101 @@ impl ModelSpec {
     }
 }
 
+/// One cached model plus its LRU stamp (bumped on every hit; only merge
+/// keys are ever evicted by stamp).
+struct CacheEntry {
+    model: Arc<TinyLm>,
+    stamp: u64,
+}
+
+/// The materialized-model cache: entries plus the monotonic LRU clock.
+#[derive(Default)]
+struct ModelCache {
+    entries: HashMap<String, CacheEntry>,
+    clock: u64,
+}
+
+impl ModelCache {
+    fn get(&mut self, key: &str) -> Option<Arc<TinyLm>> {
+        self.clock += 1;
+        let stamp = self.clock;
+        let entry = self.entries.get_mut(key)?;
+        entry.stamp = stamp;
+        Some(Arc::clone(&entry.model))
+    }
+
+    fn insert(&mut self, key: String, model: Arc<TinyLm>) {
+        self.clock += 1;
+        let stamp = self.clock;
+        self.entries.insert(key, CacheEntry { model, stamp });
+    }
+
+    fn merge_count(&self) -> usize {
+        self.entries
+            .keys()
+            .filter(|k| k.starts_with("merge:"))
+            .count()
+    }
+
+    /// Removes the least-recently-used `merge:` entry; returns whether one
+    /// existed. Non-merge entries (zoo slugs, registered names) are never
+    /// victims.
+    fn evict_lru_merge(&mut self) -> bool {
+        let victim = self
+            .entries
+            .iter()
+            .filter(|(k, _)| k.starts_with("merge:"))
+            .min_by_key(|(_, e)| e.stamp)
+            .map(|(k, _)| k.clone());
+        match victim {
+            Some(key) => {
+                self.entries.remove(&key);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
 /// The registry: zoo access plus a cache of materialized models.
 pub struct ModelRegistry {
     zoo: Zoo,
-    cache: Mutex<HashMap<String, Arc<TinyLm>>>,
-    /// Serializes expensive materializations (training, merging) so two
-    /// concurrent requests for the same λ build it once.
-    build_lock: Mutex<()>,
+    cache: Mutex<ModelCache>,
+    /// Keys with a materialization in flight. Concurrent resolves of the
+    /// same key elect one builder here; the rest wait on `build_ready`.
+    /// Different keys build in parallel.
+    building: Mutex<HashSet<String>>,
+    /// Notified whenever any build finishes (success or failure) so
+    /// waiters re-check the cache — or claim the build themselves if the
+    /// previous builder failed.
+    build_ready: Condvar,
+    /// Most `merge:` entries kept in the cache before LRU eviction.
+    merge_capacity: usize,
     /// When set, merged checkpoints are persisted here (crash-safely) and
     /// reloaded instead of re-merged on later resolves.
     persist_dir: Option<PathBuf>,
     /// Attached by the server so integrity failures show up in
     /// `checksum_failures`; absent in library use.
     metrics: OnceLock<Arc<Metrics>>,
+}
+
+/// RAII claim on one key's build slot: dropped (panic-safe) when the build
+/// ends either way, waking every waiter to re-check the cache.
+struct BuildGuard<'a> {
+    registry: &'a ModelRegistry,
+    key: &'a str,
+}
+
+impl Drop for BuildGuard<'_> {
+    fn drop(&mut self) {
+        let mut building = self
+            .registry
+            .building
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        building.remove(self.key);
+        self.registry.build_ready.notify_all();
+    }
 }
 
 impl std::fmt::Debug for ModelRegistry {
@@ -199,11 +294,24 @@ impl ModelRegistry {
     pub fn new(zoo: Zoo) -> Self {
         ModelRegistry {
             zoo,
-            cache: Mutex::new(HashMap::new()),
-            build_lock: Mutex::new(()),
+            cache: Mutex::new(ModelCache::default()),
+            building: Mutex::new(HashSet::new()),
+            build_ready: Condvar::new(),
+            merge_capacity: 32,
             persist_dir: None,
             metrics: OnceLock::new(),
         }
+    }
+
+    /// Bounds the number of cached `merge:` models (default 32). Beyond
+    /// it the least-recently-used merge is evicted (and counted in
+    /// `merge_evictions`); the next resolve of an evicted λ rebuilds it —
+    /// or reloads it from the persist directory when one is configured.
+    /// Clamped to at least 1. Zoo slugs and registered names are exempt.
+    #[must_use]
+    pub fn with_merge_capacity(mut self, capacity: usize) -> Self {
+        self.merge_capacity = capacity.max(1);
+        self
     }
 
     /// Configures a directory where merged checkpoints are persisted
@@ -233,18 +341,33 @@ impl ModelRegistry {
     }
 
     /// Locks the model cache, recovering from poisoning: cache mutations
-    /// are single `HashMap` operations that cannot be observed half-done,
-    /// so the map is always consistent even if a panic interrupted a
-    /// previous holder.
-    fn cache_lock(&self) -> MutexGuard<'_, HashMap<String, Arc<TinyLm>>> {
+    /// are single map operations that cannot be observed half-done, so the
+    /// map is always consistent even if a panic interrupted a previous
+    /// holder.
+    fn cache_lock(&self) -> MutexGuard<'_, ModelCache> {
         self.cache.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Inserts into the cache and restores the merge-capacity bound,
+    /// counting any evictions.
+    fn cache_insert(&self, key: String, model: Arc<TinyLm>) {
+        let mut cache = self.cache_lock();
+        cache.insert(key, model);
+        while cache.merge_count() > self.merge_capacity {
+            if !cache.evict_lru_merge() {
+                break;
+            }
+            if let Some(m) = self.metrics.get() {
+                m.on_merge_eviction();
+            }
+        }
     }
 
     /// Registers a model under an arbitrary name (hot-swap path for
     /// programmatically built checkpoints), replacing any previous entry.
     pub fn register(&self, name: &str, model: TinyLm) -> Arc<TinyLm> {
         let arc = Arc::new(model);
-        self.cache_lock().insert(name.to_string(), Arc::clone(&arc));
+        self.cache_insert(name.to_string(), Arc::clone(&arc));
         arc
     }
 
@@ -258,7 +381,7 @@ impl ModelRegistry {
     pub fn resolve_str(&self, spec: &str) -> Result<(String, Arc<TinyLm>), ServeError> {
         // Registered names take priority and need no parse.
         if let Some(m) = self.cache_lock().get(spec.trim()) {
-            return Ok((spec.trim().to_string(), Arc::clone(m)));
+            return Ok((spec.trim().to_string(), m));
         }
         let parsed = ModelSpec::parse(spec)?;
         let model = self.resolve(&parsed)?;
@@ -267,26 +390,49 @@ impl ModelRegistry {
 
     /// Resolves a parsed spec, materializing it on first use.
     ///
+    /// Concurrent resolves of the same key build it exactly once: one
+    /// caller is elected builder, the rest block until the build ends and
+    /// adopt the cached result (or, if the builder failed, take over the
+    /// build themselves). Resolves of different keys never serialize
+    /// against each other.
+    ///
     /// # Errors
     ///
     /// Forwards zoo-training, merge, and checkpoint-I/O failures.
     pub fn resolve(&self, spec: &ModelSpec) -> Result<Arc<TinyLm>, ServeError> {
         let key = spec.key();
-        if let Some(m) = self.cache_lock().get(&key) {
-            return Ok(Arc::clone(m));
+        loop {
+            if let Some(m) = self.cache_lock().get(&key) {
+                return Ok(m);
+            }
+            let mut building = self.building.lock().unwrap_or_else(PoisonError::into_inner);
+            if building.insert(key.clone()) {
+                break; // we are the builder for this key
+            }
+            // Someone else is building this key: wait for their build to
+            // end, then re-check. On their success the cache check above
+            // hits; on their failure the claim above succeeds and this
+            // caller retries the build instead of echoing a stale error.
+            drop(
+                self.build_ready
+                    .wait(building)
+                    .unwrap_or_else(PoisonError::into_inner),
+            );
         }
-        // Build outside the cache lock (materialization can take seconds to
-        // minutes) but under the build lock so concurrent misses for the
-        // same key don't duplicate the work.
-        let _build = self
-            .build_lock
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        // Panic-safe release of the build claim (wakes all waiters).
+        let _guard = BuildGuard {
+            registry: self,
+            key: &key,
+        };
+        // The elected builder double-checks: the previous builder may have
+        // finished between our cache miss and our claim.
         if let Some(m) = self.cache_lock().get(&key) {
-            return Ok(Arc::clone(m));
+            return Ok(m);
         }
+        // Materialization (training, merging, disk I/O) runs without any
+        // lock held — only the per-key claim above guards it.
         let built = Arc::new(self.materialize(spec, &key)?);
-        self.cache_lock().insert(key, Arc::clone(&built));
+        self.cache_insert(key.clone(), Arc::clone(&built));
         Ok(built)
     }
 
@@ -417,13 +563,13 @@ impl ModelRegistry {
             Err(_) => spec.trim().to_string(),
         };
         let mut cache = self.cache_lock();
-        cache.remove(&key).is_some() || cache.remove(spec.trim()).is_some()
+        cache.entries.remove(&key).is_some() || cache.entries.remove(spec.trim()).is_some()
     }
 
     /// Cache keys of every materialized model, sorted.
     #[must_use]
     pub fn loaded(&self) -> Vec<String> {
-        let mut keys: Vec<String> = self.cache_lock().keys().cloned().collect();
+        let mut keys: Vec<String> = self.cache_lock().entries.keys().cloned().collect();
         keys.sort();
         keys
     }
@@ -566,6 +712,62 @@ mod tests {
         assert_eq!(metrics.snapshot().checksum_failures, 1);
         assert!(reg.loaded().is_empty(), "damaged model must not be cached");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_resolves_of_one_merge_build_it_once() {
+        let reg = registry();
+        let spec = ModelSpec::parse("merge:eda-qwen+instruct-qwen@0.5").expect("ok");
+        let barrier = std::sync::Barrier::new(4);
+        let models: Vec<Arc<TinyLm>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait();
+                        reg.resolve(&spec).expect("resolve")
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("join"))
+                .collect()
+        });
+        for m in &models[1..] {
+            assert!(
+                Arc::ptr_eq(&models[0], m),
+                "every concurrent resolver must share one materialization"
+            );
+        }
+        assert_eq!(
+            reg.loaded(),
+            vec!["merge:eda-qwen+instruct-qwen@0.5000".to_string()]
+        );
+    }
+
+    #[test]
+    fn merge_cache_is_bounded_and_evictions_are_counted() {
+        let reg = registry().with_merge_capacity(2);
+        let metrics = Arc::new(Metrics::new());
+        reg.attach_metrics(Arc::clone(&metrics));
+        reg.register("canary", random_model(3));
+        let spec =
+            |l: &str| ModelSpec::parse(&format!("merge:eda-qwen+instruct-qwen@{l}")).expect("ok");
+        reg.resolve(&spec("0.1")).expect("ok");
+        reg.resolve(&spec("0.2")).expect("ok");
+        // Touch 0.1 so 0.2 becomes the least-recently-used merge.
+        reg.resolve(&spec("0.1")).expect("ok");
+        reg.resolve(&spec("0.3")).expect("ok");
+        let loaded = reg.loaded();
+        let key = |l: &str| format!("merge:eda-qwen+instruct-qwen@{l}000");
+        assert!(loaded.contains(&key("0.1")), "recently used merge kept");
+        assert!(loaded.contains(&key("0.3")), "newest merge kept");
+        assert!(!loaded.contains(&key("0.2")), "LRU merge evicted");
+        assert!(
+            loaded.contains(&"canary".to_string()),
+            "non-merge entries are exempt from the merge bound"
+        );
+        assert_eq!(metrics.snapshot().merge_evictions, 1);
     }
 
     #[test]

@@ -22,6 +22,22 @@
 //! unbatched [`run_slice`] path, so `max_batch == 1` reproduces the old
 //! scheduler exactly.
 //!
+//! # Chunked prefill and shared-prefix reuse
+//!
+//! Prompts are *not* prefilled monolithically: a session dequeued in
+//! [`TaskState::Pending`] state prefills at most
+//! [`SchedulerConfig::prefill_chunk`] tokens per slice and rotates in
+//! [`TaskState::Prefilling`] state until its prompt window is in the
+//! cache, so a long prompt never pins a worker for more than one chunk —
+//! short sessions behind it keep decoding (the head-of-line fix, pinned by
+//! a test). Deferred context-window slides replay through the same
+//! chunked path. Before prefilling at all, the scheduler probes a
+//! [`PrefixCache`] with the prompt window: on a longest-match hit the
+//! session adopts a forked KV cache of the shared prefix and only
+//! prefills the remainder. Both mechanisms are bit-transparent: chunked,
+//! prefix-seeded transcripts are byte-identical to cold monolithic
+//! prefill (equivalence tests pin this).
+//!
 //! Admission control is a hard bound on sessions in flight (queued +
 //! running): beyond it, [`Scheduler::submit`] fails fast with
 //! [`ServeError::Overloaded`] instead of buffering without limit. Each
@@ -61,6 +77,7 @@ use chipalign_nn::generate::{GenerateConfig, StepDecoder};
 use chipalign_nn::TinyLm;
 
 use crate::metrics::Metrics;
+use crate::prefix::{PrefixCache, PrefixCacheConfig};
 use crate::protocol::FinishReason;
 use crate::ServeError;
 
@@ -93,6 +110,15 @@ pub struct SchedulerConfig {
     /// `[1, GEMM_SKINNY_M_MAX]` — beyond the skinny tile the batched step
     /// would leave the kernel that guarantees bit-identity.
     pub max_batch: usize,
+    /// Most prompt (or window-slide replay) tokens prefilled per
+    /// scheduling slice. A prompt longer than this rotates through the
+    /// queue in `Prefilling` state between chunks, so long prompts cannot
+    /// head-of-line-block other sessions' decode slices. Clamped to at
+    /// least 1. Chunking never changes output bytes.
+    pub prefill_chunk: usize,
+    /// Bounds for the shared-prefix KV cache consulted at first dequeue;
+    /// `max_entries: 0` disables prefix reuse.
+    pub prefix_cache: PrefixCacheConfig,
 }
 
 impl Default for SchedulerConfig {
@@ -110,6 +136,8 @@ impl Default for SchedulerConfig {
             slice_tokens: 8,
             stall_slices: 32,
             max_batch: 8,
+            prefill_chunk: 32,
+            prefix_cache: PrefixCacheConfig::default(),
         }
     }
 }
@@ -151,6 +179,14 @@ enum TaskState {
     /// Prompt not yet prefilled (prefill happens on a worker, not on the
     /// submitting connection thread).
     Pending(SessionRequest),
+    /// Mid-prefill: part of the prompt window (or a deferred window-slide
+    /// replay) is still outside the KV cache. The session advances one
+    /// bounded chunk per slice and rotates, so other sessions' decode
+    /// slices interleave with a long prompt's prefill.
+    Prefilling {
+        decoder: StepDecoder,
+        deadline: Option<Instant>,
+    },
     /// Mid-generation.
     Running {
         decoder: StepDecoder,
@@ -204,6 +240,9 @@ struct Inner {
     active: Arc<AtomicUsize>,
     draining: AtomicBool,
     metrics: Arc<Metrics>,
+    /// Shared-prefix KV cache, probed at first dequeue and fed with every
+    /// freshly prefilled prompt window.
+    prefix: PrefixCache,
 }
 
 /// The scheduler: a run queue plus its worker pool.
@@ -245,6 +284,8 @@ impl Scheduler {
             max_batch: cfg
                 .max_batch
                 .clamp(1, chipalign_tensor::tune::GEMM_SKINNY_M_MAX),
+            prefill_chunk: cfg.prefill_chunk.max(1),
+            prefix_cache: cfg.prefix_cache,
         };
         let inner = Arc::new(Inner {
             cfg: cfg.clone(),
@@ -253,6 +294,7 @@ impl Scheduler {
             active: Arc::new(AtomicUsize::new(0)),
             draining: AtomicBool::new(false),
             metrics,
+            prefix: PrefixCache::new(cfg.prefix_cache),
         });
         let workers = (0..cfg.workers)
             .map(|i| {
@@ -464,6 +506,9 @@ struct BatchMember {
     deadline: Option<Instant>,
     /// `produced.len()` at slice start, for the zero-progress watchdog.
     before: usize,
+    /// Whether this slice advanced the member's prefill — progress the
+    /// watchdog must credit even though no token was produced.
+    prefilled: bool,
     /// Injected stall: sit out every round this slice, then take a
     /// watchdog tick — exactly like the unbatched stall site.
     stalled: bool,
@@ -483,13 +528,17 @@ enum MemberEnd {
 /// Advances a whole batch of sessions together for one slice.
 ///
 /// Fault semantics mirror the single-session path *per member*: decoder
-/// resolution (prefill) runs under a per-session panic guard, so a
-/// poisoned session is cancelled alone while its batch-mates proceed;
-/// deadlines are swept between decode rounds; members that end the slice
-/// with zero progress take a watchdog tick. The one batch-wide hazard is a
-/// panic inside the joint batched step — it cannot be attributed to a
-/// single session and may leave batch-mates mid-token, so every session
-/// that was stepping is cancelled with a structured `WorkerPanic`.
+/// resolution and each member's prefill chunk run under per-session panic
+/// guards, so a poisoned session is cancelled alone while its batch-mates
+/// proceed; deadlines are checked before each prefill chunk and swept
+/// between decode rounds; members that end the slice with zero progress
+/// (neither a token nor a prefill chunk) take a watchdog tick. Members
+/// still mid-prefill after their chunk sit out the decode rounds — their
+/// prompts load across slices while batch-mates keep decoding. The one
+/// batch-wide hazard is a panic inside the joint batched step — it cannot
+/// be attributed to a single session and may leave batch-mates mid-token,
+/// so every session that was stepping is cancelled with a structured
+/// `WorkerPanic`.
 fn run_batch_slice(inner: &Inner, batch: Vec<Task>) {
     // Phase 1: resolve every member's decoder under its own guard.
     let mut members: Vec<BatchMember> = Vec::with_capacity(batch.len());
@@ -521,6 +570,7 @@ fn run_batch_slice(inner: &Inner, batch: Vec<Task>) {
                     decoder,
                     deadline,
                     before,
+                    prefilled: false,
                     stalled,
                     end: MemberEnd::Live,
                 });
@@ -528,8 +578,37 @@ fn run_batch_slice(inner: &Inner, batch: Vec<Task>) {
         }
     }
 
-    // Phase 2: decode rounds. All live, non-stalled members advance
-    // together through one batched step per round.
+    // Phase 1.5: members mid-prefill advance by one bounded chunk each,
+    // under their own guard and behind their own deadline check. A member
+    // still prefilling afterwards sits out the decode rounds below; its
+    // batch-mates decode while its prompt loads across slices.
+    for m in &mut members {
+        if !matches!(m.end, MemberEnd::Live) || m.stalled || !m.decoder.is_prefilling() {
+            continue;
+        }
+        if past(m.deadline) {
+            m.end = MemberEnd::Failed(deadline_error(m.task.admitted));
+            continue;
+        }
+        let advanced = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_prefill_chunk(inner, &mut m.decoder)
+        }));
+        match advanced {
+            Err(payload) => {
+                inner.metrics.on_worker_panic();
+                let detail = panic_detail(payload.as_ref());
+                m.end = MemberEnd::Failed(ServeError::WorkerPanic { detail });
+            }
+            Ok(Err(e)) => m.end = MemberEnd::Failed(e),
+            Ok(Ok(())) => m.prefilled = true,
+        }
+    }
+
+    // Phase 2: decode rounds. All live, non-stalled, fully prefilled
+    // members advance together through one batched step per round. A
+    // member whose step defers a window slide turns `is_prefilling` on
+    // and drops out of later rounds — its replay is chunked on subsequent
+    // slices like any other prefill.
     for _ in 0..inner.cfg.slice_tokens {
         // Deadline sweep, mirroring the single-session between-step check.
         for m in &mut members {
@@ -540,7 +619,7 @@ fn run_batch_slice(inner: &Inner, batch: Vec<Task>) {
         let mut stepped: Vec<usize> = Vec::new();
         let mut steppers: Vec<&mut StepDecoder> = Vec::new();
         for (i, m) in members.iter_mut().enumerate() {
-            if matches!(m.end, MemberEnd::Live) && !m.stalled {
+            if matches!(m.end, MemberEnd::Live) && !m.stalled && !m.decoder.is_prefilling() {
                 stepped.push(i);
                 steppers.push(&mut m.decoder);
             }
@@ -588,11 +667,13 @@ fn run_batch_slice(inner: &Inner, batch: Vec<Task>) {
 
     // Watchdog accounting for members still live with zero progress this
     // slice (injected stalls always; a cooperative decoder possibly).
+    // Prefill chunks count as progress: a long prompt loading across many
+    // slices is working, not stalled.
     for m in &mut members {
         if !matches!(m.end, MemberEnd::Live) {
             continue;
         }
-        if m.task.produced.len() == m.before {
+        if m.task.produced.len() == m.before && !m.prefilled {
             if let Err(e) = watchdog_tick(inner, &mut m.task) {
                 m.end = MemberEnd::Failed(e);
             }
@@ -612,7 +693,11 @@ fn run_batch_slice(inner: &Inner, batch: Vec<Task>) {
         } = m;
         match end {
             MemberEnd::Live => {
-                task.state = TaskState::Running { decoder, deadline };
+                task.state = if decoder.is_prefilling() {
+                    TaskState::Prefilling { decoder, deadline }
+                } else {
+                    TaskState::Running { decoder, deadline }
+                };
                 lock_queue(inner).push_back(task);
                 inner.available.notify_one();
             }
@@ -635,10 +720,14 @@ enum SliceStatus {
     Done(SessionResult),
 }
 
-/// Takes a task's decoder for one slice: first-slice prefill for `Pending`
-/// (the expensive O(prompt) part runs on the worker, and the queue wait is
-/// recorded), pass-through for `Running`, structured error for `Tombstone`.
-/// Shared by the single-session and batched slice paths.
+/// Takes a task's decoder for one slice. For `Pending` it records the
+/// queue wait, checks the deadline *before doing any prefill work* (a
+/// session that expired in the queue costs nothing), builds an
+/// un-prefilled chunked decoder, and probes the shared-prefix cache —
+/// on a hit the session adopts a forked KV cache and skips that much
+/// prefill. `Prefilling` and `Running` pass through; `Tombstone` is a
+/// structured error. Shared by the single-session and batched slice
+/// paths.
 fn take_decoder(
     inner: &Inner,
     task: &mut Task,
@@ -651,14 +740,37 @@ fn take_decoder(
             if past(req.deadline) {
                 return Err(deadline_error(task.admitted));
             }
-            let decoder = StepDecoder::new(&req.model, &req.prompt, &req.cfg)?;
+            let mut decoder = StepDecoder::new_chunked(&req.model, &req.prompt, &req.cfg)?;
+            if let Some((fork, _)) = inner.prefix.lookup(&req.model, decoder.pending_prefill()) {
+                // Adoption re-validates tokens and model identity; a
+                // mismatch simply falls back to a cold prefill.
+                if let Ok(adopted) = decoder.adopt_prefix(fork) {
+                    inner.metrics.on_prefix_hit(adopted);
+                }
+            }
             Ok((decoder, req.deadline))
         }
-        TaskState::Running { decoder, deadline } => Ok((decoder, deadline)),
+        TaskState::Prefilling { decoder, deadline } | TaskState::Running { decoder, deadline } => {
+            Ok((decoder, deadline))
+        }
         TaskState::Tombstone => Err(ServeError::Internal {
             detail: "scheduler invariant violated: task rescheduled in tombstone state".to_string(),
         }),
     }
+}
+
+/// Advances a mid-prefill decoder by one bounded chunk, recording chunk
+/// count and compute time. On the chunk that completes a session's
+/// *initial* prefill (nothing emitted yet), the freshly filled prompt
+/// window is donated to the shared-prefix cache for future sessions.
+fn run_prefill_chunk(inner: &Inner, decoder: &mut StepDecoder) -> Result<(), ServeError> {
+    let t0 = Instant::now();
+    decoder.prefill_pending(inner.cfg.prefill_chunk)?;
+    inner.metrics.on_prefill_chunk(elapsed_us(t0));
+    if !decoder.is_prefilling() && decoder.emitted() == 0 {
+        inner.prefix.insert(decoder.cache());
+    }
+    Ok(())
 }
 
 /// Builds the payload for a session whose decoder just reported completion.
@@ -676,9 +788,10 @@ fn session_result(task: &mut Task, decoder: &StepDecoder) -> SessionResult {
     }
 }
 
-/// Decodes up to `slice_tokens` tokens for one session. Pure with respect
-/// to scheduler structures: no locks are held while decoding, so a panic
-/// here cannot poison the queue.
+/// Advances one session for one slice: at most one bounded prefill chunk,
+/// then (once the prompt window is cached) up to `slice_tokens` decode
+/// steps. Pure with respect to scheduler structures: no locks are held
+/// while decoding, so a panic here cannot poison the queue.
 fn decode_slice(inner: &Inner, task: &mut Task) -> Result<SliceStatus, ServeError> {
     let (mut decoder, deadline) = take_decoder(inner, task)?;
 
@@ -695,18 +808,48 @@ fn decode_slice(inner: &Inner, task: &mut Task) -> Result<SliceStatus, ServeErro
         }
     }
 
+    if decoder.is_prefilling() {
+        // Deadline check before spending any prefill compute, so a
+        // session that expired while queued (or mid-prefill) is cancelled
+        // without paying for another chunk.
+        if past(deadline) {
+            return Err(deadline_error(task.admitted));
+        }
+        run_prefill_chunk(inner, &mut decoder)?;
+        if decoder.is_prefilling() {
+            // More prompt to go: rotate so queued sessions get decode
+            // time between this session's chunks. Prefill progress counts
+            // as progress for the stall watchdog.
+            task.state = TaskState::Prefilling { decoder, deadline };
+            task.stalled_slices = 0;
+            return Ok(SliceStatus::Continue);
+        }
+    }
+
     let before = task.produced.len();
     for _ in 0..inner.cfg.slice_tokens {
         if past(deadline) {
             return Err(deadline_error(task.admitted));
         }
         match decoder.step()? {
-            Some(token) => task.produced.push(token),
+            Some(token) => {
+                task.produced.push(token);
+                if decoder.is_prefilling() {
+                    // The step landed on a context-window boundary and
+                    // deferred its slide: replay the window in bounded
+                    // chunks on later slices instead of inline.
+                    break;
+                }
+            }
             None => return Ok(SliceStatus::Done(session_result(task, &decoder))),
         }
     }
 
-    task.state = TaskState::Running { decoder, deadline };
+    task.state = if decoder.is_prefilling() {
+        TaskState::Prefilling { decoder, deadline }
+    } else {
+        TaskState::Running { decoder, deadline }
+    };
     if task.produced.len() == before {
         // A full slice with zero tokens produced. Impossible for today's
         // StepDecoder (every step yields or finishes) but load-bearing for
@@ -823,6 +966,8 @@ mod tests {
             slice_tokens,
             stall_slices: 32,
             max_batch: 1,
+            prefill_chunk: 32,
+            prefix_cache: PrefixCacheConfig::default(),
         }
     }
 
@@ -954,6 +1099,109 @@ mod tests {
             "got {outcome:?}"
         );
         assert_eq!(metrics.snapshot().deadline_exceeded, 1);
+        scheduler.join();
+    }
+
+    #[test]
+    fn expired_deadline_is_rejected_at_dequeue_before_any_prefill() {
+        let m = model();
+        let metrics = Arc::new(Metrics::new());
+        let scheduler = Scheduler::start(config(1, 4, 4), Arc::clone(&metrics));
+        // Already-expired deadline: the session must be failed when it is
+        // dequeued, without paying for a single prefill chunk (the PR 5
+        // queued-deadline leak had it prefilling the whole prompt first).
+        let rx = scheduler
+            .submit(request(&m, 24, Some(Instant::now())))
+            .expect("admit");
+        let outcome = rx.recv().expect("outcome");
+        assert!(
+            matches!(outcome, Err(ServeError::DeadlineExceeded { .. })),
+            "got {outcome:?}"
+        );
+        let snap = metrics.snapshot();
+        assert_eq!(snap.deadline_exceeded, 1);
+        assert_eq!(
+            snap.prefill_chunks, 0,
+            "no prefill work may be spent on a dead-on-arrival session"
+        );
+        scheduler.join();
+    }
+
+    #[test]
+    fn chunked_prefill_lets_short_sessions_overtake_a_long_prompt() {
+        let m = model();
+        let metrics = Arc::new(Metrics::new());
+        // One worker, tiny prefill chunks: without chunking, the long
+        // prompt's prefill would hold the only worker until it finished
+        // and the short session (submitted second) would wait behind it.
+        let mut cfg = config(1, 4, 4);
+        cfg.prefill_chunk = 2;
+        let scheduler = Scheduler::start(cfg, Arc::clone(&metrics));
+        let long_prompt: Vec<u32> = (0..40u32).map(|i| 3 + (i * 7) % 90).collect();
+        // A large budget keeps the long session busy (decode plus deferred
+        // window slides, each replayed in 2-token chunks) long after the
+        // short one completes, so the ordering assertion below has a
+        // margin of thousands of scheduler slices, not a photo finish.
+        let long_rx = scheduler
+            .submit(SessionRequest {
+                model: Arc::clone(&m),
+                prompt: long_prompt.clone(),
+                cfg: greedy(1000),
+                deadline: None,
+                tag: "long".to_string(),
+            })
+            .expect("admit long");
+        let short_rx = scheduler.submit(request(&m, 4, None)).expect("admit short");
+        let short = short_rx.recv().expect("outcome").expect("ok");
+        assert!(
+            matches!(
+                long_rx.try_recv(),
+                Err(std::sync::mpsc::TryRecvError::Empty)
+            ),
+            "short session must complete while the long prompt is still in flight"
+        );
+        let short_ref = chipalign_nn::generate::generate(&m, &[5, 6, 7], &greedy(4)).expect("ok");
+        assert_eq!(short.tokens, short_ref, "short transcript unchanged");
+        let long = long_rx.recv().expect("outcome").expect("ok");
+        let long_ref =
+            chipalign_nn::generate::generate(&m, &long_prompt, &greedy(1000)).expect("ok");
+        assert_eq!(long.tokens, long_ref, "chunked prefill is bit-identical");
+        assert!(
+            metrics.snapshot().prefill_chunks >= 2,
+            "the long prompt must have prefilled across multiple chunks"
+        );
+        scheduler.join();
+    }
+
+    #[test]
+    fn repeated_prompt_hits_the_prefix_cache_with_identical_transcript() {
+        let m = model();
+        let metrics = Arc::new(Metrics::new());
+        let scheduler = Scheduler::start(config(1, 4, 4), Arc::clone(&metrics));
+        let first = scheduler
+            .submit(request(&m, 12, None))
+            .expect("admit")
+            .recv()
+            .expect("outcome")
+            .expect("ok");
+        let second = scheduler
+            .submit(request(&m, 12, None))
+            .expect("admit")
+            .recv()
+            .expect("outcome")
+            .expect("ok");
+        let reference = chipalign_nn::generate::generate(&m, &[5, 6, 7], &greedy(12)).expect("ok");
+        assert_eq!(first.tokens, reference, "cold session matches generate()");
+        assert_eq!(
+            second.tokens, reference,
+            "prefix-hit session is bit-identical"
+        );
+        let snap = metrics.snapshot();
+        assert_eq!(snap.prefix_hits, 1, "second session must reuse the prefix");
+        assert_eq!(
+            snap.prefix_tokens_reused, 2,
+            "a 3-token prompt donates its longest proper prefix (2 tokens)"
+        );
         scheduler.join();
     }
 

@@ -74,6 +74,7 @@ proptest! {
                 slice_tokens,
                 stall_slices: 32,
                 max_batch,
+                ..SchedulerConfig::default()
             },
             Arc::clone(&metrics),
         );

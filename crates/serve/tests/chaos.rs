@@ -47,6 +47,7 @@ fn server_config(workers: usize, stall_slices: u64) -> ServerConfig {
             slice_tokens: 4,
             stall_slices,
             max_batch: 1,
+            ..SchedulerConfig::default()
         },
         max_new_tokens_cap: 10_000_000,
         default_deadline_ms: None,
@@ -172,6 +173,7 @@ fn batched_panic_cancels_only_the_poisoned_batch_mate() {
             slice_tokens: 4,
             stall_slices: 32,
             max_batch: 4,
+            ..SchedulerConfig::default()
         },
         ..server_config(1, 32)
     };
@@ -516,6 +518,7 @@ fn retrier_rides_out_overload_against_a_live_server() {
             slice_tokens: 4,
             stall_slices: 32,
             max_batch: 1,
+            ..SchedulerConfig::default()
         },
         ..server_config(1, 32)
     };

@@ -73,6 +73,7 @@ fn greedy_transcripts_identical_across_all_decode_paths() {
                 slice_tokens: 4,
                 stall_slices: 32,
                 max_batch: 1,
+                ..SchedulerConfig::default()
             },
             max_new_tokens_cap: 10_000_000,
             default_deadline_ms: None,
@@ -133,6 +134,7 @@ fn served_greedy_identical_through_window_slide() {
                 slice_tokens: 4,
                 stall_slices: 64,
                 max_batch: 1,
+                ..SchedulerConfig::default()
             },
             max_new_tokens_cap: 10_000_000,
             default_deadline_ms: None,
@@ -160,6 +162,82 @@ fn served_greedy_identical_through_window_slide() {
     assert_eq!(served.text, tok.decode(&expected));
     assert_eq!(served.tokens, budget);
     server.shutdown();
+}
+
+/// The chunked-prefill + prefix-reuse pin: at every `prefill_chunk` size,
+/// repeated prompts — served twice each so the second session adopts a
+/// shared-prefix KV fork, with budgets long enough to slide the context
+/// window and replay it through the chunked path — must produce
+/// transcripts byte-identical to single-threaded `generate()`. The
+/// metrics snapshot proves both mechanisms actually ran: prefill was
+/// chunked and at least one session was seeded from the prefix cache.
+#[test]
+fn chunked_and_prefix_seeded_transcripts_identical_to_cold_prefill() {
+    let model = pinned_model();
+    let tok = CharTokenizer::new();
+    let jobs: &[(&str, usize)] = &[("kernel swap", 20), ("slide please", 64)];
+    let expected: Vec<String> = jobs
+        .iter()
+        .map(|&(prompt, budget)| {
+            let mut ids = vec![BOS];
+            ids.extend(tok.encode(prompt));
+            let cfg = GenerateConfig {
+                max_new_tokens: budget,
+                stop_at_eos: false,
+                ..GenerateConfig::default()
+            };
+            tok.decode(&generate(&model, &ids, &cfg).expect("reference"))
+        })
+        .collect();
+
+    for prefill_chunk in [1usize, 3, 7] {
+        let server = Server::bind(
+            ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                scheduler: SchedulerConfig {
+                    workers: 1,
+                    max_sessions: 8,
+                    slice_tokens: 4,
+                    stall_slices: 64,
+                    max_batch: 1,
+                    prefill_chunk,
+                    ..SchedulerConfig::default()
+                },
+                max_new_tokens_cap: 10_000_000,
+                default_deadline_ms: None,
+            },
+            registry_with_pinned(),
+        )
+        .expect("bind");
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        // Two passes: the first prefills cold and donates its prompt
+        // window; the second must hit the prefix cache — and still match.
+        for pass in 0..2 {
+            for (&(prompt, budget), want) in jobs.iter().zip(&expected) {
+                let mut req = GenerateRequest::greedy("pinned", prompt, budget);
+                req.stop_at_eos = false;
+                let served = client.generate(req).expect("generate");
+                assert_eq!(
+                    &served.text, want,
+                    "prefill_chunk={prefill_chunk}, pass={pass}, prompt {prompt:?}"
+                );
+            }
+        }
+        let snap = client.metrics().expect("metrics");
+        assert!(
+            snap.prefill_chunks > 0,
+            "prefill_chunk={prefill_chunk}: prefill must run through the chunked path"
+        );
+        assert!(
+            snap.prefix_hits >= 1,
+            "prefill_chunk={prefill_chunk}: repeated prompts must hit the prefix cache"
+        );
+        assert!(
+            snap.prefix_tokens_reused >= 1,
+            "prefill_chunk={prefill_chunk}: a prefix hit must reuse tokens"
+        );
+        server.shutdown();
+    }
 }
 
 /// The batched-scheduler pin: at every `max_batch`, concurrent greedy
@@ -205,6 +283,7 @@ fn batched_transcripts_identical_across_max_batch_sweep() {
                     slice_tokens: 4,
                     stall_slices: 64,
                     max_batch,
+                    ..SchedulerConfig::default()
                 },
                 max_new_tokens_cap: 10_000_000,
                 default_deadline_ms: None,

@@ -33,6 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 slice_tokens: 8,
                 stall_slices: 32,
                 max_batch: 4,
+                ..SchedulerConfig::default()
             },
             max_new_tokens_cap: 128,
             default_deadline_ms: Some(60_000),
