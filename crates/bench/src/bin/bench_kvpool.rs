@@ -1,0 +1,238 @@
+//! Paged KV-pool benchmark: what block-based KV storage with zero-copy
+//! prefix sharing buys over per-session contiguous caches.
+//!
+//! ```text
+//! cargo run --release -p chipalign-bench --bin bench_kvpool            # full run + JSON
+//! cargo run --release -p chipalign-bench --bin bench_kvpool -- --smoke # tiny sweep, no JSON
+//! ```
+//!
+//! Scenario: `N` sessions share a long prompt scaffold and diverge with a
+//! short fresh suffix each — the repeated-scaffold traffic the serving
+//! prefix cache targets. Three headline numbers:
+//!
+//! * **KV bytes / sessions-per-GB** — paged sessions alias the scaffold's
+//!   blocks (one copy total, plus a copy-on-write tail block per fork),
+//!   while contiguous sessions each hold a private full-window copy.
+//! * **Fork latency** — a paged fork clones `O(blocks)` `Arc`s; a
+//!   contiguous fork deep-copies every KV row.
+//! * **Prefix-hit allocation** — forking the donor allocates zero new
+//!   blocks until the session writes past the shared prefix (the pool's
+//!   `cow_copies` counter shows the divergence copies that follow).
+//!
+//! Everything is seeded and each timing is the median of
+//! `CHIPALIGN_BENCH_REPS` repetitions (default 7, 3 in smoke mode). The
+//! full run writes `BENCH_kvpool.json` at the repo root.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+use chipalign_bench::harness;
+use chipalign_model::ArchSpec;
+use chipalign_nn::{KvCache, KvPool, KvPoolConfig, TinyLm};
+use chipalign_tensor::rng::Pcg32;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Same substrate as `bench_prefill`: a window large enough for
+/// bench-length scaffolds.
+fn bench_arch() -> ArchSpec {
+    ArchSpec {
+        name: "bench-kvpool".into(),
+        vocab_size: 99,
+        d_model: 48,
+        n_layers: 2,
+        n_heads: 4,
+        d_ff: 96,
+        max_seq_len: 256,
+    }
+}
+
+fn prompt(len: usize) -> Vec<u32> {
+    (0..len).map(|i| (4 + (i * 7) % 90) as u32).collect()
+}
+
+fn median_us(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn timed(f: impl FnOnce()) -> Duration {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed()
+}
+
+#[derive(Debug, Serialize)]
+struct KvPoolBench {
+    mode: String,
+    reps: usize,
+    /// Positions per KV block.
+    block_tokens: usize,
+    /// Shared scaffold length (tokens); deliberately not block-aligned so
+    /// every fork's first divergent write exercises copy-on-write.
+    scaffold_len: usize,
+    /// Fresh suffix tokens per session after the fork.
+    suffix_len: usize,
+    /// Forked sessions resident at once.
+    sessions: usize,
+    /// Total KV bytes held with paged storage (blocks in use × block size).
+    paged_total_bytes: usize,
+    /// Total KV bytes with one contiguous cache per session.
+    contiguous_total_bytes: usize,
+    /// Paged savings over contiguous, percent.
+    bytes_saved_pct: f64,
+    /// Concurrent sessions one GB of KV budget can hold, both ways
+    /// (marginal cost: total bytes divided by session count).
+    sessions_per_gb_paged: f64,
+    sessions_per_gb_contiguous: f64,
+    /// Median time to fork the scaffold-length donor, microseconds.
+    fork_paged_median_us: f64,
+    fork_contiguous_median_us: f64,
+    /// Contiguous over paged fork time.
+    fork_speedup: f64,
+    /// Blocks newly allocated by a prefix-hit fork (must be zero).
+    prefix_hit_new_blocks: usize,
+    /// Copy-on-write block copies performed as the sessions diverged.
+    cow_copies: u64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let reps = env_usize("CHIPALIGN_BENCH_REPS", if smoke { 3 } else { 7 });
+    // Scaffold ends mid-block (not a multiple of block_tokens) so each
+    // fork's first write past the prefix must copy the shared tail block.
+    let scaffold_len = if smoke { 22 } else { 190 };
+    let suffix_len = 8;
+    let sessions = if smoke { 4 } else { 16 };
+
+    let arch = bench_arch();
+    let model = Arc::new(TinyLm::new(&arch, &mut Pcg32::seed(20_250_806)).expect("arch"));
+    let pool = KvPool::new(KvPoolConfig {
+        block_tokens: 16,
+        max_blocks: 65_536,
+    })
+    .expect("pool");
+    let block_bytes = pool.block_bytes(arch.n_layers, arch.d_model);
+    let scaffold = prompt(scaffold_len);
+
+    // Donors built once, outside every timed region.
+    let mut paged_donor = KvCache::new_paged(&model, &pool);
+    paged_donor.prefill(&scaffold).expect("fits window");
+    let mut flat_donor = KvCache::new(&model);
+    flat_donor.prefill(&scaffold).expect("fits window");
+
+    // Fork latency: paged aliases O(blocks) Arcs, contiguous deep-copies
+    // every row.
+    let mut fork_paged = Vec::with_capacity(reps);
+    let mut fork_flat = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        fork_paged.push(
+            timed(|| {
+                let fork = paged_donor.fork_from(scaffold_len).expect("within donor");
+                std::hint::black_box(&fork);
+            })
+            .as_secs_f64()
+                * 1e6,
+        );
+        fork_flat.push(
+            timed(|| {
+                let fork = flat_donor.fork_from(scaffold_len).expect("within donor");
+                std::hint::black_box(&fork);
+            })
+            .as_secs_f64()
+                * 1e6,
+        );
+    }
+    let fork_paged_median_us = median_us(fork_paged);
+    let fork_contiguous_median_us = median_us(fork_flat);
+
+    // Prefix-hit allocation: a fork of the donor must cost zero blocks.
+    let before = pool.blocks_in_use();
+    let hit = paged_donor.fork_from(scaffold_len).expect("within donor");
+    let prefix_hit_new_blocks = pool.blocks_in_use() - before;
+    drop(hit);
+
+    // Residency: N forked sessions diverge with a fresh suffix each and
+    // stay alive together. Paged cost = blocks actually in use; the
+    // contiguous twin fleet pays a private full-length cache per session.
+    let cow_before = pool.cow_copies();
+    let mut paged_fleet = Vec::with_capacity(sessions);
+    let mut contiguous_total_bytes = 0usize;
+    for s in 0..sessions {
+        let suffix: Vec<u32> = (0..suffix_len)
+            .map(|i| (4 + (s * 13 + i * 7) % 90) as u32)
+            .collect();
+        let mut fork = paged_donor.fork_from(scaffold_len).expect("within donor");
+        fork.prefill_chunk(&suffix).expect("fits window");
+        contiguous_total_bytes += fork.kv_bytes();
+        paged_fleet.push(fork);
+    }
+    let paged_total_bytes = pool.blocks_in_use() * block_bytes;
+    let cow_copies = pool.cow_copies() - cow_before;
+
+    let per_session_paged = paged_total_bytes as f64 / sessions as f64;
+    let per_session_flat = contiguous_total_bytes as f64 / sessions as f64;
+    let report = KvPoolBench {
+        mode: if smoke { "smoke" } else { "paper" }.to_string(),
+        reps,
+        block_tokens: pool.block_tokens(),
+        scaffold_len,
+        suffix_len,
+        sessions,
+        paged_total_bytes,
+        contiguous_total_bytes,
+        bytes_saved_pct: (1.0 - paged_total_bytes as f64 / contiguous_total_bytes.max(1) as f64)
+            * 100.0,
+        sessions_per_gb_paged: 1e9 / per_session_paged.max(1.0),
+        sessions_per_gb_contiguous: 1e9 / per_session_flat.max(1.0),
+        fork_paged_median_us,
+        fork_contiguous_median_us,
+        fork_speedup: fork_contiguous_median_us / fork_paged_median_us.max(1e-9),
+        prefix_hit_new_blocks,
+        cow_copies,
+    };
+    drop(paged_fleet);
+
+    eprintln!(
+        "[bench_kvpool] {} sessions sharing a {}-token scaffold (+{} fresh): paged {} B, contiguous {} B ({:.1}% saved)",
+        report.sessions,
+        report.scaffold_len,
+        report.suffix_len,
+        report.paged_total_bytes,
+        report.contiguous_total_bytes,
+        report.bytes_saved_pct,
+    );
+    eprintln!(
+        "[bench_kvpool] sessions per GB: paged {:.0}, contiguous {:.0}",
+        report.sessions_per_gb_paged, report.sessions_per_gb_contiguous,
+    );
+    eprintln!(
+        "[bench_kvpool] fork: paged {:.1} us, contiguous {:.1} us ({:.2}x)",
+        report.fork_paged_median_us, report.fork_contiguous_median_us, report.fork_speedup,
+    );
+    eprintln!(
+        "[bench_kvpool] prefix-hit fork allocated {} new blocks; {} CoW copies across {} diverging sessions",
+        report.prefix_hit_new_blocks, report.cow_copies, report.sessions,
+    );
+    assert_eq!(
+        report.prefix_hit_new_blocks, 0,
+        "a prefix hit must allocate zero new KV blocks"
+    );
+
+    if smoke {
+        eprintln!("[bench_kvpool] smoke mode: skipping BENCH_kvpool.json");
+        return Ok(());
+    }
+
+    let out = harness::workspace_root().join("BENCH_kvpool.json");
+    std::fs::write(&out, serde_json::to_string_pretty(&report)?)?;
+    eprintln!("[bench_kvpool] wrote {}", out.display());
+    Ok(())
+}

@@ -202,6 +202,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "[bench_serve] batched slices {} (max_batch {max_batch}), occupancy [{occupancy}]",
         server_metrics.batched_slices
     );
+    eprintln!(
+        "[bench_serve] kv pool: {} blocks in use, {} free, {} CoW copies, {} evictions",
+        server_metrics.kv_blocks_in_use,
+        server_metrics.kv_blocks_free,
+        server_metrics.cow_copies,
+        server_metrics.pool_evictions
+    );
 
     let speedup = batched.tokens_per_sec / serialized.tokens_per_sec.max(1e-9);
     let report = ServeBench {

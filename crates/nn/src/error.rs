@@ -30,6 +30,16 @@ pub enum NnError {
         /// Which parameter and why.
         detail: String,
     },
+    /// The KV block pool is at capacity: the allocation that would have
+    /// backed the next cached position cannot be granted. Transient — a
+    /// retry after other sessions release blocks can succeed, which is why
+    /// the serving layer maps this to its overload (back-off) error class.
+    PoolExhausted {
+        /// Blocks alive when the allocation was refused.
+        in_use: usize,
+        /// The pool's capacity in blocks.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for NnError {
@@ -42,6 +52,9 @@ impl fmt::Display for NnError {
                 write!(f, "token id {id} outside vocabulary of size {vocab}")
             }
             NnError::BadConfig { detail } => write!(f, "bad configuration: {detail}"),
+            NnError::PoolExhausted { in_use, capacity } => {
+                write!(f, "kv pool exhausted: {in_use} of {capacity} blocks in use")
+            }
         }
     }
 }
@@ -87,6 +100,13 @@ mod tests {
         }
         .to_string()
         .contains("lr"));
+        let pool = NnError::PoolExhausted {
+            in_use: 64,
+            capacity: 64,
+        }
+        .to_string();
+        assert!(pool.contains("64"));
+        assert!(pool.contains("exhausted"));
     }
 
     #[test]

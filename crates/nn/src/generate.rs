@@ -193,6 +193,31 @@ impl StepDecoder {
         })
     }
 
+    /// Like [`StepDecoder::new_chunked`], but the session's KV rows live
+    /// in blocks drawn from `pool` (see [`crate::kvpool::KvPool`]):
+    /// allocation is incremental and bounded, and a prefix adopted via
+    /// [`StepDecoder::adopt_prefix`] from a paged donor aliases blocks
+    /// instead of copying rows. Transcripts are bit-identical to the
+    /// contiguous constructors — storage layout never changes an output
+    /// byte (pinned by equivalence tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] for an invalid configuration and
+    /// [`NnError::BadSequence`] for an empty prompt. Pool exhaustion
+    /// surfaces later, from the prefill/step that needs the unavailable
+    /// block.
+    pub fn new_chunked_pooled(
+        model: &Arc<TinyLm>,
+        prompt: &[u32],
+        cfg: &GenerateConfig,
+        pool: &Arc<crate::kvpool::KvPool>,
+    ) -> Result<Self, NnError> {
+        let mut session = Self::new_chunked(model, prompt, cfg)?;
+        session.cache = KvCache::new_paged(model, pool);
+        Ok(session)
+    }
+
     /// Whether the session still has prompt (or slide-replay) tokens to
     /// prefill before it can choose its next token.
     #[must_use]

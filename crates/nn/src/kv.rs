@@ -36,12 +36,25 @@
 //! prompt prefix instead of recomputing them. The cache records the token
 //! at every cached position ([`KvCache::tokens`]) so prefix reuse can be
 //! validated against the new prompt.
+//!
+//! Paging note: a cache created with [`KvCache::new_paged`] stores its
+//! rows in fixed-size blocks drawn from a shared [`crate::kvpool::KvPool`]
+//! instead of per-session contiguous buffers. [`KvCache::fork_from`] then
+//! aliases blocks (refcounted, zero bytes copied) and the first write into
+//! a shared tail block privatises it (copy-on-write), so shared-prefix
+//! reuse costs O(blocks) instead of O(bytes). Both storage layouts drive
+//! the *same* per-row attention code — [`fused_attention`] is generic over
+//! a row iterator and accumulates in identical order — so paged decoding
+//! is bit-identical to the contiguous path, which stays available as a
+//! differential oracle (equivalence tests below and in
+//! `tests/kvpool_equivalence.rs` pin `==`).
 
 use std::sync::Arc;
 
 use chipalign_tensor::ops;
 use chipalign_tensor::Matrix;
 
+use crate::kvpool::{KvBlock, KvPool};
 use crate::model::TinyLm;
 use crate::NnError;
 
@@ -52,6 +65,194 @@ struct LayerKv {
     k: Vec<Vec<f32>>,
     /// `(T × d_model)` values.
     v: Vec<Vec<f32>>,
+}
+
+/// Where a cache's K/V rows live. Both layouts feed the same attention
+/// code through [`fused_attention`]'s row iterators, so the choice of
+/// storage cannot change a single output bit.
+#[derive(Debug, Clone)]
+enum KvStore {
+    /// One growable buffer per layer, owned by this cache alone.
+    Contiguous(Vec<LayerKv>),
+    /// Fixed-size blocks drawn from a shared pool; rows gathered through
+    /// the block table, blocks aliased between caches via [`Arc`].
+    Paged(BlockTable),
+}
+
+/// A paged cache's view of its storage: an ordered list of refcounted
+/// block handles. Block `b` holds positions `[b·bt, (b+1)·bt)` for every
+/// layer, where `bt` is the pool's block size. Invariant outside of an
+/// in-flight [`KvStore::prepare_position`]: `blocks.len()` equals
+/// `ceil(len / bt)` of the owning cache.
+#[derive(Debug, Clone)]
+struct BlockTable {
+    pool: Arc<KvPool>,
+    blocks: Vec<Arc<KvBlock>>,
+}
+
+/// What [`KvStore::prepare_position`] changed, so a batched caller can
+/// unwind reservations when a *later* session's reservation fails.
+#[derive(Debug, Clone, Copy)]
+enum PreparedPosition {
+    /// Nothing structural changed (contiguous store, or the tail block was
+    /// already writable — a copy-on-write replacement also lands here,
+    /// because the private copy is content-identical to the shared block
+    /// and needs no undo).
+    Untouched,
+    /// A fresh tail block was pushed; rollback pops it.
+    PushedBlock,
+}
+
+impl BlockTable {
+    /// Makes position `pos` writable: pushes a fresh block when `pos`
+    /// opens a new one, otherwise privatises a shared tail block
+    /// (copy-on-write). The only fallible step of a decode — called before
+    /// any visible mutation, so [`NnError::PoolExhausted`] leaves the
+    /// cache semantically untouched.
+    fn prepare_position(
+        &mut self,
+        pos: usize,
+        n_layers: usize,
+        d: usize,
+    ) -> Result<PreparedPosition, NnError> {
+        let bt = self.pool.block_tokens();
+        let b = pos / bt;
+        if b == self.blocks.len() {
+            debug_assert_eq!(pos % bt, 0, "block table must grow one block at a time");
+            let block = self.pool.alloc_block(n_layers, d)?;
+            self.blocks.push(Arc::new(block));
+            return Ok(PreparedPosition::PushedBlock);
+        }
+        debug_assert_eq!(
+            b + 1,
+            self.blocks.len(),
+            "writes only land in the tail block"
+        );
+        if Arc::get_mut(&mut self.blocks[b]).is_none() {
+            // The tail is aliased (fork donor, prefix-cache snapshot, or a
+            // plain clone): copy it before the first write. Forks take
+            // `&self` and writes `&mut self`, so a racing fork can only
+            // make the block look *more* shared — a spurious copy, never a
+            // missed one.
+            let copy = self.pool.alloc_block_from(&self.blocks[b])?;
+            self.blocks[b] = Arc::new(copy);
+        }
+        Ok(PreparedPosition::Untouched)
+    }
+
+    /// Scatters one position's K/V rows into the (prepared) tail block.
+    fn write_row(&mut self, li: usize, pos: usize, k: &[f32], v: &[f32]) {
+        let bt = self.pool.block_tokens();
+        let d = k.len();
+        let block = Arc::get_mut(&mut self.blocks[pos / bt])
+            .expect("prepare_position left the tail block uniquely owned");
+        let layer = &mut block.layers[li];
+        let start = (pos % bt) * d;
+        layer.k[start..start + d].copy_from_slice(k);
+        layer.v[start..start + d].copy_from_slice(v);
+    }
+
+    /// Gathers the first `rows` cached rows of one layer, in position
+    /// order — the iterator [`fused_attention`] consumes.
+    fn rows<'a>(
+        &'a self,
+        li: usize,
+        rows: usize,
+        d: usize,
+        keys: bool,
+    ) -> impl Iterator<Item = &'a [f32]> + Clone + 'a {
+        let bt = self.pool.block_tokens();
+        (0..rows).map(move |t| {
+            let layer = &self.blocks[t / bt].layers[li];
+            let buf = if keys { &layer.k } else { &layer.v };
+            let start = (t % bt) * d;
+            &buf[start..start + d]
+        })
+    }
+
+    /// Aliases the blocks covering the first `positions` positions: the
+    /// zero-copy fork primitive. O(blocks) `Arc` clones, no K/V bytes.
+    fn fork_prefix(&self, positions: usize) -> BlockTable {
+        BlockTable {
+            pool: Arc::clone(&self.pool),
+            blocks: self.blocks[..self.pool.blocks_for(positions)].to_vec(),
+        }
+    }
+}
+
+impl KvStore {
+    fn prepare_position(
+        &mut self,
+        pos: usize,
+        n_layers: usize,
+        d: usize,
+    ) -> Result<PreparedPosition, NnError> {
+        match self {
+            KvStore::Contiguous(_) => Ok(PreparedPosition::Untouched),
+            KvStore::Paged(table) => table.prepare_position(pos, n_layers, d),
+        }
+    }
+
+    fn rollback_position(&mut self, prepared: PreparedPosition) {
+        if let (KvStore::Paged(table), PreparedPosition::PushedBlock) = (self, prepared) {
+            table.blocks.pop();
+        }
+    }
+
+    fn write_row(&mut self, li: usize, pos: usize, k: Vec<f32>, v: Vec<f32>) {
+        match self {
+            KvStore::Contiguous(layers) => {
+                let kv = &mut layers[li];
+                debug_assert_eq!(kv.k.len(), pos);
+                kv.k.push(k);
+                kv.v.push(v);
+            }
+            KvStore::Paged(table) => table.write_row(li, pos, &k, &v),
+        }
+    }
+
+    /// Fused attention for one query row over the first `rows` cached
+    /// rows of layer `li`, dispatched to the layout's row iterator.
+    /// `head_dim` is recovered from the query width (`d = n_heads ×
+    /// head_dim` by construction of the architecture).
+    fn attend(
+        &self,
+        li: usize,
+        rows: usize,
+        q: &[f32],
+        n_heads: usize,
+        scores: &mut Vec<f32>,
+        ctx: &mut [f32],
+    ) {
+        let head_dim = q.len() / n_heads;
+        match self {
+            KvStore::Contiguous(layers) => {
+                let kv = &layers[li];
+                debug_assert_eq!(kv.k.len(), rows);
+                fused_attention(
+                    q,
+                    kv.k.iter().map(Vec::as_slice),
+                    kv.v.iter().map(Vec::as_slice),
+                    n_heads,
+                    head_dim,
+                    scores,
+                    ctx,
+                );
+            }
+            KvStore::Paged(table) => {
+                let d = q.len();
+                fused_attention(
+                    q,
+                    table.rows(li, rows, d, true),
+                    table.rows(li, rows, d, false),
+                    n_heads,
+                    head_dim,
+                    scores,
+                    ctx,
+                );
+            }
+        }
+    }
 }
 
 /// A decoding session over one sequence.
@@ -81,7 +282,7 @@ struct LayerKv {
 #[derive(Debug, Clone)]
 pub struct KvCache {
     model: Arc<TinyLm>,
-    layers: Vec<LayerKv>,
+    store: KvStore,
     len: usize,
     /// The token fed at each cached position, in order (`tokens.len() ==
     /// len`). Lets prefix reuse verify that a donated cache really holds
@@ -104,15 +305,84 @@ impl KvCache {
         let n_layers = model.arch().n_layers;
         KvCache {
             model: Arc::clone(model),
-            layers: (0..n_layers)
-                .map(|_| LayerKv {
-                    k: Vec::new(),
-                    v: Vec::new(),
-                })
-                .collect(),
+            store: KvStore::Contiguous(
+                (0..n_layers)
+                    .map(|_| LayerKv {
+                        k: Vec::new(),
+                        v: Vec::new(),
+                    })
+                    .collect(),
+            ),
             len: 0,
             tokens: Vec::new(),
             score_buf: Vec::new(),
+        }
+    }
+
+    /// Creates an empty *paged* cache: K/V rows live in fixed-size blocks
+    /// drawn from `pool` and [`KvCache::fork_from`] aliases blocks instead
+    /// of copying rows (copy-on-write on the first shared-tail write).
+    ///
+    /// Decoding is bit-identical to a contiguous cache — same attention
+    /// accumulation order, pinned by equivalence tests — but allocation is
+    /// incremental (`ceil(len / block_tokens)` blocks, not a worst-case
+    /// buffer) and bounded by the pool: a decode step that needs a block
+    /// the pool cannot grant fails with [`NnError::PoolExhausted`]
+    /// *before* mutating the cache.
+    #[must_use]
+    pub fn new_paged(model: &Arc<TinyLm>, pool: &Arc<KvPool>) -> Self {
+        KvCache {
+            model: Arc::clone(model),
+            store: KvStore::Paged(BlockTable {
+                pool: Arc::clone(pool),
+                blocks: Vec::new(),
+            }),
+            len: 0,
+            tokens: Vec::new(),
+            score_buf: Vec::new(),
+        }
+    }
+
+    /// The block pool backing this cache, if it is paged.
+    #[must_use]
+    pub fn pool(&self) -> Option<&Arc<KvPool>> {
+        match &self.store {
+            KvStore::Contiguous(_) => None,
+            KvStore::Paged(table) => Some(&table.pool),
+        }
+    }
+
+    /// Whether this cache stores its rows in pool blocks.
+    #[must_use]
+    pub fn is_paged(&self) -> bool {
+        matches!(self.store, KvStore::Paged(_))
+    }
+
+    /// Number of pool blocks currently held (0 for a contiguous cache).
+    /// Aliased blocks count once per *table*, so a fresh fork reports the
+    /// donor's block count without having allocated anything.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        match &self.store {
+            KvStore::Contiguous(_) => 0,
+            KvStore::Paged(table) => table.blocks.len(),
+        }
+    }
+
+    /// `(block id, block bytes)` for every block this cache holds, in
+    /// position order; empty for a contiguous cache. Ids are pool-unique
+    /// and never reused, which is what lets the serving layer charge a
+    /// byte budget per *physical* block: two caches aliasing a block
+    /// report the same id, so shared storage is counted once.
+    #[must_use]
+    pub fn block_ids(&self) -> Vec<(u64, usize)> {
+        match &self.store {
+            KvStore::Contiguous(_) => Vec::new(),
+            KvStore::Paged(table) => {
+                let arch = self.model.arch();
+                let bytes = table.pool.block_bytes(arch.n_layers, arch.d_model);
+                table.blocks.iter().map(|b| (b.id, bytes)).collect()
+            }
         }
     }
 
@@ -140,24 +410,35 @@ impl KvCache {
         &self.tokens
     }
 
-    /// Approximate heap footprint of the cached keys and values, in bytes.
+    /// Logical heap footprint of the cached keys and values, in bytes.
     ///
     /// Counts the K and V rows (`len × n_layers × 2 × d_model` floats);
     /// bookkeeping (token history, scratch) is negligible next to them.
-    /// The serving-layer prefix cache uses this for its byte budget.
+    /// For a paged cache this is the *logical* size — physical usage is
+    /// whole blocks, possibly shared with other caches; use
+    /// [`KvCache::block_ids`] to account physical bytes per unique block
+    /// (the serving-layer prefix cache does exactly that).
     #[must_use]
     pub fn kv_bytes(&self) -> usize {
-        let d = self.model.arch().d_model;
-        self.layers.len() * self.len * 2 * d * std::mem::size_of::<f32>()
+        let arch = self.model.arch();
+        arch.n_layers * self.len * 2 * arch.d_model * std::mem::size_of::<f32>()
     }
 
-    /// Clears every cached position while keeping the bound model (and the
-    /// per-layer bucket allocations), so a decoding session can re-prefill
-    /// after a context-window slide without cloning the model again.
+    /// Clears every cached position while keeping the bound model (and,
+    /// for a contiguous cache, the per-layer bucket allocations), so a
+    /// decoding session can re-prefill after a context-window slide
+    /// without cloning the model again. A paged cache drops its block
+    /// handles, returning any block this was the last holder of to the
+    /// pool.
     pub fn reset(&mut self) {
-        for kv in &mut self.layers {
-            kv.k.clear();
-            kv.v.clear();
+        match &mut self.store {
+            KvStore::Contiguous(layers) => {
+                for kv in layers {
+                    kv.k.clear();
+                    kv.v.clear();
+                }
+            }
+            KvStore::Paged(table) => table.blocks.clear(),
         }
         self.len = 0;
         self.tokens.clear();
@@ -207,13 +488,18 @@ impl KvCache {
     /// Clones the first `positions` cached positions into a new independent
     /// session bound to the same model allocation.
     ///
-    /// The forked cache's K/V rows are byte-for-byte copies, so decoding
-    /// from it is bit-identical to decoding from a fresh cache prefilled
-    /// with the same leading tokens — each position's rotary encoding is
-    /// absolute, depending only on the tokens before it, never on what the
-    /// donor cached afterwards. This is the primitive behind shared-prefix
-    /// reuse: one prefill of a common prompt scaffold can seed many
-    /// sessions.
+    /// Decoding from the fork is bit-identical to decoding from a fresh
+    /// cache prefilled with the same leading tokens — each position's
+    /// rotary encoding is absolute, depending only on the tokens before
+    /// it, never on what the donor cached afterwards. This is the
+    /// primitive behind shared-prefix reuse: one prefill of a common
+    /// prompt scaffold can seed many sessions.
+    ///
+    /// For a contiguous cache the K/V rows are byte-for-byte copies
+    /// (O(bytes)). For a paged cache the covering blocks are *aliased* —
+    /// O(blocks) refcount bumps, zero K/V bytes moved — and the first
+    /// write either side makes into a shared tail block privatises it
+    /// first (copy-on-write), so neither branch can corrupt the other.
     ///
     /// # Errors
     ///
@@ -228,16 +514,21 @@ impl KvCache {
                 ),
             });
         }
+        let store = match &self.store {
+            KvStore::Contiguous(layers) => KvStore::Contiguous(
+                layers
+                    .iter()
+                    .map(|kv| LayerKv {
+                        k: kv.k[..positions].to_vec(),
+                        v: kv.v[..positions].to_vec(),
+                    })
+                    .collect(),
+            ),
+            KvStore::Paged(table) => KvStore::Paged(table.fork_prefix(positions)),
+        };
         Ok(KvCache {
             model: Arc::clone(&self.model),
-            layers: self
-                .layers
-                .iter()
-                .map(|kv| LayerKv {
-                    k: kv.k[..positions].to_vec(),
-                    v: kv.v[..positions].to_vec(),
-                })
-                .collect(),
+            store,
             len: positions,
             tokens: self.tokens[..positions].to_vec(),
             score_buf: Vec::new(),
@@ -248,8 +539,10 @@ impl KvCache {
     ///
     /// # Errors
     ///
-    /// Returns [`NnError::BadSequence`] if the context window is full and
-    /// [`NnError::BadToken`] for an out-of-vocabulary id.
+    /// Returns [`NnError::BadSequence`] if the context window is full,
+    /// [`NnError::BadToken`] for an out-of-vocabulary id, and — for a
+    /// paged cache — [`NnError::PoolExhausted`] when the pool cannot back
+    /// the new position. All errors leave the cache unadvanced.
     pub fn decode_step(&mut self, token: u32) -> Result<Vec<f32>, NnError> {
         let arch = self.model.arch().clone();
         if self.len >= arch.max_seq_len {
@@ -267,16 +560,20 @@ impl KvCache {
         let d = arch.d_model;
         let n_heads = arch.n_heads;
         let head_dim = arch.head_dim();
+        // Paged caches reserve (or privatise) the tail block up front: the
+        // only fallible step of the decode runs before any visible
+        // mutation.
+        self.store.prepare_position(pos, arch.n_layers, d)?;
         let params = self.model.params();
 
         // Embedding row.
         let mut h: Vec<f32> = params.embed.row(token as usize).to_vec();
 
         // Reusable score scratch, taken out of self so the layer loop can
-        // borrow `self.layers` mutably alongside it.
+        // borrow `self.store` mutably alongside it.
         let mut scores = std::mem::take(&mut self.score_buf);
 
-        for (layer, kv) in params.layers.iter().zip(&mut self.layers) {
+        for (li, layer) in params.layers.iter().enumerate() {
             // Attention block.
             let h_norm = rmsnorm_row(&h, layer.norm1.data());
             let mut q = project(&h_norm, &layer.wq);
@@ -284,11 +581,11 @@ impl KvCache {
             let v = project(&h_norm, &layer.wv);
             rope_row(&mut q, pos, n_heads, head_dim);
             rope_row(&mut k, pos, n_heads, head_dim);
-            kv.k.push(k);
-            kv.v.push(v);
+            self.store.write_row(li, pos, k, v);
 
             let mut ctx = vec![0.0f32; d];
-            fused_attention(&q, kv, n_heads, head_dim, &mut scores, &mut ctx);
+            self.store
+                .attend(li, pos + 1, &q, n_heads, &mut scores, &mut ctx);
             let attn_out = project(&ctx, &layer.wo);
             for (a, b) in h.iter_mut().zip(&attn_out) {
                 *a += b;
@@ -337,14 +634,19 @@ impl KvCache {
     /// this.
     ///
     /// All validation happens before any session is touched: on error, no
-    /// cache has advanced.
+    /// cache has advanced. Paged and contiguous sessions may be mixed
+    /// freely — each row scatters and gathers through its own session's
+    /// storage, and pool reservations for paged members are made (and, on
+    /// failure, unwound) before any session's state moves.
     ///
     /// # Errors
     ///
     /// Returns [`NnError::BadConfig`] if `tokens.len() != sessions.len()`
     /// or the sessions do not all share one model allocation,
     /// [`NnError::BadSequence`] if any session's context window is full,
-    /// and [`NnError::BadToken`] for any out-of-vocabulary id.
+    /// [`NnError::BadToken`] for any out-of-vocabulary id, and
+    /// [`NnError::PoolExhausted`] if any paged session's pool cannot back
+    /// its new position.
     pub fn decode_batch(
         sessions: &mut [&mut KvCache],
         tokens: &[u32],
@@ -392,6 +694,30 @@ impl KvCache {
         let d = arch.d_model;
         let n_heads = arch.n_heads;
         let head_dim = arch.head_dim();
+
+        // Reserve pool space for every paged session before any state
+        // advances: a pool-exhausted batch must leave every session
+        // exactly where it was. Freshly pushed tail blocks are popped on
+        // failure; copy-on-write replacements are content-identical and
+        // need no undo.
+        let mut prepared: Vec<PreparedPosition> = Vec::with_capacity(n);
+        let mut reserve_err = None;
+        for s in sessions.iter_mut() {
+            match s.store.prepare_position(s.len, arch.n_layers, d) {
+                Ok(p) => prepared.push(p),
+                Err(e) => {
+                    reserve_err = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = reserve_err {
+            for (s, p) in sessions.iter_mut().zip(prepared) {
+                s.store.rollback_position(p);
+            }
+            return Err(e);
+        }
+
         let params = model.params();
 
         // Stack the embedding rows: one hidden-state row per session.
@@ -419,11 +745,14 @@ impl KvCache {
             let mut ctx = Matrix::zeros(n, d);
             for r in 0..n {
                 let session = &mut *sessions[r];
-                let kv = &mut session.layers[li];
-                kv.k.push(k.row(r).to_vec());
-                kv.v.push(v.row(r).to_vec());
+                let pos = session.len;
+                session
+                    .store
+                    .write_row(li, pos, k.row(r).to_vec(), v.row(r).to_vec());
                 let mut scores = std::mem::take(&mut session.score_buf);
-                fused_attention(q.row(r), kv, n_heads, head_dim, &mut scores, ctx.row_mut(r));
+                session
+                    .store
+                    .attend(li, pos + 1, q.row(r), n_heads, &mut scores, ctx.row_mut(r));
                 session.score_buf = scores;
             }
             let attn_out = project_rows(&ctx, &layer.wo);
@@ -486,30 +815,37 @@ fn project_rows(x: &Matrix, w: &Matrix) -> Matrix {
 /// Fused per-head score→softmax→context for one query row against one
 /// session's cached K/V rows, accumulating into `ctx` (which must arrive
 /// zeroed). Scores go against every cached position (causal by
-/// construction: the cache only holds positions `<= pos`), are normalised
-/// in place over the reusable scratch, and contracted against V without
-/// allocating a per-head vector. Shared verbatim by
+/// construction: the iterators only yield positions `<= pos`), are
+/// normalised in place over the reusable scratch, and contracted against V
+/// without allocating a per-head vector. Shared verbatim by
 /// [`KvCache::decode_step`] and [`KvCache::decode_batch`] so the two paths
-/// cannot drift numerically.
-fn fused_attention(
+/// cannot drift numerically — and generic over the row iterators so the
+/// contiguous and paged storage layouts run the *same* dot products in the
+/// *same* order, which is what makes paged decoding bit-identical to
+/// contiguous.
+fn fused_attention<'a, K, V>(
     q: &[f32],
-    kv: &LayerKv,
+    keys: K,
+    vals: V,
     n_heads: usize,
     head_dim: usize,
     scores: &mut Vec<f32>,
     ctx: &mut [f32],
-) {
+) where
+    K: Iterator<Item = &'a [f32]> + Clone,
+    V: Iterator<Item = &'a [f32]> + Clone,
+{
     let scale = 1.0 / (head_dim as f32).sqrt();
     for hh in 0..n_heads {
         let lo = hh * head_dim;
         let hi = lo + head_dim;
         scores.clear();
         scores.extend(
-            kv.k.iter()
+            keys.clone()
                 .map(|krow| ops::dot(&q[lo..hi], &krow[lo..hi]) * scale),
         );
         ops::softmax_inplace(scores);
-        for (w, vrow) in scores.iter().zip(&kv.v) {
+        for (w, vrow) in scores.iter().zip(vals.clone()) {
             for (c, &vv) in ctx[lo..hi].iter_mut().zip(&vrow[lo..hi]) {
                 *c += w * vv;
             }
@@ -860,5 +1196,184 @@ mod tests {
         for c in &caches {
             assert!(Arc::ptr_eq(c.model(), &m));
         }
+    }
+
+    fn small_pool(max_blocks: usize) -> Arc<crate::KvPool> {
+        crate::KvPool::new(crate::KvPoolConfig {
+            block_tokens: 4,
+            max_blocks,
+        })
+        .expect("valid pool config")
+    }
+
+    #[test]
+    fn paged_decode_is_bitwise_identical_to_contiguous() {
+        let m = model();
+        let pool = small_pool(64);
+        // 13 tokens with block_tokens = 4: three full blocks + a partial.
+        let prompt: Vec<u32> = (0..13).map(|i| 4 + (i * 7) % 90).collect();
+        let mut paged = KvCache::new_paged(&m, &pool);
+        let mut flat = KvCache::new(&m);
+        assert!(paged.is_paged() && !flat.is_paged());
+        let a = paged.prefill(&prompt).expect("ok");
+        let b = flat.prefill(&prompt).expect("ok");
+        assert_eq!(a, b, "paged prefill logits must equal contiguous exactly");
+        for t in [42u32, 7, 88] {
+            assert_eq!(
+                paged.decode_step(t).expect("ok"),
+                flat.decode_step(t).expect("ok"),
+                "paged decode drifted at token {t}"
+            );
+        }
+        assert_eq!(paged.tokens(), flat.tokens());
+        assert_eq!(paged.kv_bytes(), flat.kv_bytes());
+        assert_eq!(paged.block_count(), pool.blocks_for(paged.len()));
+        assert_eq!(pool.blocks_in_use(), paged.block_count());
+    }
+
+    #[test]
+    fn paged_fork_aliases_blocks_and_cow_protects_both_branches() {
+        let m = model();
+        let pool = small_pool(64);
+        let prompt = [5u32, 10, 15, 20, 25, 30]; // 2 blocks, tail half full
+        let mut donor = KvCache::new_paged(&m, &pool);
+        donor.prefill(&prompt).expect("ok");
+        let blocks_before = pool.blocks_in_use();
+
+        let mut fork = donor.fork_from(prompt.len()).expect("ok");
+        assert_eq!(
+            pool.blocks_in_use(),
+            blocks_before,
+            "a fork must allocate zero blocks"
+        );
+        assert_eq!(fork.block_ids(), donor.block_ids(), "blocks are aliased");
+
+        // Diverge BOTH branches: each write into the shared tail block
+        // must privatise it, never scribble over the other branch's rows.
+        let fork_logits = fork.decode_step(50).expect("ok");
+        let donor_logits = donor.decode_step(60).expect("ok");
+        assert!(pool.cow_copies() >= 1, "shared tail writes must copy");
+        assert_ne!(
+            fork.block_ids().last(),
+            donor.block_ids().last(),
+            "diverged tails must be distinct blocks"
+        );
+
+        // Contiguous twins as the differential oracle.
+        let mut ref_fork = KvCache::new(&m);
+        ref_fork.prefill(&prompt).expect("ok");
+        let mut ref_donor = ref_fork.clone();
+        assert_eq!(fork_logits, ref_fork.decode_step(50).expect("ok"));
+        assert_eq!(donor_logits, ref_donor.decode_step(60).expect("ok"));
+        // And both branches keep decoding identically after the split.
+        assert_eq!(
+            fork.decode_step(51).expect("ok"),
+            ref_fork.decode_step(51).expect("ok")
+        );
+        assert_eq!(
+            donor.decode_step(61).expect("ok"),
+            ref_donor.decode_step(61).expect("ok")
+        );
+    }
+
+    #[test]
+    fn pool_exhaustion_fails_cleanly_and_reset_releases_blocks() {
+        let m = model();
+        let pool = small_pool(2); // 8 positions at block_tokens = 4
+        let mut cache = KvCache::new_paged(&m, &pool);
+        cache
+            .prefill(&[5, 6, 7, 8, 9, 10, 11, 12])
+            .expect("8 positions fit in 2 blocks");
+        assert_eq!(pool.blocks_free(), 0);
+        let err = cache
+            .decode_step(13)
+            .expect_err("third block must be refused");
+        assert!(matches!(err, NnError::PoolExhausted { .. }));
+        assert_eq!(cache.len(), 8, "a refused step must not advance the cache");
+        assert_eq!(cache.block_count(), 2);
+
+        cache.reset();
+        assert_eq!(pool.blocks_in_use(), 0, "reset returns blocks to the pool");
+        cache
+            .prefill(&[5, 6, 7])
+            .expect("freed blocks are allocatable");
+    }
+
+    #[test]
+    fn decode_batch_rejects_pool_exhaustion_without_side_effects() {
+        let m = model();
+        let pool = small_pool(3);
+        let mk = |toks: &[u32]| {
+            let mut c = KvCache::new_paged(&m, &pool);
+            c.prefill(toks).expect("ok");
+            c
+        };
+        // Both sessions sit exactly at a block boundary: the next token
+        // needs one fresh block each, but only one is left in the pool.
+        let mut a = mk(&[5, 6, 7, 8]);
+        let mut b = mk(&[9, 10, 11, 12]);
+        assert_eq!(pool.blocks_free(), 1);
+        {
+            let mut batch = [&mut a, &mut b];
+            let err = KvCache::decode_batch(&mut batch, &[1, 2]).expect_err("pool short");
+            assert!(matches!(err, NnError::PoolExhausted { .. }));
+        }
+        assert_eq!(a.len(), 4, "failed batches must not advance any session");
+        assert_eq!(b.len(), 4);
+        assert_eq!(
+            pool.blocks_in_use(),
+            2,
+            "the first session's speculative block must be returned"
+        );
+        // Freeing one session lets the other proceed.
+        b.reset();
+        a.decode_step(1).expect("pool has room again");
+    }
+
+    #[test]
+    fn mixed_paged_and_contiguous_batch_matches_sequential() {
+        let m = model();
+        let pool = small_pool(64);
+        let histories: [&[u32]; 3] = [&[5], &[5, 10, 15, 20], &[7, 3, 9, 22, 41]];
+        let mk = |h: &&[u32], paged: bool| {
+            let mut c = if paged {
+                KvCache::new_paged(&m, &pool)
+            } else {
+                KvCache::new(&m)
+            };
+            c.prefill(h).expect("ok");
+            c
+        };
+        let mut seq: Vec<KvCache> = histories
+            .iter()
+            .enumerate()
+            .map(|(i, h)| mk(h, i % 2 == 0))
+            .collect();
+        let mut bat: Vec<KvCache> = histories
+            .iter()
+            .enumerate()
+            .map(|(i, h)| mk(h, i % 2 == 0))
+            .collect();
+        for round in 0..3u32 {
+            let toks: Vec<u32> = [11u32, 22, 33].iter().map(|&t| t + round).collect();
+            let expected: Vec<Vec<f32>> = seq
+                .iter_mut()
+                .zip(&toks)
+                .map(|(c, &t)| c.decode_step(t).expect("ok"))
+                .collect();
+            let mut refs: Vec<&mut KvCache> = bat.iter_mut().collect();
+            let got = KvCache::decode_batch(&mut refs, &toks).expect("ok");
+            assert_eq!(got, expected, "round {round} drifted from sequential");
+        }
+    }
+
+    #[test]
+    fn contiguous_cache_reports_no_pool_state() {
+        let m = model();
+        let mut flat = KvCache::new(&m);
+        flat.prefill(&[5, 6, 7]).expect("ok");
+        assert!(flat.pool().is_none());
+        assert_eq!(flat.block_count(), 0);
+        assert!(flat.block_ids().is_empty());
     }
 }

@@ -1,0 +1,327 @@
+//! Block-based KV pool: paged allocation for decoding sessions.
+//!
+//! A contiguous [`crate::KvCache`] owns its K/V rows outright, so node
+//! capacity is bounded by `sessions × max_seq_len` even when most sessions
+//! are short, and every prefix fork pays a deep copy. [`KvPool`] is the
+//! vLLM-style alternative: K/V storage is carved into fixed-size *blocks*
+//! of [`KvPoolConfig::block_tokens`] positions (all layers of a block live
+//! together), sessions hold *block tables* — vectors of refcounted block
+//! handles — and forking a prefix aliases blocks instead of copying rows.
+//!
+//! Sharing is safe because blocks are copy-on-write: before a session
+//! writes into a partially filled tail block it checks whether the block
+//! is uniquely owned ([`Arc::strong_count`] observed through
+//! [`Arc::get_mut`]) and, if not, allocates a private copy from the pool
+//! first. Forks take `&self` on the donor and writes take `&mut self`, so
+//! a racing fork can only make a block look *more* shared than it is — a
+//! spurious copy, never a missed one. Rows already written are immutable
+//! (each position's K/V depends only on the tokens before it), which is
+//! what makes aliasing the filled prefix of a block sound.
+//!
+//! The pool itself is an accounting object, not an arena: blocks own their
+//! own heap buffers, and the pool tracks how many are alive against a
+//! configured capacity so the serving layer can admit sessions by free
+//! blocks and reject with a structured overload error instead of dying
+//! mid-prefill. A [`BlockPermit`] drop guard inside every block returns
+//! its slot when the last [`Arc`] clone is dropped.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::NnError;
+
+/// Process-global block id source. Ids are unique across *every* pool, not
+/// just within one, so downstream accounting (the serve prefix cache keys
+/// block refcounts by bare id) stays correct when several models' pools
+/// coexist. Starts at 1; 0 is never a valid id.
+static NEXT_BLOCK_ID: AtomicU64 = AtomicU64::new(1);
+
+fn next_block_id() -> u64 {
+    NEXT_BLOCK_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Configuration for a [`KvPool`].
+#[derive(Debug, Clone)]
+pub struct KvPoolConfig {
+    /// Positions per block. Every block stores `block_tokens` K rows and
+    /// `block_tokens` V rows for *every* layer, so a fork point is a token
+    /// position, uniform across layers. Default 16.
+    pub block_tokens: usize,
+    /// Capacity of the pool in blocks. Allocation past this fails with
+    /// [`NnError::PoolExhausted`]. Default 8192.
+    pub max_blocks: usize,
+}
+
+impl Default for KvPoolConfig {
+    fn default() -> Self {
+        KvPoolConfig {
+            block_tokens: 16,
+            max_blocks: 8192,
+        }
+    }
+}
+
+/// A bounded allocator of fixed-size KV blocks, shared by every paged
+/// session decoding against one model allocation.
+///
+/// Cheap to clone behind an [`Arc`]; all counters are atomic. See the
+/// module docs for the sharing/copy-on-write protocol.
+#[derive(Debug)]
+pub struct KvPool {
+    block_tokens: usize,
+    max_blocks: usize,
+    in_use: AtomicUsize,
+    cow_copies: AtomicU64,
+}
+
+impl KvPool {
+    /// Creates a pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] if `block_tokens` or `max_blocks`
+    /// is zero.
+    pub fn new(cfg: KvPoolConfig) -> Result<Arc<Self>, NnError> {
+        if cfg.block_tokens == 0 {
+            return Err(NnError::BadConfig {
+                detail: "kv pool block_tokens must be >= 1".into(),
+            });
+        }
+        if cfg.max_blocks == 0 {
+            return Err(NnError::BadConfig {
+                detail: "kv pool max_blocks must be >= 1".into(),
+            });
+        }
+        Ok(Arc::new(KvPool {
+            block_tokens: cfg.block_tokens,
+            max_blocks: cfg.max_blocks,
+            in_use: AtomicUsize::new(0),
+            cow_copies: AtomicU64::new(0),
+        }))
+    }
+
+    /// Positions stored per block.
+    #[must_use]
+    pub fn block_tokens(&self) -> usize {
+        self.block_tokens
+    }
+
+    /// Pool capacity in blocks.
+    #[must_use]
+    pub fn max_blocks(&self) -> usize {
+        self.max_blocks
+    }
+
+    /// Blocks currently alive (allocated and not yet dropped).
+    #[must_use]
+    pub fn blocks_in_use(&self) -> usize {
+        self.in_use.load(Ordering::Relaxed)
+    }
+
+    /// Blocks still allocatable before the pool is exhausted.
+    #[must_use]
+    pub fn blocks_free(&self) -> usize {
+        self.max_blocks.saturating_sub(self.blocks_in_use())
+    }
+
+    /// Copy-on-write block duplications performed so far (a shared tail
+    /// block was about to be written and had to be privatised first).
+    #[must_use]
+    pub fn cow_copies(&self) -> u64 {
+        self.cow_copies.load(Ordering::Relaxed)
+    }
+
+    /// Blocks needed to store `tokens` positions at this pool's block size.
+    #[must_use]
+    pub fn blocks_for(&self, tokens: usize) -> usize {
+        tokens.div_ceil(self.block_tokens)
+    }
+
+    /// Heap bytes of one block's K/V buffers for the given architecture
+    /// shape: `n_layers × 2 (K and V) × block_tokens × d_model` floats.
+    #[must_use]
+    pub fn block_bytes(&self, n_layers: usize, d_model: usize) -> usize {
+        n_layers * 2 * self.block_tokens * d_model * std::mem::size_of::<f32>()
+    }
+
+    /// Allocates a zeroed block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::PoolExhausted`] when the pool is at capacity.
+    pub(crate) fn alloc_block(
+        self: &Arc<Self>,
+        n_layers: usize,
+        d_model: usize,
+    ) -> Result<KvBlock, NnError> {
+        let permit = self.take_permit()?;
+        let row_floats = self.block_tokens * d_model;
+        Ok(KvBlock {
+            layers: (0..n_layers)
+                .map(|_| BlockLayer {
+                    k: vec![0.0; row_floats],
+                    v: vec![0.0; row_floats],
+                })
+                .collect(),
+            id: next_block_id(),
+            _permit: permit,
+        })
+    }
+
+    /// Allocates a private copy of `src` (the copy-on-write step) and
+    /// counts it in [`KvPool::cow_copies`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::PoolExhausted`] when the pool is at capacity.
+    pub(crate) fn alloc_block_from(self: &Arc<Self>, src: &KvBlock) -> Result<KvBlock, NnError> {
+        let permit = self.take_permit()?;
+        self.cow_copies.fetch_add(1, Ordering::Relaxed);
+        Ok(KvBlock {
+            layers: src.layers.clone(),
+            id: next_block_id(),
+            _permit: permit,
+        })
+    }
+
+    fn take_permit(self: &Arc<Self>) -> Result<BlockPermit, NnError> {
+        let admitted = self
+            .in_use
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                (n < self.max_blocks).then_some(n + 1)
+            });
+        match admitted {
+            Ok(_) => Ok(BlockPermit {
+                pool: Arc::clone(self),
+            }),
+            Err(in_use) => Err(NnError::PoolExhausted {
+                in_use,
+                capacity: self.max_blocks,
+            }),
+        }
+    }
+}
+
+/// One layer's slice of a block: `block_tokens × d_model` rotary-encoded
+/// keys and as many values, row-major, zero-filled until written.
+#[derive(Debug, Clone)]
+pub(crate) struct BlockLayer {
+    pub(crate) k: Vec<f32>,
+    pub(crate) v: Vec<f32>,
+}
+
+/// A fixed-size span of KV storage: `block_tokens` positions across every
+/// layer. Shared between sessions via [`Arc`]; the embedded permit returns
+/// the pool slot when the last clone drops.
+#[derive(Debug)]
+pub(crate) struct KvBlock {
+    pub(crate) layers: Vec<BlockLayer>,
+    /// Unique, never-reused identity (process-global monotonic counter) so
+    /// the serving layer can account shared blocks without pointer-reuse
+    /// hazards, even across distinct pools.
+    pub(crate) id: u64,
+    _permit: BlockPermit,
+}
+
+/// Drop guard decrementing the owning pool's in-use count.
+#[derive(Debug)]
+struct BlockPermit {
+    pool: Arc<KvPool>,
+}
+
+impl Drop for BlockPermit {
+    fn drop(&mut self) {
+        self.pool.in_use.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(max_blocks: usize) -> Arc<KvPool> {
+        KvPool::new(KvPoolConfig {
+            block_tokens: 4,
+            max_blocks,
+        })
+        .expect("valid config")
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(KvPool::new(KvPoolConfig {
+            block_tokens: 0,
+            max_blocks: 1,
+        })
+        .is_err());
+        assert!(KvPool::new(KvPoolConfig {
+            block_tokens: 1,
+            max_blocks: 0,
+        })
+        .is_err());
+        let p = KvPool::new(KvPoolConfig::default()).expect("default is valid");
+        assert_eq!(p.block_tokens(), 16);
+        assert_eq!(p.blocks_free(), p.max_blocks());
+    }
+
+    #[test]
+    fn permits_bound_allocation_and_release_on_drop() {
+        let p = pool(2);
+        let a = p.alloc_block(2, 8).expect("first");
+        let b = p.alloc_block(2, 8).expect("second");
+        assert_eq!(p.blocks_in_use(), 2);
+        assert_eq!(p.blocks_free(), 0);
+        let err = p.alloc_block(2, 8).expect_err("pool is full");
+        assert!(matches!(
+            err,
+            NnError::PoolExhausted {
+                in_use: 2,
+                capacity: 2
+            }
+        ));
+        drop(a);
+        assert_eq!(p.blocks_free(), 1);
+        let c = p.alloc_block(2, 8).expect("slot freed");
+        assert_ne!(b.id, c.id, "block ids are never reused");
+        drop(b);
+        drop(c);
+        assert_eq!(p.blocks_in_use(), 0);
+    }
+
+    #[test]
+    fn shared_blocks_hold_one_permit() {
+        let p = pool(4);
+        let block = Arc::new(p.alloc_block(1, 4).expect("alloc"));
+        let aliases: Vec<_> = (0..5).map(|_| Arc::clone(&block)).collect();
+        assert_eq!(p.blocks_in_use(), 1, "aliasing is free");
+        drop(aliases);
+        assert_eq!(p.blocks_in_use(), 1);
+        drop(block);
+        assert_eq!(p.blocks_in_use(), 0);
+    }
+
+    #[test]
+    fn cow_copy_duplicates_content_and_counts() {
+        let p = pool(4);
+        let mut src = p.alloc_block(2, 4).expect("alloc");
+        src.layers[1].k[3] = 7.5;
+        src.layers[0].v[0] = -2.0;
+        let copy = p.alloc_block_from(&src).expect("copy");
+        assert_eq!(copy.layers[1].k[3], 7.5);
+        assert_eq!(copy.layers[0].v[0], -2.0);
+        assert_ne!(copy.id, src.id);
+        assert_eq!(p.cow_copies(), 1);
+        assert_eq!(p.blocks_in_use(), 2);
+    }
+
+    #[test]
+    fn sizing_helpers() {
+        let p = pool(8); // block_tokens = 4
+        assert_eq!(p.blocks_for(0), 0);
+        assert_eq!(p.blocks_for(1), 1);
+        assert_eq!(p.blocks_for(4), 1);
+        assert_eq!(p.blocks_for(5), 2);
+        // 2 layers × 2 (K,V) × 4 tokens × 8 dims × 4 bytes.
+        assert_eq!(p.block_bytes(2, 8), 2 * 2 * 4 * 8 * 4);
+    }
+}

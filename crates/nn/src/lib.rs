@@ -25,6 +25,11 @@
 //!   sessions through one GEMM per projection — bit-identical to stepping
 //!   each session alone, which is what lets the serving scheduler batch
 //!   without changing a single output byte.
+//! * [`kvpool`] — a paged KV allocator: fixed-size token blocks, per-cache
+//!   block tables, refcounted prefix aliasing with copy-on-write, so a
+//!   prefix fork costs O(blocks) pointer clones instead of O(bytes) and
+//!   short sessions stop reserving worst-case contiguous buffers. Paged
+//!   decode is bit-identical to the contiguous path.
 //!
 //! Models convert losslessly to and from [`chipalign_model::Checkpoint`],
 //! which is what the merge crate operates on.
@@ -54,6 +59,7 @@
 mod error;
 pub mod generate;
 mod kv;
+pub mod kvpool;
 mod lora;
 pub mod loss;
 mod model;
@@ -66,6 +72,7 @@ pub mod train;
 pub use error::NnError;
 pub use generate::{GenerateConfig, StepDecoder};
 pub use kv::KvCache;
+pub use kvpool::{KvPool, KvPoolConfig};
 pub use lora::{LoraConfig, LoraModel};
 pub use model::{ForwardCache, TinyLm};
 pub use optim::{Adam, AdamConfig};

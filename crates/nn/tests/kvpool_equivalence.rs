@@ -1,0 +1,206 @@
+//! Differential proptests: paged KV storage vs the contiguous oracle.
+//!
+//! Every test drives a paged cache (or decoder) and a contiguous twin
+//! through the *same* operations and asserts bitwise-equal outputs (`==`,
+//! never a tolerance). The contiguous path is the reference
+//! implementation; the paged path adds block tables, refcounted aliasing,
+//! and copy-on-write — none of which may change a single output bit.
+
+use std::sync::Arc;
+
+use chipalign_model::ArchSpec;
+use chipalign_nn::generate::{GenerateConfig, StepDecoder};
+use chipalign_nn::{KvCache, KvPool, KvPoolConfig, TinyLm};
+use chipalign_tensor::rng::Pcg32;
+use proptest::prelude::*;
+
+fn arch() -> ArchSpec {
+    ArchSpec {
+        name: "kvpool-prop".into(),
+        vocab_size: 32,
+        d_model: 8,
+        n_layers: 2,
+        n_heads: 2,
+        d_ff: 16,
+        max_seq_len: 16,
+    }
+}
+
+fn pool(block_tokens: usize) -> Arc<KvPool> {
+    KvPool::new(KvPoolConfig {
+        block_tokens,
+        max_blocks: 4096,
+    })
+    .expect("valid pool config")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pooled_decoder_transcripts_match_contiguous_across_slides(
+        seed in 0u64..30,
+        prompt in proptest::collection::vec(0u32..32, 2..24),
+        chunk in 1usize..6,
+        bt in 1usize..6,
+        budget in 4usize..16,
+    ) {
+        // Chunked prefill × window slide × paged storage, at every block
+        // size: the pooled decoder must emit the same bytes as the
+        // contiguous one. Prompts up to 24 tokens against a 16-slot
+        // window plus 4..16 decode steps force slide re-prefills, which
+        // replay through the paged path too.
+        let model = Arc::new(TinyLm::new(&arch(), &mut Pcg32::seed(seed)).unwrap());
+        let cfg = GenerateConfig {
+            max_new_tokens: budget,
+            stop_at_eos: false,
+            ..GenerateConfig::default()
+        };
+        let mut flat = StepDecoder::new_chunked(&model, &prompt, &cfg).unwrap();
+        let p = pool(bt);
+        let mut paged = StepDecoder::new_chunked_pooled(&model, &prompt, &cfg, &p).unwrap();
+        loop {
+            while flat.is_prefilling() {
+                flat.prefill_pending(chunk).unwrap();
+            }
+            while paged.is_prefilling() {
+                paged.prefill_pending(chunk).unwrap();
+            }
+            let x = flat.step().unwrap();
+            let y = paged.step().unwrap();
+            prop_assert_eq!(x, y, "pooled transcript drifted from contiguous");
+            if x.is_none() {
+                break;
+            }
+        }
+        drop(paged);
+        prop_assert_eq!(p.blocks_in_use(), 0, "dropping the session must free its blocks");
+    }
+
+    #[test]
+    fn fork_then_diverge_both_branches_matches_contiguous_twins(
+        seed in 0u64..30,
+        prompt in proptest::collection::vec(0u32..32, 2..12),
+        p_seed in 0usize..64,
+        bt in 1usize..6,
+        donor_toks in proptest::collection::vec(0u32..32, 1..4),
+        fork_toks in proptest::collection::vec(0u32..32, 1..4),
+    ) {
+        // The copy-on-write pin: fork a paged donor at an arbitrary point
+        // (block-aligned or not), then advance donor and fork in an
+        // interleaved order. Neither branch may corrupt the other — both
+        // must stay bitwise equal to independent contiguous twins.
+        let model = Arc::new(TinyLm::new(&arch(), &mut Pcg32::seed(seed)).unwrap());
+        let p = pool(bt);
+        let mut donor = KvCache::new_paged(&model, &p);
+        donor.prefill(&prompt).unwrap();
+        let mut flat_donor = KvCache::new(&model);
+        flat_donor.prefill(&prompt).unwrap();
+
+        let fork_at = p_seed % (prompt.len() + 1);
+        let blocks_before = p.blocks_in_use();
+        let mut fork = donor.fork_from(fork_at).unwrap();
+        prop_assert_eq!(p.blocks_in_use(), blocks_before, "fork must allocate zero blocks");
+        let mut flat_fork = flat_donor.fork_from(fork_at).unwrap();
+
+        let rounds = donor_toks.len().max(fork_toks.len());
+        for i in 0..rounds {
+            if let Some(&t) = donor_toks.get(i) {
+                prop_assert_eq!(
+                    donor.decode_step(t).unwrap(),
+                    flat_donor.decode_step(t).unwrap(),
+                    "donor drifted after fork divergence"
+                );
+            }
+            if let Some(&t) = fork_toks.get(i) {
+                prop_assert_eq!(
+                    fork.decode_step(t).unwrap(),
+                    flat_fork.decode_step(t).unwrap(),
+                    "fork drifted after divergence"
+                );
+            }
+        }
+        prop_assert_eq!(donor.tokens(), flat_donor.tokens());
+        prop_assert_eq!(fork.tokens(), flat_fork.tokens());
+    }
+
+    #[test]
+    fn random_op_interleavings_stay_bitwise_identical(
+        seed in 0u64..20,
+        bt in 1usize..6,
+        ops in proptest::collection::vec((0u8..4, 0u32..32, 1usize..5), 1..24),
+    ) {
+        // The interleaving sweep: chunked prefill, single-token decode,
+        // zero-copy fork (kept live and stepped alongside its donor), and
+        // window-slide-style reset+replay, in arbitrary order. The paged
+        // cache and its contiguous twin must agree on every logit vector,
+        // and the block table must track `ceil(len / block_tokens)`
+        // exactly.
+        let model = Arc::new(TinyLm::new(&arch(), &mut Pcg32::seed(seed)).unwrap());
+        let max_ctx = arch().max_seq_len;
+        let p = pool(bt);
+        let mut paged = KvCache::new_paged(&model, &p);
+        let mut flat = KvCache::new(&model);
+        let mut forks: Option<(KvCache, KvCache)> = None;
+        for &(op, tok, k) in &ops {
+            match op {
+                0 => {
+                    if paged.len() < max_ctx {
+                        prop_assert_eq!(
+                            paged.decode_step(tok).unwrap(),
+                            flat.decode_step(tok).unwrap(),
+                            "decode_step drifted"
+                        );
+                    }
+                }
+                1 => {
+                    let room = max_ctx - paged.len();
+                    let n = k.min(room);
+                    let chunk: Vec<u32> = (0..n).map(|i| (tok + i as u32) % 32).collect();
+                    prop_assert_eq!(
+                        paged.prefill_chunk(&chunk).unwrap(),
+                        flat.prefill_chunk(&chunk).unwrap(),
+                        "prefill_chunk drifted"
+                    );
+                }
+                2 => {
+                    let at = k.min(paged.len());
+                    forks = Some((
+                        paged.fork_from(at).unwrap(),
+                        flat.fork_from(at).unwrap(),
+                    ));
+                }
+                3 => {
+                    // Window-slide shape: reset, replay a recent suffix.
+                    let hist: Vec<u32> = paged.tokens().to_vec();
+                    let start = hist.len().saturating_sub(k);
+                    paged.reset();
+                    flat.reset();
+                    prop_assert_eq!(
+                        paged.prefill_chunk(&hist[start..]).unwrap(),
+                        flat.prefill_chunk(&hist[start..]).unwrap(),
+                        "slide replay drifted"
+                    );
+                }
+                _ => unreachable!("op strategy is 0..4"),
+            }
+            // Advance any live fork pair too, so donor/fork copy-on-write
+            // interleaves with every other operation.
+            if let Some((pf, ff)) = forks.as_mut() {
+                if pf.len() < max_ctx {
+                    prop_assert_eq!(
+                        pf.decode_step(tok).unwrap(),
+                        ff.decode_step(tok).unwrap(),
+                        "live fork drifted"
+                    );
+                }
+            }
+            prop_assert_eq!(paged.len(), flat.len());
+            prop_assert_eq!(paged.tokens(), flat.tokens());
+            prop_assert_eq!(paged.block_count(), p.blocks_for(paged.len()));
+        }
+        drop(paged);
+        drop(forks);
+        prop_assert_eq!(p.blocks_in_use(), 0, "all blocks return to the pool");
+    }
+}

@@ -39,6 +39,16 @@ pub enum ServeError {
         /// The configured admission bound.
         capacity: usize,
     },
+    /// Admission control rejected the request: the paged KV pool cannot
+    /// back the session's prompt window, even after evicting reusable
+    /// prefix-cache snapshots. Maps to the `overloaded` wire code so
+    /// clients back off and retry like any other transient overload.
+    PoolSaturated {
+        /// Blocks the session's prompt window needs.
+        needed: usize,
+        /// Blocks still free after eviction.
+        free: usize,
+    },
     /// The server is draining and no longer admits new sessions.
     ShuttingDown,
     /// The request's deadline expired before the session finished.
@@ -80,7 +90,12 @@ impl ServeError {
         match self {
             ServeError::Protocol { .. } | ServeError::BadRequest { .. } => ErrorCode::BadRequest,
             ServeError::UnknownModel { .. } => ErrorCode::UnknownModel,
-            ServeError::Overloaded { .. } => ErrorCode::Overloaded,
+            ServeError::Overloaded { .. } | ServeError::PoolSaturated { .. } => {
+                ErrorCode::Overloaded
+            }
+            // Pool exhaustion mid-decode is just as transient as admission
+            // overload: blocks free up when other sessions finish.
+            ServeError::Nn(NnError::PoolExhausted { .. }) => ErrorCode::Overloaded,
             ServeError::ShuttingDown => ErrorCode::ShuttingDown,
             ServeError::DeadlineExceeded { .. } | ServeError::Stalled { .. } => {
                 ErrorCode::DeadlineExceeded
@@ -118,6 +133,12 @@ impl fmt::Display for ServeError {
             ServeError::UnknownModel { spec } => write!(f, "unknown model spec {spec:?}"),
             ServeError::Overloaded { active, capacity } => {
                 write!(f, "overloaded: {active} of {capacity} sessions in flight")
+            }
+            ServeError::PoolSaturated { needed, free } => {
+                write!(
+                    f,
+                    "kv pool saturated: session needs {needed} blocks, {free} free"
+                )
             }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::DeadlineExceeded { waited_ms } => {
@@ -193,6 +214,18 @@ mod tests {
         assert!(e.to_string().contains("overloaded"));
         assert_eq!(e.code(), ErrorCode::Overloaded);
         assert_eq!(ServeError::ShuttingDown.code(), ErrorCode::ShuttingDown);
+        let pool = ServeError::PoolSaturated { needed: 9, free: 2 };
+        assert_eq!(
+            pool.code(),
+            ErrorCode::Overloaded,
+            "pool saturation must trigger client back-off"
+        );
+        assert!(pool.to_string().contains("9 blocks"));
+        let mid_decode = ServeError::Nn(NnError::PoolExhausted {
+            in_use: 64,
+            capacity: 64,
+        });
+        assert_eq!(mid_decode.code(), ErrorCode::Overloaded);
         let bad = ServeError::BadRequest {
             detail: "empty prompt".into(),
         };

@@ -8,8 +8,10 @@
 //! regressions; the load generator computes exact percentiles client-side.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
 use std::time::Instant;
 
+use chipalign_nn::KvPool;
 use serde::{Deserialize, Serialize};
 
 /// Number of power-of-two buckets: covers 1 µs .. ~2^47 µs (~4 years).
@@ -112,6 +114,13 @@ pub struct Metrics {
     prefill_chunks: AtomicU64,
     /// Merged models evicted from the registry's LRU cache.
     merge_evictions: AtomicU64,
+    /// Prefix-cache snapshots evicted under KV-pool pressure (admission
+    /// reclaiming blocks for a live session).
+    pool_evictions: AtomicU64,
+    /// Paged KV pools whose gauges are summed into snapshots. Weak so the
+    /// metrics core never keeps a dead model's pool alive; dead entries
+    /// are pruned on registration and at snapshot time.
+    kv_pools: Mutex<Vec<Weak<KvPool>>>,
     /// Admission-to-completion latency.
     latency: Histogram,
     /// Admission-to-first-decode-slice wait.
@@ -143,6 +152,8 @@ impl Default for Metrics {
             prefix_tokens_reused: AtomicU64::new(0),
             prefill_chunks: AtomicU64::new(0),
             merge_evictions: AtomicU64::new(0),
+            pool_evictions: AtomicU64::new(0),
+            kv_pools: Mutex::new(Vec::new()),
             latency: Histogram::default(),
             queue_wait: Histogram::default(),
             prefill: Histogram::default(),
@@ -246,6 +257,42 @@ impl Metrics {
         self.merge_evictions.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a prefix-cache snapshot evicted to reclaim KV blocks for a
+    /// session being admitted.
+    pub fn on_pool_eviction(&self) {
+        self.pool_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Registers a paged KV pool so its block gauges flow into snapshots.
+    /// Idempotent per pool; holds only a weak reference, so a pool dies
+    /// with its model and silently leaves the gauges.
+    pub fn register_kv_pool(&self, pool: &Arc<KvPool>) {
+        let mut pools = self.kv_pools.lock().expect("kv pool list poisoned");
+        pools.retain(|w| w.strong_count() > 0);
+        if !pools
+            .iter()
+            .any(|w| std::ptr::eq(w.as_ptr(), Arc::as_ptr(pool)))
+        {
+            pools.push(Arc::downgrade(pool));
+        }
+    }
+
+    /// Sums `(blocks_in_use, blocks_free, cow_copies)` across live
+    /// registered pools, pruning dead ones.
+    fn pool_gauges(&self) -> (u64, u64, u64) {
+        let mut pools = self.kv_pools.lock().expect("kv pool list poisoned");
+        pools.retain(|w| w.strong_count() > 0);
+        let mut in_use = 0u64;
+        let mut free = 0u64;
+        let mut cow = 0u64;
+        for pool in pools.iter().filter_map(Weak::upgrade) {
+            in_use += pool.blocks_in_use() as u64;
+            free += pool.blocks_free() as u64;
+            cow += pool.cow_copies();
+        }
+        (in_use, free, cow)
+    }
+
     /// Records a dequeued slice that advanced `n` sessions together.
     pub fn on_batch(&self, n: usize) {
         self.batch_occupancy[n.min(BATCH_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
@@ -262,6 +309,7 @@ impl Metrics {
         let uptime_s = uptime.as_secs_f64().max(1e-9);
         let completed = self.completed.load(Ordering::Relaxed);
         let tokens_out = self.tokens_out.load(Ordering::Relaxed);
+        let (kv_blocks_in_use, kv_blocks_free, cow_copies) = self.pool_gauges();
         MetricsSnapshot {
             uptime_ms: uptime.as_millis() as u64,
             requests: self.requests.load(Ordering::Relaxed),
@@ -287,6 +335,10 @@ impl Metrics {
             prefix_tokens_reused: self.prefix_tokens_reused.load(Ordering::Relaxed),
             prefill_chunks: self.prefill_chunks.load(Ordering::Relaxed),
             merge_evictions: self.merge_evictions.load(Ordering::Relaxed),
+            pool_evictions: self.pool_evictions.load(Ordering::Relaxed),
+            kv_blocks_in_use,
+            kv_blocks_free,
+            cow_copies,
             requests_per_sec: completed as f64 / uptime_s,
             tokens_per_sec: tokens_out as f64 / uptime_s,
             latency_p50_ms: self.latency.quantile_upper_us(0.50) as f64 / 1e3,
@@ -356,6 +408,19 @@ pub struct MetricsSnapshot {
     /// Merged models evicted from the registry's LRU cache.
     #[serde(default)]
     pub merge_evictions: u64,
+    /// Prefix-cache snapshots evicted under KV-pool pressure.
+    #[serde(default)]
+    pub pool_evictions: u64,
+    /// KV blocks currently allocated across every registered paged pool.
+    #[serde(default)]
+    pub kv_blocks_in_use: u64,
+    /// KV blocks still allocatable across every registered paged pool.
+    #[serde(default)]
+    pub kv_blocks_free: u64,
+    /// Copy-on-write block duplications across every registered pool (a
+    /// shared tail block privatised before a divergent write).
+    #[serde(default)]
+    pub cow_copies: u64,
     /// Completions per second of uptime.
     pub requests_per_sec: f64,
     /// New tokens per second of uptime.
@@ -508,6 +573,10 @@ mod tests {
             "prefix_tokens_reused",
             "prefill_chunks",
             "merge_evictions",
+            "pool_evictions",
+            "kv_blocks_in_use",
+            "kv_blocks_free",
+            "cow_copies",
             "prefill_p50_ms",
             "prefill_p95_ms",
         ] {
@@ -520,6 +589,52 @@ mod tests {
         assert_eq!(back.prefix_hits, 0);
         assert_eq!(back.prefill_chunks, 0);
         assert_eq!(back.merge_evictions, 0);
+        assert_eq!(back.pool_evictions, 0);
+        assert_eq!(back.kv_blocks_in_use, 0);
+        assert_eq!(back.kv_blocks_free, 0);
+        assert_eq!(back.cow_copies, 0);
         assert_eq!(back.prefill_p95_ms, 0.0);
+    }
+
+    #[test]
+    fn pool_gauges_and_evictions_flow_into_snapshot() {
+        use chipalign_model::ArchSpec;
+        use chipalign_nn::{KvCache, KvPoolConfig, TinyLm};
+        use chipalign_tensor::rng::Pcg32;
+
+        let m = Metrics::new();
+        let pool = KvPool::new(KvPoolConfig {
+            block_tokens: 4,
+            max_blocks: 8,
+        })
+        .expect("pool");
+        m.register_kv_pool(&pool);
+        m.register_kv_pool(&pool); // idempotent: counted once
+
+        let mut arch = ArchSpec::tiny("metrics");
+        arch.vocab_size = 99;
+        let model = Arc::new(TinyLm::new(&arch, &mut Pcg32::seed(1)).expect("model"));
+        let mut cache = KvCache::new_paged(&model, &pool);
+        cache.prefill(&[5, 6, 7, 8, 9, 10]).expect("prefill");
+        m.on_pool_eviction();
+
+        let snap = m.snapshot();
+        assert_eq!(snap.kv_blocks_in_use, 2, "6 tokens at block size 4");
+        assert_eq!(snap.kv_blocks_free, 6);
+        assert_eq!(snap.cow_copies, 0);
+        assert_eq!(snap.pool_evictions, 1);
+
+        // A dead pool (its model unloaded) silently leaves the gauges.
+        drop(cache);
+        let dead = KvPool::new(KvPoolConfig {
+            block_tokens: 4,
+            max_blocks: 1000,
+        })
+        .expect("pool");
+        m.register_kv_pool(&dead);
+        drop(dead);
+        let snap = m.snapshot();
+        assert_eq!(snap.kv_blocks_in_use, 0);
+        assert_eq!(snap.kv_blocks_free, 8, "only the live pool is summed");
     }
 }

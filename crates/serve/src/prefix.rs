@@ -19,6 +19,18 @@
 //! least-recently-used snapshot (and pruning its now-bare trie branch)
 //! when either would overflow.
 //!
+//! # Byte accounting under paged storage
+//!
+//! With a paged [`chipalign_nn::KvPool`], snapshots are block tables that
+//! *alias* blocks: the donating session's fork costs zero KV bytes, and
+//! two snapshots sharing a scaffold share its blocks. The byte budget
+//! therefore charges **blocks, refcounted**: an inserted snapshot is
+//! charged only for blocks no other entry already holds, and eviction
+//! frees a block's bytes only when its last referencing entry leaves.
+//! Contiguous snapshots (sessions without a pool) still charge their full
+//! logical size. This is what makes a zero-copy prefix hit actually free —
+//! the pre-pool accounting double-counted every aliased byte.
+//!
 //! Correctness note: the fork is validated again at adoption —
 //! [`chipalign_nn::generate::StepDecoder::adopt_prefix`] re-checks the
 //! token history and model identity — so a cache bug degrades to a served
@@ -68,6 +80,13 @@ struct Entry {
     snapshot: KvCache,
     /// LRU stamp: bumped on every hit from a monotonic counter.
     stamp: u64,
+    /// Bytes charged for a contiguous snapshot (its full logical size);
+    /// zero for paged snapshots, which are charged per shared block.
+    flat_bytes: usize,
+    /// The paged snapshot's `(block id, block bytes)` pairs; empty for
+    /// contiguous snapshots. Referenced blocks are refcounted in
+    /// [`Inner::block_refs`] so shared bytes are charged exactly once.
+    block_ids: Vec<(u64, usize)>,
 }
 
 #[derive(Debug, Default)]
@@ -75,6 +94,10 @@ struct Inner {
     nodes: Vec<Node>,
     /// Free arena slots left behind by pruned nodes, reused before growth.
     free: Vec<usize>,
+    /// How many cached entries reference each live KV block (keyed by the
+    /// block's process-unique id). A block's bytes are charged when its
+    /// refcount rises to one and freed when it falls to zero.
+    block_refs: HashMap<u64, usize>,
     /// Root node per model allocation. The key is the model's `Arc`
     /// pointer; safe as an identity because every snapshot under a root
     /// holds a clone of that `Arc`, so the allocation cannot be reused
@@ -165,18 +188,38 @@ impl PrefixCache {
 
     /// Inserts a snapshot of `cache`'s full contents, keyed by its token
     /// history. No-op if the cache is disabled, the snapshot is empty or
-    /// alone exceeds the byte budget, or an identical prefix is already
-    /// cached (its stamp is refreshed instead). Evicts least-recently-used
-    /// snapshots until both bounds hold.
+    /// its *newly charged* bytes alone exceed the byte budget, or an
+    /// identical prefix is already cached (its stamp is refreshed
+    /// instead). Paged snapshots are charged only for blocks no existing
+    /// entry holds — a fork of an already-cached prefix is free. Evicts
+    /// least-recently-used snapshots until both bounds hold.
     pub fn insert(&self, cache: &KvCache) {
-        let bytes = cache.kv_bytes();
-        if !self.enabled() || cache.is_empty() || bytes > self.cfg.max_total_bytes {
+        if !self.enabled() || cache.is_empty() {
             return;
         }
         let Ok(snapshot) = cache.fork_from(cache.len()) else {
             return;
         };
         let mut inner = self.inner.lock().expect("prefix cache poisoned");
+        // Charge = bytes this entry adds: the full logical size for a
+        // contiguous snapshot, or the bytes of blocks not yet referenced
+        // by any cached entry for a paged one. Computed before touching
+        // the trie so an oversized refusal allocates nothing.
+        let block_ids = snapshot.block_ids();
+        let flat_bytes = if block_ids.is_empty() {
+            snapshot.kv_bytes()
+        } else {
+            0
+        };
+        let charge: usize = flat_bytes
+            + block_ids
+                .iter()
+                .filter(|(id, _)| !inner.block_refs.contains_key(id))
+                .map(|&(_, bytes)| bytes)
+                .sum::<usize>();
+        if charge > self.cfg.max_total_bytes {
+            return;
+        }
         let key = Arc::as_ptr(snapshot.model()) as usize;
         let root = match inner.roots.get(&key) {
             Some(&r) => r,
@@ -203,8 +246,16 @@ impl PrefixCache {
             return;
         }
         inner.entries += 1;
-        inner.total_bytes += bytes;
-        inner.nodes[node].entry = Some(Entry { snapshot, stamp });
+        inner.total_bytes += charge;
+        for &(id, _) in &block_ids {
+            *inner.block_refs.entry(id).or_insert(0) += 1;
+        }
+        inner.nodes[node].entry = Some(Entry {
+            snapshot,
+            stamp,
+            flat_bytes,
+            block_ids,
+        });
         while inner.entries > self.cfg.max_entries || inner.total_bytes > self.cfg.max_total_bytes {
             // The just-inserted snapshot is the most recent; bounds are
             // restored by evicting older ones (it alone fits, checked
@@ -213,6 +264,18 @@ impl PrefixCache {
                 break;
             }
         }
+    }
+
+    /// Evicts the least-recently-used snapshot unconditionally. The
+    /// scheduler calls this under KV-pool pressure: dropping a cached
+    /// snapshot releases its block aliases so admission can hand the
+    /// freed blocks to a live session. Returns whether anything was
+    /// evicted.
+    pub fn evict_one(&self) -> bool {
+        self.inner
+            .lock()
+            .expect("prefix cache poisoned")
+            .evict_lru()
     }
 }
 
@@ -255,7 +318,22 @@ impl Inner {
         };
         let entry = self.nodes[idx].entry.take().expect("victim holds entry");
         self.entries -= 1;
-        self.total_bytes -= entry.snapshot.kv_bytes();
+        // Free the contiguous charge plus every block whose last
+        // referencing entry this was — bytes still shared with a surviving
+        // entry stay charged (they are still held).
+        let mut freed = entry.flat_bytes;
+        for &(id, bytes) in &entry.block_ids {
+            let refs = self
+                .block_refs
+                .get_mut(&id)
+                .expect("evicted entry's blocks are refcounted");
+            *refs -= 1;
+            if *refs == 0 {
+                self.block_refs.remove(&id);
+                freed += bytes;
+            }
+        }
+        self.total_bytes -= freed;
         drop(entry);
         // Prune bottom-up: remove nodes that now carry no entry and no
         // children. Roots are dropped too so a stale model pointer can
@@ -423,6 +501,81 @@ mod tests {
         cache.insert(&prefilled(&m, &[5, 6]));
         assert_eq!(cache.entries(), 0);
         assert!(cache.lookup(&m, &[5, 6, 7]).is_none());
+    }
+
+    #[test]
+    fn paged_snapshots_sharing_blocks_are_charged_once() {
+        use chipalign_nn::{KvPool, KvPoolConfig};
+        let m = model(1);
+        let pool = KvPool::new(KvPoolConfig {
+            block_tokens: 2,
+            max_blocks: 64,
+        })
+        .expect("pool");
+        let arch = m.arch();
+        let bb = pool.block_bytes(arch.n_layers, arch.d_model);
+        let cache = PrefixCache::new(PrefixCacheConfig {
+            max_entries: 8,
+            max_total_bytes: usize::MAX,
+        });
+
+        // Donor: 4 tokens = blocks [b0, b1].
+        let mut donor = KvCache::new_paged(&m, &pool);
+        donor.prefill(&[5, 6, 7, 8]).expect("prefill");
+        cache.insert(&donor);
+        assert_eq!(
+            cache.total_bytes(),
+            2 * bb,
+            "first entry charges both blocks"
+        );
+
+        // A fork sharing b0, extended with one fresh block b2. Inserting
+        // it must charge only the unshared block.
+        let mut fork = donor.fork_from(2).expect("fork");
+        fork.prefill_chunk(&[9, 10]).expect("extend");
+        cache.insert(&fork);
+        assert_eq!(cache.entries(), 2);
+        assert_eq!(
+            cache.total_bytes(),
+            3 * bb,
+            "shared block b0 must not be double-counted"
+        );
+
+        // Evicting the older entry frees only bytes no survivor holds:
+        // b1 goes, b0 stays charged (the fork's entry still aliases it).
+        assert!(cache.evict_one());
+        assert_eq!(cache.entries(), 1);
+        assert_eq!(cache.total_bytes(), 2 * bb, "b0 stays charged, b1 freed");
+        assert!(cache.evict_one());
+        assert_eq!(cache.total_bytes(), 0);
+        assert!(!cache.evict_one(), "nothing left to evict");
+    }
+
+    #[test]
+    fn paged_lookup_forks_allocate_zero_blocks() {
+        use chipalign_nn::{KvPool, KvPoolConfig};
+        let m = model(1);
+        let pool = KvPool::new(KvPoolConfig {
+            block_tokens: 2,
+            max_blocks: 64,
+        })
+        .expect("pool");
+        let cache = PrefixCache::new(PrefixCacheConfig::default());
+        let mut donor = KvCache::new_paged(&m, &pool);
+        donor.prefill(&[5, 6, 7, 8]).expect("prefill");
+        cache.insert(&donor);
+        drop(donor); // the cached snapshot keeps the blocks alive
+        let held = pool.blocks_in_use();
+        assert_eq!(held, 2);
+        let (fork, len) = cache.lookup(&m, &[5, 6, 7, 8, 9]).expect("hit");
+        assert_eq!(len, 4);
+        assert_eq!(
+            pool.blocks_in_use(),
+            held,
+            "a prefix hit must allocate zero new KV blocks"
+        );
+        drop(fork);
+        assert_eq!(pool.blocks_in_use(), held);
     }
 
     #[test]

@@ -42,11 +42,11 @@
 
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError, Weak};
 
 use chipalign_merge::{GeodesicMerge, Merger};
 use chipalign_model::{format, Checkpoint, ModelError};
-use chipalign_nn::TinyLm;
+use chipalign_nn::{KvPool, KvPoolConfig, TinyLm};
 use chipalign_pipeline::zoo::{Backbone, Zoo, ZooModel};
 
 use crate::metrics::Metrics;
@@ -256,6 +256,12 @@ pub struct ModelRegistry {
     /// Attached by the server so integrity failures show up in
     /// `checksum_failures`; absent in library use.
     metrics: OnceLock<Arc<Metrics>>,
+    /// One paged KV pool per model *allocation*, created lazily by
+    /// [`ModelRegistry::kv_pool`]. Keys are weak so an evicted model's
+    /// pool dies with its last session; dead slots are pruned on access.
+    kv_pools: Mutex<Vec<(Weak<TinyLm>, Arc<KvPool>)>>,
+    /// Shape of pools created by [`ModelRegistry::kv_pool`].
+    kv_pool_cfg: KvPoolConfig,
 }
 
 /// RAII claim on one key's build slot: dropped (panic-safe) when the build
@@ -300,6 +306,8 @@ impl ModelRegistry {
             merge_capacity: 32,
             persist_dir: None,
             metrics: OnceLock::new(),
+            kv_pools: Mutex::new(Vec::new()),
+            kv_pool_cfg: KvPoolConfig::default(),
         }
     }
 
@@ -325,6 +333,43 @@ impl ModelRegistry {
         let _ = std::fs::create_dir_all(&dir);
         self.persist_dir = Some(dir);
         self
+    }
+
+    /// Configures the shape of paged KV pools handed out by
+    /// [`ModelRegistry::kv_pool`] (block size and per-model block
+    /// capacity). Zero fields are clamped to 1. Pools already created keep
+    /// their old shape, so call this before serving traffic.
+    #[must_use]
+    pub fn with_kv_pool_config(mut self, cfg: KvPoolConfig) -> Self {
+        self.kv_pool_cfg = KvPoolConfig {
+            block_tokens: cfg.block_tokens.max(1),
+            max_blocks: cfg.max_blocks.max(1),
+        };
+        self
+    }
+
+    /// The paged KV pool backing sessions of this model allocation,
+    /// created on first use. Pool identity follows the `Arc` allocation:
+    /// re-materializing an evicted spec yields a fresh pool, and the old
+    /// one drains away with its last session. Newly created pools are
+    /// registered with the attached metrics core so their block gauges
+    /// flow into snapshots.
+    #[must_use]
+    pub fn kv_pool(&self, model: &Arc<TinyLm>) -> Arc<KvPool> {
+        let mut pools = self.kv_pools.lock().unwrap_or_else(PoisonError::into_inner);
+        pools.retain(|(w, _)| w.strong_count() > 0);
+        if let Some((_, pool)) = pools
+            .iter()
+            .find(|(w, _)| std::ptr::eq(w.as_ptr(), Arc::as_ptr(model)))
+        {
+            return Arc::clone(pool);
+        }
+        let pool = KvPool::new(self.kv_pool_cfg.clone()).expect("clamped pool config is valid");
+        if let Some(m) = self.metrics.get() {
+            m.register_kv_pool(&pool);
+        }
+        pools.push((Arc::downgrade(model), Arc::clone(&pool)));
+        pool
     }
 
     /// Attaches a metrics core so integrity failures are counted in
@@ -768,6 +813,38 @@ mod tests {
             "non-merge entries are exempt from the merge bound"
         );
         assert_eq!(metrics.snapshot().merge_evictions, 1);
+    }
+
+    #[test]
+    fn kv_pools_are_per_model_allocation_and_die_with_their_model() {
+        let reg = registry().with_kv_pool_config(KvPoolConfig {
+            block_tokens: 8,
+            max_blocks: 64,
+        });
+        let a = reg.register("pool-a", random_model(1));
+        let b = reg.register("pool-b", random_model(2));
+        let pool_a = reg.kv_pool(&a);
+        assert!(
+            Arc::ptr_eq(&pool_a, &reg.kv_pool(&a)),
+            "same allocation, same pool"
+        );
+        assert!(
+            !Arc::ptr_eq(&pool_a, &reg.kv_pool(&b)),
+            "each model allocation gets its own pool"
+        );
+        assert_eq!(pool_a.block_tokens(), 8);
+        assert_eq!(pool_a.max_blocks(), 64);
+        // Dropping every handle to a model prunes its pool slot.
+        assert!(reg.evict("pool-a"));
+        drop(a);
+        let _ = reg.kv_pool(&b); // access prunes dead weak keys
+        assert_eq!(
+            reg.kv_pools
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len(),
+            1
+        );
     }
 
     #[test]

@@ -40,7 +40,13 @@
 //!
 //! Admission control is a hard bound on sessions in flight (queued +
 //! running): beyond it, [`Scheduler::submit`] fails fast with
-//! [`ServeError::Overloaded`] instead of buffering without limit. Each
+//! [`ServeError::Overloaded`] instead of buffering without limit. Pooled
+//! sessions (a [`KvPool`] attached to the request) are additionally
+//! admitted by *free blocks*: if the pool cannot cover the prompt window,
+//! reusable prefix-cache snapshots are evicted LRU-first (counted in
+//! `pool_evictions`), and a session that still does not fit is rejected
+//! with [`ServeError::PoolSaturated`] — the same overloaded wire class,
+//! so clients back off. Each
 //! session may carry a deadline, checked between decode steps, so a stuck
 //! or oversized request cannot pin a worker forever. [`Scheduler::shutdown`]
 //! stops admissions; workers then drain every queued session to completion
@@ -74,7 +80,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use chipalign_nn::generate::{GenerateConfig, StepDecoder};
-use chipalign_nn::TinyLm;
+use chipalign_nn::{KvPool, TinyLm};
 
 use crate::metrics::Metrics;
 use crate::prefix::{PrefixCache, PrefixCacheConfig};
@@ -157,6 +163,12 @@ pub struct SessionRequest {
     /// key); used to scope injected faults to specific sessions in chaos
     /// tests.
     pub tag: String,
+    /// Paged KV pool backing this session's cache. `None` decodes with a
+    /// contiguous cache (library and test use); the server always attaches
+    /// the model's pool. With a pool, admission also requires enough free
+    /// blocks for the prompt window — evicting reusable prefix snapshots
+    /// first — and rejects with [`ServeError::PoolSaturated`] otherwise.
+    pub pool: Option<Arc<KvPool>>,
 }
 
 /// A finished session's payload.
@@ -330,6 +342,28 @@ impl Scheduler {
         if inner.draining.load(Ordering::SeqCst) {
             inner.metrics.on_rejected_shutdown();
             return Err(ServeError::ShuttingDown);
+        }
+        // Block-granular admission for pooled sessions: the prompt window
+        // must be coverable by free blocks. Cached prefix snapshots are
+        // reclaimable — evict them LRU-first until the session fits or the
+        // cache is empty. (Blocks are allocated lazily during prefill, so
+        // this check is a capacity gate, not a reservation; mid-decode
+        // growth past the pool still fails the session with a structured
+        // `PoolExhausted`, which also maps to the overloaded wire code.)
+        if let Some(pool) = &req.pool {
+            let window = req.prompt.len().min(req.model.arch().max_seq_len);
+            let needed = pool.blocks_for(window);
+            while pool.blocks_free() < needed {
+                if !inner.prefix.evict_one() {
+                    break;
+                }
+                inner.metrics.on_pool_eviction();
+            }
+            let free = pool.blocks_free();
+            if free < needed {
+                inner.metrics.on_rejected_overload();
+                return Err(ServeError::PoolSaturated { needed, free });
+            }
         }
         // Reserve a slot atomically so concurrent submissions cannot
         // overshoot the bound.
@@ -740,7 +774,12 @@ fn take_decoder(
             if past(req.deadline) {
                 return Err(deadline_error(task.admitted));
             }
-            let mut decoder = StepDecoder::new_chunked(&req.model, &req.prompt, &req.cfg)?;
+            let mut decoder = match &req.pool {
+                Some(pool) => {
+                    StepDecoder::new_chunked_pooled(&req.model, &req.prompt, &req.cfg, pool)?
+                }
+                None => StepDecoder::new_chunked(&req.model, &req.prompt, &req.cfg)?,
+            };
             if let Some((fork, _)) = inner.prefix.lookup(&req.model, decoder.pending_prefill()) {
                 // Adoption re-validates tokens and model identity; a
                 // mismatch simply falls back to a cold prefill.
@@ -954,6 +993,7 @@ mod tests {
             cfg: greedy(budget),
             deadline,
             tag: "test".to_string(),
+            pool: None,
         }
     }
 
@@ -1149,6 +1189,7 @@ mod tests {
                 cfg: greedy(1000),
                 deadline: None,
                 tag: "long".to_string(),
+                pool: None,
             })
             .expect("admit long");
         let short_rx = scheduler.submit(request(&m, 4, None)).expect("admit short");
@@ -1202,6 +1243,103 @@ mod tests {
             snap.prefix_tokens_reused, 2,
             "a 3-token prompt donates its longest proper prefix (2 tokens)"
         );
+        scheduler.join();
+    }
+
+    #[test]
+    fn pooled_and_contiguous_sessions_mix_with_identical_transcripts() {
+        use chipalign_nn::{KvPool, KvPoolConfig};
+        let m = model();
+        let pool = KvPool::new(KvPoolConfig {
+            block_tokens: 4,
+            max_blocks: 256,
+        })
+        .expect("pool");
+        let metrics = Arc::new(Metrics::new());
+        // One worker + narrow slices force batched slices whose members
+        // mix paged and contiguous KV storage freely.
+        let scheduler = Scheduler::start(batched(1, 2, 4), Arc::clone(&metrics));
+        let budgets = [3usize, 17, 9, 40, 1, 25];
+        let receivers: Vec<_> = budgets
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| {
+                let pool = (i % 2 == 0).then(|| Arc::clone(&pool));
+                scheduler
+                    .submit(SessionRequest {
+                        pool,
+                        ..request(&m, b, None)
+                    })
+                    .expect("admit")
+            })
+            .collect();
+        for (rx, &budget) in receivers.into_iter().zip(&budgets) {
+            let result = rx.recv().expect("outcome").expect("ok");
+            let reference =
+                chipalign_nn::generate::generate(&m, &[5, 6, 7], &greedy(budget)).expect("ok");
+            assert_eq!(
+                result.tokens, reference,
+                "budget {budget} must be bit-identical"
+            );
+        }
+        assert_eq!(scheduler.active(), 0);
+        scheduler.join();
+    }
+
+    #[test]
+    fn pool_saturation_evicts_prefix_snapshots_then_rejects_as_overloaded() {
+        use chipalign_nn::{KvPool, KvPoolConfig};
+        let m = model();
+        let pool = KvPool::new(KvPoolConfig {
+            block_tokens: 1,
+            max_blocks: 4,
+        })
+        .expect("pool");
+        let metrics = Arc::new(Metrics::new());
+        let scheduler = Scheduler::start(config(1, 8, 4), Arc::clone(&metrics));
+        let pooled = |prompt: Vec<u32>| SessionRequest {
+            prompt,
+            ..SessionRequest {
+                pool: Some(Arc::clone(&pool)),
+                ..request(&m, 1, None)
+            }
+        };
+
+        // Session 1 completes and donates its prefilled 3-token prompt
+        // window, whose blocks stay aliased by the prefix cache after the
+        // session dies (the decoder is dropped before the outcome is sent,
+        // so the count below is deterministic).
+        let first = scheduler.submit(pooled(vec![5, 6, 7])).expect("admit");
+        first.recv().expect("outcome").expect("ok");
+        assert_eq!(
+            pool.blocks_in_use(),
+            3,
+            "only the donated prefix snapshot holds blocks"
+        );
+
+        // Session 2 needs all 4 blocks: admission must reclaim them by
+        // evicting the cached snapshot rather than rejecting.
+        let second = scheduler
+            .submit(pooled(vec![9, 10, 11, 12]))
+            .expect("admitted after eviction");
+        let result = second.recv().expect("outcome").expect("ok");
+        let reference =
+            chipalign_nn::generate::generate(&m, &[9, 10, 11, 12], &greedy(1)).expect("ok");
+        assert_eq!(result.tokens, reference);
+        assert_eq!(metrics.snapshot().pool_evictions, 1);
+
+        // A prompt window no amount of eviction can cover is rejected with
+        // the overloaded wire class, so clients back off and retry.
+        let big: Vec<u32> = (0..9u32).map(|i| 5 + i).collect();
+        let third = scheduler.submit(pooled(big));
+        match third {
+            Err(e @ ServeError::PoolSaturated { needed: 9, .. }) => {
+                assert_eq!(e.code(), crate::protocol::ErrorCode::Overloaded);
+            }
+            other => panic!("expected pool saturation, got {other:?}"),
+        }
+        assert!(metrics.snapshot().rejected_overload >= 1);
+        assert_eq!(scheduler.active(), 0);
         scheduler.join();
     }
 

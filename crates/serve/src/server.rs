@@ -261,12 +261,17 @@ fn serve_generation(
     let prompt_tokens = prompt.len();
     let deadline_ms = gen.deadline_ms.or(inner.cfg.default_deadline_ms);
     let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    // Every served session decodes on the model's paged KV pool, so block
+    // accounting, prefix aliasing, and pool-saturation admission all apply
+    // on the wire path (library callers may still opt out with `pool: None`).
+    let pool = inner.registry.kv_pool(&model);
     let rx = inner.scheduler.submit(SessionRequest {
         model,
         prompt,
         cfg,
         deadline,
         tag: key.clone(),
+        pool: Some(pool),
     })?;
     #[cfg(feature = "fault-inject")]
     {

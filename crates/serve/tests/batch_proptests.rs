@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use chipalign_model::ArchSpec;
 use chipalign_nn::generate::{generate, GenerateConfig};
-use chipalign_nn::TinyLm;
+use chipalign_nn::{KvPool, KvPoolConfig, TinyLm};
 use chipalign_serve::{Metrics, Scheduler, SchedulerConfig, SessionRequest};
 use chipalign_tensor::rng::Pcg32;
 use proptest::prelude::*;
@@ -30,14 +30,16 @@ fn greedy(max_new_tokens: usize) -> GenerateConfig {
     }
 }
 
-/// One session in a random schedule: its budget, prompt, and whether the
+/// One session in a random schedule: its budget, prompt, whether the
 /// submitting thread first waits for an *earlier* session to complete —
-/// which is what interleaves admissions with completions.
+/// which is what interleaves admissions with completions — and whether it
+/// decodes on the shared paged KV pool instead of a contiguous cache.
 #[derive(Debug, Clone)]
 struct Job {
     budget: usize,
     prompt: Vec<u32>,
     wait_first: bool,
+    pooled: bool,
 }
 
 fn job_strategy() -> impl Strategy<Value = Job> {
@@ -45,11 +47,13 @@ fn job_strategy() -> impl Strategy<Value = Job> {
         1usize..24,
         proptest::collection::vec(4u32..90, 1..6),
         proptest::bool::ANY,
+        proptest::bool::ANY,
     )
-        .prop_map(|(budget, prompt, wait_first)| Job {
+        .prop_map(|(budget, prompt, wait_first, pooled)| Job {
             budget,
             prompt,
             wait_first,
+            pooled,
         })
 }
 
@@ -66,6 +70,13 @@ proptest! {
     ) {
         let max_batch = [1usize, 2, 4][max_batch_idx];
         let m = model(seed);
+        // Generous pool: these cases probe bit-identity of paged storage
+        // under random interleavings, not admission pressure.
+        let pool = KvPool::new(KvPoolConfig {
+            block_tokens: 4,
+            max_blocks: 4096,
+        })
+        .expect("pool");
         let metrics = Arc::new(Metrics::new());
         let scheduler = Scheduler::start(
             SchedulerConfig {
@@ -97,6 +108,7 @@ proptest! {
                     cfg: greedy(job.budget),
                     deadline: None,
                     tag: "prop".to_string(),
+                    pool: job.pooled.then(|| Arc::clone(&pool)),
                 })
                 .expect("within max_sessions by construction");
             pending.push_back((rx, job.clone()));

@@ -15,9 +15,11 @@
 //! change that altered accumulation order between the batched and
 //! single-token paths would break this test before it shipped.
 
+use std::sync::Arc;
+
 use chipalign_model::ArchSpec;
-use chipalign_nn::generate::{generate, GenerateConfig};
-use chipalign_nn::{CharTokenizer, TinyLm, BOS};
+use chipalign_nn::generate::{generate, GenerateConfig, StepDecoder};
+use chipalign_nn::{CharTokenizer, KvPool, KvPoolConfig, TinyLm, BOS};
 use chipalign_pipeline::zoo::{Quality, Zoo, ZooConfig};
 use chipalign_serve::{
     Client, GenerateRequest, ModelRegistry, SchedulerConfig, Server, ServerConfig,
@@ -314,4 +316,72 @@ fn batched_transcripts_identical_across_max_batch_sweep() {
         }
         server.shutdown();
     }
+}
+
+/// The paged-pool pin: a decoder on block-based KV storage produces the
+/// same bytes as the contiguous path and a single-threaded `generate()`,
+/// through the context-window slide (reset + chunked replay on paged
+/// storage), and returns every block to the pool when it dies.
+#[test]
+fn pooled_decoder_transcripts_identical_through_window_slide() {
+    let model = Arc::new(pinned_model());
+    let pool = KvPool::new(KvPoolConfig {
+        block_tokens: 4,
+        max_blocks: 64,
+    })
+    .expect("pool");
+    let tok = CharTokenizer::new();
+    let mut ids = vec![BOS];
+    ids.extend(tok.encode("slide please"));
+    let cfg = GenerateConfig {
+        max_new_tokens: 64, // max_seq_len is 32: at least one slide.
+        stop_at_eos: false,
+        ..GenerateConfig::default()
+    };
+    let expected = generate(&model, &ids, &cfg).expect("contiguous reference");
+
+    let mut decoder = StepDecoder::new_chunked_pooled(&model, &ids, &cfg, &pool).expect("pooled");
+    assert!(decoder.cache().is_paged());
+    let mut got = Vec::with_capacity(cfg.max_new_tokens);
+    while let Some(t) = decoder.step().expect("step") {
+        got.push(t);
+    }
+    assert_eq!(got, expected, "paged KV storage must be bit-invisible");
+    drop(decoder);
+    assert_eq!(pool.blocks_in_use(), 0, "all blocks return to the pool");
+}
+
+/// The wire-path pin: served sessions decode on the registry's per-model
+/// paged pool, and the pool's gauges surface in the metrics snapshot —
+/// after a generation the donated prefix snapshot still holds blocks, and
+/// in-use plus free always equals the configured capacity.
+#[test]
+fn served_sessions_decode_on_the_paged_pool() {
+    let server = Server::bind(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            scheduler: SchedulerConfig::default(),
+            max_new_tokens_cap: 10_000_000,
+            default_deadline_ms: None,
+        },
+        registry_with_pinned(),
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let mut req = GenerateRequest::greedy("pinned", "kernel swap", 8);
+    req.stop_at_eos = false;
+    client.generate(req).expect("generate");
+
+    let snap = client.metrics().expect("metrics");
+    assert!(
+        snap.kv_blocks_in_use >= 1,
+        "the donated prefix snapshot must hold at least one pool block"
+    );
+    let capacity = KvPoolConfig::default().max_blocks as u64;
+    assert_eq!(
+        snap.kv_blocks_in_use + snap.kv_blocks_free,
+        capacity,
+        "pool gauges must account for every block"
+    );
+    server.shutdown();
 }

@@ -18,13 +18,14 @@ cargo test -q -p chipalign-serve --features fault-inject
 cargo clippy -p chipalign-serve --all-targets --features fault-inject -- -D warnings
 
 # Kernel layer: the tensor, nn, and serve crates stay clippy-clean at
-# -D warnings, and the kernel + batch + prefill micro-benches must run
-# end to end (smoke shapes, no JSON).
+# -D warnings, and the kernel + batch + prefill + kvpool micro-benches
+# must run end to end (smoke shapes, no JSON).
 cargo clippy -p chipalign-tensor -- -D warnings
 cargo clippy -p chipalign-nn -- -D warnings
 cargo clippy -p chipalign-serve -- -D warnings
 cargo run --release -p chipalign-bench --bin bench_kernels -- --smoke
 cargo run --release -p chipalign-bench --bin bench_batch -- --smoke
 cargo run --release -p chipalign-bench --bin bench_prefill -- --smoke
+cargo run --release -p chipalign-bench --bin bench_kvpool -- --smoke
 
-echo "ci: build + tests + chaos + clippy + kernel/batch/prefill smoke all green"
+echo "ci: build + tests + chaos + clippy + kernel/batch/prefill/kvpool smoke all green"
