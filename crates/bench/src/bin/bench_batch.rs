@@ -128,7 +128,7 @@ fn run_once(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let smoke = harness::smoke_mode();
     let reps = env_usize("CHIPALIGN_BENCH_REPS", if smoke { 3 } else { 7 });
     let tokens_per_session = if smoke {
         TOKENS_PER_SESSION_SMOKE
@@ -183,21 +183,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let speedup_8_over_1 = rate(8) / rate(1).max(1e-9);
     eprintln!("[bench_batch] batch-8 over batch-1: {speedup_8_over_1:.2}x");
 
-    if smoke {
-        eprintln!("[bench_batch] smoke mode: skipping BENCH_batch.json");
-        return Ok(());
-    }
-
     let report = BatchBench {
-        mode: "paper".to_string(),
+        mode: if smoke { "smoke" } else { "paper" }.to_string(),
         reps,
         total_tokens,
         tokens_per_session,
         timings,
         speedup_8_over_1,
     };
-    let out = harness::workspace_root().join("BENCH_batch.json");
-    std::fs::write(&out, serde_json::to_string_pretty(&report)?)?;
-    eprintln!("[bench_batch] wrote {}", out.display());
-    Ok(())
+    harness::write_bench_json("batch", &report, smoke)
 }

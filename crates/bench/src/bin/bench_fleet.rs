@@ -1,0 +1,265 @@
+//! Fleet-scaling benchmark: throughput and prefix-hit preservation of the
+//! prefix-affinity router against a random-routing baseline.
+//!
+//! An in-process fleet of identically-seeded replicas sits behind a
+//! [`RouterServer`]; scaffold families (prompts sharing a long prefix)
+//! are driven through it, one concurrent stream per family. Affinity
+//! routing pins each family to one replica, so the family's later
+//! members hit that replica's shared-prefix KV cache; random routing
+//! scatters them, and the hit rate collapses as the fleet grows. The
+//! sweep over replica counts × routing modes measures exactly that,
+//! plus throughput scaling.
+//!
+//! ```text
+//! cargo run --release -p chipalign-bench --bin bench_fleet            # full sweep + JSON
+//! cargo run --release -p chipalign-bench --bin bench_fleet -- --smoke # tiny sweep, no JSON
+//! ```
+//!
+//! Environment knobs: `CHIPALIGN_FLEET_SESSIONS` (members per scaffold
+//! family, default 5, 3 in smoke mode), `CHIPALIGN_FLEET_TOKENS`
+//! (per-request budget, default 24, 8 in smoke mode). The full run
+//! writes `BENCH_fleet.json` at the repo root (or `CHIPALIGN_BENCH_OUT`).
+
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+use chipalign_bench::harness;
+use chipalign_model::ArchSpec;
+use chipalign_nn::TinyLm;
+use chipalign_pipeline::zoo::{Quality, Zoo, ZooConfig};
+use chipalign_router::{RouterConfig, RouterServer, RoutingMode};
+use chipalign_serve::{
+    Client, GenerateRequest, ModelRegistry, SchedulerConfig, Server, ServerConfig,
+};
+use chipalign_tensor::rng::Pcg32;
+
+const MODEL: &str = "fleet";
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A substrate with enough context window for scaffold + members.
+fn fleet_arch() -> ArchSpec {
+    ArchSpec {
+        name: "bench-fleet".into(),
+        vocab_size: 99,
+        d_model: 48,
+        n_layers: 2,
+        n_heads: 4,
+        d_ff: 96,
+        max_seq_len: 256,
+    }
+}
+
+/// One replica with the shared fleet model registered. Identical seeds
+/// everywhere: the fleet-deployment assumption that makes failover (and
+/// this benchmark's cross-replica comparison) byte-exact.
+fn replica(index: usize) -> Server {
+    let zoo = Zoo::new(ZooConfig {
+        quality: Quality::Smoke,
+        seed: 1,
+        cache_dir: None,
+    })
+    .expect("zoo");
+    let registry = ModelRegistry::new(zoo);
+    registry.register(
+        MODEL,
+        TinyLm::new(&fleet_arch(), &mut Pcg32::seed(20_260_808)).expect("model"),
+    );
+    Server::bind(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            scheduler: SchedulerConfig {
+                workers: 2,
+                max_sessions: 64,
+                slice_tokens: 8,
+                stall_slices: 64,
+                max_batch: 4,
+                ..SchedulerConfig::default()
+            },
+            max_new_tokens_cap: 10_000_000,
+            default_deadline_ms: None,
+            instance_tag: Some(format!("r{index}")),
+        },
+        registry,
+    )
+    .expect("bind replica")
+}
+
+/// The scaffold for family `f`: the family id sits inside the 16-char
+/// affinity prefix (each family gets its own ring home) and the shared
+/// tail is long enough that a same-replica follow-up reuses a
+/// meaningful KV prefix.
+fn scaffold(f: usize) -> String {
+    format!("F{f:02} timing report: the critical path through the retimed multiplier stage ")
+}
+
+/// One measured configuration.
+#[derive(Debug, Serialize)]
+struct FleetPoint {
+    /// Replicas behind the router.
+    replicas: usize,
+    /// `"affinity"` or `"random"`.
+    routing: String,
+    /// Total requests driven (families × members).
+    requests: usize,
+    /// Total new tokens produced.
+    tokens: u64,
+    /// Wall-clock duration of the burst in milliseconds.
+    wall_ms: u64,
+    /// New tokens per wall-clock second.
+    tokens_per_sec: f64,
+    /// Fleet-wide shared-prefix cache hits (absorbed across replicas).
+    prefix_hits: u64,
+    /// `prefix_hits` over completed requests. A family's first member
+    /// always misses, so the ceiling is `(members-1)/members`.
+    prefix_hit_rate: f64,
+    /// Requests answered by their first-choice replica.
+    primary_hit_rate: f64,
+    /// Attempts moved to another replica (should be 0 on a healthy fleet).
+    failovers: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct FleetBench {
+    mode: String,
+    /// Scaffold families per replica in the fleet (each family is one
+    /// concurrent request stream).
+    families_per_replica: usize,
+    members_per_family: usize,
+    tokens_per_request: usize,
+    points: Vec<FleetPoint>,
+    /// Affinity prefix-hit rate over random's at the largest fleet: the
+    /// headline locality-preservation number.
+    prefix_preservation: f64,
+    /// Affinity tokens/sec at the largest fleet over one replica's.
+    throughput_scaling: f64,
+}
+
+/// Drives `members` sequential requests per family through the router,
+/// one thread per family, and returns a measured [`FleetPoint`].
+fn run_point(n_replicas: usize, routing: RoutingMode, members: usize, budget: usize) -> FleetPoint {
+    let servers: Vec<Server> = (0..n_replicas).map(replica).collect();
+    let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+    let front = RouterServer::bind(
+        RouterConfig {
+            routing,
+            probe_interval: Duration::from_millis(250),
+            ..RouterConfig::default()
+        },
+        addrs,
+    )
+    .expect("bind router");
+    let router_addr = front.local_addr();
+
+    // Two families per replica keeps per-replica concurrency constant as
+    // the fleet grows, so tokens/sec isolates scaling.
+    let families = 2 * n_replicas;
+    let start = Instant::now();
+    let handles: Vec<_> = (0..families)
+        .map(|f| {
+            std::thread::spawn(move || -> u64 {
+                let mut client = Client::connect(router_addr).expect("connect router");
+                let base = scaffold(f);
+                let mut tokens = 0u64;
+                for m in 0..members {
+                    let mut req =
+                        GenerateRequest::greedy(MODEL, &format!("{base}member {m};A:"), budget);
+                    // Fixed-length generations: every point decodes
+                    // identical work per request.
+                    req.stop_at_eos = false;
+                    tokens += client.generate(req).expect("routed generate").tokens as u64;
+                }
+                tokens
+            })
+        })
+        .collect();
+    let tokens: u64 = handles.into_iter().map(|h| h.join().expect("family")).sum();
+    let wall_ms = start.elapsed().as_millis() as u64;
+
+    // Fleet-wide serving counters, absorbed across replicas by the router.
+    let fleet_snap = Client::connect(router_addr)
+        .expect("connect router")
+        .metrics()
+        .expect("fleet metrics");
+    let routing_snap = front.router().metrics().snapshot();
+
+    front.shutdown();
+    for s in servers {
+        s.shutdown();
+    }
+
+    let requests = families * members;
+    FleetPoint {
+        replicas: n_replicas,
+        routing: match routing {
+            RoutingMode::Affinity => "affinity".to_string(),
+            RoutingMode::Random => "random".to_string(),
+        },
+        requests,
+        tokens,
+        wall_ms,
+        tokens_per_sec: tokens as f64 / (wall_ms as f64 / 1e3).max(1e-9),
+        prefix_hits: fleet_snap.prefix_hits,
+        prefix_hit_rate: fleet_snap.prefix_hits as f64 / (fleet_snap.completed as f64).max(1.0),
+        primary_hit_rate: routing_snap.primary_hits as f64 / (routing_snap.routed as f64).max(1.0),
+        failovers: routing_snap.failovers,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = harness::smoke_mode();
+    let members = env_usize("CHIPALIGN_FLEET_SESSIONS", if smoke { 3 } else { 5 });
+    let budget = env_usize("CHIPALIGN_FLEET_TOKENS", if smoke { 8 } else { 24 });
+    let replica_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4] };
+
+    let mut points = Vec::new();
+    for &n in replica_counts {
+        for routing in [RoutingMode::Affinity, RoutingMode::Random] {
+            let point = run_point(n, routing, members, budget);
+            eprintln!(
+                "[bench_fleet] {} replica(s) {:<8} {:>7.0} tok/s  prefix-hit {:>5.1}%  primary {:>5.1}%  failovers {}",
+                point.replicas,
+                point.routing,
+                point.tokens_per_sec,
+                100.0 * point.prefix_hit_rate,
+                100.0 * point.primary_hit_rate,
+                point.failovers,
+            );
+            points.push(point);
+        }
+    }
+
+    let find = |n: usize, mode: &str| {
+        points
+            .iter()
+            .find(|p| p.replicas == n && p.routing == mode)
+            .expect("point")
+    };
+    let max_n = *replica_counts.last().expect("nonempty sweep");
+    let affinity_max = find(max_n, "affinity");
+    let prefix_preservation =
+        affinity_max.prefix_hit_rate / find(max_n, "random").prefix_hit_rate.max(1e-9);
+    let throughput_scaling =
+        affinity_max.tokens_per_sec / find(1, "affinity").tokens_per_sec.max(1e-9);
+    eprintln!(
+        "[bench_fleet] at {max_n} replicas: affinity preserves {prefix_preservation:.2}x the \
+         prefix-hit rate of random routing; throughput {throughput_scaling:.2}x of 1 replica"
+    );
+
+    let report = FleetBench {
+        mode: if smoke { "smoke" } else { "paper" }.to_string(),
+        families_per_replica: 2,
+        members_per_family: members,
+        tokens_per_request: budget,
+        points,
+        prefix_preservation,
+        throughput_scaling,
+    };
+    harness::write_bench_json("fleet", &report, smoke)
+}

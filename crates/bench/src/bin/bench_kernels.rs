@@ -174,7 +174,7 @@ fn merge_timing(reps: usize, out: &mut Vec<KernelTiming>) {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let smoke = harness::smoke_mode();
     let reps = env_usize("CHIPALIGN_BENCH_REPS", if smoke { 3 } else { 9 });
     let gemm_sizes: &[usize] = if smoke { &[8, 24] } else { &[32, 64, 128, 256] };
     let matvec_sizes: &[usize] = if smoke { &[16] } else { &[64, 256, 1024] };
@@ -193,18 +193,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    if smoke {
-        eprintln!("[bench_kernels] smoke mode: skipping BENCH_kernels.json");
-        return Ok(());
-    }
-
     let report = KernelBench {
-        mode: "paper".to_string(),
+        mode: if smoke { "smoke" } else { "paper" }.to_string(),
         reps,
         timings,
     };
-    let out = harness::workspace_root().join("BENCH_kernels.json");
-    std::fs::write(&out, serde_json::to_string_pretty(&report)?)?;
-    eprintln!("[bench_kernels] wrote {}", out.display());
-    Ok(())
+    harness::write_bench_json("kernels", &report, smoke)
 }

@@ -104,7 +104,7 @@ struct KvPoolBench {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let smoke = harness::smoke_mode();
     let reps = env_usize("CHIPALIGN_BENCH_REPS", if smoke { 3 } else { 7 });
     // Scaffold ends mid-block (not a multiple of block_tokens) so each
     // fork's first write past the prefix must copy the shared tail block.
@@ -226,13 +226,5 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "a prefix hit must allocate zero new KV blocks"
     );
 
-    if smoke {
-        eprintln!("[bench_kvpool] smoke mode: skipping BENCH_kvpool.json");
-        return Ok(());
-    }
-
-    let out = harness::workspace_root().join("BENCH_kvpool.json");
-    std::fs::write(&out, serde_json::to_string_pretty(&report)?)?;
-    eprintln!("[bench_kvpool] wrote {}", out.display());
-    Ok(())
+    harness::write_bench_json("kvpool", &report, smoke)
 }

@@ -102,7 +102,7 @@ struct PrefillBench {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let smoke = harness::smoke_mode();
     let reps = env_usize("CHIPALIGN_BENCH_REPS", if smoke { 3 } else { 7 });
     let lengths: &[usize] = if smoke { &[16, 32] } else { &[64, 128, 224] };
 
@@ -184,20 +184,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let prefix_speedup_longest = timings.last().map_or(0.0, |t| t.prefix_speedup);
     eprintln!("[bench_prefill] prefix-hit speedup at longest prompt: {prefix_speedup_longest:.2}x");
 
-    if smoke {
-        eprintln!("[bench_prefill] smoke mode: skipping BENCH_prefill.json");
-        return Ok(());
-    }
-
     let report = PrefillBench {
-        mode: "paper".to_string(),
+        mode: if smoke { "smoke" } else { "paper" }.to_string(),
         reps,
         chunk: CHUNK,
         timings,
         prefix_speedup_longest,
     };
-    let out = harness::workspace_root().join("BENCH_prefill.json");
-    std::fs::write(&out, serde_json::to_string_pretty(&report)?)?;
-    eprintln!("[bench_prefill] wrote {}", out.display());
-    Ok(())
+    harness::write_bench_json("prefill", &report, smoke)
 }

@@ -9,13 +9,18 @@
 //!
 //! ```text
 //! CHIPALIGN_QUALITY=smoke cargo run --release -p chipalign-bench --bin bench_serve
+//! cargo run --release -p chipalign-bench --bin bench_serve -- --smoke  # tiny load, no JSON
 //! ```
+//!
+//! `--smoke` follows the shared perf-binary convention: a smoke-quality
+//! zoo, a tiny session count, and no `BENCH_serve.json` written.
 //!
 //! Environment knobs: `CHIPALIGN_QUALITY` (`smoke`/`paper`),
 //! `CHIPALIGN_SERVE_WORKERS` (default 4), `CHIPALIGN_SERVE_SESSIONS`
-//! (default 32), `CHIPALIGN_SERVE_TOKENS` (per-request budget, default 48),
-//! `CHIPALIGN_SERVE_MAX_BATCH` (sessions advanced together per slice,
-//! default 8; 1 disables cross-session batching).
+//! (default 32, 6 in smoke mode), `CHIPALIGN_SERVE_TOKENS` (per-request
+//! budget, default 48, 12 in smoke mode), `CHIPALIGN_SERVE_MAX_BATCH`
+//! (sessions advanced together per slice, default 8; 1 disables
+//! cross-session batching).
 
 use std::time::Instant;
 
@@ -102,9 +107,16 @@ fn request_for(i: usize, budget: usize) -> GenerateRequest {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = harness::smoke_mode();
+    if smoke {
+        // --smoke implies a smoke-quality zoo unless explicitly overridden.
+        if std::env::var("CHIPALIGN_QUALITY").is_err() {
+            std::env::set_var("CHIPALIGN_QUALITY", "smoke");
+        }
+    }
     let workers = env_usize("CHIPALIGN_SERVE_WORKERS", 4);
-    let sessions = env_usize("CHIPALIGN_SERVE_SESSIONS", 32);
-    let budget = env_usize("CHIPALIGN_SERVE_TOKENS", 48);
+    let sessions = env_usize("CHIPALIGN_SERVE_SESSIONS", if smoke { 6 } else { 32 });
+    let budget = env_usize("CHIPALIGN_SERVE_TOKENS", if smoke { 12 } else { 48 });
     let max_batch = env_usize("CHIPALIGN_SERVE_MAX_BATCH", 8);
     let quality = std::env::var("CHIPALIGN_QUALITY").unwrap_or_else(|_| "paper".to_string());
 
@@ -123,6 +135,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
             max_new_tokens_cap: budget.max(1),
             default_deadline_ms: None,
+            instance_tag: None,
         },
         registry,
     )?;
@@ -222,8 +235,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         speedup,
         server_metrics,
     };
-    let out = harness::workspace_root().join("BENCH_serve.json");
-    std::fs::write(&out, serde_json::to_string_pretty(&report)?)?;
-    eprintln!("[bench_serve] speedup {speedup:.2}x -> {}", out.display());
-    Ok(())
+    eprintln!("[bench_serve] speedup {speedup:.2}x");
+    harness::write_bench_json("serve", &report, smoke)
 }

@@ -51,8 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             tagged.push(rouge_l(&r, &t.golden).f1);
             // Plain condition: same triplet without tags, scored against
             // the untagged answer.
-            let plain_prompt =
-                chipalign_data::prompt::format_prompt(&t.context, &t.question, &[]);
+            let plain_prompt = chipalign_data::prompt::format_prompt(&t.context, &t.question, &[]);
             let plain_golden = {
                 // Undo the tag by checking against the raw fact answer via
                 // the context (answer is embedded in the doc minus the

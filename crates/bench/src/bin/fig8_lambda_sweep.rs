@@ -37,8 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ("Raw SLERP", GeodesicMerge::raw_slerp(PAPER_LAMBDA)?),
             (
                 "Arithmetic norm restore",
-                GeodesicMerge::new(PAPER_LAMBDA)?
-                    .with_norm_restore(NormRestore::Arithmetic),
+                GeodesicMerge::new(PAPER_LAMBDA)?.with_norm_restore(NormRestore::Arithmetic),
             ),
         ];
         for (label, merger) in variants {

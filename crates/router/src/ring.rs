@@ -1,0 +1,185 @@
+//! Consistent hashing: the affinity key and the replica ring.
+//!
+//! Routing is keyed on `(model spec, prompt prefix)` so that requests
+//! sharing a merge and a prompt scaffold land on the same replica — where
+//! that `merge:<chip>+<instruct>@<λ>` is already materialized and the
+//! scaffold's KV prefix is already cached. A ring of virtual nodes keeps
+//! the mapping stable under membership change: adding or draining one
+//! replica only remaps the keys in its ring ranges, so the rest of the
+//! fleet keeps its warm caches.
+//!
+//! The ring also defines the *failover order*: [`HashRing::candidates`]
+//! walks clockwise from the key's position, yielding every replica once.
+//! The first candidate is the affinity home; the second is where spilled
+//! or failed-over traffic for that key consistently lands (so even the
+//! fallback replica warms up a coherent working set).
+
+/// FNV-1a, 64-bit. A tiny, dependency-free, well-distributed hash for
+/// short routing keys; stability across runs matters (routing tables must
+/// be reproducible), which rules out `std`'s randomized `DefaultHasher`.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The affinity key for a request: model spec plus the first
+/// `prefix_chars` characters of the prompt.
+///
+/// Truncating the prompt is what makes the key an *affinity* key rather
+/// than a request hash: `"Q:describe the timing path 17;A:"` and
+/// `"Q:describe the timing path 99;A:"` share their first 16 characters,
+/// so both route to the replica whose prefix cache already holds the
+/// shared scaffold. `prefix_chars = 0` keys on the model alone.
+#[must_use]
+pub fn affinity_key(model: &str, prompt: &str, prefix_chars: usize) -> u64 {
+    let boundary = prompt
+        .char_indices()
+        .nth(prefix_chars)
+        .map_or(prompt.len(), |(i, _)| i);
+    let mut bytes = Vec::with_capacity(model.len() + 1 + boundary);
+    bytes.extend_from_slice(model.as_bytes());
+    bytes.push(0); // separator: ("ab", "c") must not collide with ("a", "bc")
+    bytes.extend_from_slice(prompt[..boundary].as_bytes());
+    fnv1a(&bytes)
+}
+
+/// A consistent-hash ring over replica indices, with virtual nodes.
+#[derive(Debug, Clone, Default)]
+pub struct HashRing {
+    /// `(point, replica index)`, sorted by point. Virtual nodes give each
+    /// replica many points, evening out range sizes.
+    points: Vec<(u64, usize)>,
+}
+
+impl HashRing {
+    /// Builds a ring over `replicas` names, `vnodes` virtual nodes each.
+    /// Names must be distinct; the replica *index* into the original slice
+    /// is what the ring yields.
+    #[must_use]
+    pub fn build(replicas: &[String], vnodes: usize) -> Self {
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(replicas.len() * vnodes);
+        for (idx, name) in replicas.iter().enumerate() {
+            for v in 0..vnodes {
+                points.push((fnv1a(format!("{name}#{v}").as_bytes()), idx));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points }
+    }
+
+    /// Whether the ring has no points (no replicas).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Every distinct replica index in ring order starting clockwise from
+    /// `key`'s position. The first entry is the key's affinity home; the
+    /// rest are its failover candidates in consistent order.
+    #[must_use]
+    pub fn candidates(&self, key: u64) -> Vec<usize> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let start = self.points.partition_point(|&(p, _)| p < key);
+        let mut seen = Vec::new();
+        for i in 0..self.points.len() {
+            let (_, idx) = self.points[(start + i) % self.points.len()];
+            if !seen.contains(&idx) {
+                seen.push(idx);
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 7000 + i)).collect()
+    }
+
+    #[test]
+    fn candidates_cover_every_replica_exactly_once() {
+        let ring = HashRing::build(&names(5), 16);
+        for key in [0u64, 1, u64::MAX, fnv1a(b"some key")] {
+            let mut c = ring.candidates(key);
+            assert_eq!(c.len(), 5);
+            c.sort_unstable();
+            assert_eq!(c, vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn same_key_same_candidate_order() {
+        let ring = HashRing::build(&names(4), 32);
+        let key = affinity_key("merge:a+b@0.6", "Q:describe the timing path;A:", 16);
+        assert_eq!(ring.candidates(key), ring.candidates(key));
+    }
+
+    #[test]
+    fn shared_prefixes_share_a_home() {
+        let ring = HashRing::build(&names(4), 32);
+        let a = affinity_key("m", "Q:describe the timing path 17;A:", 16);
+        let b = affinity_key("m", "Q:describe the timing path 99;A:", 16);
+        assert_eq!(a, b, "16-char prefixes match, so the keys must too");
+        assert_eq!(ring.candidates(a)[0], ring.candidates(b)[0]);
+        // Distinct scaffolds may differ (and with enough keys, must).
+        let c = affinity_key("m", "Summarize the CDC report:", 16);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn different_models_get_different_keys() {
+        let a = affinity_key("merge:a+b@0.4", "Q:x;A:", 16);
+        let b = affinity_key("merge:a+b@0.6", "Q:x;A:", 16);
+        assert_ne!(a, b);
+        // The separator keeps (model, prompt) splits unambiguous.
+        assert_ne!(affinity_key("ab", "c", 16), affinity_key("a", "bc", 16));
+    }
+
+    #[test]
+    fn membership_change_remaps_only_the_lost_ranges() {
+        // Consistent hashing's defining property: removing one replica of
+        // four must not move keys between the surviving three.
+        let four = HashRing::build(&names(4), 64);
+        let three = HashRing::build(&names(3), 64);
+        let mut moved = 0usize;
+        let total = 1000usize;
+        for i in 0..total {
+            let key = fnv1a(format!("prompt-{i}").as_bytes());
+            let before = four.candidates(key)[0];
+            let after = three.candidates(key)[0];
+            if before < 3 {
+                assert_eq!(before, after, "key {i}: survivor-homed keys must not move");
+            } else {
+                moved += 1;
+            }
+        }
+        // Roughly a quarter of the keyspace belonged to the removed node.
+        assert!(moved > total / 8 && moved < total / 2, "moved {moved}");
+    }
+
+    #[test]
+    fn empty_ring_yields_no_candidates() {
+        let ring = HashRing::build(&[], 16);
+        assert!(ring.is_empty());
+        assert!(ring.candidates(42).is_empty());
+    }
+
+    #[test]
+    fn prefix_chars_respects_utf8_boundaries() {
+        // Multi-byte characters must not split; nth char boundary is used.
+        let k = affinity_key("m", "Ω≈ç√∫˜µ≤≥", 4);
+        let k2 = affinity_key("m", "Ω≈ç√XXXX", 4);
+        assert_eq!(k, k2, "first four chars agree");
+    }
+}

@@ -1,0 +1,296 @@
+//! End-to-end router tests over real TCP sockets: in-process
+//! `chipalign-serve` replicas on ephemeral ports behind a
+//! [`RouterServer`], driven by the stock [`Client`].
+//!
+//! Every replica is built over an identically-seeded smoke zoo, so all of
+//! them materialize byte-identical models — which is exactly the fleet
+//! deployment assumption that makes cross-replica failover
+//! transcript-safe, and lets these tests use a direct-to-replica
+//! generation as the byte-identity reference for router-served output.
+
+use std::time::{Duration, Instant};
+
+use chipalign_pipeline::zoo::{Quality, Zoo, ZooConfig};
+use chipalign_router::{affinity_key, HashRing, RouterConfig, RouterServer};
+use chipalign_serve::protocol::ReplicaHealth;
+use chipalign_serve::{
+    Client, GenerateRequest, ModelRegistry, SchedulerConfig, Server, ServerConfig,
+};
+
+const MERGE_SPEC: &str = "merge:eda-qwen+instruct-qwen@0.6";
+const ZOO_SEED: u64 = 2025;
+
+fn replica(index: usize, workers: usize, max_sessions: usize) -> Server {
+    let zoo = Zoo::new(ZooConfig {
+        quality: Quality::Smoke,
+        seed: ZOO_SEED,
+        cache_dir: None,
+    })
+    .expect("zoo");
+    Server::bind(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            scheduler: SchedulerConfig {
+                workers,
+                max_sessions,
+                slice_tokens: 4,
+                stall_slices: 64,
+                max_batch: 4,
+                ..SchedulerConfig::default()
+            },
+            max_new_tokens_cap: 10_000_000,
+            default_deadline_ms: None,
+            instance_tag: Some(format!("r{index}")),
+        },
+        ModelRegistry::new(zoo),
+    )
+    .expect("bind replica")
+}
+
+fn fleet(n: usize, workers: usize, max_sessions: usize) -> (Vec<Server>, Vec<String>) {
+    let servers: Vec<Server> = (0..n).map(|i| replica(i, workers, max_sessions)).collect();
+    let addrs = servers.iter().map(|s| s.local_addr().to_string()).collect();
+    (servers, addrs)
+}
+
+fn router_over(addrs: Vec<String>, probe_interval: Duration) -> RouterServer {
+    RouterServer::bind(
+        RouterConfig {
+            probe_interval,
+            ..RouterConfig::default()
+        },
+        addrs,
+    )
+    .expect("bind router")
+}
+
+/// Polls a replica's metrics until `requests` reaches `n` (the session has
+/// been admitted), so tests can sequence around in-flight work without
+/// sleeping blind.
+fn wait_for_admission(addr: &str, n: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut client = Client::connect(addr).expect("connect");
+    loop {
+        if client.metrics().expect("metrics").requests >= n {
+            return;
+        }
+        assert!(Instant::now() < deadline, "session never admitted");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// The headline property: prompts sharing a 16-char scaffold land on the
+/// same (predictable) replica, router-served text is byte-identical to a
+/// direct replica generation, and the router's `metrics`/`models`/`fleet`
+/// verbs aggregate the fleet.
+#[test]
+fn affinity_routing_pins_scaffolds_and_aggregates_the_fleet() {
+    let (servers, addrs) = fleet(2, 2, 16);
+    let front = router_over(addrs.clone(), Duration::from_millis(200));
+    let mut admin = Client::connect(front.local_addr()).expect("connect router");
+
+    // Broadcast load: the merge materializes on every replica.
+    let key = admin.load(MERGE_SPEC).expect("fleet load");
+    assert_eq!(key, "merge:eda-qwen+instruct-qwen@0.6000");
+    let (loaded, zoo_slugs) = admin.models().expect("fleet models");
+    assert!(loaded.contains(&key), "union of loaded models: {loaded:?}");
+    assert!(zoo_slugs.contains(&"eda-qwen".to_string()));
+
+    // Two scaffold families; within a family the first 16 chars (the
+    // affinity prefix) agree, and the varying member index falls after
+    // them — so a family shares one affinity key.
+    let prompts: Vec<String> = (0..4)
+        .map(|i| format!("Q:describe timing path {i};A:"))
+        .chain((0..4).map(|i| format!("Q:explain the CDC rule {i};A:")))
+        .collect();
+
+    // Recompute each prompt's expected home exactly as the router does.
+    let cfg = RouterConfig::default();
+    let ring = HashRing::build(&addrs, cfg.vnodes);
+    let homes: Vec<usize> = prompts
+        .iter()
+        .map(|p| ring.candidates(affinity_key(MERGE_SPEC, p, cfg.affinity_chars))[0])
+        .collect();
+    for family in [&homes[..4], &homes[4..]] {
+        assert!(
+            family.windows(2).all(|w| w[0] == w[1]),
+            "a scaffold family shares one affinity home: {homes:?}"
+        );
+    }
+
+    for (prompt, &home) in prompts.iter().zip(&homes) {
+        let req = GenerateRequest::greedy(MERGE_SPEC, prompt, 32);
+        let via_router = admin.generate(req.clone()).expect("routed generate");
+        // Reference: the *other* replica, direct. Identical zoo seeds make
+        // every replica's transcript byte-identical, so this also proves
+        // the failover-safety assumption the router relies on.
+        let other = &addrs[1 - home];
+        let direct = Client::connect(other.as_str())
+            .expect("connect replica")
+            .generate(req)
+            .expect("direct generate");
+        assert_eq!(
+            via_router.text, direct.text,
+            "byte-identical for {prompt:?}"
+        );
+        assert_eq!(via_router.tokens, direct.tokens);
+    }
+
+    // Per-replica completions must match the computed homes: affinity
+    // routed every request, nothing strayed. (The direct reference calls
+    // above add one extra completion per prompt on the non-home replica.)
+    for (idx, addr) in addrs.iter().enumerate() {
+        let expected_home = homes.iter().filter(|&&h| h == idx).count() as u64;
+        let expected_direct = homes.iter().filter(|&&h| h != idx).count() as u64;
+        let snap = Client::connect(addr.as_str())
+            .expect("connect replica")
+            .metrics()
+            .expect("metrics");
+        assert_eq!(
+            snap.completed,
+            expected_home + expected_direct,
+            "replica {idx} served its homed prompts plus direct references"
+        );
+    }
+
+    // The router's metrics verb aggregates the whole fleet via absorb().
+    let fleet_snap = admin.metrics().expect("fleet metrics");
+    assert_eq!(fleet_snap.completed, 2 * prompts.len() as u64);
+    assert!(fleet_snap.tokens_per_sec > 0.0);
+
+    // And its own routing counters say every request hit its first choice.
+    let routing = front.router().metrics().snapshot();
+    assert_eq!(routing.routed, prompts.len() as u64);
+    assert_eq!(routing.primary_hits, prompts.len() as u64);
+    assert_eq!(routing.failovers, 0);
+
+    let statuses = admin.fleet().expect("fleet status");
+    assert_eq!(statuses.len(), 2);
+    assert!(statuses.iter().all(|s| s.state == ReplicaHealth::Healthy));
+
+    front.shutdown();
+    for s in servers {
+        s.shutdown();
+    }
+}
+
+/// A saturated home replica answers `overloaded`; the router marks it
+/// Degraded and spills the request to its ring neighbor, which serves it.
+#[test]
+fn overloaded_home_spills_to_ring_neighbor_and_degrades() {
+    // max_sessions 1: one in-flight session saturates a replica.
+    let (servers, addrs) = fleet(2, 1, 1);
+    // A long probe interval so only the initial probe pass runs: the
+    // Degraded mark must survive until we assert on it.
+    let front = router_over(addrs.clone(), Duration::from_secs(120));
+    let mut admin = Client::connect(front.local_addr()).expect("connect router");
+    admin.load("eda-qwen").expect("fleet load");
+
+    let prompt = "Q:spill me somewhere;A:";
+    let cfg = RouterConfig::default();
+    let ring = HashRing::build(&addrs, cfg.vnodes);
+    let home = ring.candidates(affinity_key("eda-qwen", prompt, cfg.affinity_chars))[0];
+
+    // Occupy the home replica with a long-running direct session.
+    let occupy_addr = addrs[home].clone();
+    let occupant = std::thread::spawn(move || {
+        Client::connect(occupy_addr.as_str())
+            .expect("connect home")
+            .generate(GenerateRequest::greedy("eda-qwen", "Q:occupy;A:", 600))
+            .expect("occupying generate")
+    });
+    wait_for_admission(&addrs[home], 1);
+
+    // Routed to its saturated home, the request must spill and succeed.
+    let spilled = admin
+        .generate(GenerateRequest::greedy("eda-qwen", prompt, 24))
+        .expect("spilled generate");
+    assert!(!spilled.text.is_empty());
+
+    let routing = front.router().metrics().snapshot();
+    assert_eq!(routing.spills, 1, "exactly one overload spill");
+    assert_eq!(routing.failovers, 1);
+    assert_eq!(routing.primary_hits, 0);
+    assert_eq!(routing.marks_degraded, 1);
+
+    let statuses = admin.fleet().expect("fleet status");
+    assert_eq!(statuses[home].state, ReplicaHealth::Degraded);
+    assert_eq!(statuses[1 - home].state, ReplicaHealth::Healthy);
+
+    // The neighbor actually served it.
+    let neighbor = Client::connect(addrs[1 - home].as_str())
+        .expect("connect neighbor")
+        .metrics()
+        .expect("metrics");
+    assert_eq!(neighbor.completed, 1);
+
+    let occupied = occupant.join().expect("occupant thread");
+    assert_eq!(occupied.tokens, 600, "the occupying session was never cut");
+
+    front.shutdown();
+    for s in servers {
+        s.shutdown();
+    }
+}
+
+/// Draining removes a replica from the candidate set — its keyspace falls
+/// to ring neighbors — without cancelling its in-flight sessions.
+#[test]
+fn drain_rebalances_new_traffic_and_preserves_inflight_sessions() {
+    let (servers, addrs) = fleet(2, 2, 8);
+    let front = router_over(addrs.clone(), Duration::from_millis(200));
+    let router_addr = front.local_addr();
+    let mut admin = Client::connect(router_addr).expect("connect router");
+    admin.load("eda-qwen").expect("fleet load");
+
+    let prompt = "Q:who owns this keyspace?;A:";
+    let cfg = RouterConfig::default();
+    let ring = HashRing::build(&addrs, cfg.vnodes);
+    let home = ring.candidates(affinity_key("eda-qwen", prompt, cfg.affinity_chars))[0];
+
+    // A long session routed through the router, homed on `home`.
+    let inflight_prompt = prompt.to_string();
+    let inflight = std::thread::spawn(move || {
+        Client::connect(router_addr)
+            .expect("connect router")
+            .generate(GenerateRequest::greedy("eda-qwen", &inflight_prompt, 400))
+            .expect("in-flight generate")
+    });
+    wait_for_admission(&addrs[home], 1);
+
+    // Drain the home. Unknown replicas are reported, not invented.
+    assert!(admin.drain(&addrs[home]).expect("drain"));
+    assert!(!admin.drain("127.0.0.1:1").expect("drain unknown"));
+    let statuses = admin.fleet().expect("fleet status");
+    assert_eq!(statuses[home].state, ReplicaHealth::Draining);
+
+    // New traffic for the drained keyspace lands on the survivor...
+    let rerouted = admin
+        .generate(GenerateRequest::greedy("eda-qwen", prompt, 24))
+        .expect("rerouted generate");
+    assert!(!rerouted.text.is_empty());
+    let survivor = Client::connect(addrs[1 - home].as_str())
+        .expect("connect survivor")
+        .metrics()
+        .expect("metrics");
+    assert_eq!(
+        survivor.completed, 1,
+        "survivor serves the drained keyspace"
+    );
+
+    // ...and the drained replica's in-flight session still completes.
+    let finished = inflight.join().expect("inflight thread");
+    assert_eq!(
+        finished.tokens, 400,
+        "draining never cancels in-flight work"
+    );
+
+    // Draining is sticky: probes have run meanwhile, the state must hold.
+    let statuses = admin.fleet().expect("fleet status");
+    assert_eq!(statuses[home].state, ReplicaHealth::Draining);
+
+    front.shutdown();
+    for s in servers {
+        s.shutdown();
+    }
+}

@@ -6,11 +6,15 @@
 //! client in any language works equally well.
 //!
 //! [`Retrier`] layers jittered exponential backoff on top: connect
-//! failures and `overloaded` rejections — the two transient fault classes
-//! a well-behaved client should absorb — are retried up to a bounded
-//! attempt budget, with a deterministic (seeded) jitter stream and an
-//! injectable sleep function so retry schedules are unit-testable without
-//! wall-clock time.
+//! failures, mid-request dropped connections ("server closed the
+//! connection" — a replica killed between request and reply), and
+//! `overloaded` rejections — the transient fault classes a well-behaved
+//! client should absorb — are retried up to a bounded attempt budget, with
+//! a deterministic (seeded) jitter stream and an injectable sleep function
+//! so retry schedules are unit-testable without wall-clock time.
+//! Re-running a dropped generation is transcript-safe because decoding is
+//! deterministic for a given (model, prompt, config, seed): the retry
+//! reproduces the same bytes the dead replica would have sent.
 
 use std::io::{BufRead, BufReader};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -20,7 +24,9 @@ use std::time::Duration;
 use chipalign_tensor::rng::Pcg32;
 
 use crate::metrics::{Metrics, MetricsSnapshot};
-use crate::protocol::{self, ErrorCode, GenerateRequest, Generation, Request, Response};
+use crate::protocol::{
+    self, ErrorCode, GenerateRequest, Generation, ReplicaStatus, Request, Response,
+};
 use crate::ServeError;
 
 /// A blocking connection to a running server.
@@ -149,6 +155,37 @@ impl Client {
             other => Err(unexpected(&other)),
         }
     }
+
+    /// Lists replica health states. Only `chipalign-router` answers this;
+    /// a single-process server returns a `bad_request` wire error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors and any error response.
+    pub fn fleet(&mut self) -> Result<Vec<ReplicaStatus>, ServeError> {
+        match self.request(&Request::Fleet)? {
+            Response::Fleet { replicas } => Ok(replicas),
+            Response::Error(w) => Err(ServeError::Remote(w)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the router to drain one replica (finish in-flight sessions,
+    /// admit nothing new); returns whether the replica was known.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors and any error response.
+    pub fn drain(&mut self, replica: &str) -> Result<bool, ServeError> {
+        let req = Request::Drain {
+            replica: replica.to_string(),
+        };
+        match self.request(&req)? {
+            Response::Drained { known, .. } => Ok(known),
+            Response::Error(w) => Err(ServeError::Remote(w)),
+            other => Err(unexpected(&other)),
+        }
+    }
 }
 
 fn unexpected(resp: &Response) -> ServeError {
@@ -185,8 +222,10 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// The backoff before retry number `attempt` (1-based), after jitter,
-    /// drawn from `rng`.
-    fn delay(&self, attempt: u32, rng: &mut Pcg32) -> Duration {
+    /// drawn from `rng`. Public so other backoff consumers (the router's
+    /// failover loop) share one schedule implementation.
+    #[must_use]
+    pub fn delay(&self, attempt: u32, rng: &mut Pcg32) -> Duration {
         let exp = self
             .base_delay_ms
             .saturating_mul(1u64 << attempt.saturating_sub(1).min(32));
@@ -203,11 +242,15 @@ type Sleeper = Box<dyn FnMut(Duration) + Send>;
 /// A retrying front end over [`Client`] operations: bounded attempts,
 /// exponential backoff, deterministic seeded jitter.
 ///
-/// Only *transient* failures are retried: connect-time I/O errors and
-/// server `overloaded` rejections. A generation that failed any other way
-/// (bad request, deadline, internal error) is returned immediately —
-/// generations are not idempotent from the server's accounting
-/// perspective, so blind retries would be wrong.
+/// Only *transient* failures are retried: I/O errors (connect-time
+/// failures and connections dropped mid-request, both reported as
+/// [`ServeError::Io`]) and server `overloaded` rejections. Every retry
+/// reconnects from scratch, so a replica that died holding our socket is
+/// simply replaced. A generation that failed any other way (bad request,
+/// deadline, internal error) is returned immediately: those are verdicts
+/// about the request itself, not the transport, and `deadline_exceeded` in
+/// particular means the time budget is already spent — retrying would
+/// burn compute on an answer the caller no longer wants.
 pub struct Retrier {
     policy: RetryPolicy,
     rng: Pcg32,
@@ -344,9 +387,14 @@ fn retry_connect_errors(e: &ServeError) -> bool {
     matches!(e, ServeError::Io(_))
 }
 
-/// Generate path: retry connect-level I/O trouble and explicit
-/// `overloaded` rejections — the server made no progress on the session in
-/// either case, so a retry cannot duplicate work.
+/// Generate path: retry I/O trouble — connect failures *and* connections
+/// dropped mid-request ("server closed the connection"), so a replica kill
+/// between request and reply is survivable — plus explicit `overloaded`
+/// rejections. Deterministic decoding makes the mid-request case safe: a
+/// re-run on a fresh connection produces byte-identical output, so the
+/// worst cost of a retry is duplicated compute, never a divergent
+/// transcript. Structured verdicts (`bad_request`, `deadline_exceeded`,
+/// `internal`, ...) are never retried here.
 fn retry_generate_errors(e: &ServeError) -> bool {
     match e {
         ServeError::Io(_) => true,
@@ -492,5 +540,129 @@ mod tests {
             Err::<(), _>(overloaded())
         });
         assert_eq!(metrics.snapshot().retries_attempted, 2);
+    }
+
+    use crate::protocol::{FinishReason, WireError};
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn canned_generation() -> Generation {
+        Generation {
+            model: "fake".to_string(),
+            text: "ok".to_string(),
+            tokens: 2,
+            prompt_tokens: 3,
+            finish: FinishReason::Eos,
+            queue_ms: 0,
+            latency_ms: 1,
+        }
+    }
+
+    #[test]
+    fn mid_request_dropped_connection_is_reconnected_and_retried() {
+        // A fake replica that reads the request and then slams the
+        // connection shut — exactly what a killed replica looks like from
+        // the client side ("server closed the connection"). The second
+        // connection answers. The Retrier must reconnect and succeed, and
+        // the replayed request must carry retry_attempt = 1 so the server
+        // can account for retry traffic.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || -> u32 {
+            // Connection 1: read the request, drop without replying.
+            let (stream, _) = listener.accept().expect("accept 1");
+            let mut reader = std::io::BufReader::new(stream);
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read 1");
+            drop(reader);
+            // Connection 2: answer properly.
+            let (stream, _) = listener.accept().expect("accept 2");
+            let mut writer = stream.try_clone().expect("clone");
+            let mut reader = std::io::BufReader::new(stream);
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read 2");
+            let attempt = match crate::protocol::parse_line::<Request>(&line).expect("parse") {
+                Request::Generate(g) => g.retry_attempt,
+                other => panic!("wrong request: {other:?}"),
+            };
+            crate::protocol::write_line(&mut writer, &Response::Generation(canned_generation()))
+                .expect("write");
+            attempt
+        });
+
+        let (log, sleeper) = recording_sleeper();
+        let mut retrier = Retrier::new(policy(4, 0.0), 11);
+        retrier.sleeper = sleeper;
+        let req = GenerateRequest::greedy("fake", "Q:x;A:", 4);
+        let generation = retrier.generate(addr, &req).expect("retry succeeds");
+        assert_eq!(generation.text, "ok");
+        assert_eq!(
+            server.join().expect("server thread"),
+            1,
+            "the replayed request must be flagged as attempt 1"
+        );
+        assert_eq!(log.lock().expect("log").len(), 1, "one backoff sleep");
+    }
+
+    /// A fake replica answering every connection's first request with the
+    /// given wire error, counting connections accepted.
+    fn error_replica(code: ErrorCode) -> (std::net::SocketAddr, Arc<AtomicUsize>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let accepted = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&accepted);
+        std::thread::spawn(move || {
+            while let Ok((stream, _)) = listener.accept() {
+                counter.fetch_add(1, Ordering::SeqCst);
+                let mut writer = match stream.try_clone() {
+                    Ok(w) => w,
+                    Err(_) => continue,
+                };
+                let mut reader = std::io::BufReader::new(stream);
+                let mut line = String::new();
+                if reader.read_line(&mut line).is_ok() {
+                    let _ = crate::protocol::write_line(
+                        &mut writer,
+                        &Response::Error(WireError {
+                            code,
+                            detail: "verdict".into(),
+                        }),
+                    );
+                }
+            }
+        });
+        (addr, accepted)
+    }
+
+    #[test]
+    fn bad_request_and_deadline_exceeded_are_never_retried() {
+        // Structured verdicts about the request itself must come back after
+        // exactly one connection, with no backoff sleeps — even though the
+        // Retrier would happily retry transport faults against the same
+        // address.
+        for code in [ErrorCode::BadRequest, ErrorCode::DeadlineExceeded] {
+            let (addr, accepted) = error_replica(code);
+            let (log, sleeper) = recording_sleeper();
+            let mut retrier = Retrier::new(policy(5, 0.0), 13);
+            retrier.sleeper = sleeper;
+            let req = GenerateRequest::greedy("fake", "Q:x;A:", 4);
+            let result = retrier.generate(addr, &req);
+            match result {
+                Err(ServeError::Remote(w)) => assert_eq!(w.code, code),
+                other => panic!("expected the verdict back, got {other:?}"),
+            }
+            // The reply arrived on the first connection; give any stray
+            // (incorrect) retry a moment to show up before asserting.
+            std::thread::sleep(Duration::from_millis(50));
+            assert_eq!(
+                accepted.load(Ordering::SeqCst),
+                1,
+                "{code:?} must not trigger a reconnect"
+            );
+            assert!(
+                log.lock().expect("log").is_empty(),
+                "{code:?} must not trigger a backoff sleep"
+            );
+        }
     }
 }

@@ -24,6 +24,33 @@
 //!
 //! Scopes serialize chaos tests through a global lock, so `cargo test`
 //! can run the chaos suite with its default parallel harness.
+//!
+//! # Cross-thread tag isolation
+//!
+//! The registry is process-global, and one scope's plan is shared by every
+//! thread in the process — which is exactly what fleet chaos tests need:
+//! they spawn whole server replicas as threads inside a single scope and
+//! must be able to kill *one* replica without wobbling the others. The
+//! contract is:
+//!
+//! 1. **Scopes are exclusive.** Only one [`FaultScope`] exists at a time;
+//!    a second `scope()` call (from any thread) blocks until the first is
+//!    dropped. A scope's plan is therefore never mutated by another test.
+//! 2. **Rules with distinct tags are independent.** Each rule keeps its
+//!    own hit counter and PCG stream, and a [`should_fire`] call only
+//!    advances rules whose site matches *and* whose tag filter matches the
+//!    call's tag exactly. Threads hammering different tags concurrently
+//!    can never consume each other's hits, so per-tag [`Trigger::Once`] /
+//!    [`Trigger::From`] positions hold regardless of thread interleaving.
+//! 3. **Untagged rules (`tag: None`) see every matching-site hit** from
+//!    every thread, so their hit order — and thus `Once`/`From` firing
+//!    position — depends on thread scheduling. Multi-threaded tests that
+//!    need deterministic positions must use tagged rules (the fleet suite
+//!    tags sessions `"<instance>/<model>"` so each replica is its own
+//!    blast radius) or constrain hit order structurally (single worker).
+//!
+//! Guarantee 2 is load-bearing for the fleet chaos suite and pinned by
+//! `concurrent_threads_with_distinct_tags_fire_independently` below.
 
 use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 
@@ -260,5 +287,73 @@ mod tests {
         assert!(should_fire(Site::WorkerPanic, "a"));
         assert!(!should_fire(Site::WorkerPanic, "b"));
         assert!(should_fire(Site::WorkerPanic, "b"));
+    }
+
+    #[test]
+    fn concurrent_threads_with_distinct_tags_fire_independently() {
+        // The fleet chaos suite's load-bearing guarantee: replicas running
+        // as threads inside one scope, each hammering its own tag, must
+        // observe their Once positions exactly — no thread interleaving
+        // can make one replica's hits consume another's trigger.
+        use std::sync::Barrier;
+
+        let _scope = scope(10);
+        arm(Site::WorkerDeath, Some("r0/model"), Trigger::Once(3));
+        arm(Site::WorkerDeath, Some("r1/model"), Trigger::Once(5));
+
+        let barrier = std::sync::Arc::new(Barrier::new(2));
+        let threads: Vec<_> = [("r0/model", 3u64), ("r1/model", 5u64)]
+            .into_iter()
+            .map(|(tag, expect_at)| {
+                let barrier = std::sync::Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let fired: Vec<u64> = (1u64..=8)
+                        .filter(|_| should_fire(Site::WorkerDeath, tag))
+                        .collect();
+                    (tag, expect_at, fired)
+                })
+            })
+            .collect();
+        for t in threads {
+            let (tag, expect_at, fired) = t.join().expect("tag thread");
+            assert_eq!(
+                fired,
+                vec![expect_at],
+                "{tag} must fire exactly once at its own hit position"
+            );
+        }
+        // An unrelated tag consumed nothing from either rule.
+        assert!(!should_fire(Site::WorkerDeath, "r2/model"));
+    }
+
+    #[test]
+    fn second_scope_blocks_until_first_drops() {
+        // One-directional safety check on scope exclusivity: a thread
+        // asking for a scope while one is held must not get it until the
+        // holder drops. (The FaultScope guard is !Send, so exclusivity is
+        // over scopes, not threads — a second thread simply waits.)
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let first = scope(11);
+        arm(Site::SessionStall, Some("held"), Trigger::Always);
+        let entered = std::sync::Arc::new(AtomicBool::new(false));
+        let flag = std::sync::Arc::clone(&entered);
+        let waiter = std::thread::spawn(move || {
+            let _inner = scope(12);
+            flag.store(true, Ordering::SeqCst);
+            // The fresh scope reset the plan: the first scope's rule is
+            // gone by the time we get here.
+            assert!(!should_fire(Site::SessionStall, "held"));
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(
+            !entered.load(Ordering::SeqCst),
+            "the second scope must wait for the first"
+        );
+        assert!(should_fire(Site::SessionStall, "held"));
+        drop(first);
+        waiter.join().expect("waiter");
+        assert!(entered.load(Ordering::SeqCst));
     }
 }

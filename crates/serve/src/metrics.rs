@@ -53,21 +53,42 @@ impl Histogram {
     /// or 0 when the histogram is empty.
     #[must_use]
     pub fn quantile_upper_us(&self, p: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let target = ((p.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, c) in self.counts.iter().enumerate() {
-            seen += c.load(Ordering::Relaxed);
-            if seen >= target {
-                // Upper edge of bucket i: 2^(i+1) - 1 µs.
-                return (1u64 << (i + 1)) - 1;
-            }
-        }
-        (1u64 << BUCKETS) - 1
+        quantile_upper_us_from(&self.bucket_counts(), p)
     }
+
+    /// The raw per-bucket counts (always [`BUCKETS`] entries). Bucket `i`
+    /// covers `[2^i, 2^(i+1))` microseconds. Snapshots carry these so
+    /// fleet-level aggregation can sum histograms and recompute quantiles
+    /// instead of averaging per-replica percentiles (which is meaningless).
+    #[must_use]
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// The `p`-quantile upper bound in microseconds over raw power-of-two
+/// bucket counts (as produced by [`Histogram::bucket_counts`]), or 0 when
+/// the counts are empty. Used to recompute fleet-wide quantiles after
+/// [`MetricsSnapshot::absorb`] has summed per-replica buckets.
+#[must_use]
+pub fn quantile_upper_us_from(counts: &[u64], p: f64) -> u64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let target = ((p.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for (i, c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= target {
+            // Upper edge of bucket i: 2^(i+1) - 1 µs.
+            return (1u64 << (i + 1)) - 1;
+        }
+    }
+    (1u64 << BUCKETS) - 1
 }
 
 /// Counters and histograms for one server instance.
@@ -347,12 +368,15 @@ impl Metrics {
             queue_p95_ms: self.queue_wait.quantile_upper_us(0.95) as f64 / 1e3,
             prefill_p50_ms: self.prefill.quantile_upper_us(0.50) as f64 / 1e3,
             prefill_p95_ms: self.prefill.quantile_upper_us(0.95) as f64 / 1e3,
+            latency_buckets: self.latency.bucket_counts(),
+            queue_buckets: self.queue_wait.bucket_counts(),
+            prefill_buckets: self.prefill.bucket_counts(),
         }
     }
 }
 
 /// A point-in-time metrics view, as sent over the wire.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// Milliseconds since the metrics core was created.
     pub uptime_ms: u64,
@@ -439,6 +463,122 @@ pub struct MetricsSnapshot {
     /// 95th-percentile per-chunk prefill compute time (upper bound, ms).
     #[serde(default)]
     pub prefill_p95_ms: f64,
+    /// Raw latency histogram buckets (power-of-two, µs; see
+    /// [`Histogram::bucket_counts`]). Empty from pre-v3 servers.
+    #[serde(default)]
+    pub latency_buckets: Vec<u64>,
+    /// Raw queue-wait histogram buckets.
+    #[serde(default)]
+    pub queue_buckets: Vec<u64>,
+    /// Raw prefill histogram buckets.
+    #[serde(default)]
+    pub prefill_buckets: Vec<u64>,
+}
+
+/// Element-wise `a += b`, extending `a` when `b` is longer.
+fn absorb_buckets(a: &mut Vec<u64>, b: &[u64]) {
+    if a.len() < b.len() {
+        a.resize(b.len(), 0);
+    }
+    for (dst, src) in a.iter_mut().zip(b) {
+        *dst = dst.saturating_add(*src);
+    }
+}
+
+impl MetricsSnapshot {
+    /// Folds another snapshot into this one, producing fleet-level totals.
+    ///
+    /// Counters and gauges sum (saturating). Histogram buckets sum
+    /// element-wise, and the derived quantiles are recomputed from the
+    /// merged buckets — never averaged — whenever either side carries raw
+    /// buckets; when both sides predate v3 (no buckets), the pessimistic
+    /// max of the two upper bounds is kept. `uptime_ms` becomes the max
+    /// (replicas run concurrently, so fleet uptime is the longest-lived
+    /// replica, not the sum), and the throughput rates are recomputed from
+    /// the summed counts over that uptime.
+    pub fn absorb(&mut self, other: &MetricsSnapshot) {
+        self.requests = self.requests.saturating_add(other.requests);
+        self.completed = self.completed.saturating_add(other.completed);
+        self.rejected_overload = self
+            .rejected_overload
+            .saturating_add(other.rejected_overload);
+        self.rejected_shutdown = self
+            .rejected_shutdown
+            .saturating_add(other.rejected_shutdown);
+        self.failed = self.failed.saturating_add(other.failed);
+        self.deadline_exceeded = self
+            .deadline_exceeded
+            .saturating_add(other.deadline_exceeded);
+        self.worker_panics = self.worker_panics.saturating_add(other.worker_panics);
+        self.watchdog_cancels = self.watchdog_cancels.saturating_add(other.watchdog_cancels);
+        self.checksum_failures = self
+            .checksum_failures
+            .saturating_add(other.checksum_failures);
+        self.retries_attempted = self
+            .retries_attempted
+            .saturating_add(other.retries_attempted);
+        self.workers_respawned = self
+            .workers_respawned
+            .saturating_add(other.workers_respawned);
+        self.batched_slices = self.batched_slices.saturating_add(other.batched_slices);
+        absorb_buckets(&mut self.batch_occupancy, &other.batch_occupancy);
+        self.tokens_out = self.tokens_out.saturating_add(other.tokens_out);
+        self.prompt_tokens = self.prompt_tokens.saturating_add(other.prompt_tokens);
+        self.prefix_hits = self.prefix_hits.saturating_add(other.prefix_hits);
+        self.prefix_tokens_reused = self
+            .prefix_tokens_reused
+            .saturating_add(other.prefix_tokens_reused);
+        self.prefill_chunks = self.prefill_chunks.saturating_add(other.prefill_chunks);
+        self.merge_evictions = self.merge_evictions.saturating_add(other.merge_evictions);
+        self.pool_evictions = self.pool_evictions.saturating_add(other.pool_evictions);
+        self.kv_blocks_in_use = self.kv_blocks_in_use.saturating_add(other.kv_blocks_in_use);
+        self.kv_blocks_free = self.kv_blocks_free.saturating_add(other.kv_blocks_free);
+        self.cow_copies = self.cow_copies.saturating_add(other.cow_copies);
+        absorb_buckets(&mut self.latency_buckets, &other.latency_buckets);
+        absorb_buckets(&mut self.queue_buckets, &other.queue_buckets);
+        absorb_buckets(&mut self.prefill_buckets, &other.prefill_buckets);
+        self.uptime_ms = self.uptime_ms.max(other.uptime_ms);
+        let uptime_s = (self.uptime_ms as f64 / 1e3).max(1e-9);
+        self.requests_per_sec = self.completed as f64 / uptime_s;
+        self.tokens_per_sec = self.tokens_out as f64 / uptime_s;
+        let requantile = |buckets: &[u64], fallback: f64, p: f64| {
+            if buckets.iter().any(|&c| c > 0) {
+                quantile_upper_us_from(buckets, p) as f64 / 1e3
+            } else {
+                fallback
+            }
+        };
+        self.latency_p50_ms = requantile(
+            &self.latency_buckets,
+            self.latency_p50_ms.max(other.latency_p50_ms),
+            0.50,
+        );
+        self.latency_p95_ms = requantile(
+            &self.latency_buckets,
+            self.latency_p95_ms.max(other.latency_p95_ms),
+            0.95,
+        );
+        self.queue_p50_ms = requantile(
+            &self.queue_buckets,
+            self.queue_p50_ms.max(other.queue_p50_ms),
+            0.50,
+        );
+        self.queue_p95_ms = requantile(
+            &self.queue_buckets,
+            self.queue_p95_ms.max(other.queue_p95_ms),
+            0.95,
+        );
+        self.prefill_p50_ms = requantile(
+            &self.prefill_buckets,
+            self.prefill_p50_ms.max(other.prefill_p50_ms),
+            0.50,
+        );
+        self.prefill_p95_ms = requantile(
+            &self.prefill_buckets,
+            self.prefill_p95_ms.max(other.prefill_p95_ms),
+            0.95,
+        );
+    }
 }
 
 #[cfg(test)]
@@ -579,6 +719,9 @@ mod tests {
             "cow_copies",
             "prefill_p50_ms",
             "prefill_p95_ms",
+            "latency_buckets",
+            "queue_buckets",
+            "prefill_buckets",
         ] {
             obj.remove(field);
         }
@@ -594,6 +737,104 @@ mod tests {
         assert_eq!(back.kv_blocks_free, 0);
         assert_eq!(back.cow_copies, 0);
         assert_eq!(back.prefill_p95_ms, 0.0);
+        assert!(back.latency_buckets.is_empty());
+        assert!(back.queue_buckets.is_empty());
+        assert!(back.prefill_buckets.is_empty());
+    }
+
+    #[test]
+    fn absorb_of_n_snapshots_equals_the_sum() {
+        // Three replicas with disjoint activity; the fleet aggregate must
+        // be the exact sum of every counter and histogram bucket.
+        let snaps: Vec<MetricsSnapshot> = (0..3u64)
+            .map(|i| {
+                let m = Metrics::new();
+                for _ in 0..=i {
+                    m.on_request();
+                    m.on_admitted(10);
+                    m.on_first_slice(300 * (i + 1));
+                    m.on_completed(8, 1_000 * (i + 1));
+                }
+                m.on_rejected_overload();
+                m.on_prefix_hit(4);
+                m.on_prefill_chunk(500);
+                m.on_batch(2);
+                m.snapshot()
+            })
+            .collect();
+
+        let mut fleet = MetricsSnapshot::default();
+        for s in &snaps {
+            fleet.absorb(s);
+        }
+
+        let sum = |f: fn(&MetricsSnapshot) -> u64| snaps.iter().map(f).sum::<u64>();
+        assert_eq!(fleet.requests, sum(|s| s.requests));
+        assert_eq!(fleet.completed, sum(|s| s.completed));
+        assert_eq!(fleet.rejected_overload, sum(|s| s.rejected_overload));
+        assert_eq!(fleet.tokens_out, sum(|s| s.tokens_out));
+        assert_eq!(fleet.prompt_tokens, sum(|s| s.prompt_tokens));
+        assert_eq!(fleet.prefix_hits, sum(|s| s.prefix_hits));
+        assert_eq!(fleet.prefix_tokens_reused, sum(|s| s.prefix_tokens_reused));
+        assert_eq!(fleet.prefill_chunks, sum(|s| s.prefill_chunks));
+        assert_eq!(fleet.batched_slices, sum(|s| s.batched_slices));
+        assert_eq!(fleet.batch_occupancy[2], 3);
+
+        // Histogram buckets sum element-wise: total observation count is
+        // preserved exactly.
+        let fleet_latency: u64 = fleet.latency_buckets.iter().sum();
+        let each_latency: u64 = snaps
+            .iter()
+            .map(|s| s.latency_buckets.iter().sum::<u64>())
+            .sum();
+        assert_eq!(fleet_latency, each_latency);
+        assert_eq!(fleet_latency, fleet.completed);
+
+        // Quantiles are recomputed from merged buckets, so the fleet p95
+        // must bound the slowest replica's observations (3000 µs lands in
+        // [2048, 4096), upper edge 4.095 ms).
+        assert_eq!(fleet.latency_p95_ms, 4.095);
+        // Uptime is the max, not the sum.
+        let max_uptime = snaps.iter().map(|s| s.uptime_ms).max().unwrap_or(0);
+        assert_eq!(fleet.uptime_ms, max_uptime);
+    }
+
+    #[test]
+    fn absorb_without_buckets_keeps_pessimistic_quantiles() {
+        // Two pre-v3 snapshots (no raw buckets): absorb cannot recompute,
+        // so it keeps the max of the reported upper bounds.
+        let mut a = MetricsSnapshot {
+            completed: 5,
+            latency_p95_ms: 2.0,
+            uptime_ms: 1_000,
+            ..MetricsSnapshot::default()
+        };
+        let b = MetricsSnapshot {
+            completed: 7,
+            latency_p95_ms: 9.0,
+            uptime_ms: 4_000,
+            ..MetricsSnapshot::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.completed, 12);
+        assert_eq!(a.latency_p95_ms, 9.0);
+        assert_eq!(a.uptime_ms, 4_000);
+        assert!((a.requests_per_sec - 3.0).abs() < 1e-9, "12 done over 4 s");
+    }
+
+    #[test]
+    fn quantiles_from_raw_buckets_match_histogram() {
+        let h = Histogram::default();
+        for us in [10u64, 100, 1_000, 10_000, 100_000] {
+            h.record(us);
+        }
+        let counts = h.bucket_counts();
+        assert_eq!(counts.len(), BUCKETS);
+        assert_eq!(counts.iter().sum::<u64>(), 5);
+        for p in [0.01, 0.5, 0.95, 1.0] {
+            assert_eq!(quantile_upper_us_from(&counts, p), h.quantile_upper_us(p));
+        }
+        assert_eq!(quantile_upper_us_from(&[], 0.5), 0);
     }
 
     #[test]

@@ -16,11 +16,16 @@ use chipalign_nn::generate::GenerateConfig;
 
 use crate::ServeError;
 
-/// Protocol version reported by `ping`. Version 2 adds the fault-tolerance
-/// surface: the `retry_attempt` generate field and the fault counters in
-/// metrics snapshots. Both are additive with serde defaults, so v1 clients
-/// interoperate with v2 servers and vice versa.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// Protocol version reported by `ping`. Version 2 added the
+/// fault-tolerance surface (the `retry_attempt` generate field and the
+/// fault counters in metrics snapshots); version 3 adds the fleet surface:
+/// `fleet`/`drain` requests answered by `chipalign-router`, replica status
+/// reporting, and raw histogram buckets in metrics snapshots so fleet
+/// aggregation can recompute quantiles. Everything is additive with serde
+/// defaults, so older clients interoperate with newer servers and vice
+/// versa; a single-process `chipalign-serve` answers the fleet requests
+/// with a structured `bad_request` instead of dropping the connection.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// A client-to-server message.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -47,6 +52,16 @@ pub enum Request {
     Metrics,
     /// Liveness check.
     Ping,
+    /// List replica health states. Answered by `chipalign-router`; a
+    /// single-process server replies with a structured `bad_request`.
+    Fleet,
+    /// Mark one replica draining: it finishes in-flight sessions but
+    /// receives no new ones, and its hash-ring range is rebalanced onto
+    /// its neighbors. Router-only, like [`Request::Fleet`].
+    Drain {
+        /// The replica's address (`host:port`) as reported by `fleet`.
+        replica: String,
+    },
 }
 
 /// Parameters for one generation session.
@@ -164,8 +179,57 @@ pub enum Response {
         /// Protocol version.
         version: u32,
     },
+    /// Reply to `fleet`: one status per known replica.
+    Fleet {
+        /// Per-replica health, in ring registration order.
+        replicas: Vec<ReplicaStatus>,
+    },
+    /// Reply to `drain`.
+    Drained {
+        /// The replica address that was asked to drain.
+        replica: String,
+        /// Whether the router knew that replica (an unknown address is
+        /// acknowledged but changes nothing).
+        known: bool,
+    },
     /// The request failed.
     Error(WireError),
+}
+
+/// Health of one replica as seen by the router.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplicaStatus {
+    /// The replica's address (`host:port`).
+    pub addr: String,
+    /// Current health state.
+    pub state: ReplicaHealth,
+    /// Requests the router currently has in flight against this replica.
+    #[serde(default)]
+    pub inflight: u64,
+    /// Consecutive probe/request failures since the last success.
+    #[serde(default)]
+    pub consecutive_failures: u32,
+}
+
+/// The router's three-state replica health model, plus the drain state.
+///
+/// `Healthy` replicas take traffic in ring order. `Degraded` replicas
+/// (recent `overloaded` replies or probe hiccups) are only tried after
+/// every healthy candidate. `Down` replicas (consecutive probe failures
+/// past the threshold) are last-resort candidates until a probe succeeds.
+/// `Draining` replicas finish in-flight sessions but are excluded from
+/// candidate lists entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ReplicaHealth {
+    /// Probes pass; traffic routes here in ring order.
+    Healthy,
+    /// Saturated or flaky; used only when no healthy candidate remains.
+    Degraded,
+    /// Probes failing; assumed dead until one succeeds.
+    Down,
+    /// Administratively draining; receives no new sessions.
+    Draining,
 }
 
 /// One finished generation session.
@@ -305,5 +369,67 @@ mod tests {
     fn malformed_line_is_a_protocol_error() {
         let r: Result<Request, _> = parse_line("{not json");
         assert!(matches!(r, Err(ServeError::Protocol { .. })));
+    }
+
+    #[test]
+    fn fleet_requests_round_trip() {
+        let json = serde_json::to_string(&Request::Fleet).expect("serialize");
+        assert!(json.contains("\"type\":\"fleet\""));
+        assert!(matches!(
+            parse_line::<Request>(&json).expect("parse"),
+            Request::Fleet
+        ));
+
+        let drain = Request::Drain {
+            replica: "127.0.0.1:7001".to_string(),
+        };
+        let json = serde_json::to_string(&drain).expect("serialize");
+        assert!(json.contains("\"type\":\"drain\""));
+        match parse_line::<Request>(&json).expect("parse") {
+            Request::Drain { replica } => assert_eq!(replica, "127.0.0.1:7001"),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replica_status_round_trips_snake_case() {
+        let resp = Response::Fleet {
+            replicas: vec![
+                ReplicaStatus {
+                    addr: "127.0.0.1:7001".to_string(),
+                    state: ReplicaHealth::Healthy,
+                    inflight: 3,
+                    consecutive_failures: 0,
+                },
+                ReplicaStatus {
+                    addr: "127.0.0.1:7002".to_string(),
+                    state: ReplicaHealth::Draining,
+                    inflight: 1,
+                    consecutive_failures: 2,
+                },
+            ],
+        };
+        let json = serde_json::to_string(&resp).expect("serialize");
+        assert!(json.contains("\"healthy\""));
+        assert!(json.contains("\"draining\""));
+        match parse_line::<Response>(&json).expect("parse") {
+            Response::Fleet { replicas } => {
+                assert_eq!(replicas.len(), 2);
+                assert_eq!(replicas[0].state, ReplicaHealth::Healthy);
+                assert_eq!(replicas[1].state, ReplicaHealth::Draining);
+                assert_eq!(replicas[1].consecutive_failures, 2);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replica_status_defaults_are_additive() {
+        // A minimal status (older router) still parses: gauges default.
+        let s: ReplicaStatus =
+            parse_line(r#"{"addr":"127.0.0.1:7001","state":"down"}"#).expect("parse");
+        assert_eq!(s.state, ReplicaHealth::Down);
+        assert_eq!(s.inflight, 0);
+        assert_eq!(s.consecutive_failures, 0);
     }
 }

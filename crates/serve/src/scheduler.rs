@@ -251,6 +251,10 @@ struct Inner {
     /// Sessions in flight: queued + currently on a worker.
     active: Arc<AtomicUsize>,
     draining: AtomicBool,
+    /// Hard-stop flag ([`Scheduler::abort`]): workers exit without
+    /// draining the queue; leftover sessions are answered with
+    /// `ShuttingDown` instead of decoding to completion.
+    aborting: AtomicBool,
     metrics: Arc<Metrics>,
     /// Shared-prefix KV cache, probed at first dequeue and fed with every
     /// freshly prefilled prompt window.
@@ -305,6 +309,7 @@ impl Scheduler {
             available: Condvar::new(),
             active: Arc::new(AtomicUsize::new(0)),
             draining: AtomicBool::new(false),
+            aborting: AtomicBool::new(false),
             metrics,
             prefix: PrefixCache::new(cfg.prefix_cache),
         });
@@ -407,8 +412,30 @@ impl Scheduler {
         self.inner.available.notify_all();
     }
 
+    /// Hard stop, the opposite of the graceful drain: stops admissions
+    /// *and* abandons queued sessions, answering each with a structured
+    /// [`ServeError::ShuttingDown`] instead of decoding it to completion.
+    /// Sessions already on a worker finish their current slice and are
+    /// then answered the same way. This models a replica being killed —
+    /// the fleet chaos suite uses it to take whole replicas down
+    /// mid-decode — and every admitted session still gets exactly one
+    /// structured (retryable) reply, never silence or a truncated
+    /// transcript.
+    pub fn abort(&self) {
+        self.inner.aborting.store(true, Ordering::SeqCst);
+        self.inner.draining.store(true, Ordering::SeqCst);
+        let abandoned: Vec<Task> = lock_queue(&self.inner).drain(..).collect();
+        for task in abandoned {
+            fail_finish(&self.inner, task, ServeError::ShuttingDown);
+        }
+        self.inner.available.notify_all();
+    }
+
     /// Initiates shutdown and blocks until every worker has drained the
-    /// queue and exited.
+    /// queue and exited. After an [`Scheduler::abort`], workers exit
+    /// without draining; any session they requeued on the way out is
+    /// answered here with `ShuttingDown` so no admitted session is ever
+    /// left unanswered.
     pub fn join(&self) {
         self.shutdown();
         let handles: Vec<JoinHandle<()>> = self
@@ -419,6 +446,12 @@ impl Scheduler {
             .collect();
         for h in handles {
             let _ = h.join();
+        }
+        // Graceful drains leave the queue empty; only the abort path has
+        // leftovers.
+        let leftovers: Vec<Task> = lock_queue(&self.inner).drain(..).collect();
+        for task in leftovers {
+            fail_finish(&self.inner, task, ServeError::ShuttingDown);
         }
     }
 }
@@ -453,6 +486,11 @@ fn worker_loop(inner: &Inner) {
         let mut batch = {
             let mut queue = lock_queue(inner);
             loop {
+                // Abort beats a non-empty queue: the worker leaves
+                // immediately and `join` answers whatever remains.
+                if inner.aborting.load(Ordering::SeqCst) {
+                    return;
+                }
                 if !queue.is_empty() {
                     // Drain up to `max_batch` runnable sessions in one pop:
                     // everything taken here advances together this slice.
@@ -528,6 +566,8 @@ fn fail_finish(inner: &Inner, task: Task, e: ServeError) {
         ServeError::DeadlineExceeded { .. } => inner.metrics.on_deadline_exceeded(),
         ServeError::Stalled { .. } => inner.metrics.on_watchdog_cancel(),
         ServeError::WorkerPanic { .. } => {}
+        // Abort-path abandonment: the session was turned away, not broken.
+        ServeError::ShuttingDown => inner.metrics.on_rejected_shutdown(),
         _ => inner.metrics.on_failed(),
     }
     finish(inner, task, Err(e));
@@ -1365,6 +1405,101 @@ mod tests {
                 .expect("ok");
             assert_eq!(result.tokens.len(), 30);
         }
+    }
+
+    #[test]
+    fn drain_initiated_mid_chunked_prefill_still_answers_every_session() {
+        // Pins the "graceful drains always answer every admitted session"
+        // contract (server.rs) in its hardest corner: the drain begins
+        // while prompts are still mid-chunked-prefill, i.e. before the
+        // affected sessions have produced a single token. One worker and a
+        // 2-token prefill chunk guarantee that when shutdown() runs, at
+        // most one chunk of the first long prompt has been processed and
+        // every other session is queued in the Pending/Prefilling states.
+        let m = model();
+        let metrics = Arc::new(Metrics::new());
+        let mut cfg = config(1, 16, 2);
+        cfg.prefill_chunk = 2;
+        let scheduler = Scheduler::start(cfg, Arc::clone(&metrics));
+        let long_prompt: Vec<u32> = (0..30u32).map(|i| 3 + (i * 7) % 90).collect();
+        let sessions: Vec<(Vec<u32>, usize)> = vec![
+            (long_prompt.clone(), 12),
+            (vec![5, 6, 7], 4),
+            (long_prompt.clone(), 7),
+            (vec![8, 9], 9),
+        ];
+        let receivers: Vec<_> = sessions
+            .iter()
+            .map(|(prompt, budget)| {
+                scheduler
+                    .submit(SessionRequest {
+                        model: Arc::clone(&m),
+                        prompt: prompt.clone(),
+                        cfg: greedy(*budget),
+                        deadline: None,
+                        tag: "drain-mid-prefill".to_string(),
+                        pool: None,
+                    })
+                    .expect("admit")
+            })
+            .collect();
+        // Initiate the drain immediately: the 30-token prompts need 15
+        // chunks each, so they are necessarily mid-prefill (or still
+        // queued) at this point.
+        scheduler.shutdown();
+        assert!(matches!(
+            scheduler.submit(request(&m, 4, None)),
+            Err(ServeError::ShuttingDown)
+        ));
+        scheduler.join();
+        for (rx, (prompt, budget)) in receivers.into_iter().zip(&sessions) {
+            let result = rx
+                .try_recv()
+                .expect("answered before join returned")
+                .expect("drained sessions complete normally");
+            let reference =
+                chipalign_nn::generate::generate(&m, prompt, &greedy(*budget)).expect("reference");
+            assert_eq!(
+                result.tokens, reference,
+                "a drained session's transcript must match an undrained run"
+            );
+        }
+        assert_eq!(scheduler.active(), 0);
+        assert_eq!(
+            metrics.snapshot().completed,
+            sessions.len() as u64,
+            "every admitted session completed despite the mid-prefill drain"
+        );
+    }
+
+    #[test]
+    fn abort_answers_every_admitted_session_with_a_structured_error() {
+        // The hard-stop path: queued sessions must get ShuttingDown (a
+        // retryable verdict the router fails over on), never silence.
+        let m = model();
+        let metrics = Arc::new(Metrics::new());
+        let scheduler = Scheduler::start(config(1, 16, 2), Arc::clone(&metrics));
+        let receivers: Vec<_> = (0..6)
+            .map(|_| {
+                scheduler
+                    .submit(request(&m, 10_000_000, None))
+                    .expect("admit")
+            })
+            .collect();
+        scheduler.abort();
+        assert!(matches!(
+            scheduler.submit(request(&m, 4, None)),
+            Err(ServeError::ShuttingDown)
+        ));
+        scheduler.join();
+        for rx in receivers {
+            let outcome = rx.try_recv().expect("answered before join returned");
+            assert!(
+                matches!(outcome, Err(ServeError::ShuttingDown)),
+                "aborted sessions get the retryable shutdown verdict, got {outcome:?}"
+            );
+        }
+        assert_eq!(scheduler.active(), 0, "abort must release every slot");
     }
 
     #[cfg(feature = "fault-inject")]

@@ -43,6 +43,12 @@ pub struct ServerConfig {
     /// Deadline applied to requests that do not carry their own, in
     /// milliseconds. `None` means unbounded.
     pub default_deadline_ms: Option<u64>,
+    /// Replica identity prefixed onto every session tag
+    /// (`"<instance>/<model key>"`). Lets fleet chaos tests arm
+    /// `serve::faults` rules that hit exactly one replica in a
+    /// multi-replica process, and labels this replica in fleet logs.
+    /// `None` keeps the bare model key as the tag.
+    pub instance_tag: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -52,6 +58,7 @@ impl Default for ServerConfig {
             scheduler: SchedulerConfig::default(),
             max_new_tokens_cap: 512,
             default_deadline_ms: None,
+            instance_tag: None,
         }
     }
 }
@@ -63,6 +70,9 @@ struct ServerInner {
     tokenizer: CharTokenizer,
     cfg: ServerConfig,
     stop: AtomicBool,
+    /// Set by [`Server::kill`]: connection handlers abandon their wait for
+    /// in-flight replies instead of draining.
+    killed: AtomicBool,
 }
 
 /// A running inference server.
@@ -99,6 +109,7 @@ impl Server {
             tokenizer: CharTokenizer::new(),
             cfg,
             stop: AtomicBool::new(false),
+            killed: AtomicBool::new(false),
         });
         let accept_inner = Arc::clone(&inner);
         let accept_thread = std::thread::Builder::new()
@@ -134,6 +145,30 @@ impl Server {
     /// returns. Safe to call more than once.
     pub fn shutdown(&self) {
         self.inner.stop.store(true, Ordering::SeqCst);
+        let handle = self
+            .accept_thread
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+        self.inner.scheduler.join();
+    }
+
+    /// Kills the replica abruptly: no drain. Queued and in-flight sessions
+    /// are answered with a structured `shutting_down` error (the
+    /// scheduler's [`Scheduler::abort`] path) and connection handlers stop
+    /// waiting on replies, so from a client's perspective the replica
+    /// either returns a retryable verdict or drops the connection —
+    /// exactly the two faults the [`crate::client::Retrier`] and the
+    /// router's failover absorb. The fleet chaos suite uses this to take
+    /// whole replicas down mid-decode. Safe to call more than once;
+    /// `shutdown` after `kill` is a no-op.
+    pub fn kill(&self) {
+        self.inner.killed.store(true, Ordering::SeqCst);
+        self.inner.stop.store(true, Ordering::SeqCst);
+        self.inner.scheduler.abort();
         let handle = self
             .accept_thread
             .lock()
@@ -238,6 +273,17 @@ fn dispatch(inner: &Arc<ServerInner>, req: Request) -> Response {
             Ok(g) => Response::Generation(g),
             Err(e) => Response::Error(e.to_wire()),
         },
+        // Fleet management is the router's job; a single replica answers
+        // with a structured verdict instead of dropping the connection, so
+        // fleet tooling pointed at the wrong port fails loudly and
+        // harmlessly.
+        Request::Fleet | Request::Drain { .. } => Response::Error(
+            ServeError::BadRequest {
+                detail: "fleet requests are answered by chipalign-router, not a single replica"
+                    .to_string(),
+            }
+            .to_wire(),
+        ),
     }
 }
 
@@ -265,12 +311,18 @@ fn serve_generation(
     // accounting, prefix aliasing, and pool-saturation admission all apply
     // on the wire path (library callers may still opt out with `pool: None`).
     let pool = inner.registry.kv_pool(&model);
+    // Session tags carry the replica identity when one is configured, so
+    // process-global fault rules can single out one replica's sessions.
+    let tag = match &inner.cfg.instance_tag {
+        Some(instance) => format!("{instance}/{key}"),
+        None => key.clone(),
+    };
     let rx = inner.scheduler.submit(SessionRequest {
         model,
         prompt,
         cfg,
         deadline,
-        tag: key.clone(),
+        tag,
         pool: Some(pool),
     })?;
     #[cfg(feature = "fault-inject")]
@@ -285,12 +337,28 @@ fn serve_generation(
             });
         }
     }
-    // A closed channel here means the session died with its worker in a way
-    // even the drop guard could not report — an internal fault, not a
-    // shutdown (graceful drains always answer every admitted session).
-    let result = rx.recv().map_err(|_| ServeError::Internal {
-        detail: "session lost: outcome channel closed without a reply".to_string(),
-    })??;
+    // Poll the kill flag while waiting: a killed replica must not leave
+    // handlers blocked on sessions the aborted scheduler will answer only
+    // as it tears down. A closed channel here means the session died with
+    // its worker in a way even the drop guard could not report — an
+    // internal fault, not a shutdown (graceful drains always answer every
+    // admitted session; scheduler::tests pin that contract even for drains
+    // initiated mid-chunked-prefill).
+    let result = loop {
+        match rx.recv_timeout(POLL_INTERVAL) {
+            Ok(outcome) => break outcome,
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                if inner.killed.load(Ordering::SeqCst) {
+                    return Err(ServeError::ShuttingDown);
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                return Err(ServeError::Internal {
+                    detail: "session lost: outcome channel closed without a reply".to_string(),
+                });
+            }
+        }
+    }?;
     Ok(Generation {
         model: key,
         text: inner.tokenizer.decode(&result.tokens),

@@ -51,6 +51,7 @@ fn server_config(workers: usize, stall_slices: u64) -> ServerConfig {
         },
         max_new_tokens_cap: 10_000_000,
         default_deadline_ms: None,
+        instance_tag: None,
     }
 }
 

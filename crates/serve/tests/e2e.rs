@@ -40,6 +40,7 @@ fn server_config(workers: usize, max_sessions: usize) -> ServerConfig {
         },
         max_new_tokens_cap: 10_000_000,
         default_deadline_ms: None,
+        instance_tag: None,
     }
 }
 

@@ -79,6 +79,7 @@ fn greedy_transcripts_identical_across_all_decode_paths() {
             },
             max_new_tokens_cap: 10_000_000,
             default_deadline_ms: None,
+            instance_tag: None,
         },
         registry_with_pinned(),
     )
@@ -140,6 +141,7 @@ fn served_greedy_identical_through_window_slide() {
             },
             max_new_tokens_cap: 10_000_000,
             default_deadline_ms: None,
+            instance_tag: None,
         },
         registry_with_pinned(),
     )
@@ -207,6 +209,7 @@ fn chunked_and_prefix_seeded_transcripts_identical_to_cold_prefill() {
                 },
                 max_new_tokens_cap: 10_000_000,
                 default_deadline_ms: None,
+                instance_tag: None,
             },
             registry_with_pinned(),
         )
@@ -289,6 +292,7 @@ fn batched_transcripts_identical_across_max_batch_sweep() {
                 },
                 max_new_tokens_cap: 10_000_000,
                 default_deadline_ms: None,
+                instance_tag: None,
             },
             registry_with_pinned(),
         )
@@ -363,6 +367,7 @@ fn served_sessions_decode_on_the_paged_pool() {
             scheduler: SchedulerConfig::default(),
             max_new_tokens_cap: 10_000_000,
             default_deadline_ms: None,
+            instance_tag: None,
         },
         registry_with_pinned(),
     )

@@ -37,6 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
             max_new_tokens_cap: 128,
             default_deadline_ms: Some(60_000),
+            instance_tag: None,
         },
         ModelRegistry::new(zoo),
     )?;

@@ -11,11 +11,14 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 
-# Chaos suite: deterministic fault injection behind the fault-inject
+# Chaos suites: deterministic fault injection behind the fault-inject
 # feature (never part of release builds), plus a lint pass over the
-# feature-gated code paths.
+# feature-gated code paths. The router's fleet chaos suite kills whole
+# replicas mid-decode and asserts transcripts survive failover.
 cargo test -q -p chipalign-serve --features fault-inject
 cargo clippy -p chipalign-serve --all-targets --features fault-inject -- -D warnings
+cargo test -q -p chipalign-router --features fault-inject
+cargo clippy -p chipalign-router --all-targets --features fault-inject -- -D warnings
 
 # Kernel layer: the tensor, nn, and serve crates stay clippy-clean at
 # -D warnings, and the kernel + batch + prefill + kvpool micro-benches
@@ -23,9 +26,12 @@ cargo clippy -p chipalign-serve --all-targets --features fault-inject -- -D warn
 cargo clippy -p chipalign-tensor -- -D warnings
 cargo clippy -p chipalign-nn -- -D warnings
 cargo clippy -p chipalign-serve -- -D warnings
+cargo clippy -p chipalign-router -- -D warnings
 cargo run --release -p chipalign-bench --bin bench_kernels -- --smoke
 cargo run --release -p chipalign-bench --bin bench_batch -- --smoke
 cargo run --release -p chipalign-bench --bin bench_prefill -- --smoke
 cargo run --release -p chipalign-bench --bin bench_kvpool -- --smoke
+cargo run --release -p chipalign-bench --bin bench_serve -- --smoke
+cargo run --release -p chipalign-bench --bin bench_fleet -- --smoke
 
-echo "ci: build + tests + chaos + clippy + kernel/batch/prefill/kvpool smoke all green"
+echo "ci: build + tests + chaos + clippy + perf-binary smoke runs all green"
