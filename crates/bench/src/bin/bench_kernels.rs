@@ -1,12 +1,20 @@
 //! Kernel micro-benchmark baseline: times the blocked GEMM family, the
-//! KV-cached decode matvec path, and a full geodesic merge materialization,
-//! and writes `BENCH_kernels.json` at the repo root so future PRs have a
-//! perf trajectory to regress against.
+//! full backend × dtype decode matvec matrix (scalar/blocked/simd ×
+//! f32/int8), the `m == 1` skinny-GEMM fast path, the KV-cached decode
+//! loop at both dtypes, and a full geodesic merge materialization, and
+//! writes `BENCH_kernels.json` at the repo root so future PRs have a perf
+//! trajectory to regress against.
 //!
 //! ```text
 //! cargo run --release -p chipalign-bench --bin bench_kernels            # full run + JSON
 //! cargo run --release -p chipalign-bench --bin bench_kernels -- --smoke # tiny shapes, no JSON
 //! ```
+//!
+//! The backend matrix drives the three [`backend`] singletons *directly*
+//! (bypassing the process-wide one-time selection), so a single run times
+//! all of them; matvec rows also report `bytes` — the weight bytes one
+//! evaluation streams — which is where the int8 rows win: a `s×s` int8
+//! matvec moves `s² + 4s` bytes against f32's `4s²`.
 //!
 //! Everything is seeded (inputs come from `Pcg32`) and each timing is the
 //! median of `CHIPALIGN_BENCH_REPS` repetitions (default 9, 3 in smoke
@@ -21,8 +29,9 @@ use chipalign_bench::harness;
 use chipalign_merge::{GeodesicMerge, Merger};
 use chipalign_model::{ArchSpec, Checkpoint};
 use chipalign_nn::{KvCache, TinyLm};
+use chipalign_tensor::backend::{self, KernelBackend};
 use chipalign_tensor::rng::Pcg32;
-use chipalign_tensor::Matrix;
+use chipalign_tensor::{Matrix, QuantizedMatrix};
 
 fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key)
@@ -34,8 +43,9 @@ fn env_usize(key: &str, default: usize) -> usize {
 /// One timed kernel configuration.
 #[derive(Debug, Serialize)]
 struct KernelTiming {
-    /// Kernel name (`matmul`, `matmul_bt`, `matmul_at`, `transpose`,
-    /// `matvec`, `decode_step`, `geodesic_merge`).
+    /// Kernel name (`matmul`, `matmul_bt`, `matmul_bt_m1`, `matmul_at`,
+    /// `transpose`, `matvec_<dtype>_<backend>`, `decode_step`,
+    /// `decode_step_int8`, `geodesic_merge`).
     kernel: String,
     /// Human-readable problem shape, e.g. `128x128x128`.
     shape: String,
@@ -49,6 +59,10 @@ struct KernelTiming {
     /// GEMM/matvec, tokens/sec for decode, tensors/sec for merge); `0` when
     /// not meaningful.
     rate: f64,
+    /// Weight bytes one repetition streams from memory (`0` when not
+    /// meaningful). The decode-path figure of merit: int8 rows must beat
+    /// their f32 siblings here by ~4×.
+    bytes: u64,
 }
 
 #[derive(Debug, Serialize)]
@@ -86,6 +100,7 @@ fn gemm_timings(sizes: &[usize], reps: usize, out: &mut Vec<KernelTiming>) {
                     median_us,
                     min_us,
                     rate: macs / (median_us / 1e6),
+                    bytes: 0,
                 });
             };
         let t = time_median(reps, || {
@@ -110,15 +125,71 @@ fn gemm_timings(sizes: &[usize], reps: usize, out: &mut Vec<KernelTiming>) {
             median_us,
             min_us,
             rate: 0.0,
+            bytes: 0,
         });
     }
 }
 
+/// One f32 matvec through a *specific* backend (per-row dots, bypassing the
+/// process-wide selection) so a single run can time all three tiers.
+fn matvec_with(b: &dyn KernelBackend, w: &Matrix, x: &[f32], out: &mut [f32]) {
+    for (r, o) in out.iter_mut().enumerate() {
+        *o = b.dot(w.row(r), x);
+    }
+}
+
+/// The int8 sibling of [`matvec_with`]: per-row-scaled int8 weight rows
+/// against an f32 activation vector.
+fn matvec_q8_with(b: &dyn KernelBackend, w: &QuantizedMatrix, x: &[f32], out: &mut [f32]) {
+    for (r, o) in out.iter_mut().enumerate() {
+        *o = b.dot_q8(w.row(r), w.scale(r), x);
+    }
+}
+
+/// The full backend × dtype decode-matvec matrix: every backend tier times
+/// both the f32 and the int8 weight format on the same shapes, with the
+/// weight bytes each evaluation streams reported alongside.
 fn matvec_timings(sizes: &[usize], reps: usize, out: &mut Vec<KernelTiming>) {
     for &s in sizes {
         let mut rng = Pcg32::seed(42);
         let w = Matrix::randn(s, s, 1.0, &mut rng);
         let x = Matrix::randn(1, s, 1.0, &mut rng);
+        let q = QuantizedMatrix::quantize(&w);
+        let f32_bytes = 4 * (s * s) as u64;
+        let int8_bytes = q.weights_bytes();
+        let macs = (s * s) as f64;
+        let mut buf = vec![0.0f32; s];
+        for b in backend::all() {
+            let t = time_median(reps, || {
+                matvec_with(b, &w, x.data(), &mut buf);
+                black_box(&mut buf);
+            });
+            out.push(KernelTiming {
+                kernel: format!("matvec_f32_{}", b.name()),
+                shape: format!("{s}x{s} . {s}"),
+                reps,
+                median_us: t.0,
+                min_us: t.1,
+                rate: macs / (t.0 / 1e6),
+                bytes: f32_bytes,
+            });
+            let t = time_median(reps, || {
+                matvec_q8_with(b, &q, x.data(), &mut buf);
+                black_box(&mut buf);
+            });
+            out.push(KernelTiming {
+                kernel: format!("matvec_int8_{}", b.name()),
+                shape: format!("{s}x{s} . {s}"),
+                reps,
+                median_us: t.0,
+                min_us: t.1,
+                rate: macs / (t.0 / 1e6),
+                bytes: int8_bytes,
+            });
+        }
+        // The routed entry: whatever the process-wide selection picked,
+        // through the public `Matrix::matvec` door (dispatch overhead and
+        // all) — comparable against historical `matvec` rows.
         let (median_us, min_us) = time_median(reps, || {
             black_box(w.matvec(x.data()).expect("conformable"));
         });
@@ -128,30 +199,69 @@ fn matvec_timings(sizes: &[usize], reps: usize, out: &mut Vec<KernelTiming>) {
             reps,
             median_us,
             min_us,
-            rate: (s * s) as f64 / (median_us / 1e6),
+            rate: macs / (median_us / 1e6),
+            bytes: f32_bytes,
         });
     }
 }
 
-fn decode_timing(tokens: usize, reps: usize, out: &mut Vec<KernelTiming>) {
+/// The `m == 1` skinny-GEMM fast path, swept explicitly: a 1-row activation
+/// through `matmul_bt` must ride the matvec dispatch, including on
+/// rectangular (non-square, non-lane-multiple) weights.
+fn matmul_bt_m1_timings(sizes: &[usize], reps: usize, out: &mut Vec<KernelTiming>) {
+    for &s in sizes {
+        // A deliberately ragged column count exercises tile tails.
+        let cols = s + s / 2 + 1;
+        let mut rng = Pcg32::seed(43);
+        let w = Matrix::randn(s, cols, 1.0, &mut rng);
+        let x = Matrix::randn(1, cols, 1.0, &mut rng);
+        let (median_us, min_us) = time_median(reps, || {
+            black_box(x.matmul_bt(&w).expect("conformable"));
+        });
+        out.push(KernelTiming {
+            kernel: "matmul_bt_m1".to_string(),
+            shape: format!("1x{cols} . ({s}x{cols})^T"),
+            reps,
+            median_us,
+            min_us,
+            rate: (s * cols) as f64 / (median_us / 1e6),
+            bytes: 4 * (s * cols) as u64,
+        });
+    }
+}
+
+/// End-to-end KV-cached decode at both dtypes: the int8 row streams the
+/// quantized sidecar (projections at 1 byte/weight) and must beat the f32
+/// row on `bytes`.
+fn decode_timings(tokens: usize, reps: usize, out: &mut Vec<KernelTiming>) {
     let mut arch = ArchSpec::tiny("bench-kernels");
     arch.vocab_size = 99;
-    let model = std::sync::Arc::new(TinyLm::new(&arch, &mut Pcg32::seed(7)).expect("valid arch"));
+    let f32_model =
+        std::sync::Arc::new(TinyLm::new(&arch, &mut Pcg32::seed(7)).expect("valid arch"));
+    let mut quantized = (*f32_model).clone();
+    quantized.quantize();
+    let int8_model = std::sync::Arc::new(quantized);
     let budget = tokens.min(arch.max_seq_len);
-    let (median_us, min_us) = time_median(reps, || {
-        let mut cache = KvCache::new(&model);
-        for i in 0..budget {
-            black_box(cache.decode_step((4 + i % 90) as u32).expect("in vocab"));
-        }
-    });
-    out.push(KernelTiming {
-        kernel: "decode_step".to_string(),
-        shape: format!("{budget} tokens, kv-cached"),
-        reps,
-        median_us,
-        min_us,
-        rate: budget as f64 / (median_us / 1e6),
-    });
+    for (kernel, model) in [
+        ("decode_step", &f32_model),
+        ("decode_step_int8", &int8_model),
+    ] {
+        let (median_us, min_us) = time_median(reps, || {
+            let mut cache = KvCache::new(model);
+            for i in 0..budget {
+                black_box(cache.decode_step((4 + i % 90) as u32).expect("in vocab"));
+            }
+        });
+        out.push(KernelTiming {
+            kernel: kernel.to_string(),
+            shape: format!("{budget} tokens, kv-cached, {}", model.dtype()),
+            reps,
+            median_us,
+            min_us,
+            rate: budget as f64 / (median_us / 1e6),
+            bytes: model.weights_bytes() * budget as u64,
+        });
+    }
 }
 
 fn merge_timing(reps: usize, out: &mut Vec<KernelTiming>) {
@@ -170,6 +280,7 @@ fn merge_timing(reps: usize, out: &mut Vec<KernelTiming>) {
         median_us,
         min_us,
         rate: tensors as f64 / (median_us / 1e6),
+        bytes: 0,
     });
 }
 
@@ -180,16 +291,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let matvec_sizes: &[usize] = if smoke { &[16] } else { &[64, 256, 1024] };
     let decode_tokens = if smoke { 8 } else { 32 };
 
+    eprintln!(
+        "[bench_kernels] process-wide backend: {} (matrix rows time all tiers directly)",
+        backend::active_name()
+    );
     let mut timings = Vec::new();
     gemm_timings(gemm_sizes, reps, &mut timings);
     matvec_timings(matvec_sizes, reps, &mut timings);
-    decode_timing(decode_tokens, reps, &mut timings);
+    matmul_bt_m1_timings(matvec_sizes, reps, &mut timings);
+    decode_timings(decode_tokens, reps, &mut timings);
     merge_timing(reps, &mut timings);
 
     for t in &timings {
         eprintln!(
-            "[bench_kernels] {:<16} {:<24} median {:>10.1} us  min {:>10.1} us",
-            t.kernel, t.shape, t.median_us, t.min_us
+            "[bench_kernels] {:<20} {:<28} median {:>10.1} us  min {:>10.1} us  bytes {:>12}",
+            t.kernel, t.shape, t.median_us, t.min_us, t.bytes
         );
     }
 

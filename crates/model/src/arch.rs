@@ -319,10 +319,7 @@ mod tests {
     #[test]
     fn shapes_follow_convention() {
         let arch = ArchSpec::tiny("t");
-        assert_eq!(
-            arch.shape_of("model.embed_tokens.weight"),
-            Some((64, 16))
-        );
+        assert_eq!(arch.shape_of("model.embed_tokens.weight"), Some((64, 16)));
         assert_eq!(
             arch.shape_of("model.layers.0.mlp.gate_proj.weight"),
             Some((32, 16))

@@ -238,7 +238,7 @@ pub fn load(path: impl AsRef<Path>) -> Result<Checkpoint, ModelError> {
 /// The temporary sibling a [`save`] to `path` stages its bytes in. The pid
 /// suffix keeps concurrent saves from different processes from clobbering
 /// each other's staging file.
-fn tmp_sibling(path: &Path) -> PathBuf {
+pub(crate) fn tmp_sibling(path: &Path) -> PathBuf {
     let mut name = path
         .file_name()
         .map_or_else(|| std::ffi::OsString::from("ckpt"), |n| n.to_os_string());
@@ -246,12 +246,12 @@ fn tmp_sibling(path: &Path) -> PathBuf {
     path.with_file_name(name)
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
+pub(crate) fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
     buf.put_slice(s.as_bytes());
 }
 
-fn get_str(buf: &mut &[u8]) -> Result<String, ModelError> {
+pub(crate) fn get_str(buf: &mut &[u8]) -> Result<String, ModelError> {
     let len = take(buf, 4)?.get_u32_le() as usize;
     let mut bytes = vec![0u8; len];
     take(buf, len)?.copy_to_slice(&mut bytes);
@@ -259,7 +259,7 @@ fn get_str(buf: &mut &[u8]) -> Result<String, ModelError> {
 }
 
 /// Splits `n` bytes off the front of `buf`, failing on underrun.
-fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], ModelError> {
+pub(crate) fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], ModelError> {
     if buf.len() < n {
         return Err(corrupt("unexpected end of data"));
     }
@@ -268,14 +268,14 @@ fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], ModelError> {
     Ok(head)
 }
 
-fn corrupt(detail: &str) -> ModelError {
+pub(crate) fn corrupt(detail: &str) -> ModelError {
     ModelError::Corrupt {
         detail: detail.to_string(),
     }
 }
 
 /// FNV-1a 64-bit hash.
-fn fnv1a(data: &[u8]) -> u64 {
+pub(crate) fn fnv1a(data: &[u8]) -> u64 {
     let mut hash = 0xcbf29ce484222325u64;
     for &b in data {
         hash ^= u64::from(b);

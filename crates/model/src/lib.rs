@@ -15,6 +15,10 @@
 //!   versioned header, name/shape directory, little-endian `f32` payload,
 //!   FNV-1a checksum) standing in for the safetensors files real LLM
 //!   checkpoints ship as.
+//! * [`qformat`](mod@qformat) — the int8 sibling format ("CALQ"):
+//!   [`QuantCheckpoint`] stores projection weights as per-row-scaled int8
+//!   (norms and the embedding stay f32), quartering decode weight traffic;
+//!   the serving registry materializes one behind the `#int8` spec suffix.
 //!
 //! # Example
 //!
@@ -40,7 +44,9 @@ mod checkpoint;
 pub mod diff;
 mod error;
 pub mod format;
+pub mod qformat;
 
 pub use arch::{ArchSpec, ParamKind};
 pub use checkpoint::Checkpoint;
 pub use error::ModelError;
+pub use qformat::{QuantCheckpoint, QuantTensor};

@@ -26,6 +26,15 @@
 //! [`KvCache::decode_step`] calls — the serving scheduler relies on that to
 //! keep batched transcripts byte-equal to unbatched ones.
 //!
+//! Quantization note: when the model carries an int8 sidecar
+//! ([`crate::TinyLm::quantize`]), every decode projection streams the
+//! per-row-scaled int8 codes instead of the f32 matrices — norms,
+//! embedding lookups, and attention are unchanged. The batched ==
+//! single-step bit-identity holds for int8 exactly as for f32, because the
+//! quantized batched kernel accumulates each output element in
+//! [`chipalign_tensor::QuantizedMatrix::matvec`] order; tests below pin
+//! both that identity and the int8 path's tracking of the f32 oracle.
+//!
 //! Prefill note: prefill is resumable. [`KvCache::prefill_chunk`] processes
 //! any slice of a prompt and returns, and the cache can continue from where
 //! it stopped later — each position's keys and values depend only on the
@@ -52,7 +61,7 @@
 use std::sync::Arc;
 
 use chipalign_tensor::ops;
-use chipalign_tensor::Matrix;
+use chipalign_tensor::{Matrix, QuantizedMatrix};
 
 use crate::kvpool::{KvBlock, KvPool};
 use crate::model::TinyLm;
@@ -565,6 +574,7 @@ impl KvCache {
         // mutation.
         self.store.prepare_position(pos, arch.n_layers, d)?;
         let params = self.model.params();
+        let quant = self.model.quant();
 
         // Embedding row.
         let mut h: Vec<f32> = params.embed.row(token as usize).to_vec();
@@ -574,11 +584,12 @@ impl KvCache {
         let mut scores = std::mem::take(&mut self.score_buf);
 
         for (li, layer) in params.layers.iter().enumerate() {
+            let ql = quant.map(|qp| &qp.layers[li]);
             // Attention block.
             let h_norm = rmsnorm_row(&h, layer.norm1.data());
-            let mut q = project(&h_norm, &layer.wq);
-            let mut k = project(&h_norm, &layer.wk);
-            let v = project(&h_norm, &layer.wv);
+            let mut q = project(&h_norm, &layer.wq, ql.map(|l| &l.wq));
+            let mut k = project(&h_norm, &layer.wk, ql.map(|l| &l.wk));
+            let v = project(&h_norm, &layer.wv, ql.map(|l| &l.wv));
             rope_row(&mut q, pos, n_heads, head_dim);
             rope_row(&mut k, pos, n_heads, head_dim);
             self.store.write_row(li, pos, k, v);
@@ -586,21 +597,21 @@ impl KvCache {
             let mut ctx = vec![0.0f32; d];
             self.store
                 .attend(li, pos + 1, &q, n_heads, &mut scores, &mut ctx);
-            let attn_out = project(&ctx, &layer.wo);
+            let attn_out = project(&ctx, &layer.wo, ql.map(|l| &l.wo));
             for (a, b) in h.iter_mut().zip(&attn_out) {
                 *a += b;
             }
 
             // MLP block.
             let h_norm2 = rmsnorm_row(&h, layer.norm2.data());
-            let gate = project(&h_norm2, &layer.wg);
-            let up = project(&h_norm2, &layer.wu);
+            let gate = project(&h_norm2, &layer.wg, ql.map(|l| &l.wg));
+            let up = project(&h_norm2, &layer.wu, ql.map(|l| &l.wu));
             let act: Vec<f32> = gate
                 .iter()
                 .zip(&up)
                 .map(|(&g, &u)| ops::silu(g) * u)
                 .collect();
-            let mlp_out = project(&act, &layer.wd);
+            let mlp_out = project(&act, &layer.wd, ql.map(|l| &l.wd));
             for (a, b) in h.iter_mut().zip(&mlp_out) {
                 *a += b;
             }
@@ -609,7 +620,7 @@ impl KvCache {
         self.score_buf = scores;
 
         let h_final = rmsnorm_row(&h, params.final_norm.data());
-        let logits = project(&h_final, &params.lm_head);
+        let logits = project(&h_final, &params.lm_head, quant.map(|qp| &qp.lm_head));
         self.len += 1;
         self.tokens.push(token);
         Ok(logits)
@@ -719,6 +730,7 @@ impl KvCache {
         }
 
         let params = model.params();
+        let quant = model.quant();
 
         // Stack the embedding rows: one hidden-state row per session.
         let mut h = Matrix::zeros(n, d);
@@ -727,15 +739,16 @@ impl KvCache {
         }
 
         for (li, layer) in params.layers.iter().enumerate() {
+            let ql = quant.map(|qp| &qp.layers[li]);
             // Attention block: projections batched across sessions.
             let mut hn = Matrix::zeros(n, d);
             for r in 0..n {
                 let normed = rmsnorm_row(h.row(r), layer.norm1.data());
                 hn.row_mut(r).copy_from_slice(&normed);
             }
-            let mut q = project_rows(&hn, &layer.wq);
-            let mut k = project_rows(&hn, &layer.wk);
-            let v = project_rows(&hn, &layer.wv);
+            let mut q = project_rows(&hn, &layer.wq, ql.map(|l| &l.wq));
+            let mut k = project_rows(&hn, &layer.wk, ql.map(|l| &l.wk));
+            let v = project_rows(&hn, &layer.wv, ql.map(|l| &l.wv));
             for r in 0..n {
                 let pos = sessions[r].len;
                 rope_row(q.row_mut(r), pos, n_heads, head_dim);
@@ -755,7 +768,7 @@ impl KvCache {
                     .attend(li, pos + 1, q.row(r), n_heads, &mut scores, ctx.row_mut(r));
                 session.score_buf = scores;
             }
-            let attn_out = project_rows(&ctx, &layer.wo);
+            let attn_out = project_rows(&ctx, &layer.wo, ql.map(|l| &l.wo));
             for r in 0..n {
                 for (a, b) in h.row_mut(r).iter_mut().zip(attn_out.row(r)) {
                     *a += b;
@@ -768,15 +781,15 @@ impl KvCache {
                 let normed = rmsnorm_row(h.row(r), layer.norm2.data());
                 hn2.row_mut(r).copy_from_slice(&normed);
             }
-            let gate = project_rows(&hn2, &layer.wg);
-            let up = project_rows(&hn2, &layer.wu);
+            let gate = project_rows(&hn2, &layer.wg, ql.map(|l| &l.wg));
+            let up = project_rows(&hn2, &layer.wu, ql.map(|l| &l.wu));
             let mut act = Matrix::zeros(n, gate.cols());
             for r in 0..n {
                 for ((a, &g), &u) in act.row_mut(r).iter_mut().zip(gate.row(r)).zip(up.row(r)) {
                     *a = ops::silu(g) * u;
                 }
             }
-            let mlp_out = project_rows(&act, &layer.wd);
+            let mlp_out = project_rows(&act, &layer.wd, ql.map(|l| &l.wd));
             for r in 0..n {
                 for (a, b) in h.row_mut(r).iter_mut().zip(mlp_out.row(r)) {
                     *a += b;
@@ -789,7 +802,7 @@ impl KvCache {
             let normed = rmsnorm_row(h.row(r), params.final_norm.data());
             hf.row_mut(r).copy_from_slice(&normed);
         }
-        let logits = project_rows(&hf, &params.lm_head);
+        let logits = project_rows(&hf, &params.lm_head, quant.map(|qp| &qp.lm_head));
         for (s, &t) in sessions.iter_mut().zip(tokens) {
             s.len += 1;
             s.tokens.push(t);
@@ -799,17 +812,32 @@ impl KvCache {
 }
 
 /// `y = x · Wᵀ` for a single row, via the tensor crate's matvec fast path.
-fn project(x: &[f32], w: &Matrix) -> Vec<f32> {
-    w.matvec(x)
-        .expect("projection shapes are fixed by the architecture")
+/// When an int8 sidecar weight is supplied, the dot runs over the quantized
+/// codes instead — the f32 matrix is not touched.
+fn project(x: &[f32], w: &Matrix, q: Option<&QuantizedMatrix>) -> Vec<f32> {
+    match q {
+        Some(qw) => qw
+            .matvec(x)
+            .expect("projection shapes are fixed by the architecture"),
+        None => w
+            .matvec(x)
+            .expect("projection shapes are fixed by the architecture"),
+    }
 }
 
 /// `Y = X · Wᵀ` for a stack of rows, via the batched GEMM path. Row `r` of
-/// the result is bit-identical to `project(x.row(r), w)`: the tensor
-/// crate's skinny-m kernel accumulates in matvec order.
-fn project_rows(x: &Matrix, w: &Matrix) -> Matrix {
-    x.matmul_bt(w)
-        .expect("projection shapes are fixed by the architecture")
+/// the result is bit-identical to `project(x.row(r), w, q)`: both the f32
+/// skinny-m kernel and the quantized batched kernel accumulate in matvec
+/// order.
+fn project_rows(x: &Matrix, w: &Matrix, q: Option<&QuantizedMatrix>) -> Matrix {
+    match q {
+        Some(qw) => qw
+            .matmul_bt(x)
+            .expect("projection shapes are fixed by the architecture"),
+        None => x
+            .matmul_bt(w)
+            .expect("projection shapes are fixed by the architecture"),
+    }
 }
 
 /// Fused per-head score→softmax→context for one query row against one
@@ -1000,6 +1028,75 @@ mod tests {
         }
         for (a, b) in seq.iter().zip(&bat) {
             assert_eq!(a.len(), b.len());
+        }
+    }
+
+    fn quant_model() -> Arc<TinyLm> {
+        let mut arch = ArchSpec::tiny("kv");
+        arch.vocab_size = 99;
+        let mut m = TinyLm::new(&arch, &mut Pcg32::seed(77)).expect("valid");
+        m.quantize();
+        Arc::new(m)
+    }
+
+    #[test]
+    fn quantized_decode_tracks_f32_within_tolerance() {
+        // Same weights, same token stream (teacher-forced): the int8 decode
+        // may drift from the f32 oracle only by the quantization error,
+        // which for this architecture stays well under 0.25 per logit.
+        let f32_m = model();
+        let int8_m = quant_model();
+        let mut f32_c = KvCache::new(&f32_m);
+        let mut int8_c = KvCache::new(&int8_m);
+        let tokens = [4u32, 9, 14, 19, 24, 29, 7, 3];
+        for &t in &tokens {
+            let a = f32_c.decode_step(t).expect("ok");
+            let b = int8_c.decode_step(t).expect("ok");
+            let max_diff = a
+                .iter()
+                .zip(&b)
+                .fold(0.0f32, |acc, (x, y)| acc.max((x - y).abs()));
+            assert!(
+                max_diff <= 0.25,
+                "int8 logits drifted {max_diff} from f32 at token {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_decode_is_deterministic() {
+        // Two independent caches over the same quantized model agree
+        // bitwise — int8 decode is as reproducible as f32 decode.
+        let m = quant_model();
+        let mut a = KvCache::new(&m);
+        let mut b = KvCache::new(&m);
+        for t in [5u32, 11, 42, 8] {
+            assert_eq!(a.decode_step(t).expect("ok"), b.decode_step(t).expect("ok"));
+        }
+    }
+
+    #[test]
+    fn quantized_decode_batch_is_bitwise_identical_to_sequential() {
+        // The int8 twin of the f32 batched-decode bit-identity pin.
+        let m = quant_model();
+        let histories: [&[u32]; 3] = [&[5], &[5, 10, 15], &[7, 3, 9, 22, 41]];
+        let mk = |h: &&[u32]| {
+            let mut c = KvCache::new(&m);
+            c.prefill(h).expect("ok");
+            c
+        };
+        let mut seq: Vec<KvCache> = histories.iter().map(mk).collect();
+        let mut bat: Vec<KvCache> = histories.iter().map(mk).collect();
+        for round in 0..3u32 {
+            let toks: Vec<u32> = [11u32, 22, 33].iter().map(|&t| t + round).collect();
+            let expected: Vec<Vec<f32>> = seq
+                .iter_mut()
+                .zip(&toks)
+                .map(|(c, &t)| c.decode_step(t).expect("ok"))
+                .collect();
+            let mut refs: Vec<&mut KvCache> = bat.iter_mut().collect();
+            let got = KvCache::decode_batch(&mut refs, &toks).expect("ok");
+            assert_eq!(got, expected, "int8 round {round} drifted from sequential");
         }
     }
 

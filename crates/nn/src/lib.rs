@@ -25,6 +25,10 @@
 //!   sessions through one GEMM per projection — bit-identical to stepping
 //!   each session alone, which is what lets the serving scheduler batch
 //!   without changing a single output byte.
+//! * [`QuantParamSet`] — optional per-row-scaled int8 copies of the decode
+//!   projections (built by [`TinyLm::quantize`]); when attached, KV-cached
+//!   decode streams int8 weights through the quantized kernels while
+//!   training and the full f32 forward pass stay untouched.
 //! * [`kvpool`] — a paged KV allocator: fixed-size token blocks, per-cache
 //!   block tables, refcounted prefix aliasing with copy-on-write, so a
 //!   prefix fork costs O(blocks) pointer clones instead of O(bytes) and
@@ -65,6 +69,7 @@ pub mod loss;
 mod model;
 mod optim;
 mod params;
+mod quant;
 pub mod score;
 mod tokenizer;
 pub mod train;
@@ -77,4 +82,5 @@ pub use lora::{LoraConfig, LoraModel};
 pub use model::{ForwardCache, TinyLm};
 pub use optim::{Adam, AdamConfig};
 pub use params::{LayerParams, ParamSet};
+pub use quant::{QuantLayer, QuantParamSet};
 pub use tokenizer::{CharTokenizer, BOS, EOS, PAD, UNK};

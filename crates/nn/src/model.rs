@@ -10,12 +10,13 @@
 //! dispatch, with the same accumulation order as the KV-cached decode in
 //! [`crate::KvCache`], so the two paths agree numerically.
 
-use chipalign_model::{ArchSpec, Checkpoint, ModelError};
+use chipalign_model::{ArchSpec, Checkpoint, ModelError, QuantCheckpoint};
 use chipalign_tensor::ops;
 use chipalign_tensor::rng::Pcg32;
 use chipalign_tensor::Matrix;
 
 use crate::params::{LayerParams, ParamSet};
+use crate::quant::QuantParamSet;
 use crate::NnError;
 
 const RMS_EPS: f32 = 1e-5;
@@ -43,6 +44,10 @@ const ROPE_BASE: f32 = 10_000.0;
 pub struct TinyLm {
     arch: ArchSpec,
     params: ParamSet,
+    /// Optional int8 sidecar for the decode projections. `None` for f32
+    /// models; populated by [`TinyLm::quantize`] or a quantized checkpoint
+    /// load, and dropped whenever the f32 weights are mutated.
+    quant: Option<QuantParamSet>,
 }
 
 /// Cached activations from one forward pass, consumed by
@@ -88,6 +93,7 @@ impl TinyLm {
         Ok(TinyLm {
             arch: arch.clone(),
             params: ParamSet::init(arch, rng),
+            quant: None,
         })
     }
 
@@ -104,7 +110,76 @@ impl TinyLm {
         Ok(TinyLm {
             arch: ckpt.arch().clone(),
             params: ParamSet::from_checkpoint(ckpt)?,
+            quant: None,
         })
+    }
+
+    /// Reconstructs a quantized model from an int8 checkpoint: the f32
+    /// parameters come from dequantization (the decode path never reads the
+    /// dequantized projections, but norms, the embedding, and the training
+    /// oracle do), while the int8 sidecar reuses the checkpoint's stored
+    /// codes and scales exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying validation error if the checkpoint does not
+    /// instantiate its architecture, or [`NnError::BadConfig`] if a
+    /// projection tensor is missing or not int8.
+    pub fn from_quant_checkpoint(qckpt: &QuantCheckpoint) -> Result<Self, NnError> {
+        let mut model = TinyLm::from_checkpoint(&qckpt.dequantize()?)?;
+        model.quant = Some(QuantParamSet::from_quant_checkpoint(qckpt)?);
+        Ok(model)
+    }
+
+    /// Attaches (or refreshes) the int8 decode sidecar, quantizing every
+    /// projection weight at per-row scale. Idempotent; cheap relative to a
+    /// checkpoint load.
+    pub fn quantize(&mut self) {
+        self.quant = Some(QuantParamSet::quantize(&self.params));
+    }
+
+    /// Whether decode runs on the int8 weights.
+    #[must_use]
+    pub fn is_quantized(&self) -> bool {
+        self.quant.is_some()
+    }
+
+    /// The dtype decode streams for projection weights: `"int8"` when the
+    /// sidecar is attached, `"f32"` otherwise.
+    #[must_use]
+    pub fn dtype(&self) -> &'static str {
+        if self.quant.is_some() {
+            "int8"
+        } else {
+            "f32"
+        }
+    }
+
+    /// The int8 decode sidecar, if attached.
+    #[must_use]
+    pub fn quant(&self) -> Option<&QuantParamSet> {
+        self.quant.as_ref()
+    }
+
+    /// The model's weight footprint in bytes at its decode dtype: int8
+    /// projections plus f32 norms and embedding when quantized,
+    /// `4 × scalar_count` otherwise.
+    #[must_use]
+    pub fn weights_bytes(&self) -> u64 {
+        match &self.quant {
+            Some(q) => {
+                let quantized: u64 = q.weights_bytes();
+                let f32_rest: u64 = self
+                    .params
+                    .layers
+                    .iter()
+                    .map(|l| 4 * (l.norm1.len() + l.norm2.len()) as u64)
+                    .sum::<u64>()
+                    + 4 * (self.params.embed.len() + self.params.final_norm.len()) as u64;
+                quantized + f32_rest
+            }
+            None => 4 * self.params.scalar_count() as u64,
+        }
     }
 
     /// Exports the weights as a checkpoint.
@@ -130,7 +205,12 @@ impl TinyLm {
     }
 
     /// Mutable access to the parameters (used by the optimizer).
+    ///
+    /// Drops any attached int8 sidecar: once the f32 weights can change,
+    /// previously quantized codes would silently go stale. Re-call
+    /// [`TinyLm::quantize`] after mutating.
     pub fn params_mut(&mut self) -> &mut ParamSet {
+        self.quant = None;
         &mut self.params
     }
 
@@ -545,6 +625,36 @@ mod tests {
         assert_eq!(logits.shape(), (4, 99));
         assert_eq!(cache.layers.len(), 2);
         assert!(logits.all_finite());
+    }
+
+    #[test]
+    fn quantize_attaches_and_mutation_drops_the_sidecar() {
+        let mut m = model(1);
+        assert!(!m.is_quantized());
+        assert_eq!(m.dtype(), "f32");
+        let f32_bytes = m.weights_bytes();
+        m.quantize();
+        assert!(m.is_quantized());
+        assert_eq!(m.dtype(), "int8");
+        assert!(
+            m.weights_bytes() < f32_bytes,
+            "int8 decode must stream fewer bytes than f32"
+        );
+        // Touching the f32 weights invalidates the quantized codes.
+        let _ = m.params_mut();
+        assert!(!m.is_quantized());
+        assert_eq!(m.weights_bytes(), f32_bytes);
+    }
+
+    #[test]
+    fn quant_checkpoint_round_trip_preserves_sidecar() {
+        let mut m = model(2);
+        m.quantize();
+        let qckpt = chipalign_model::QuantCheckpoint::quantize(&m.to_checkpoint().expect("valid"));
+        let back = TinyLm::from_quant_checkpoint(&qckpt).expect("loads");
+        assert!(back.is_quantized());
+        // Same f32 source, same quantizer: the sidecars agree exactly.
+        assert_eq!(back.quant(), m.quant());
     }
 
     #[test]

@@ -25,7 +25,9 @@ fn test_arch() -> ArchSpec {
 /// Loss of `model` on a fixed token sequence.
 fn loss_of(model: &TinyLm, tokens: &[u32]) -> f32 {
     let logits = model.logits(tokens).expect("forward succeeds");
-    loss::cross_entropy(&logits, tokens).expect("loss succeeds").loss
+    loss::cross_entropy(&logits, tokens)
+        .expect("loss succeeds")
+        .loss
 }
 
 #[test]
@@ -36,7 +38,9 @@ fn analytic_gradients_match_finite_differences_everywhere() {
 
     let (logits, cache) = model.forward(&tokens).expect("forward succeeds");
     let result = loss::cross_entropy(&logits, &tokens).expect("loss succeeds");
-    let grads = model.backward(&cache, &result.dlogits).expect("backward succeeds");
+    let grads = model
+        .backward(&cache, &result.dlogits)
+        .expect("backward succeeds");
 
     let names = model.params().names();
     let grad_tensors = grads.tensors();
@@ -91,7 +95,9 @@ fn gradient_descent_direction_reduces_loss() {
     let tokens: Vec<u32> = vec![2, 6, 10, 14, 18];
     let (logits, cache) = model.forward(&tokens).expect("forward succeeds");
     let result = loss::cross_entropy(&logits, &tokens).expect("loss succeeds");
-    let grads = model.backward(&cache, &result.dlogits).expect("backward succeeds");
+    let grads = model
+        .backward(&cache, &result.dlogits)
+        .expect("backward succeeds");
 
     let before = loss_of(&model, &tokens);
     let mut stepped = model.clone();
@@ -130,12 +136,7 @@ fn batch_gradient_is_mean_of_example_gradients() {
     let w1 = l1.target_count as f32 / full.target_count as f32;
     let w2 = l2.target_count as f32 / full.target_count as f32;
     assert!((full.loss - (w1 * l1.loss + w2 * l2.loss)).abs() < 1e-5);
-    for ((gf, ga), gb) in g_full
-        .tensors()
-        .iter()
-        .zip(g1.tensors())
-        .zip(g2.tensors())
-    {
+    for ((gf, ga), gb) in g_full.tensors().iter().zip(g1.tensors()).zip(g2.tensors()) {
         let combined = ga.scale(w1).add(&gb.scale(w2)).expect("same shapes");
         assert!(
             gf.approx_eq(&combined, 1e-5),

@@ -19,7 +19,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
-use chipalign_serve::protocol::{self, ReplicaHealth, ReplicaStatus, Request, Response};
+use chipalign_serve::protocol::{
+    self, LoadedModel, ReplicaHealth, ReplicaStatus, Request, Response,
+};
 use chipalign_serve::{
     ErrorCode, GenerateRequest, Generation, MetricsSnapshot, RetryPolicy, ServeError,
 };
@@ -469,11 +471,23 @@ impl Router {
     /// Union of every reachable replica's loaded models and zoo slugs.
     #[must_use]
     pub fn fleet_models(&self) -> (Vec<String>, Vec<String>) {
+        let (loaded, zoo, _) = self.fleet_models_detailed();
+        (loaded, zoo)
+    }
+
+    /// Like [`Router::fleet_models`], plus the per-model detail rows
+    /// (dtype, weight bytes) deduplicated by model key across replicas.
+    #[must_use]
+    pub fn fleet_models_detailed(&self) -> (Vec<String>, Vec<String>, Vec<LoadedModel>) {
         let mut loaded: Vec<String> = Vec::new();
         let mut zoo: Vec<String> = Vec::new();
+        let mut details: Vec<LoadedModel> = Vec::new();
         for (_, addr) in self.reachable_replicas() {
-            if let Ok(Response::Models { loaded: l, zoo: z }) =
-                self.admin_request(&addr, &Request::Models)
+            if let Ok(Response::Models {
+                loaded: l,
+                zoo: z,
+                models,
+            }) = self.admin_request(&addr, &Request::Models)
             {
                 for m in l {
                     if !loaded.contains(&m) {
@@ -485,9 +499,14 @@ impl Router {
                         zoo.push(m);
                     }
                 }
+                for d in models {
+                    if !details.iter().any(|have| have.model == d.model) {
+                        details.push(d);
+                    }
+                }
             }
         }
-        (loaded, zoo)
+        (loaded, zoo, details)
     }
 
     /// Broadcasts a `load` to every reachable replica so the model (often

@@ -208,8 +208,12 @@ fn dispatch(inner: &Arc<RouterInner>, req: Request) -> Response {
         },
         Request::Metrics => Response::Metrics(router.fleet_metrics()),
         Request::Models => {
-            let (loaded, zoo) = router.fleet_models();
-            Response::Models { loaded, zoo }
+            let (loaded, zoo, models) = router.fleet_models_detailed();
+            Response::Models {
+                loaded,
+                zoo,
+                models,
+            }
         }
         Request::Load { model } => match router.fleet_load(&model) {
             Ok(key) => Response::Loaded { model: key },

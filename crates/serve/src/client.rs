@@ -25,7 +25,7 @@ use chipalign_tensor::rng::Pcg32;
 
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::protocol::{
-    self, ErrorCode, GenerateRequest, Generation, ReplicaStatus, Request, Response,
+    self, ErrorCode, GenerateRequest, Generation, LoadedModel, ReplicaStatus, Request, Response,
 };
 use crate::ServeError;
 
@@ -117,7 +117,21 @@ impl Client {
     /// Propagates transport errors and unexpected replies.
     pub fn models(&mut self) -> Result<(Vec<String>, Vec<String>), ServeError> {
         match self.request(&Request::Models)? {
-            Response::Models { loaded, zoo } => Ok((loaded, zoo)),
+            Response::Models { loaded, zoo, .. } => Ok((loaded, zoo)),
+            Response::Error(w) => Err(ServeError::Remote(w)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Lists per-model detail rows (dtype, weight bytes). Empty against a
+    /// server that predates the quantization surface.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors and unexpected replies.
+    pub fn models_detailed(&mut self) -> Result<Vec<LoadedModel>, ServeError> {
+        match self.request(&Request::Models)? {
+            Response::Models { models, .. } => Ok(models),
             Response::Error(w) => Err(ServeError::Remote(w)),
             other => Err(unexpected(&other)),
         }

@@ -74,8 +74,8 @@ pub use error::ServeError;
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use prefix::{PrefixCache, PrefixCacheConfig};
 pub use protocol::{
-    ErrorCode, FinishReason, GenerateRequest, Generation, ReplicaHealth, ReplicaStatus, Request,
-    Response, WireError, PROTOCOL_VERSION,
+    ErrorCode, FinishReason, GenerateRequest, Generation, LoadedModel, ReplicaHealth,
+    ReplicaStatus, Request, Response, WireError, PROTOCOL_VERSION,
 };
 pub use registry::{all_zoo_models, ModelRegistry, ModelSpec};
 pub use scheduler::{Scheduler, SchedulerConfig, SessionRequest, SessionResult};

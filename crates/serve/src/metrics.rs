@@ -138,6 +138,11 @@ pub struct Metrics {
     /// Prefix-cache snapshots evicted under KV-pool pressure (admission
     /// reclaiming blocks for a live session).
     pool_evictions: AtomicU64,
+    /// Total weight bytes of every model in the registry cache at its
+    /// decode dtype (int8 models count their quantized footprint). A
+    /// gauge, not a counter: the registry recomputes it on every insert
+    /// and evict.
+    weights_bytes: AtomicU64,
     /// Paged KV pools whose gauges are summed into snapshots. Weak so the
     /// metrics core never keeps a dead model's pool alive; dead entries
     /// are pruned on registration and at snapshot time.
@@ -174,6 +179,7 @@ impl Default for Metrics {
             prefill_chunks: AtomicU64::new(0),
             merge_evictions: AtomicU64::new(0),
             pool_evictions: AtomicU64::new(0),
+            weights_bytes: AtomicU64::new(0),
             kv_pools: Mutex::new(Vec::new()),
             latency: Histogram::default(),
             queue_wait: Histogram::default(),
@@ -284,6 +290,13 @@ impl Metrics {
         self.pool_evictions.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Sets the resident-weights gauge (total bytes across every cached
+    /// model at its decode dtype). Called by the registry with a freshly
+    /// recomputed total, so this stores rather than accumulates.
+    pub fn set_weights_bytes(&self, bytes: u64) {
+        self.weights_bytes.store(bytes, Ordering::Relaxed);
+    }
+
     /// Registers a paged KV pool so its block gauges flow into snapshots.
     /// Idempotent per pool; holds only a weak reference, so a pool dies
     /// with its model and silently leaves the gauges.
@@ -357,6 +370,8 @@ impl Metrics {
             prefill_chunks: self.prefill_chunks.load(Ordering::Relaxed),
             merge_evictions: self.merge_evictions.load(Ordering::Relaxed),
             pool_evictions: self.pool_evictions.load(Ordering::Relaxed),
+            weights_bytes: self.weights_bytes.load(Ordering::Relaxed),
+            simd_backend: chipalign_tensor::backend::active_name().to_string(),
             kv_blocks_in_use,
             kv_blocks_free,
             cow_copies,
@@ -435,6 +450,14 @@ pub struct MetricsSnapshot {
     /// Prefix-cache snapshots evicted under KV-pool pressure.
     #[serde(default)]
     pub pool_evictions: u64,
+    /// Total weight bytes resident in the registry cache at decode dtype.
+    #[serde(default)]
+    pub weights_bytes: u64,
+    /// The kernel backend this server selected at startup (`scalar`,
+    /// `blocked`, `simd`, or `simd(blocked-fallback)` when AVX2 is
+    /// absent). Empty from pre-v3 servers.
+    #[serde(default)]
+    pub simd_backend: String,
     /// KV blocks currently allocated across every registered paged pool.
     #[serde(default)]
     pub kv_blocks_in_use: u64,
@@ -531,6 +554,10 @@ impl MetricsSnapshot {
         self.prefill_chunks = self.prefill_chunks.saturating_add(other.prefill_chunks);
         self.merge_evictions = self.merge_evictions.saturating_add(other.merge_evictions);
         self.pool_evictions = self.pool_evictions.saturating_add(other.pool_evictions);
+        self.weights_bytes = self.weights_bytes.saturating_add(other.weights_bytes);
+        if self.simd_backend.is_empty() {
+            self.simd_backend.clone_from(&other.simd_backend);
+        }
         self.kv_blocks_in_use = self.kv_blocks_in_use.saturating_add(other.kv_blocks_in_use);
         self.kv_blocks_free = self.kv_blocks_free.saturating_add(other.kv_blocks_free);
         self.cow_copies = self.cow_copies.saturating_add(other.cow_copies);
@@ -714,6 +741,8 @@ mod tests {
             "prefill_chunks",
             "merge_evictions",
             "pool_evictions",
+            "weights_bytes",
+            "simd_backend",
             "kv_blocks_in_use",
             "kv_blocks_free",
             "cow_copies",
@@ -733,6 +762,8 @@ mod tests {
         assert_eq!(back.prefill_chunks, 0);
         assert_eq!(back.merge_evictions, 0);
         assert_eq!(back.pool_evictions, 0);
+        assert_eq!(back.weights_bytes, 0);
+        assert!(back.simd_backend.is_empty());
         assert_eq!(back.kv_blocks_in_use, 0);
         assert_eq!(back.kv_blocks_free, 0);
         assert_eq!(back.cow_copies, 0);
@@ -820,6 +851,29 @@ mod tests {
         assert_eq!(a.latency_p95_ms, 9.0);
         assert_eq!(a.uptime_ms, 4_000);
         assert!((a.requests_per_sec - 3.0).abs() < 1e-9, "12 done over 4 s");
+    }
+
+    #[test]
+    fn weights_gauge_and_backend_flow_into_snapshot_and_absorb() {
+        let m = Metrics::new();
+        m.set_weights_bytes(1_000);
+        m.set_weights_bytes(640); // a gauge: stores, never accumulates
+        let snap = m.snapshot();
+        assert_eq!(snap.weights_bytes, 640);
+        assert!(
+            ["scalar", "blocked", "simd", "simd(blocked-fallback)"]
+                .contains(&snap.simd_backend.as_str()),
+            "unexpected backend {:?}",
+            snap.simd_backend
+        );
+
+        // Fleet aggregation: bytes sum, the backend label survives from
+        // the first replica that reported one.
+        let mut fleet = MetricsSnapshot::default();
+        fleet.absorb(&snap);
+        fleet.absorb(&snap);
+        assert_eq!(fleet.weights_bytes, 1_280);
+        assert_eq!(fleet.simd_backend, snap.simd_backend);
     }
 
     #[test]

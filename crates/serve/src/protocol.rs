@@ -21,10 +21,13 @@ use crate::ServeError;
 /// fault counters in metrics snapshots); version 3 adds the fleet surface:
 /// `fleet`/`drain` requests answered by `chipalign-router`, replica status
 /// reporting, and raw histogram buckets in metrics snapshots so fleet
-/// aggregation can recompute quantiles. Everything is additive with serde
-/// defaults, so older clients interoperate with newer servers and vice
-/// versa; a single-process `chipalign-serve` answers the fleet requests
-/// with a structured `bad_request` instead of dropping the connection.
+/// aggregation can recompute quantiles. The quantization surface (the
+/// `#int8` spec suffix, the per-model `models` detail rows, and the
+/// `weights_bytes`/`simd_backend` snapshot fields) is additive within
+/// version 3. Everything is additive with serde defaults, so older clients
+/// interoperate with newer servers and vice versa; a single-process
+/// `chipalign-serve` answers the fleet requests with a structured
+/// `bad_request` instead of dropping the connection.
 pub const PROTOCOL_VERSION: u32 = 3;
 
 /// A client-to-server message.
@@ -159,6 +162,10 @@ pub enum Response {
         /// Zoo slugs that can be requested directly or as merge
         /// ingredients.
         zoo: Vec<String>,
+        /// Per-model detail rows (dtype and weight bytes), index-free and
+        /// keyed by `model`. Empty from older servers.
+        #[serde(default)]
+        models: Vec<LoadedModel>,
     },
     /// A `load` completed; `model` is the canonical cache key.
     Loaded {
@@ -194,6 +201,18 @@ pub enum Response {
     },
     /// The request failed.
     Error(WireError),
+}
+
+/// One materialized model's detail row in a `models` reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadedModel {
+    /// Canonical registry key.
+    pub model: String,
+    /// Decode dtype: `"f32"`, or `"int8"` for a `#int8` variant.
+    pub dtype: String,
+    /// Weight bytes resident at that dtype.
+    #[serde(default)]
+    pub weights_bytes: u64,
 }
 
 /// Health of one replica as seen by the router.
@@ -418,6 +437,44 @@ mod tests {
                 assert_eq!(replicas[0].state, ReplicaHealth::Healthy);
                 assert_eq!(replicas[1].state, ReplicaHealth::Draining);
                 assert_eq!(replicas[1].consecutive_failures, 2);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn models_reply_detail_rows_are_additive() {
+        let resp = Response::Models {
+            loaded: vec!["canary".into(), "canary#int8".into()],
+            zoo: vec!["instruct-qwen".into()],
+            models: vec![
+                LoadedModel {
+                    model: "canary".into(),
+                    dtype: "f32".into(),
+                    weights_bytes: 4_000,
+                },
+                LoadedModel {
+                    model: "canary#int8".into(),
+                    dtype: "int8".into(),
+                    weights_bytes: 1_200,
+                },
+            ],
+        };
+        let json = serde_json::to_string(&resp).expect("serialize");
+        match parse_line::<Response>(&json).expect("parse") {
+            Response::Models { models, .. } => {
+                assert_eq!(models.len(), 2);
+                assert_eq!(models[1].dtype, "int8");
+                assert_eq!(models[1].weights_bytes, 1_200);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // An older server's reply (no detail rows) still parses.
+        let old = r#"{"type":"models","loaded":["canary"],"zoo":[]}"#;
+        match parse_line::<Response>(old).expect("parse") {
+            Response::Models { loaded, models, .. } => {
+                assert_eq!(loaded, vec!["canary".to_string()]);
+                assert!(models.is_empty());
             }
             other => panic!("wrong variant: {other:?}"),
         }

@@ -11,6 +11,12 @@
 //!   interpolation point is one `load` request, no restart.
 //! * **Checkpoint files** (`file:<path>.calt`) — loaded with
 //!   [`chipalign_model::format`].
+//! * **Int8 variants** (`<spec>#int8`) — any of the above with the decode
+//!   projections quantized to per-row-scaled int8 at load. The f32
+//!   ingredient resolves through the same cache first (so it is shared
+//!   with f32 traffic), then a quantized clone is cached under its own
+//!   `…#int8` key. A quantized merge key still starts with `merge:` and
+//!   therefore counts toward, and can be evicted by, the merge bound.
 //!
 //! All materialized models live behind `Arc`s in one cache keyed by a
 //! canonical spec string; [`ModelRegistry::register`] inserts programmatic
@@ -104,20 +110,32 @@ pub enum ModelSpec {
     },
     /// A checkpoint file in the crate's `.calt` format.
     File(PathBuf),
+    /// An int8-quantized variant of another spec (`<spec>#int8`).
+    Quantized(Box<ModelSpec>),
 }
 
 impl ModelSpec {
     /// Parses a spec string.
     ///
     /// Grammar: `<zoo-slug>` | `merge:<chip-slug>+<instruct-slug>@<λ>` |
-    /// `file:<path>`.
+    /// `file:<path>`, each optionally suffixed `#int8` for the quantized
+    /// variant.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::UnknownModel`] for unknown slugs and
-    /// [`ServeError::BadRequest`] for malformed merge specs.
+    /// [`ServeError::BadRequest`] for malformed merge specs or a stacked
+    /// `#int8#int8` suffix.
     pub fn parse(spec: &str) -> Result<Self, ServeError> {
         let spec = spec.trim();
+        if let Some(inner) = spec.strip_suffix("#int8") {
+            if inner.ends_with("#int8") {
+                return Err(ServeError::BadRequest {
+                    detail: format!("spec {spec:?} stacks #int8 more than once"),
+                });
+            }
+            return Ok(ModelSpec::Quantized(Box::new(ModelSpec::parse(inner)?)));
+        }
         if let Some(path) = spec.strip_prefix("file:") {
             if path.is_empty() {
                 return Err(ServeError::BadRequest {
@@ -176,6 +194,7 @@ impl ModelSpec {
                 lambda,
             } => format!("merge:{}+{}@{:.4}", chip.slug(), instruct.slug(), lambda),
             ModelSpec::File(p) => format!("file:{}", p.display()),
+            ModelSpec::Quantized(inner) => format!("{}#int8", inner.key()),
         }
     }
 }
@@ -374,9 +393,12 @@ impl ModelRegistry {
 
     /// Attaches a metrics core so integrity failures are counted in
     /// `checksum_failures`. Only the first attachment wins (the server
-    /// calls this at bind).
+    /// calls this at bind). Seeds the `weights_bytes` gauge from whatever
+    /// is already cached.
     pub fn attach_metrics(&self, metrics: Arc<Metrics>) {
         let _ = self.metrics.set(metrics);
+        let cache = self.cache_lock();
+        self.refresh_weights_gauge(&cache);
     }
 
     /// The backing zoo.
@@ -406,6 +428,22 @@ impl ModelRegistry {
                 m.on_merge_eviction();
             }
         }
+        self.refresh_weights_gauge(&cache);
+    }
+
+    /// Recomputes the `weights_bytes` gauge as the sum over every cached
+    /// model at its decode dtype. Recompute-from-scratch (rather than
+    /// add/subtract bookkeeping) keeps the gauge right regardless of when
+    /// metrics were attached or which path inserted or evicted.
+    fn refresh_weights_gauge(&self, cache: &ModelCache) {
+        if let Some(m) = self.metrics.get() {
+            let total: u64 = cache
+                .entries
+                .values()
+                .map(|e| e.model.weights_bytes())
+                .sum();
+            m.set_weights_bytes(total);
+        }
     }
 
     /// Registers a model under an arbitrary name (hot-swap path for
@@ -425,10 +463,29 @@ impl ModelRegistry {
     /// checkpoint-I/O failures.
     pub fn resolve_str(&self, spec: &str) -> Result<(String, Arc<TinyLm>), ServeError> {
         // Registered names take priority and need no parse.
-        if let Some(m) = self.cache_lock().get(spec.trim()) {
-            return Ok((spec.trim().to_string(), m));
+        let trimmed = spec.trim();
+        if let Some(m) = self.cache_lock().get(trimmed) {
+            return Ok((trimmed.to_string(), m));
         }
-        let parsed = ModelSpec::parse(spec)?;
+        let parsed = match ModelSpec::parse(trimmed) {
+            Ok(parsed) => parsed,
+            Err(err) => {
+                // `<registered-name>#int8`: a quantized variant of a model
+                // that was registered programmatically, so the inner name
+                // has no spec grammar. Two concurrent callers may both
+                // quantize; the second insert wins — same bytes either way.
+                if let Some(inner) = trimmed.strip_suffix("#int8") {
+                    if let Some(base) = self.cache_lock().get(inner) {
+                        let mut model = (*base).clone();
+                        model.quantize();
+                        let arc = Arc::new(model);
+                        self.cache_insert(trimmed.to_string(), Arc::clone(&arc));
+                        return Ok((trimmed.to_string(), arc));
+                    }
+                }
+                return Err(err);
+            }
+        };
         let model = self.resolve(&parsed)?;
         Ok((parsed.key(), model))
     }
@@ -534,6 +591,15 @@ impl ModelRegistry {
                 })?;
                 Ok(TinyLm::from_checkpoint(&ckpt)?)
             }
+            ModelSpec::Quantized(inner) => {
+                // The f32 ingredient resolves through the cache under its
+                // own (different) key, so recursing cannot deadlock the
+                // per-key build claim — and f32 traffic shares the base.
+                let base = self.resolve(inner)?;
+                let mut model = (*base).clone();
+                model.quantize();
+                Ok(model)
+            }
         }
     }
 
@@ -608,7 +674,12 @@ impl ModelRegistry {
             Err(_) => spec.trim().to_string(),
         };
         let mut cache = self.cache_lock();
-        cache.entries.remove(&key).is_some() || cache.entries.remove(spec.trim()).is_some()
+        let removed =
+            cache.entries.remove(&key).is_some() || cache.entries.remove(spec.trim()).is_some();
+        if removed {
+            self.refresh_weights_gauge(&cache);
+        }
+        removed
     }
 
     /// Cache keys of every materialized model, sorted.
@@ -617,6 +688,21 @@ impl ModelRegistry {
         let mut keys: Vec<String> = self.cache_lock().entries.keys().cloned().collect();
         keys.sort();
         keys
+    }
+
+    /// `(key, decode dtype, weight bytes)` for every materialized model,
+    /// sorted by key — the admin `models` surface.
+    #[must_use]
+    pub fn loaded_details(&self) -> Vec<(String, &'static str, u64)> {
+        let cache = self.cache_lock();
+        let mut rows: Vec<(String, &'static str, u64)> = cache
+            .entries
+            .iter()
+            .map(|(k, e)| (k.clone(), e.model.dtype(), e.model.weights_bytes()))
+            .collect();
+        drop(cache);
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
     }
 }
 
@@ -693,6 +779,96 @@ mod tests {
             ModelSpec::parse("file:"),
             Err(ServeError::BadRequest { .. })
         ));
+    }
+
+    #[test]
+    fn spec_parsing_accepts_int8_suffix_on_every_form() {
+        assert_eq!(
+            ModelSpec::parse("instruct-qwen#int8").expect("ok"),
+            ModelSpec::Quantized(Box::new(ModelSpec::Zoo(ZooModel::Instruct(
+                Backbone::QwenTiny
+            ))))
+        );
+        let merged = ModelSpec::parse("merge:eda-qwen+instruct-qwen@0.60#int8").expect("ok");
+        assert_eq!(merged.key(), "merge:eda-qwen+instruct-qwen@0.6000#int8");
+        assert!(
+            merged.key().starts_with("merge:"),
+            "quantized merges stay under the merge eviction bound"
+        );
+        assert_eq!(
+            ModelSpec::parse("file:x.calt#int8").expect("ok").key(),
+            "file:x.calt#int8"
+        );
+    }
+
+    #[test]
+    fn spec_parsing_rejects_stacked_int8() {
+        assert!(matches!(
+            ModelSpec::parse("instruct-qwen#int8#int8"),
+            Err(ServeError::BadRequest { .. })
+        ));
+        assert!(matches!(
+            ModelSpec::parse("no-such-model#int8"),
+            Err(ServeError::UnknownModel { .. })
+        ));
+    }
+
+    #[test]
+    fn registered_name_int8_resolves_to_quantized_clone() {
+        let reg = registry();
+        reg.register("canary", random_model(9));
+        let (key, q) = reg.resolve_str("canary#int8").expect("quantized variant");
+        assert_eq!(key, "canary#int8");
+        assert_eq!(q.dtype(), "int8");
+        let (_, base) = reg.resolve_str("canary").expect("base");
+        assert_eq!(
+            base.dtype(),
+            "f32",
+            "quantizing a clone leaves the base f32"
+        );
+        assert!(q.weights_bytes() < base.weights_bytes());
+        assert_eq!(
+            reg.loaded(),
+            vec!["canary".to_string(), "canary#int8".to_string()]
+        );
+        // Second resolve hits the cache: same allocation.
+        let (_, again) = reg.resolve_str("canary#int8").expect("cached");
+        assert!(Arc::ptr_eq(&q, &again));
+    }
+
+    #[test]
+    fn quantized_zoo_spec_caches_the_f32_base_too() {
+        let reg = registry();
+        let (key, q) = reg.resolve_str("instruct-qwen#int8").expect("resolve");
+        assert_eq!(key, "instruct-qwen#int8");
+        assert_eq!(q.dtype(), "int8");
+        let loaded = reg.loaded();
+        assert!(
+            loaded.contains(&"instruct-qwen".to_string()),
+            "f32 ingredient resolves through the cache and stays shared"
+        );
+        assert!(loaded.contains(&"instruct-qwen#int8".to_string()));
+    }
+
+    #[test]
+    fn weights_gauge_tracks_cache_contents() {
+        let reg = registry();
+        let metrics = Arc::new(Metrics::new());
+        reg.attach_metrics(Arc::clone(&metrics));
+        let base = reg.register("canary", random_model(11));
+        assert_eq!(metrics.snapshot().weights_bytes, base.weights_bytes());
+        let (_, q) = reg.resolve_str("canary#int8").expect("quantize");
+        assert_eq!(
+            metrics.snapshot().weights_bytes,
+            base.weights_bytes() + q.weights_bytes()
+        );
+        assert!(reg.evict("canary#int8"));
+        assert_eq!(metrics.snapshot().weights_bytes, base.weights_bytes());
+        let details = reg.loaded_details();
+        assert_eq!(details.len(), 1);
+        assert_eq!(details[0].0, "canary");
+        assert_eq!(details[0].1, "f32");
+        assert_eq!(details[0].2, base.weights_bytes());
     }
 
     #[test]

@@ -99,6 +99,13 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        // The backend choice is process-wide and made exactly once; saying
+        // it at startup is the only way an operator learns whether the
+        // AVX2 tier actually engaged on this host.
+        eprintln!(
+            "chipalign-serve: listening on {addr}, kernel backend {}",
+            chipalign_tensor::backend::active_name()
+        );
         let metrics = Arc::new(Metrics::new());
         registry.attach_metrics(Arc::clone(&metrics));
         let scheduler = Scheduler::start(cfg.scheduler.clone(), Arc::clone(&metrics));
@@ -259,6 +266,18 @@ fn dispatch(inner: &Arc<ServerInner>, req: Request) -> Response {
             zoo: crate::registry::all_zoo_models()
                 .iter()
                 .map(|m| m.slug())
+                .collect(),
+            models: inner
+                .registry
+                .loaded_details()
+                .into_iter()
+                .map(
+                    |(model, dtype, weights_bytes)| crate::protocol::LoadedModel {
+                        model,
+                        dtype: dtype.to_string(),
+                        weights_bytes,
+                    },
+                )
                 .collect(),
         },
         Request::Load { model } => match inner.registry.resolve_str(&model) {

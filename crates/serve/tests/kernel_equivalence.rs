@@ -33,6 +33,22 @@ fn pinned_model() -> TinyLm {
     TinyLm::new(&arch, &mut Pcg32::seed(20_250_806)).expect("model")
 }
 
+/// The pinned absolute logit tolerance for int8 decode against the f32
+/// oracle — the same bound the nn-crate int8 tests pin. Per-row symmetric
+/// quantization of this architecture's projections stays comfortably
+/// inside it; a kernel or quantizer change that drifts past it fails here
+/// before it ships.
+const INT8_LOGIT_TOL: f32 = 0.25;
+
+/// The pinned model with its int8 decode sidecar attached. Quantization is
+/// deterministic, so every call (and the registry's `pinned#int8` clone)
+/// carries identical codes and scales.
+fn pinned_int8_model() -> TinyLm {
+    let mut m = pinned_model();
+    m.quantize();
+    m
+}
+
 fn registry_with_pinned() -> ModelRegistry {
     let zoo = Zoo::new(ZooConfig {
         quality: Quality::Smoke,
@@ -353,6 +369,225 @@ fn pooled_decoder_transcripts_identical_through_window_slide() {
     assert_eq!(got, expected, "paged KV storage must be bit-invisible");
     drop(decoder);
     assert_eq!(pool.blocks_in_use(), 0, "all blocks return to the pool");
+}
+
+/// The int8-vs-f32 pin: teacher-forcing the f32 greedy transcript through
+/// both decode paths, every int8 logit stays within the pinned tolerance
+/// of its f32 oracle, and wherever the f32 argmax margin exceeds twice the
+/// tolerance the int8 argmax agrees (near-ties are legitimately allowed to
+/// flip; confident tokens are not).
+#[test]
+fn int8_decode_tracks_the_f32_oracle_within_pinned_tolerance() {
+    use chipalign_nn::KvCache;
+
+    let f32_model = Arc::new(pinned_model());
+    let int8_model = Arc::new(pinned_int8_model());
+    let tok = CharTokenizer::new();
+    let mut ids = vec![BOS];
+    ids.extend(tok.encode("hold margin"));
+
+    let mut oracle = KvCache::new(&f32_model);
+    let mut quant = KvCache::new(&int8_model);
+    let mut f32_logits = oracle.prefill(&ids).expect("f32 prefill");
+    let mut int8_logits = quant.prefill(&ids).expect("int8 prefill");
+
+    for step in 0..16 {
+        let max_diff = f32_logits
+            .iter()
+            .zip(&int8_logits)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(
+            max_diff <= INT8_LOGIT_TOL,
+            "step {step}: int8 logits drifted {max_diff} > {INT8_LOGIT_TOL}"
+        );
+        let next = ops::argmax(&f32_logits).expect("vocab") as u32;
+        // Margin gate: when the f32 winner leads by more than 2×tol, no
+        // in-tolerance perturbation can flip the argmax.
+        let mut sorted = f32_logits.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite logits"));
+        if sorted[0] - sorted[1] > 2.0 * INT8_LOGIT_TOL {
+            assert_eq!(
+                ops::argmax(&int8_logits).expect("vocab") as u32,
+                next,
+                "step {step}: confident f32 token must survive quantization"
+            );
+        }
+        f32_logits = oracle.decode_step(next).expect("f32 step");
+        int8_logits = quant.decode_step(next).expect("int8 step");
+    }
+}
+
+/// The served-int8 pin: a generation against the registry's `pinned#int8`
+/// variant is byte-identical to a local single-threaded `generate()` on an
+/// identically quantized model — the serving stack adds no numeric drift
+/// of its own on the int8 path.
+#[test]
+fn served_int8_transcripts_identical_to_local_int8_decode() {
+    let server = Server::bind(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            scheduler: SchedulerConfig {
+                workers: 2,
+                max_sessions: 8,
+                slice_tokens: 4,
+                stall_slices: 64,
+                max_batch: 1,
+                ..SchedulerConfig::default()
+            },
+            max_new_tokens_cap: 10_000_000,
+            default_deadline_ms: None,
+            instance_tag: None,
+        },
+        registry_with_pinned(),
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let int8_model = pinned_int8_model();
+    let tok = CharTokenizer::new();
+    // Budget 64 slides the 32-token context window: the replay path must
+    // also be bit-identical on int8.
+    for (prompt, budget) in [("kernel swap", 20), ("slide please", 64)] {
+        let mut req = GenerateRequest::greedy("pinned#int8", prompt, budget);
+        req.stop_at_eos = false;
+        let served = client.generate(req).expect("generate");
+
+        let mut ids = vec![BOS];
+        ids.extend(tok.encode(prompt));
+        let cfg = GenerateConfig {
+            max_new_tokens: budget,
+            stop_at_eos: false,
+            ..GenerateConfig::default()
+        };
+        let local = generate(&int8_model, &ids, &cfg).expect("local int8");
+        assert_eq!(
+            served.text,
+            tok.decode(&local),
+            "served int8 transcript not byte-identical for {prompt:?}"
+        );
+        assert_eq!(served.model, "pinned#int8");
+    }
+    server.shutdown();
+}
+
+/// The batched-int8 pin: concurrent int8 sessions forced through the
+/// skinny-GEMM `decode_batch` path produce transcripts byte-identical to
+/// single-threaded int8 `generate()` — batching stays bit-invisible at
+/// int8 exactly as it is at f32.
+#[test]
+fn batched_int8_transcripts_identical_to_single_threaded_int8() {
+    let int8_model = pinned_int8_model();
+    let tok = CharTokenizer::new();
+    let jobs: &[(&str, usize)] = &[
+        ("kernel swap", 20),
+        ("clock tree?", 20),
+        ("slide please", 64),
+        ("hold margin", 12),
+    ];
+    let expected: Vec<String> = jobs
+        .iter()
+        .map(|&(prompt, budget)| {
+            let mut ids = vec![BOS];
+            ids.extend(tok.encode(prompt));
+            let cfg = GenerateConfig {
+                max_new_tokens: budget,
+                stop_at_eos: false,
+                ..GenerateConfig::default()
+            };
+            tok.decode(&generate(&int8_model, &ids, &cfg).expect("reference"))
+        })
+        .collect();
+
+    let server = Server::bind(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            scheduler: SchedulerConfig {
+                workers: 1,
+                max_sessions: 8,
+                slice_tokens: 4,
+                stall_slices: 64,
+                max_batch: 4,
+                ..SchedulerConfig::default()
+            },
+            max_new_tokens_cap: 10_000_000,
+            default_deadline_ms: None,
+            instance_tag: None,
+        },
+        registry_with_pinned(),
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let served: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = jobs
+            .iter()
+            .map(|&(prompt, budget)| {
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut req = GenerateRequest::greedy("pinned#int8", prompt, budget);
+                    req.stop_at_eos = false;
+                    client.generate(req).expect("generate").text
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    for ((got, want), &(prompt, _)) in served.iter().zip(&expected).zip(jobs) {
+        assert_eq!(got, want, "batched int8, prompt {prompt:?}");
+    }
+    server.shutdown();
+}
+
+/// The admin-surface pin: loading `pinned#int8` surfaces an int8 detail
+/// row whose bytes beat the f32 row, the weights gauge equals the sum of
+/// every row, and the snapshot names the kernel backend in use.
+#[test]
+fn int8_registry_surfaces_dtype_weight_gauge_and_backend() {
+    let server = Server::bind(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            scheduler: SchedulerConfig::default(),
+            max_new_tokens_cap: 10_000_000,
+            default_deadline_ms: None,
+            instance_tag: None,
+        },
+        registry_with_pinned(),
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let key = client.load("pinned#int8").expect("load");
+    assert_eq!(key, "pinned#int8");
+
+    let details = client.models_detailed().expect("models");
+    let row = |m: &str| {
+        details
+            .iter()
+            .find(|d| d.model == m)
+            .unwrap_or_else(|| panic!("missing detail row for {m}"))
+            .clone()
+    };
+    let f32_row = row("pinned");
+    let int8_row = row("pinned#int8");
+    assert_eq!(f32_row.dtype, "f32");
+    assert_eq!(int8_row.dtype, "int8");
+    assert!(
+        int8_row.weights_bytes < f32_row.weights_bytes / 2,
+        "int8 footprint ({}) must be under half the f32 footprint ({})",
+        int8_row.weights_bytes,
+        f32_row.weights_bytes
+    );
+
+    let snap = client.metrics().expect("metrics");
+    let total: u64 = details.iter().map(|d| d.weights_bytes).sum();
+    assert_eq!(snap.weights_bytes, total, "gauge must equal the row sum");
+    assert!(
+        !snap.simd_backend.is_empty(),
+        "snapshot must name the selected kernel backend"
+    );
+    server.shutdown();
 }
 
 /// The wire-path pin: served sessions decode on the registry's per-model

@@ -1,0 +1,543 @@
+//! Pluggable dense-kernel backends with one-time runtime selection.
+//!
+//! Every hot dot-product-shaped kernel in [`crate::Matrix`] (and the int8
+//! kernels in [`crate::QuantizedMatrix`]) routes through one process-wide
+//! [`KernelBackend`], selected once at first use:
+//!
+//! * [`ScalarBackend`] — the naive single-accumulator loops; the
+//!   differential-testing oracle, never fast.
+//! * [`BlockedBackend`] — the autovectorized lane-split/column-tiled kernels
+//!   this workspace shipped with (see [`crate::tune`]); the portable fast
+//!   tier.
+//! * [`SimdBackend`] — explicit `std::arch` x86_64 AVX2/FMA intrinsics,
+//!   used only when runtime feature detection confirms the CPU supports
+//!   them; on any other machine its methods fall back to the blocked
+//!   kernels, so the type exists (and benches) everywhere.
+//!
+//! Selection happens exactly once per process via [`active`]: the
+//! `CHIPALIGN_BACKEND` environment variable (`scalar` | `blocked` | `simd`)
+//! wins when set to a known value, otherwise AVX2+FMA machines get the SIMD
+//! tier and everything else gets the blocked tier. Pinning the choice for
+//! the whole process is what keeps the serving stack's bit-identity
+//! invariants intact: batched decode, chunked prefill, and per-session
+//! decode all accumulate in the *same* backend's order, so transcripts
+//! never depend on which code path computed a given dot product.
+//!
+//! Backends can also be driven directly (e.g. `bench_kernels` times all
+//! three in one process via [`all`]) — direct calls bypass the global
+//! selection entirely.
+
+use std::sync::OnceLock;
+
+use crate::tune;
+
+/// The kernel primitives a backend must provide. Implementations differ in
+/// instruction selection, not semantics: all compute the same products to
+/// within floating-point reassociation (bounded at 1e-4 relative by the
+/// backend-equivalence proptests).
+pub trait KernelBackend: Send + Sync {
+    /// Short stable identifier (`"scalar"`, `"blocked"`, `"simd"`), used in
+    /// logs, metrics, and bench labels.
+    fn name(&self) -> &'static str;
+
+    /// Dense dot product of two equal-length `f32` slices.
+    fn dot(&self, a: &[f32], b: &[f32]) -> f32;
+
+    /// One output row of `A·B`: `out_row = a_row · b`, with `b` a
+    /// `k × n` row-major block (`k = a_row.len()`).
+    fn gemm_row(&self, a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]);
+
+    /// Dot of a per-row-scaled int8 weight row against an `f32` activation
+    /// vector: `scale · Σ wᵢ·xᵢ` with the `i8` weights widened in-register.
+    fn dot_q8(&self, w_row: &[i8], scale: f32, x: &[f32]) -> f32;
+}
+
+/// Naive reference backend: single-accumulator loops in source order.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalarBackend;
+
+/// The autovectorized blocked backend: [`tune::DOT_LANES`]-way lane-split
+/// reductions and [`tune::GEMM_COL_TILE`]-wide register-tiled GEMM rows.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockedBackend;
+
+/// Explicit AVX2/FMA backend (x86_64 only); falls back to
+/// [`BlockedBackend`]'s kernels per call when the CPU (or architecture)
+/// lacks the features, so it is safe to invoke unconditionally.
+#[derive(Debug, Clone, Copy)]
+pub struct SimdBackend;
+
+/// The scalar backend singleton.
+pub static SCALAR: ScalarBackend = ScalarBackend;
+/// The blocked backend singleton.
+pub static BLOCKED: BlockedBackend = BlockedBackend;
+/// The explicit-SIMD backend singleton.
+pub static SIMD: SimdBackend = SimdBackend;
+
+impl KernelBackend for ScalarBackend {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn dot(&self, a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+    }
+
+    fn gemm_row(&self, a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
+        for (j, o) in out_row.iter_mut().enumerate().take(n) {
+            let mut acc = 0.0f32;
+            for (kk, &a) in a_row.iter().enumerate() {
+                acc += a * b[kk * n + j];
+            }
+            *o = acc;
+        }
+    }
+
+    fn dot_q8(&self, w_row: &[i8], scale: f32, x: &[f32]) -> f32 {
+        scale
+            * w_row
+                .iter()
+                .zip(x)
+                .map(|(&q, &v)| f32::from(q) * v)
+                .sum::<f32>()
+    }
+}
+
+impl KernelBackend for BlockedBackend {
+    fn name(&self) -> &'static str {
+        "blocked"
+    }
+
+    fn dot(&self, a: &[f32], b: &[f32]) -> f32 {
+        dot_lanes_blocked(a, b)
+    }
+
+    fn gemm_row(&self, a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
+        gemm_row_blocked(a_row, b, n, 0, out_row);
+    }
+
+    fn dot_q8(&self, w_row: &[i8], scale: f32, x: &[f32]) -> f32 {
+        dot_q8_lanes_blocked(w_row, scale, x)
+    }
+}
+
+impl KernelBackend for SimdBackend {
+    fn name(&self) -> &'static str {
+        "simd"
+    }
+
+    fn dot(&self, a: &[f32], b: &[f32]) -> f32 {
+        #[cfg(target_arch = "x86_64")]
+        if let Some(v) = x86::dot(a, b) {
+            return v;
+        }
+        dot_lanes_blocked(a, b)
+    }
+
+    fn gemm_row(&self, a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
+        #[cfg(target_arch = "x86_64")]
+        if x86::gemm_row(a_row, b, n, out_row) {
+            return;
+        }
+        gemm_row_blocked(a_row, b, n, 0, out_row);
+    }
+
+    fn dot_q8(&self, w_row: &[i8], scale: f32, x: &[f32]) -> f32 {
+        #[cfg(target_arch = "x86_64")]
+        if let Some(v) = x86::dot_q8(w_row, scale, x) {
+            return v;
+        }
+        dot_q8_lanes_blocked(w_row, scale, x)
+    }
+}
+
+/// Whether the explicit-SIMD tier can actually run AVX2/FMA code on this
+/// machine. Always `false` off x86_64.
+#[must_use]
+pub fn simd_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+static ACTIVE: OnceLock<&'static dyn KernelBackend> = OnceLock::new();
+
+/// The process-wide backend every routed kernel uses, selected on first
+/// call and never changed afterwards (see the module docs for why).
+#[must_use]
+pub fn active() -> &'static dyn KernelBackend {
+    *ACTIVE.get_or_init(|| match std::env::var("CHIPALIGN_BACKEND").as_deref() {
+        Ok("scalar") => &SCALAR,
+        Ok("blocked") => &BLOCKED,
+        Ok("simd") => &SIMD,
+        _ => {
+            if simd_supported() {
+                &SIMD
+            } else {
+                &BLOCKED
+            }
+        }
+    })
+}
+
+/// Name of the process-wide active backend (for startup logs and metrics).
+/// An explicit `CHIPALIGN_BACKEND=simd` on hardware without AVX2/FMA still
+/// runs the blocked fallback and is reported as `"simd(blocked-fallback)"`
+/// so dashboards never claim vector throughput that is not happening.
+#[must_use]
+pub fn active_name() -> &'static str {
+    let b = active();
+    if b.name() == "simd" && !simd_supported() {
+        "simd(blocked-fallback)"
+    } else {
+        b.name()
+    }
+}
+
+/// All three backends, for code (benches, differential tests) that sweeps
+/// the full matrix in one process instead of using the global selection.
+#[must_use]
+pub fn all() -> [&'static dyn KernelBackend; 3] {
+    [&SCALAR, &BLOCKED, &SIMD]
+}
+
+/// Lane-split dot product: [`tune::DOT_LANES`] independent partial sums so
+/// the reduction has no serial floating-point dependency chain and
+/// autovectorises.
+pub(crate) fn dot_lanes_blocked(a: &[f32], b: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; tune::DOT_LANES];
+    let mut a_chunks = a.chunks_exact(tune::DOT_LANES);
+    let mut b_chunks = b.chunks_exact(tune::DOT_LANES);
+    for (ca, cb) in (&mut a_chunks).zip(&mut b_chunks) {
+        for ((lane, &x), &y) in lanes.iter_mut().zip(ca).zip(cb) {
+            *lane += x * y;
+        }
+    }
+    let tail: f32 = a_chunks
+        .remainder()
+        .iter()
+        .zip(b_chunks.remainder())
+        .map(|(&x, &y)| x * y)
+        .sum();
+    lanes.iter().sum::<f32>() + tail
+}
+
+/// Lane-split int8×f32 dot: the [`dot_lanes_blocked`] recipe with the `i8`
+/// weights widened to `f32` in the inner loop, scaled once at the end.
+pub(crate) fn dot_q8_lanes_blocked(w: &[i8], scale: f32, x: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; tune::DOT_LANES];
+    let mut w_chunks = w.chunks_exact(tune::DOT_LANES);
+    let mut x_chunks = x.chunks_exact(tune::DOT_LANES);
+    for (cw, cx) in (&mut w_chunks).zip(&mut x_chunks) {
+        for ((lane, &q), &v) in lanes.iter_mut().zip(cw).zip(cx) {
+            *lane += f32::from(q) * v;
+        }
+    }
+    let tail: f32 = w_chunks
+        .remainder()
+        .iter()
+        .zip(x_chunks.remainder())
+        .map(|(&q, &v)| f32::from(q) * v)
+        .sum();
+    scale * (lanes.iter().sum::<f32>() + tail)
+}
+
+/// Columns `[j0, n)` of one output row of `A·B`, swept in
+/// [`tune::GEMM_COL_TILE`]-wide tiles whose partial sums live in a stack
+/// array the compiler keeps in vector registers. `j0 = 0` is the full
+/// blocked GEMM row; the SIMD kernel reuses the tail (`j0 = 16·⌊n/16⌋`)
+/// for its ragged trailing columns.
+pub(crate) fn gemm_row_blocked(a_row: &[f32], b: &[f32], n: usize, j0: usize, out_row: &mut [f32]) {
+    let mut j0 = j0;
+    while j0 < n {
+        let w = tune::GEMM_COL_TILE.min(n - j0);
+        let mut acc = [0.0f32; tune::GEMM_COL_TILE];
+        for (kk, &a) in a_row.iter().enumerate() {
+            let b_strip = &b[kk * n + j0..kk * n + j0 + w];
+            for (ac, &bv) in acc.iter_mut().zip(b_strip) {
+                *ac += a * bv;
+            }
+        }
+        out_row[j0..j0 + w].copy_from_slice(&acc[..w]);
+        j0 += w;
+    }
+}
+
+/// The `std::arch` AVX2/FMA kernels, behind safe wrappers that return
+/// `None`/`false` when the CPU lacks the features. This is the only module
+/// in the crate allowed to contain `unsafe` (the crate-level gate is
+/// `#![deny(unsafe_code)]`); every intrinsic call is reachable only after
+/// [`simd_supported`] has confirmed AVX2+FMA at runtime, and the
+/// raw-pointer loops never read past the slice lengths they check.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod x86 {
+    use std::arch::x86_64::{
+        __m128i, __m256, _mm256_add_ps, _mm256_cvtepi32_ps, _mm256_cvtepi8_epi32, _mm256_fmadd_ps,
+        _mm256_loadu_ps, _mm256_set1_ps, _mm256_setzero_ps, _mm256_storeu_ps, _mm_loadl_epi64,
+    };
+
+    /// Dispatches to the AVX2 dot when supported.
+    pub(super) fn dot(a: &[f32], b: &[f32]) -> Option<f32> {
+        if !super::simd_supported() {
+            return None;
+        }
+        // SAFETY: AVX2+FMA presence was verified just above.
+        Some(unsafe { dot_avx2(a, b) })
+    }
+
+    /// Dispatches to the AVX2 GEMM row when supported; `false` means the
+    /// caller must run the portable kernel instead.
+    pub(super) fn gemm_row(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) -> bool {
+        if !super::simd_supported() {
+            return false;
+        }
+        // SAFETY: AVX2+FMA presence was verified just above.
+        unsafe { gemm_row_avx2(a_row, b, n, out_row) };
+        true
+    }
+
+    /// Dispatches to the AVX2 int8×f32 dot when supported.
+    pub(super) fn dot_q8(w: &[i8], scale: f32, x: &[f32]) -> Option<f32> {
+        if !super::simd_supported() {
+            return None;
+        }
+        // SAFETY: AVX2+FMA presence was verified just above.
+        Some(unsafe { dot_q8_avx2(w, scale, x) })
+    }
+
+    /// Sums the 8 lanes of a `__m256` through a stack spill (the reduction
+    /// runs once per dot, off the critical path, so shuffle chains would
+    /// buy nothing).
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support.
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum256(v: __m256) -> f32 {
+        let mut tmp = [0.0f32; 8];
+        _mm256_storeu_ps(tmp.as_mut_ptr(), v);
+        tmp.iter().sum()
+    }
+
+    /// AVX2/FMA dot product: [`crate::tune::SIMD_DOT_UNROLL`] independent
+    /// 8-lane FMA accumulators (32 elements per iteration), an 8-wide
+    /// cleanup loop, then a scalar tail.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2+FMA support; `a` and `b` must be
+    /// equal-length.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let pa = a.as_ptr();
+        let pb = b.as_ptr();
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut acc2 = _mm256_setzero_ps();
+        let mut acc3 = _mm256_setzero_ps();
+        let mut i = 0usize;
+        while i + 32 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
+            acc1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(pa.add(i + 8)),
+                _mm256_loadu_ps(pb.add(i + 8)),
+                acc1,
+            );
+            acc2 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(pa.add(i + 16)),
+                _mm256_loadu_ps(pb.add(i + 16)),
+                acc2,
+            );
+            acc3 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(pa.add(i + 24)),
+                _mm256_loadu_ps(pb.add(i + 24)),
+                acc3,
+            );
+            i += 32;
+        }
+        while i + 8 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
+            i += 8;
+        }
+        let folded = _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
+        let mut total = hsum256(folded);
+        while i < n {
+            total += *pa.add(i) * *pb.add(i);
+            i += 1;
+        }
+        total
+    }
+
+    /// AVX2/FMA int8×f32 dot: 8 weights at a time are widened
+    /// `i8 → i32 → f32` in-register (`vpmovsxbd` + `vcvtdq2ps`) and FMA'd
+    /// against the activations; the per-row scale is applied once at the
+    /// end. This is the decode kernel that moves 1 byte per weight instead
+    /// of 4.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2+FMA support; `w` and `x` must be
+    /// equal-length.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn dot_q8_avx2(w: &[i8], scale: f32, x: &[f32]) -> f32 {
+        debug_assert_eq!(w.len(), x.len());
+        let n = w.len();
+        let pw = w.as_ptr();
+        let px = x.as_ptr();
+        let mut acc = _mm256_setzero_ps();
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let q8 = _mm_loadl_epi64(pw.add(i).cast::<__m128i>());
+            let wf = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(q8));
+            acc = _mm256_fmadd_ps(wf, _mm256_loadu_ps(px.add(i)), acc);
+            i += 8;
+        }
+        let mut total = hsum256(acc);
+        while i < n {
+            total += f32::from(*pw.add(i)) * *px.add(i);
+            i += 1;
+        }
+        scale * total
+    }
+
+    /// AVX2/FMA GEMM row: 16-wide column tiles held in two `ymm`
+    /// accumulators across the whole `k` loop (one broadcast + two FMAs
+    /// per weight), with the ragged trailing columns delegated to the
+    /// blocked scalar tile.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2+FMA support; `b` must be
+    /// `a_row.len() × n` row-major and `out_row` at least `n` long.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn gemm_row_avx2(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
+        debug_assert!(b.len() >= a_row.len() * n);
+        debug_assert!(out_row.len() >= n);
+        let pb = b.as_ptr();
+        let po = out_row.as_mut_ptr();
+        let mut j = 0usize;
+        while j + 16 <= n {
+            let mut acc0 = _mm256_setzero_ps();
+            let mut acc1 = _mm256_setzero_ps();
+            for (kk, &a) in a_row.iter().enumerate() {
+                let av = _mm256_set1_ps(a);
+                let strip = pb.add(kk * n + j);
+                acc0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(strip), acc0);
+                acc1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(strip.add(8)), acc1);
+            }
+            _mm256_storeu_ps(po.add(j), acc0);
+            _mm256_storeu_ps(po.add(j + 8), acc1);
+            j += 16;
+        }
+        if j < n {
+            super::gemm_row_blocked(a_row, b, n, j, out_row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Pcg32;
+
+    fn randv(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = Pcg32::seed(seed);
+        (0..n).map(|_| rng.normal()).collect()
+    }
+
+    #[test]
+    fn names_are_distinct_and_stable() {
+        let names: Vec<&str> = all().iter().map(|b| b.name()).collect();
+        assert_eq!(names, vec!["scalar", "blocked", "simd"]);
+    }
+
+    #[test]
+    fn active_is_sticky_and_listed() {
+        let first = active().name();
+        let second = active().name();
+        assert_eq!(first, second, "selection must be one-time");
+        assert!(all().iter().any(|b| b.name() == first));
+        assert!(active_name().starts_with(first));
+    }
+
+    #[test]
+    fn dots_agree_across_backends_on_awkward_lengths() {
+        // 1, 7, 8, 31, 33: scalar tails, exactly one lane chunk, and the
+        // SIMD kernel's 32-wide main loop boundary on both sides.
+        for n in [1usize, 7, 8, 31, 32, 33, 100] {
+            let a = randv(n, 1 + n as u64);
+            let b = randv(n, 100 + n as u64);
+            let reference = SCALAR.dot(&a, &b);
+            for backend in all() {
+                let got = backend.dot(&a, &b);
+                let tol = 1e-4 * reference.abs().max(1.0);
+                assert!(
+                    (got - reference).abs() <= tol,
+                    "{} dot drifted at n={n}: {got} vs {reference}",
+                    backend.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_rows_agree_across_backends() {
+        // n straddles the 16-wide tile boundary; k straddles the lane
+        // width.
+        for (k, n) in [(5usize, 3usize), (9, 16), (17, 19), (33, 40)] {
+            let a_row = randv(k, 7);
+            let b = randv(k * n, 8);
+            let mut reference = vec![0.0f32; n];
+            SCALAR.gemm_row(&a_row, &b, n, &mut reference);
+            for backend in all() {
+                let mut got = vec![0.0f32; n];
+                backend.gemm_row(&a_row, &b, n, &mut got);
+                for (g, r) in got.iter().zip(&reference) {
+                    assert!(
+                        (g - r).abs() <= 1e-4 * r.abs().max(1.0),
+                        "{} gemm_row drifted at k={k} n={n}",
+                        backend.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn q8_dots_agree_across_backends() {
+        for n in [1usize, 8, 13, 40] {
+            let w: Vec<i8> = (0..n)
+                .map(|i| ((i as i32 * 37) % 255 - 127) as i8)
+                .collect();
+            let x = randv(n, 5 + n as u64);
+            let scale = 0.037f32;
+            let reference = SCALAR.dot_q8(&w, scale, &x);
+            for backend in all() {
+                let got = backend.dot_q8(&w, scale, &x);
+                assert!(
+                    (got - reference).abs() <= 1e-4 * reference.abs().max(1.0),
+                    "{} dot_q8 drifted at n={n}: {got} vs {reference}",
+                    backend.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simd_backend_is_safe_everywhere() {
+        // Whether or not AVX2 exists here, the SIMD tier must answer (via
+        // intrinsics or the blocked fallback).
+        let a = randv(50, 2);
+        let b = randv(50, 3);
+        let got = SIMD.dot(&a, &b);
+        assert!((got - SCALAR.dot(&a, &b)).abs() <= 1e-3);
+    }
+}

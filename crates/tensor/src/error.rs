@@ -105,7 +105,10 @@ mod tests {
             cols: 2,
             len: 3,
         };
-        assert_eq!(err.to_string(), "buffer of length 3 cannot back a 2x2 matrix");
+        assert_eq!(
+            err.to_string(),
+            "buffer of length 3 cannot back a 2x2 matrix"
+        );
     }
 
     #[test]
@@ -114,16 +117,16 @@ mod tests {
             index: (5, 0),
             shape: (2, 2),
         };
-        assert_eq!(
-            err.to_string(),
-            "index (5, 0) out of bounds for 2x2 matrix"
-        );
+        assert_eq!(err.to_string(), "index (5, 0) out of bounds for 2x2 matrix");
     }
 
     #[test]
     fn display_empty() {
         let err = TensorError::Empty { op: "argmax" };
-        assert_eq!(err.to_string(), "operation argmax requires a non-empty matrix");
+        assert_eq!(
+            err.to_string(),
+            "operation argmax requires a non-empty matrix"
+        );
     }
 
     #[test]

@@ -17,6 +17,13 @@
 //!   lets decode paths prove which kernel they ran on.
 //! * [`reference`] — the retained naive kernels, used as differential-test
 //!   oracles for the blocked implementations (1e-4 relative tolerance).
+//! * [`backend`] — the pluggable kernel tier: scalar reference, the blocked
+//!   autovectorized kernels, and an explicit AVX2/FMA tier selected once per
+//!   process by runtime feature detection (`CHIPALIGN_BACKEND` overrides).
+//!   `matvec`/`vecmat`/GEMM rows all route through the active backend.
+//! * [`QuantizedMatrix`] — per-row-scaled symmetric int8 weights with
+//!   int8×f32 matvec/skinny-GEMM kernels for the decode path; f32 kernels
+//!   stay as differential oracles.
 //!
 //! The ChipAlign paper (DAC 2025) treats each weight matrix
 //! `W ∈ R^{p×q}` as a point that can be projected onto the unit
@@ -43,12 +50,18 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the explicit-SIMD kernels in
+// `backend::x86` are the one sanctioned `unsafe` island (scoped
+// `#[allow(unsafe_code)]`, every intrinsic behind runtime feature
+// detection); everything else in the crate still refuses unsafe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 mod error;
 mod matrix;
 pub mod ops;
+mod quant;
 pub mod reference;
 pub mod rng;
 pub mod stats;
@@ -56,3 +69,4 @@ pub mod tune;
 
 pub use error::TensorError;
 pub use matrix::Matrix;
+pub use quant::QuantizedMatrix;

@@ -672,44 +672,22 @@ impl Matrix {
     }
 }
 
-/// Lane-split dot product: [`tune::DOT_LANES`] independent partial sums so
-/// the reduction has no serial floating-point dependency chain and
-/// autovectorises.
+/// Dot product through the process-wide kernel backend
+/// ([`crate::backend::active`]). Historically this *was* the lane-split
+/// blocked reduction; that code now lives in the [`crate::backend`] module
+/// as the blocked tier, and this wrapper keeps every caller
+/// (`matvec`/`gemm_bt_row`/`gemm_bt_skinny_row`) on whichever tier was
+/// selected at startup — one backend per process, so accumulation order
+/// never varies between call sites.
 fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
-    let mut lanes = [0.0f32; tune::DOT_LANES];
-    let mut a_chunks = a.chunks_exact(tune::DOT_LANES);
-    let mut b_chunks = b.chunks_exact(tune::DOT_LANES);
-    for (ca, cb) in (&mut a_chunks).zip(&mut b_chunks) {
-        for ((lane, &x), &y) in lanes.iter_mut().zip(ca).zip(cb) {
-            *lane += x * y;
-        }
-    }
-    let tail: f32 = a_chunks
-        .remainder()
-        .iter()
-        .zip(b_chunks.remainder())
-        .map(|(&x, &y)| x * y)
-        .sum();
-    lanes.iter().sum::<f32>() + tail
+    crate::backend::active().dot(a, b)
 }
 
-/// One output row of `A·B`: sweep `a_row` once per [`tune::GEMM_COL_TILE`]
-/// tile of output columns, accumulating the tile in a stack array the
-/// compiler keeps in vector registers.
+/// One output row of `A·B` through the process-wide kernel backend (the
+/// column-tiled register accumulation lives in [`crate::backend`] as the
+/// blocked tier; the SIMD tier replaces it with 16-wide FMA tiles).
 fn gemm_row_tiled(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
-    let mut j0 = 0;
-    while j0 < n {
-        let w = tune::GEMM_COL_TILE.min(n - j0);
-        let mut acc = [0.0f32; tune::GEMM_COL_TILE];
-        for (kk, &a) in a_row.iter().enumerate() {
-            let b_strip = &b[kk * n + j0..kk * n + j0 + w];
-            for (ac, &bv) in acc.iter_mut().zip(b_strip) {
-                *ac += a * bv;
-            }
-        }
-        out_row[j0..j0 + w].copy_from_slice(&acc[..w]);
-        j0 += w;
-    }
+    crate::backend::active().gemm_row(a_row, b, n, out_row);
 }
 
 /// One output row of `A·Bᵀ`: block `a_row` into [`tune::GEMM_K_BLOCK`]-long

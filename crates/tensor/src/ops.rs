@@ -185,7 +185,7 @@ mod tests {
     #[test]
     fn argmax_ties_pick_first() {
         assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
-        assert_eq!(argmax::<>(&[]), None);
+        assert_eq!(argmax(&[]), None);
     }
 
     #[test]

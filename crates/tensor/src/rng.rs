@@ -149,7 +149,10 @@ impl Pcg32 {
     ///
     /// Panics if the slice is empty.
     pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
-        assert!(!slice.is_empty(), "Pcg32::choose requires a non-empty slice");
+        assert!(
+            !slice.is_empty(),
+            "Pcg32::choose requires a non-empty slice"
+        );
         &slice[self.below(slice.len())]
     }
 
@@ -234,8 +237,7 @@ mod tests {
         let n = 50_000;
         let samples: Vec<f64> = (0..n).map(|_| f64::from(rng.normal())).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
         assert!(mean.abs() < 0.02, "mean was {mean}");
         assert!((var - 1.0).abs() < 0.05, "variance was {var}");
     }

@@ -62,6 +62,23 @@ pub const GEMM_SKINNY_M_MAX: usize = 32;
 /// column-major writes of one tile fit in L1 simultaneously.
 pub const TRANSPOSE_BLOCK: usize = 32;
 
+/// Number of independent 8-lane FMA accumulators in the explicit-SIMD dot
+/// kernel (so the main loop consumes `8 × SIMD_DOT_UNROLL` elements per
+/// iteration).
+///
+/// FMA latency on current x86 cores is 4–5 cycles at 2/cycle throughput;
+/// four in-flight accumulators are enough to hide the chain, and more
+/// would only lengthen the horizontal reduction at the end.
+pub const SIMD_DOT_UNROLL: usize = 4;
+
+/// Largest magnitude an int8 quantization code may take (symmetric range
+/// `[-127, 127]`; -128 is deliberately unused so every code has an exact
+/// negation).
+///
+/// Kept as `f32` because it only ever appears in the scale computation
+/// (`scale = max|row| / QUANT_MAX`) and the pre-cast clamp.
+pub const QUANT_MAX: f32 = 127.0;
+
 /// Process-wide count of matrix–vector fast-path invocations
 /// ([`crate::Matrix::matvec`] and [`crate::Matrix::vecmat`], including the
 /// `m == 1`/`n == 1` dispatches inside the matmul family).
@@ -98,6 +115,9 @@ mod tests {
         assert!(GEMM_SKINNY_M_MAX.is_power_of_two());
         assert!(TRANSPOSE_BLOCK >= 8);
         assert!(PAR_FLOP_THRESHOLD > GEMM_COL_TILE * GEMM_K_BLOCK);
+        assert!(SIMD_DOT_UNROLL.is_power_of_two());
+        assert!(SIMD_DOT_UNROLL * 8 <= GEMM_K_BLOCK);
+        assert!(QUANT_MAX == 127.0, "i8 symmetric range is fixed");
     }
 
     #[test]

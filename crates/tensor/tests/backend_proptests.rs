@@ -1,0 +1,177 @@
+//! Property-based backend-equivalence tests.
+//!
+//! The kernel backends (scalar reference, blocked autovectorized, explicit
+//! AVX2/FMA) are free to reassociate floating-point sums, so they are held
+//! to each other at 1e-4 relative tolerance — the same bound the blocked
+//! kernels already owe the naive references — across random shapes,
+//! deliberately non-lane-multiple lengths, and the tall-skinny
+//! batched-decode shapes (`2 ≤ m ≤ 32`). The int8 path gets the same
+//! treatment: quantization round-trip bounds, requantize stability of the
+//! codes, and int8 kernels vs the dequantized f32 oracle within the
+//! analytic error bound.
+//!
+//! On machines without AVX2/FMA the SIMD tier falls back to the blocked
+//! kernels, so these properties hold (trivially for that pair) everywhere.
+
+use chipalign_tensor::backend::{self, KernelBackend};
+use chipalign_tensor::rng::Pcg32;
+use chipalign_tensor::{Matrix, QuantizedMatrix};
+use proptest::prelude::*;
+
+fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = Pcg32::seed(seed);
+    Matrix::randn(rows, cols, 1.0, &mut rng)
+}
+
+fn vecf(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = Pcg32::seed(seed);
+    (0..n).map(|_| rng.normal()).collect()
+}
+
+/// `|a - b| <= 1e-4 · max(|b|, 1)` — the documented cross-backend bound.
+fn close_rel(a: f32, b: f32) -> bool {
+    (a - b).abs() <= 1e-4 * b.abs().max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dot_agrees_across_backends(seed in 0u64..1000, n in 1usize..200) {
+        // n sweeps through scalar tails, exact lane multiples, and the SIMD
+        // kernel's 32-wide main-loop boundary.
+        let a = vecf(n, seed);
+        let b = vecf(n, seed.wrapping_add(1));
+        let reference = backend::SCALAR.dot(&a, &b);
+        for be in backend::all() {
+            prop_assert!(
+                close_rel(be.dot(&a, &b), reference),
+                "{} dot drifted at n={}", be.name(), n
+            );
+        }
+    }
+
+    #[test]
+    fn dot_agrees_on_non_lane_multiples(seed in 0u64..1000, chunks in 0usize..6, tail in 1usize..8) {
+        // Lengths that are never a multiple of 8: every backend must get
+        // its remainder handling right.
+        let n = chunks * 8 + tail;
+        prop_assume!(n % 8 != 0);
+        let a = vecf(n, seed);
+        let b = vecf(n, seed.wrapping_add(1));
+        let reference = backend::SCALAR.dot(&a, &b);
+        for be in backend::all() {
+            prop_assert!(close_rel(be.dot(&a, &b), reference));
+        }
+    }
+
+    #[test]
+    fn gemm_row_agrees_across_backends(seed in 0u64..1000, k in 1usize..70, n in 1usize..40) {
+        let a_row = vecf(k, seed);
+        let b = vecf(k * n, seed.wrapping_add(1));
+        let mut reference = vec![0.0f32; n];
+        backend::SCALAR.gemm_row(&a_row, &b, n, &mut reference);
+        for be in backend::all() {
+            let mut got = vec![0.0f32; n];
+            be.gemm_row(&a_row, &b, n, &mut got);
+            for (g, r) in got.iter().zip(&reference) {
+                prop_assert!(
+                    close_rel(*g, *r),
+                    "{} gemm_row drifted at k={} n={}", be.name(), k, n
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skinny_matmul_bt_agrees_across_backends(seed in 0u64..1000, m in 2usize..=32, k in 1usize..120, n in 1usize..16) {
+        // The batched-decode shape, computed end-to-end per backend by
+        // driving each backend's dot through the whole-row formulation the
+        // skinny kernel uses.
+        let a = mat(m, k, seed);
+        let b = mat(n, k, seed.wrapping_add(1));
+        for be in backend::all() {
+            for r in 0..m {
+                for c in 0..n {
+                    let got = be.dot(a.row(r), b.row(c));
+                    let reference = backend::SCALAR.dot(a.row(r), b.row(c));
+                    prop_assert!(
+                        close_rel(got, reference),
+                        "{} skinny element ({r},{c}) drifted at m={} k={}", be.name(), m, k
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dot_q8_agrees_across_backends(seed in 0u64..1000, n in 1usize..200) {
+        let w = QuantizedMatrix::quantize(&mat(1, n, seed));
+        let x = vecf(n, seed.wrapping_add(1));
+        let reference = backend::SCALAR.dot_q8(w.row(0), w.scale(0), &x);
+        for be in backend::all() {
+            prop_assert!(
+                close_rel(be.dot_q8(w.row(0), w.scale(0), &x), reference),
+                "{} dot_q8 drifted at n={}", be.name(), n
+            );
+        }
+    }
+
+    #[test]
+    fn quantize_round_trip_is_within_half_step(seed in 0u64..1000, rows in 1usize..12, cols in 1usize..48) {
+        let m = mat(rows, cols, seed);
+        let q = QuantizedMatrix::quantize(&m);
+        let deq = q.dequantize();
+        for r in 0..rows {
+            let half_step = q.scale(r) * 0.5 + 1e-12;
+            for (a, b) in m.row(r).iter().zip(deq.row(r)) {
+                prop_assert!((a - b).abs() <= half_step);
+            }
+        }
+    }
+
+    #[test]
+    fn requantize_is_code_stable(seed in 0u64..1000, rows in 1usize..10, cols in 1usize..40) {
+        // The i8 codes survive dequantize∘quantize exactly; the scales can
+        // drift by an ulp (which is why checkpoint loads use from_parts).
+        let q = QuantizedMatrix::quantize(&mat(rows, cols, seed));
+        let q2 = QuantizedMatrix::quantize(&q.dequantize());
+        prop_assert_eq!(q.data(), q2.data());
+        for (a, b) in q.scales().iter().zip(q2.scales()) {
+            prop_assert!((a - b).abs() <= 1e-6 * a.abs().max(1e-30));
+        }
+    }
+
+    #[test]
+    fn quant_matvec_tracks_f32_oracle(seed in 0u64..1000, rows in 1usize..20, cols in 1usize..64) {
+        // Against the *dequantized* oracle the only difference is summation
+        // order; against the original f32 matrix the quantization error is
+        // bounded by (scale/2)·Σ|x| per row.
+        let m = mat(rows, cols, seed);
+        let q = QuantizedMatrix::quantize(&m);
+        let x = vecf(cols, seed.wrapping_add(1));
+        let got = q.matvec(&x).unwrap();
+        let oracle = q.dequantize().matvec(&x).unwrap();
+        let x_abs_sum: f32 = x.iter().map(|v| v.abs()).sum();
+        for (r, (g, o)) in got.iter().zip(&oracle).enumerate() {
+            let order_tol = 1e-4 * o.abs().max(1.0);
+            prop_assert!((g - o).abs() <= order_tol, "row {} vs dequantized oracle", r);
+            let full = m.matvec(&x).unwrap()[r];
+            let quant_tol = q.scale(r) * 0.5 * x_abs_sum + order_tol + 1e-5;
+            prop_assert!((g - full).abs() <= quant_tol, "row {} vs f32 matrix", r);
+        }
+    }
+
+    #[test]
+    fn quant_matmul_bt_rows_equal_quant_matvec_bitwise(seed in 0u64..1000, m in 2usize..=32, k in 1usize..80, n in 1usize..12) {
+        // The quantized twin of the skinny-GEMM bit-identity invariant:
+        // batching activation rows must not change any row's bits.
+        let w = QuantizedMatrix::quantize(&mat(n, k, seed));
+        let a = mat(m, k, seed.wrapping_add(1));
+        let batched = w.matmul_bt(&a).unwrap();
+        for r in 0..m {
+            let single = w.matvec(a.row(r)).unwrap();
+            prop_assert_eq!(batched.row(r), &single[..]);
+        }
+    }
+}

@@ -20,18 +20,33 @@ cargo clippy -p chipalign-serve --all-targets --features fault-inject -- -D warn
 cargo test -q -p chipalign-router --features fault-inject
 cargo clippy -p chipalign-router --all-targets --features fault-inject -- -D warnings
 
-# Kernel layer: the tensor, nn, and serve crates stay clippy-clean at
-# -D warnings, and the kernel + batch + prefill + kvpool micro-benches
+# Kernel layer: the tensor, model, nn, and serve crates stay clippy-clean
+# at -D warnings, and the kernel + batch + prefill + kvpool micro-benches
 # must run end to end (smoke shapes, no JSON).
 cargo clippy -p chipalign-tensor -- -D warnings
+cargo clippy -p chipalign-model -- -D warnings
 cargo clippy -p chipalign-nn -- -D warnings
 cargo clippy -p chipalign-serve -- -D warnings
 cargo clippy -p chipalign-router -- -D warnings
 cargo run --release -p chipalign-bench --bin bench_kernels -- --smoke
+
+# Backend × dtype sweep: bench_kernels times every tier directly, but the
+# routed kernels (Matrix::matvec, decode_step) follow the process-wide
+# selection, so pin each tier once. The simd run degrades to
+# "simd(blocked-fallback)" on machines without AVX2+FMA — still a valid
+# smoke of the dispatch path. One native-codegen run catches UB or
+# miscompiles that only surface when LLVM is allowed to auto-vectorize
+# for the host.
+for backend in scalar blocked simd; do
+  CHIPALIGN_BACKEND="$backend" \
+    cargo run --release -p chipalign-bench --bin bench_kernels -- --smoke
+done
+RUSTFLAGS="-C target-cpu=native" \
+  cargo run --release -p chipalign-bench --bin bench_kernels -- --smoke
 cargo run --release -p chipalign-bench --bin bench_batch -- --smoke
 cargo run --release -p chipalign-bench --bin bench_prefill -- --smoke
 cargo run --release -p chipalign-bench --bin bench_kvpool -- --smoke
 cargo run --release -p chipalign-bench --bin bench_serve -- --smoke
 cargo run --release -p chipalign-bench --bin bench_fleet -- --smoke
 
-echo "ci: build + tests + chaos + clippy + perf-binary smoke runs all green"
+echo "ci: build + tests + chaos + clippy + backend-matrix + perf-binary smoke runs all green"
