@@ -1,18 +1,26 @@
 //! Paged KV-pool benchmark: what block-based KV storage with zero-copy
-//! prefix sharing buys over per-session contiguous caches.
+//! prefix sharing buys over per-session contiguous caches — and what int8
+//! block sealing buys on top.
 //!
 //! ```text
-//! cargo run --release -p chipalign-bench --bin bench_kvpool            # full run + JSON
-//! cargo run --release -p chipalign-bench --bin bench_kvpool -- --smoke # tiny sweep, no JSON
+//! cargo run --release -p chipalign-bench --bin bench_kvpool                  # both dtypes + JSON
+//! cargo run --release -p chipalign-bench --bin bench_kvpool -- --smoke       # tiny sweep, no JSON
+//! cargo run --release -p chipalign-bench --bin bench_kvpool -- --dtype int8  # one lane only
 //! ```
 //!
 //! Scenario: `N` sessions share a long prompt scaffold and diverge with a
 //! short fresh suffix each — the repeated-scaffold traffic the serving
-//! prefix cache targets. Three headline numbers:
+//! prefix cache targets. The sweep runs once per KV dtype (`f32`, `int8`;
+//! `--dtype` restricts it) on a pool of that dtype. Headline numbers per
+//! lane:
 //!
 //! * **KV bytes / sessions-per-GB** — paged sessions alias the scaffold's
 //!   blocks (one copy total, plus a copy-on-write tail block per fork),
-//!   while contiguous sessions each hold a private full-window copy.
+//!   while contiguous sessions each hold a private full-window copy. Int8
+//!   pools shrink every *sealed* block to i8 codes plus per-head scales
+//!   (~¼ the bytes), so the shared scaffold and each session's sealed
+//!   divergence block cost a fraction of their f32 birth size; the run
+//!   asserts ≥ 1.8× sessions-per-GB for int8 over f32.
 //! * **Fork latency** — a paged fork clones `O(blocks)` `Arc`s; a
 //!   contiguous fork deep-copies every KV row.
 //! * **Prefix-hit allocation** — forking the donor allocates zero new
@@ -30,7 +38,7 @@ use serde::Serialize;
 
 use chipalign_bench::harness;
 use chipalign_model::ArchSpec;
-use chipalign_nn::{KvCache, KvPool, KvPoolConfig, TinyLm};
+use chipalign_nn::{KvCache, KvDtype, KvPool, KvPoolConfig, TinyLm};
 use chipalign_tensor::rng::Pcg32;
 
 fn env_usize(key: &str, default: usize) -> usize {
@@ -38,6 +46,20 @@ fn env_usize(key: &str, default: usize) -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// `--dtype f32|int8` (or `--dtype=…`); `None` benches both lanes.
+fn arg_dtype() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix("--dtype=") {
+            return Some(v.to_string());
+        }
+        if a == "--dtype" {
+            return args.get(i + 1).cloned();
+        }
+    }
+    None
 }
 
 /// Same substrate as `bench_prefill`: a window large enough for
@@ -69,6 +91,28 @@ fn timed(f: impl FnOnce()) -> Duration {
     t0.elapsed()
 }
 
+/// One KV dtype's residency and fork numbers for the shared scenario.
+#[derive(Debug, Serialize)]
+struct DtypeLane {
+    dtype: String,
+    /// Exact KV bytes resident with the fleet alive (`KvPool::bytes_in_use`,
+    /// so sealed int8 blocks count at their shrunken size, not their f32
+    /// birth size).
+    paged_total_bytes: usize,
+    /// Marginal cost: total bytes divided by session count.
+    bytes_per_session: f64,
+    /// Concurrent sessions one GB of KV budget can hold at this dtype.
+    sessions_per_gb: f64,
+    /// Paged savings over the contiguous twin fleet, percent.
+    bytes_saved_pct: f64,
+    /// Median time to fork the scaffold-length donor, microseconds.
+    fork_paged_median_us: f64,
+    /// Blocks newly allocated by a prefix-hit fork (must be zero).
+    prefix_hit_new_blocks: usize,
+    /// Copy-on-write block copies performed as the sessions diverged.
+    cow_copies: u64,
+}
+
 #[derive(Debug, Serialize)]
 struct KvPoolBench {
     mode: String,
@@ -78,69 +122,118 @@ struct KvPoolBench {
     /// Shared scaffold length (tokens); deliberately not block-aligned so
     /// every fork's first divergent write exercises copy-on-write.
     scaffold_len: usize,
-    /// Fresh suffix tokens per session after the fork.
+    /// Fresh suffix tokens per session after the fork; long enough to
+    /// cross the next block boundary so the copied block seals.
     suffix_len: usize,
     /// Forked sessions resident at once.
     sessions: usize,
-    /// Total KV bytes held with paged storage (blocks in use × block size).
-    paged_total_bytes: usize,
-    /// Total KV bytes with one contiguous cache per session.
+    /// Total KV bytes with one contiguous (always-f32) cache per session.
     contiguous_total_bytes: usize,
-    /// Paged savings over contiguous, percent.
-    bytes_saved_pct: f64,
-    /// Concurrent sessions one GB of KV budget can hold, both ways
-    /// (marginal cost: total bytes divided by session count).
-    sessions_per_gb_paged: f64,
     sessions_per_gb_contiguous: f64,
-    /// Median time to fork the scaffold-length donor, microseconds.
-    fork_paged_median_us: f64,
     fork_contiguous_median_us: f64,
-    /// Contiguous over paged fork time.
-    fork_speedup: f64,
-    /// Blocks newly allocated by a prefix-hit fork (must be zero).
-    prefix_hit_new_blocks: usize,
-    /// Copy-on-write block copies performed as the sessions diverged.
-    cow_copies: u64,
+    /// One lane per KV dtype benched (`--dtype` restricts the sweep).
+    dtypes: Vec<DtypeLane>,
+    /// Int8 over f32 sessions-per-GB — present only when both lanes ran;
+    /// the run asserts it stays ≥ 1.8.
+    kv8_sessions_per_gb_ratio: Option<f64>,
+}
+
+fn run_lane(
+    model: &Arc<TinyLm>,
+    dtype: KvDtype,
+    scaffold: &[u32],
+    suffix_len: usize,
+    sessions: usize,
+    reps: usize,
+    contiguous_total_bytes: usize,
+) -> DtypeLane {
+    let pool = KvPool::new(KvPoolConfig {
+        block_tokens: 16,
+        max_blocks: 65_536,
+        dtype,
+    })
+    .expect("pool");
+    let scaffold_len = scaffold.len();
+
+    // Donor built once, outside every timed region. On int8 pools every
+    // filled block has already sealed (and shrunk) by the time the forks
+    // arrive; the tail block stays open f32 either way.
+    let mut donor = KvCache::new_paged(model, &pool);
+    donor.prefill(scaffold).expect("fits window");
+
+    // Fork latency: aliasing O(blocks) Arcs, dtype-independent work.
+    let mut fork_samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        fork_samples.push(
+            timed(|| {
+                let fork = donor.fork_from(scaffold_len).expect("within donor");
+                std::hint::black_box(&fork);
+            })
+            .as_secs_f64()
+                * 1e6,
+        );
+    }
+
+    // Prefix-hit allocation: a fork of the donor must cost zero blocks.
+    let before = pool.blocks_in_use();
+    let hit = donor.fork_from(scaffold_len).expect("within donor");
+    let prefix_hit_new_blocks = pool.blocks_in_use() - before;
+    drop(hit);
+
+    // Residency: N forked sessions diverge with a fresh suffix each and
+    // stay alive together. The suffix crosses the next block boundary, so
+    // each session's copy-on-write block seals — on int8 pools that is
+    // where the fleet's marginal bytes shrink.
+    let cow_before = pool.cow_copies();
+    let mut fleet = Vec::with_capacity(sessions);
+    for s in 0..sessions {
+        let suffix: Vec<u32> = (0..suffix_len)
+            .map(|i| (4 + (s * 13 + i * 7) % 90) as u32)
+            .collect();
+        let mut fork = donor.fork_from(scaffold_len).expect("within donor");
+        fork.prefill_chunk(&suffix).expect("fits window");
+        fleet.push(fork);
+    }
+    let paged_total_bytes = pool.bytes_in_use();
+    let cow_copies = pool.cow_copies() - cow_before;
+    drop(fleet);
+
+    let bytes_per_session = paged_total_bytes as f64 / sessions as f64;
+    DtypeLane {
+        dtype: dtype.name().to_string(),
+        paged_total_bytes,
+        bytes_per_session,
+        sessions_per_gb: 1e9 / bytes_per_session.max(1.0),
+        bytes_saved_pct: (1.0 - paged_total_bytes as f64 / contiguous_total_bytes.max(1) as f64)
+            * 100.0,
+        fork_paged_median_us: median_us(fork_samples),
+        prefix_hit_new_blocks,
+        cow_copies,
+    }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let smoke = harness::smoke_mode();
     let reps = env_usize("CHIPALIGN_BENCH_REPS", if smoke { 3 } else { 7 });
     // Scaffold ends mid-block (not a multiple of block_tokens) so each
-    // fork's first write past the prefix must copy the shared tail block.
-    let scaffold_len = if smoke { 22 } else { 190 };
-    let suffix_len = 8;
+    // fork's first write past the prefix must copy the shared tail block;
+    // the suffix then crosses the next block boundary so that copy seals,
+    // making the residency numbers steady-state rather than open-tail
+    // transients (sealing is what shrinks int8 blocks).
+    let scaffold_len = if smoke { 86 } else { 190 };
+    let suffix_len = 12;
     let sessions = if smoke { 4 } else { 16 };
 
     let arch = bench_arch();
     let model = Arc::new(TinyLm::new(&arch, &mut Pcg32::seed(20_250_806)).expect("arch"));
-    let pool = KvPool::new(KvPoolConfig {
-        block_tokens: 16,
-        max_blocks: 65_536,
-    })
-    .expect("pool");
-    let block_bytes = pool.block_bytes(arch.n_layers, arch.d_model);
     let scaffold = prompt(scaffold_len);
 
-    // Donors built once, outside every timed region.
-    let mut paged_donor = KvCache::new_paged(&model, &pool);
-    paged_donor.prefill(&scaffold).expect("fits window");
+    // Contiguous twin fleet: always f32 and dtype-independent, measured
+    // once. Each twin pays a private full-length cache.
     let mut flat_donor = KvCache::new(&model);
     flat_donor.prefill(&scaffold).expect("fits window");
-
-    // Fork latency: paged aliases O(blocks) Arcs, contiguous deep-copies
-    // every row.
-    let mut fork_paged = Vec::with_capacity(reps);
     let mut fork_flat = Vec::with_capacity(reps);
     for _ in 0..reps {
-        fork_paged.push(
-            timed(|| {
-                let fork = paged_donor.fork_from(scaffold_len).expect("within donor");
-                std::hint::black_box(&fork);
-            })
-            .as_secs_f64()
-                * 1e6,
-        );
         fork_flat.push(
             timed(|| {
                 let fork = flat_donor.fork_from(scaffold_len).expect("within donor");
@@ -150,81 +243,95 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 * 1e6,
         );
     }
-    let fork_paged_median_us = median_us(fork_paged);
     let fork_contiguous_median_us = median_us(fork_flat);
+    let mut flat_session = flat_donor.fork_from(scaffold_len).expect("within donor");
+    flat_session
+        .prefill_chunk(&prompt(suffix_len))
+        .expect("fits window");
+    let contiguous_total_bytes = flat_session.kv_bytes() * sessions;
+    drop(flat_session);
 
-    // Prefix-hit allocation: a fork of the donor must cost zero blocks.
-    let before = pool.blocks_in_use();
-    let hit = paged_donor.fork_from(scaffold_len).expect("within donor");
-    let prefix_hit_new_blocks = pool.blocks_in_use() - before;
-    drop(hit);
+    let lane_dtypes = match arg_dtype().as_deref() {
+        None => vec![KvDtype::F32, KvDtype::Int8],
+        Some("f32") => vec![KvDtype::F32],
+        Some("int8") => vec![KvDtype::Int8],
+        Some(other) => {
+            return Err(format!("unknown --dtype {other:?} (expected f32 or int8)").into())
+        }
+    };
+    let dtypes: Vec<DtypeLane> = lane_dtypes
+        .into_iter()
+        .map(|dtype| {
+            run_lane(
+                &model,
+                dtype,
+                &scaffold,
+                suffix_len,
+                sessions,
+                reps,
+                contiguous_total_bytes,
+            )
+        })
+        .collect();
 
-    // Residency: N forked sessions diverge with a fresh suffix each and
-    // stay alive together. Paged cost = blocks actually in use; the
-    // contiguous twin fleet pays a private full-length cache per session.
-    let cow_before = pool.cow_copies();
-    let mut paged_fleet = Vec::with_capacity(sessions);
-    let mut contiguous_total_bytes = 0usize;
-    for s in 0..sessions {
-        let suffix: Vec<u32> = (0..suffix_len)
-            .map(|i| (4 + (s * 13 + i * 7) % 90) as u32)
-            .collect();
-        let mut fork = paged_donor.fork_from(scaffold_len).expect("within donor");
-        fork.prefill_chunk(&suffix).expect("fits window");
-        contiguous_total_bytes += fork.kv_bytes();
-        paged_fleet.push(fork);
-    }
-    let paged_total_bytes = pool.blocks_in_use() * block_bytes;
-    let cow_copies = pool.cow_copies() - cow_before;
-
-    let per_session_paged = paged_total_bytes as f64 / sessions as f64;
     let per_session_flat = contiguous_total_bytes as f64 / sessions as f64;
+    let lane_by = |name: &str| dtypes.iter().find(|l| l.dtype == name);
+    let kv8_sessions_per_gb_ratio = match (lane_by("f32"), lane_by("int8")) {
+        (Some(f), Some(q)) => Some(q.sessions_per_gb / f.sessions_per_gb.max(1.0)),
+        _ => None,
+    };
     let report = KvPoolBench {
         mode: if smoke { "smoke" } else { "paper" }.to_string(),
         reps,
-        block_tokens: pool.block_tokens(),
+        block_tokens: 16,
         scaffold_len,
         suffix_len,
         sessions,
-        paged_total_bytes,
         contiguous_total_bytes,
-        bytes_saved_pct: (1.0 - paged_total_bytes as f64 / contiguous_total_bytes.max(1) as f64)
-            * 100.0,
-        sessions_per_gb_paged: 1e9 / per_session_paged.max(1.0),
         sessions_per_gb_contiguous: 1e9 / per_session_flat.max(1.0),
-        fork_paged_median_us,
         fork_contiguous_median_us,
-        fork_speedup: fork_contiguous_median_us / fork_paged_median_us.max(1e-9),
-        prefix_hit_new_blocks,
-        cow_copies,
+        dtypes,
+        kv8_sessions_per_gb_ratio,
     };
-    drop(paged_fleet);
 
-    eprintln!(
-        "[bench_kvpool] {} sessions sharing a {}-token scaffold (+{} fresh): paged {} B, contiguous {} B ({:.1}% saved)",
-        report.sessions,
-        report.scaffold_len,
-        report.suffix_len,
-        report.paged_total_bytes,
-        report.contiguous_total_bytes,
-        report.bytes_saved_pct,
-    );
-    eprintln!(
-        "[bench_kvpool] sessions per GB: paged {:.0}, contiguous {:.0}",
-        report.sessions_per_gb_paged, report.sessions_per_gb_contiguous,
-    );
-    eprintln!(
-        "[bench_kvpool] fork: paged {:.1} us, contiguous {:.1} us ({:.2}x)",
-        report.fork_paged_median_us, report.fork_contiguous_median_us, report.fork_speedup,
-    );
-    eprintln!(
-        "[bench_kvpool] prefix-hit fork allocated {} new blocks; {} CoW copies across {} diverging sessions",
-        report.prefix_hit_new_blocks, report.cow_copies, report.sessions,
-    );
-    assert_eq!(
-        report.prefix_hit_new_blocks, 0,
-        "a prefix hit must allocate zero new KV blocks"
-    );
+    for lane in &report.dtypes {
+        eprintln!(
+            "[bench_kvpool] {} sessions sharing a {}-token scaffold (+{} fresh) on a {} pool: paged {} B, contiguous {} B ({:.1}% saved)",
+            report.sessions,
+            report.scaffold_len,
+            report.suffix_len,
+            lane.dtype,
+            lane.paged_total_bytes,
+            report.contiguous_total_bytes,
+            lane.bytes_saved_pct,
+        );
+        eprintln!(
+            "[bench_kvpool] {}: sessions per GB {:.0} (contiguous {:.0}); fork {:.1} us (contiguous {:.1} us)",
+            lane.dtype,
+            lane.sessions_per_gb,
+            report.sessions_per_gb_contiguous,
+            lane.fork_paged_median_us,
+            report.fork_contiguous_median_us,
+        );
+        eprintln!(
+            "[bench_kvpool] {}: prefix-hit fork allocated {} new blocks; {} CoW copies across {} diverging sessions",
+            lane.dtype, lane.prefix_hit_new_blocks, lane.cow_copies, report.sessions,
+        );
+        assert_eq!(
+            lane.prefix_hit_new_blocks, 0,
+            "a prefix hit must allocate zero new KV blocks ({} lane)",
+            lane.dtype
+        );
+    }
+    if let Some(ratio) = report.kv8_sessions_per_gb_ratio {
+        eprintln!("[bench_kvpool] int8 over f32 sessions-per-GB: {ratio:.2}x");
+        // Byte accounting is deterministic (no timing in this number), so
+        // this is a hard floor, not a flaky perf gate.
+        assert!(
+            ratio >= 1.8,
+            "int8 KV must fit at least 1.8x the sessions per GB (got {ratio:.2}x)"
+        );
+    }
 
     harness::write_bench_json("kvpool", &report, smoke)
 }

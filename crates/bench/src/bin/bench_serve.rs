@@ -216,12 +216,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         server_metrics.batched_slices
     );
     eprintln!(
-        "[bench_serve] kv pool: {} blocks in use, {} free, {} CoW copies, {} evictions",
+        "[bench_serve] kv pool: {} blocks in use ({} B), {} free, {} CoW copies, {} evictions",
         server_metrics.kv_blocks_in_use,
+        server_metrics.kv_bytes_in_use,
         server_metrics.kv_blocks_free,
         server_metrics.cow_copies,
         server_metrics.pool_evictions
     );
+    for row in &server_metrics.kv_pool_dtypes {
+        eprintln!(
+            "[bench_serve] kv pool [{}]: {} blocks in use, {} free, {} B resident",
+            row.dtype, row.blocks_in_use, row.blocks_free, row.bytes_in_use
+        );
+    }
 
     let speedup = batched.tokens_per_sec / serialized.tokens_per_sec.max(1e-9);
     let report = ServeBench {

@@ -57,15 +57,36 @@
 //! is bit-identical to the contiguous path, which stays available as a
 //! differential oracle (equivalence tests below and in
 //! `tests/kvpool_equivalence.rs` pin `==`).
+//!
+//! Quantized-KV note: a pool created at [`crate::KvDtype::Int8`] seals
+//! each block layer to i8 codes + per-head scales the moment its last
+//! position is written (the open tail stays f32, so writes and
+//! copy-on-write are dtype-blind). The row iterators then yield
+//! `KvRowRef::Q8` rows for sealed blocks, and [`fused_attention`]
+//! dequantizes them in-register through the active
+//! [`chipalign_tensor::backend::KernelBackend`]'s `dot_q8` / `axpy_q8`
+//! primitives — the hot loop streams ~¼ the bytes. The seal trigger is a
+//! pure function of the position, so chunked prefill, batched decode, and
+//! one-shot prefill over an int8 pool stay bit-identical to each other;
+//! against the *f32* oracle, int8-KV logits are pinned within
+//! [`KV8_LOGIT_TOL`] with margin-gated argmax agreement (tests below and
+//! in `tests/kvpool_equivalence.rs`).
 
 use std::sync::Arc;
 
 use chipalign_tensor::ops;
-use chipalign_tensor::{Matrix, QuantizedMatrix};
+use chipalign_tensor::{backend, Matrix, QuantizedMatrix};
 
-use crate::kvpool::{KvBlock, KvPool};
+use crate::kvpool::{BlockLayer, KvBlock, KvPool};
 use crate::model::TinyLm;
 use crate::NnError;
+
+/// Pinned per-logit tolerance for int8-KV decoding against the f32
+/// oracle: every logit of a quantized-KV decode must lie within this of
+/// the same step's f32 logits (teacher-forced), and greedy argmax must
+/// agree outright whenever the f32 runner-up margin exceeds
+/// `2 × KV8_LOGIT_TOL`. This is the serving contract for `#kv8` models.
+pub const KV8_LOGIT_TOL: f32 = 0.5;
 
 /// Per-layer cached keys and values, one row per processed position.
 #[derive(Debug, Clone)]
@@ -97,6 +118,22 @@ enum KvStore {
 struct BlockTable {
     pool: Arc<KvPool>,
     blocks: Vec<Arc<KvBlock>>,
+    /// Attention heads of the bound model — the granularity at which int8
+    /// pools compute seal-time scales (one absmax per head per block).
+    n_heads: usize,
+}
+
+/// One cached K or V row as stored: a plain f32 slice, or a sealed block's
+/// i8 codes together with its per-head scales. [`fused_attention`] matches
+/// per row, so mixed tables (sealed body + f32 tail) stream each block at
+/// its own width.
+#[derive(Clone, Copy)]
+enum KvRowRef<'a> {
+    /// Row of an f32 buffer (contiguous store, or an open/unsealed block).
+    F32(&'a [f32]),
+    /// Row of a sealed block: `codes` is the `d_model`-wide i8 row,
+    /// `scales` the owning block layer's `n_heads` absmax scales.
+    Q8 { codes: &'a [i8], scales: &'a [f32] },
 }
 
 /// What [`KvStore::prepare_position`] changed, so a batched caller can
@@ -137,7 +174,17 @@ impl BlockTable {
             self.blocks.len(),
             "writes only land in the tail block"
         );
-        if Arc::get_mut(&mut self.blocks[b]).is_none() {
+        if self.blocks[b].is_sealed() {
+            // A fork landed mid-way into a sealed (int8) block, making it
+            // this table's tail: sealed blocks are immutable, so regrow an
+            // f32 working tail seeded with the already-filled rows
+            // dequantized. Like a plain copy-on-write, the replacement
+            // carries the same logical rows and needs no undo.
+            let copy = self
+                .pool
+                .alloc_block_unsealed(&self.blocks[b], pos % bt, d, self.n_heads)?;
+            self.blocks[b] = Arc::new(copy);
+        } else if Arc::get_mut(&mut self.blocks[b]).is_none() {
             // The tail is aliased (fork donor, prefix-cache snapshot, or a
             // plain clone): copy it before the first write. Forks take
             // `&self` and writes `&mut self`, so a racing fork can only
@@ -150,32 +197,66 @@ impl BlockTable {
     }
 
     /// Scatters one position's K/V rows into the (prepared) tail block.
+    /// Writing a block's final position seals the layer on int8 pools
+    /// (a no-op on f32) — the trigger is a pure function of `pos`, so any
+    /// prefill chunking quantizes identical rows at identical moments.
     fn write_row(&mut self, li: usize, pos: usize, k: &[f32], v: &[f32]) {
         let bt = self.pool.block_tokens();
         let d = k.len();
+        let n_heads = self.n_heads;
         let block = Arc::get_mut(&mut self.blocks[pos / bt])
             .expect("prepare_position left the tail block uniquely owned");
-        let layer = &mut block.layers[li];
         let start = (pos % bt) * d;
-        layer.k[start..start + d].copy_from_slice(k);
-        layer.v[start..start + d].copy_from_slice(v);
+        match &mut block.layers[li] {
+            BlockLayer::F32 { k: bk, v: bv } => {
+                bk[start..start + d].copy_from_slice(k);
+                bv[start..start + d].copy_from_slice(v);
+            }
+            BlockLayer::Q8 { .. } => {
+                unreachable!("prepare_position replaces a sealed tail before any write")
+            }
+        }
+        if pos % bt == bt - 1 {
+            block.seal_layer(li, d, n_heads);
+        }
     }
 
     /// Gathers the first `rows` cached rows of one layer, in position
-    /// order — the iterator [`fused_attention`] consumes.
+    /// order — the iterator [`fused_attention`] consumes. Each row is
+    /// served at its block's stored width: f32 for open/unsealed blocks,
+    /// i8 codes + scales for sealed ones.
     fn rows<'a>(
         &'a self,
         li: usize,
         rows: usize,
         d: usize,
         keys: bool,
-    ) -> impl Iterator<Item = &'a [f32]> + Clone + 'a {
+    ) -> impl Iterator<Item = KvRowRef<'a>> + Clone + 'a {
         let bt = self.pool.block_tokens();
         (0..rows).map(move |t| {
-            let layer = &self.blocks[t / bt].layers[li];
-            let buf = if keys { &layer.k } else { &layer.v };
             let start = (t % bt) * d;
-            &buf[start..start + d]
+            match &self.blocks[t / bt].layers[li] {
+                BlockLayer::F32 { k, v } => {
+                    let buf = if keys { k } else { v };
+                    KvRowRef::F32(&buf[start..start + d])
+                }
+                BlockLayer::Q8 {
+                    k_codes,
+                    v_codes,
+                    k_scales,
+                    v_scales,
+                } => {
+                    let (codes, scales) = if keys {
+                        (k_codes, k_scales)
+                    } else {
+                        (v_codes, v_scales)
+                    };
+                    KvRowRef::Q8 {
+                        codes: &codes[start..start + d],
+                        scales,
+                    }
+                }
+            }
         })
     }
 
@@ -185,6 +266,7 @@ impl BlockTable {
         BlockTable {
             pool: Arc::clone(&self.pool),
             blocks: self.blocks[..self.pool.blocks_for(positions)].to_vec(),
+            n_heads: self.n_heads,
         }
     }
 }
@@ -240,8 +322,8 @@ impl KvStore {
                 debug_assert_eq!(kv.k.len(), rows);
                 fused_attention(
                     q,
-                    kv.k.iter().map(Vec::as_slice),
-                    kv.v.iter().map(Vec::as_slice),
+                    kv.k.iter().map(|r| KvRowRef::F32(r.as_slice())),
+                    kv.v.iter().map(|r| KvRowRef::F32(r.as_slice())),
                     n_heads,
                     head_dim,
                     scores,
@@ -345,6 +427,7 @@ impl KvCache {
             store: KvStore::Paged(BlockTable {
                 pool: Arc::clone(pool),
                 blocks: Vec::new(),
+                n_heads: model.arch().n_heads,
             }),
             len: 0,
             tokens: Vec::new(),
@@ -382,17 +465,39 @@ impl KvCache {
     /// position order; empty for a contiguous cache. Ids are pool-unique
     /// and never reused, which is what lets the serving layer charge a
     /// byte budget per *physical* block: two caches aliasing a block
-    /// report the same id, so shared storage is counted once.
+    /// report the same id, so shared storage is counted once. Bytes are
+    /// each block's *current* representation — f32 for the open tail,
+    /// code + scale width for sealed int8 blocks — and sealed blocks are
+    /// immutable, so a charge taken from this list never goes stale.
     #[must_use]
     pub fn block_ids(&self) -> Vec<(u64, usize)> {
         match &self.store {
             KvStore::Contiguous(_) => Vec::new(),
-            KvStore::Paged(table) => {
-                let arch = self.model.arch();
-                let bytes = table.pool.block_bytes(arch.n_layers, arch.d_model);
-                table.blocks.iter().map(|b| (b.id, bytes)).collect()
+            KvStore::Paged(table) => table.blocks.iter().map(|b| (b.id, b.bytes())).collect(),
+        }
+    }
+
+    /// Largest prefix length `≤ positions` from which a fork continues
+    /// *bit-deterministically*. Contiguous and f32-paged caches fork
+    /// anywhere (`positions` comes back unchanged); on an int8 pool a fork
+    /// landing strictly inside a *sealed* block would regrow its tail from
+    /// dequantized rows — within [`KV8_LOGIT_TOL`], but not bit-stable
+    /// against a fresh prefill — so this rounds such a cut down to the
+    /// preceding block boundary. The serving prefix cache trims donations
+    /// with this, keeping int8 served transcripts deterministic.
+    #[must_use]
+    pub fn aligned_fork_len(&self, positions: usize) -> usize {
+        let positions = positions.min(self.len);
+        if let KvStore::Paged(table) = &self.store {
+            let bt = table.pool.block_tokens();
+            if positions % bt != 0 {
+                let b = positions / bt;
+                if table.blocks.get(b).is_some_and(|blk| blk.is_sealed()) {
+                    return b * bt;
+                }
             }
         }
+        positions
     }
 
     /// The shared model this cache decodes against.
@@ -860,22 +965,37 @@ fn fused_attention<'a, K, V>(
     scores: &mut Vec<f32>,
     ctx: &mut [f32],
 ) where
-    K: Iterator<Item = &'a [f32]> + Clone,
-    V: Iterator<Item = &'a [f32]> + Clone,
+    K: Iterator<Item = KvRowRef<'a>> + Clone,
+    V: Iterator<Item = KvRowRef<'a>> + Clone,
 {
     let scale = 1.0 / (head_dim as f32).sqrt();
+    let be = backend::active();
     for hh in 0..n_heads {
         let lo = hh * head_dim;
         let hi = lo + head_dim;
         scores.clear();
-        scores.extend(
-            keys.clone()
-                .map(|krow| ops::dot(&q[lo..hi], &krow[lo..hi]) * scale),
-        );
+        scores.extend(keys.clone().map(|krow| {
+            let s = match krow {
+                // The f32 arm is byte-for-byte the pre-quantization code
+                // path: it must stay bit-exact with the contiguous oracle.
+                KvRowRef::F32(k) => ops::dot(&q[lo..hi], &k[lo..hi]),
+                KvRowRef::Q8 { codes, scales } => {
+                    be.dot_q8(&codes[lo..hi], scales[hh], &q[lo..hi])
+                }
+            };
+            s * scale
+        }));
         ops::softmax_inplace(scores);
         for (w, vrow) in scores.iter().zip(vals.clone()) {
-            for (c, &vv) in ctx[lo..hi].iter_mut().zip(&vrow[lo..hi]) {
-                *c += w * vv;
+            match vrow {
+                KvRowRef::F32(v) => {
+                    for (c, &vv) in ctx[lo..hi].iter_mut().zip(&v[lo..hi]) {
+                        *c += w * vv;
+                    }
+                }
+                KvRowRef::Q8 { codes, scales } => {
+                    be.axpy_q8(*w, &codes[lo..hi], scales[hh], &mut ctx[lo..hi]);
+                }
             }
         }
     }
@@ -1299,8 +1419,47 @@ mod tests {
         crate::KvPool::new(crate::KvPoolConfig {
             block_tokens: 4,
             max_blocks,
+            ..crate::KvPoolConfig::default()
         })
         .expect("valid pool config")
+    }
+
+    fn small_pool_q8(max_blocks: usize) -> Arc<crate::KvPool> {
+        crate::KvPool::new(crate::KvPoolConfig {
+            block_tokens: 4,
+            max_blocks,
+            dtype: crate::KvDtype::Int8,
+        })
+        .expect("valid pool config")
+    }
+
+    /// Asserts the KV8 serving contract for one logit row: every logit
+    /// within [`KV8_LOGIT_TOL`] of the f32 oracle, and argmax agreement
+    /// whenever the oracle's runner-up margin clears `2 × tol`.
+    fn assert_kv8_tracks(f32_logits: &[f32], kv8_logits: &[f32], what: &str) {
+        let max_diff = f32_logits
+            .iter()
+            .zip(kv8_logits)
+            .fold(0.0f32, |acc, (a, b)| acc.max((a - b).abs()));
+        assert!(
+            max_diff <= KV8_LOGIT_TOL,
+            "{what}: int8-KV logits drifted {max_diff} (> {KV8_LOGIT_TOL}) from f32"
+        );
+        let am = ops::argmax(f32_logits).expect("non-empty");
+        let top = f32_logits[am];
+        let runner_up = f32_logits
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != am)
+            .fold(f32::NEG_INFINITY, |acc, (_, &v)| acc.max(v));
+        if top - runner_up > 2.0 * KV8_LOGIT_TOL {
+            assert_eq!(
+                ops::argmax(kv8_logits).expect("non-empty"),
+                am,
+                "{what}: argmax flipped despite a {}-wide margin",
+                top - runner_up
+            );
+        }
     }
 
     #[test]
@@ -1472,5 +1631,209 @@ mod tests {
         assert!(flat.pool().is_none());
         assert_eq!(flat.block_count(), 0);
         assert!(flat.block_ids().is_empty());
+    }
+
+    #[test]
+    fn kv8_decode_tracks_f32_within_tolerance() {
+        // Teacher-forced greedy pin: same weights, same token stream, the
+        // only difference is int8-sealed KV blocks. Covers several sealed
+        // blocks plus a partial f32 tail at every step.
+        let m = model();
+        let pool = small_pool_q8(64);
+        let mut kv8 = KvCache::new_paged(&m, &pool);
+        let mut oracle = KvCache::new(&m);
+        let tokens: Vec<u32> = (0..14).map(|i| 4 + (i * 7) % 90).collect();
+        for &t in &tokens {
+            let a = oracle.decode_step(t).expect("ok");
+            let b = kv8.decode_step(t).expect("ok");
+            assert_kv8_tracks(&a, &b, &format!("decode at token {t}"));
+        }
+    }
+
+    #[test]
+    fn kv8_chunked_prefill_is_bitwise_identical_to_one_shot() {
+        // Sealing is a pure function of position, so chunk boundaries must
+        // not change which rows get quantized — the logits are bit-equal,
+        // not merely within tolerance.
+        let m = model();
+        let prompt: Vec<u32> = (0..11).map(|i| 4 + (i * 13) % 90).collect();
+        let mut one_shot = KvCache::new_paged(&m, &small_pool_q8(64));
+        let a = one_shot.prefill(&prompt).expect("ok");
+        let mut chunked = KvCache::new_paged(&m, &small_pool_q8(64));
+        let mut b = Vec::new();
+        for chunk in prompt.chunks(3) {
+            b = chunked.prefill_chunk(chunk).expect("ok");
+        }
+        assert_eq!(a, b, "chunk boundaries changed int8 sealing");
+        for t in [42u32, 7, 88] {
+            assert_eq!(
+                one_shot.decode_step(t).expect("ok"),
+                chunked.decode_step(t).expect("ok"),
+                "post-prefill decode drifted at token {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn kv8_decode_batch_is_bitwise_identical_to_sequential() {
+        let m = model();
+        let pool = small_pool_q8(64);
+        let histories: [&[u32]; 3] = [&[5, 10], &[5, 10, 15, 20, 25], &[7, 3, 9, 22, 41, 2, 8]];
+        let mk = |h: &&[u32]| {
+            let mut c = KvCache::new_paged(&m, &pool);
+            c.prefill(h).expect("ok");
+            c
+        };
+        let mut seq: Vec<KvCache> = histories.iter().map(mk).collect();
+        let mut bat: Vec<KvCache> = histories.iter().map(mk).collect();
+        for round in 0..4u32 {
+            let toks: Vec<u32> = [11u32, 22, 33].iter().map(|&t| t + round).collect();
+            let expected: Vec<Vec<f32>> = seq
+                .iter_mut()
+                .zip(&toks)
+                .map(|(c, &t)| c.decode_step(t).expect("ok"))
+                .collect();
+            let mut refs: Vec<&mut KvCache> = bat.iter_mut().collect();
+            let got = KvCache::decode_batch(&mut refs, &toks).expect("ok");
+            assert_eq!(got, expected, "round {round} drifted from sequential");
+        }
+    }
+
+    #[test]
+    fn kv8_fork_at_block_boundary_is_lossless_and_aliases_blocks() {
+        // A fork cut on a block boundary only shares sealed blocks, so the
+        // branch continues exactly like a fresh int8 cache replaying the
+        // same prefix (no dequant→requant anywhere).
+        let m = model();
+        let pool = small_pool_q8(64);
+        let prompt = [5u32, 10, 15, 20, 25, 30, 35, 40]; // 2 sealed blocks
+        let mut donor = KvCache::new_paged(&m, &pool);
+        donor.prefill(&prompt).expect("ok");
+        let blocks_before = pool.blocks_in_use();
+        let mut fork = donor.fork_from(prompt.len()).expect("ok");
+        assert_eq!(pool.blocks_in_use(), blocks_before);
+
+        let mut replay = KvCache::new_paged(&m, &pool);
+        replay.prefill(&prompt).expect("ok");
+        for t in [50u32, 51, 52] {
+            assert_eq!(
+                fork.decode_step(t).expect("ok"),
+                replay.decode_step(t).expect("ok"),
+                "boundary fork drifted at token {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn kv8_fork_inside_sealed_block_unseals_and_stays_within_tolerance() {
+        // Cutting strictly inside a sealed block forces the lossy unseal
+        // path (dequant the kept prefix rows back to f32). The branch must
+        // still track the f32 oracle within the serving tolerance.
+        let m = model();
+        let pool = small_pool_q8(64);
+        let prompt = [5u32, 10, 15, 20, 25, 30, 35, 40];
+        let mut donor = KvCache::new_paged(&m, &pool);
+        donor.prefill(&prompt).expect("ok");
+        assert_eq!(donor.aligned_fork_len(6), 4, "cut at 6 lands in a sealed block");
+
+        let cows_before = pool.cow_copies();
+        let mut fork = donor.fork_from(6).expect("ok");
+        let mut oracle = KvCache::new(&m);
+        oracle.prefill(&prompt[..6]).expect("ok");
+        for t in [50u32, 51, 52] {
+            let a = oracle.decode_step(t).expect("ok");
+            let b = fork.decode_step(t).expect("ok");
+            assert_kv8_tracks(&a, &b, &format!("unsealed fork at token {t}"));
+        }
+        assert!(
+            pool.cow_copies() > cows_before,
+            "unsealing must be counted as a CoW copy"
+        );
+        // The donor's own blocks are untouched by the fork's unseal.
+        let mut ref_donor = KvCache::new_paged(&m, &small_pool_q8(64));
+        ref_donor.prefill(&prompt).expect("ok");
+        assert_eq!(
+            donor.decode_step(60).expect("ok"),
+            ref_donor.decode_step(60).expect("ok")
+        );
+    }
+
+    #[test]
+    fn kv8_window_slide_replay_stays_within_tolerance() {
+        // Window slide = reset + replay of the kept window, exactly how
+        // StepDecoder::begin_slide drives it.
+        let m = model();
+        let pool = small_pool_q8(64);
+        let mut kv8 = KvCache::new_paged(&m, &pool);
+        let mut oracle = KvCache::new(&m);
+        let history: Vec<u32> = (0..12).map(|i| 4 + (i * 11) % 90).collect();
+        kv8.prefill(&history).expect("ok");
+        oracle.prefill(&history).expect("ok");
+
+        let window = &history[6..];
+        kv8.reset();
+        oracle.reset();
+        let b = kv8.prefill(window).expect("ok");
+        let a = oracle.prefill(window).expect("ok");
+        assert_kv8_tracks(&a, &b, "slide replay prefill");
+        for t in [50u32, 51] {
+            let a = oracle.decode_step(t).expect("ok");
+            let b = kv8.decode_step(t).expect("ok");
+            assert_kv8_tracks(&a, &b, &format!("post-slide decode at token {t}"));
+        }
+    }
+
+    #[test]
+    fn kv8_block_ids_report_sealed_bytes() {
+        let m = model();
+        let pool = small_pool_q8(64);
+        let arch = m.arch();
+        let sealed = pool.sealed_block_bytes(arch.n_layers, arch.d_model, arch.n_heads);
+        let born = pool.block_bytes(arch.n_layers, arch.d_model);
+        assert!(sealed < born, "int8 sealing must shrink blocks");
+
+        let mut cache = KvCache::new_paged(&m, &pool);
+        cache.prefill(&[5, 6, 7, 8, 9, 10]).expect("ok"); // 1 sealed + tail
+        let ids = cache.block_ids();
+        assert_eq!(ids.len(), 2);
+        assert_eq!(ids[0].1, sealed, "sealed block charged at int8 size");
+        assert_eq!(ids[1].1, born, "open tail still charged at f32 size");
+        assert_eq!(pool.bytes_in_use(), sealed + born);
+
+        cache.reset();
+        assert_eq!(pool.bytes_in_use(), 0, "reset returns every byte");
+    }
+
+    #[test]
+    fn aligned_fork_len_rounds_only_into_sealed_blocks() {
+        let m = model();
+        let mut kv8 = KvCache::new_paged(&m, &small_pool_q8(64));
+        kv8.prefill(&[5, 6, 7, 8, 9, 10]).expect("ok"); // sealed block + 2-row tail
+        assert_eq!(kv8.aligned_fork_len(4), 4, "boundary cuts pass through");
+        assert_eq!(kv8.aligned_fork_len(3), 0, "mid-sealed cuts round down");
+        assert_eq!(kv8.aligned_fork_len(6), 6, "cuts in the f32 tail are exact");
+        assert_eq!(kv8.aligned_fork_len(99), 6, "lengths clamp to the cache");
+
+        let mut f32_paged = KvCache::new_paged(&m, &small_pool(64));
+        f32_paged.prefill(&[5, 6, 7, 8, 9, 10]).expect("ok");
+        assert_eq!(f32_paged.aligned_fork_len(3), 3, "f32 blocks never seal");
+
+        let mut flat = KvCache::new(&m);
+        flat.prefill(&[5, 6, 7]).expect("ok");
+        assert_eq!(flat.aligned_fork_len(2), 2, "contiguous caches are exact");
+    }
+
+    #[test]
+    fn kv8_pool_bytes_shrink_as_blocks_seal() {
+        let m = model();
+        let pool = small_pool_q8(64);
+        let arch = m.arch();
+        let born = pool.block_bytes(arch.n_layers, arch.d_model);
+        let sealed = pool.sealed_block_bytes(arch.n_layers, arch.d_model, arch.n_heads);
+        let mut cache = KvCache::new_paged(&m, &pool);
+        cache.prefill(&[5, 6, 7]).expect("ok"); // tail only, still f32
+        assert_eq!(pool.bytes_in_use(), born);
+        cache.decode_step(8).expect("ok"); // fills row 3 → block seals
+        assert_eq!(pool.bytes_in_use(), sealed);
     }
 }

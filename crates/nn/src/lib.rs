@@ -33,7 +33,10 @@
 //!   block tables, refcounted prefix aliasing with copy-on-write, so a
 //!   prefix fork costs O(blocks) pointer clones instead of O(bytes) and
 //!   short sessions stop reserving worst-case contiguous buffers. Paged
-//!   decode is bit-identical to the contiguous path.
+//!   decode is bit-identical to the contiguous path. Pools built with
+//!   [`KvDtype::Int8`] additionally quantize each block to per-head-scaled
+//!   i8 codes as it fills, shrinking resident KV bytes ~4× while pinning
+//!   logits within [`KV8_LOGIT_TOL`] of the f32 oracle.
 //!
 //! Models convert losslessly to and from [`chipalign_model::Checkpoint`],
 //! which is what the merge crate operates on.
@@ -76,8 +79,8 @@ pub mod train;
 
 pub use error::NnError;
 pub use generate::{GenerateConfig, StepDecoder};
-pub use kv::KvCache;
-pub use kvpool::{KvPool, KvPoolConfig};
+pub use kv::{KvCache, KV8_LOGIT_TOL};
+pub use kvpool::{KvDtype, KvPool, KvPoolConfig};
 pub use lora::{LoraConfig, LoraModel};
 pub use model::{ForwardCache, TinyLm};
 pub use optim::{Adam, AdamConfig};

@@ -1,18 +1,24 @@
 //! Differential proptests: paged KV storage vs the contiguous oracle.
 //!
-//! Every test drives a paged cache (or decoder) and a contiguous twin
+//! Every f32 test drives a paged cache (or decoder) and a contiguous twin
 //! through the *same* operations and asserts bitwise-equal outputs (`==`,
 //! never a tolerance). The contiguous path is the reference
 //! implementation; the paged path adds block tables, refcounted aliasing,
 //! and copy-on-write — none of which may change a single output bit.
+//!
+//! The dtype axis relaxes exactly one thing: int8-KV pools are pinned
+//! within [`KV8_LOGIT_TOL`] of the same contiguous-f32 oracle (with
+//! margin-gated argmax agreement) instead of bitwise, since sealed blocks
+//! round K/V rows to per-head-scaled i8 codes.
 
 use std::sync::Arc;
 
 use chipalign_model::ArchSpec;
 use chipalign_nn::generate::{GenerateConfig, StepDecoder};
-use chipalign_nn::{KvCache, KvPool, KvPoolConfig, TinyLm};
-use chipalign_tensor::rng::Pcg32;
+use chipalign_nn::{KvCache, KvDtype, KvPool, KvPoolConfig, TinyLm, KV8_LOGIT_TOL};
+use chipalign_tensor::{ops, rng::Pcg32};
 use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
 
 fn arch() -> ArchSpec {
     ArchSpec {
@@ -27,11 +33,48 @@ fn arch() -> ArchSpec {
 }
 
 fn pool(block_tokens: usize) -> Arc<KvPool> {
+    pool_with(block_tokens, KvDtype::F32)
+}
+
+fn pool_with(block_tokens: usize, dtype: KvDtype) -> Arc<KvPool> {
     KvPool::new(KvPoolConfig {
         block_tokens,
         max_blocks: 4096,
+        dtype,
     })
     .expect("valid pool config")
+}
+
+/// One logit row against the oracle: bitwise for f32 pools, within
+/// `KV8_LOGIT_TOL` plus margin-gated argmax agreement for int8 pools.
+fn check_row(oracle: &[f32], got: &[f32], int8: bool, what: &str) -> Result<(), TestCaseError> {
+    if !int8 {
+        prop_assert_eq!(oracle, got, "{} drifted bitwise", what);
+        return Ok(());
+    }
+    let max_diff = oracle
+        .iter()
+        .zip(got)
+        .fold(0.0f32, |acc, (a, b)| acc.max((a - b).abs()));
+    prop_assert!(
+        max_diff <= KV8_LOGIT_TOL,
+        "{what}: int8-KV drifted {max_diff} (> {KV8_LOGIT_TOL}) from the f32 oracle"
+    );
+    let am = ops::argmax(oracle).expect("non-empty");
+    let runner_up = oracle
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != am)
+        .fold(f32::NEG_INFINITY, |acc, (_, &v)| acc.max(v));
+    if oracle[am] - runner_up > 2.0 * KV8_LOGIT_TOL {
+        prop_assert_eq!(
+            ops::argmax(got).expect("non-empty"),
+            am,
+            "{}: argmax flipped despite a wide margin",
+            what
+        );
+    }
+    Ok(())
 }
 
 proptest! {
@@ -202,5 +245,84 @@ proptest! {
         drop(paged);
         drop(forks);
         prop_assert_eq!(p.blocks_in_use(), 0, "all blocks return to the pool");
+    }
+
+    #[test]
+    fn random_op_interleavings_across_dtypes_track_the_oracle(
+        seed in 0u64..20,
+        bt in 1usize..6,
+        int8 in any::<bool>(),
+        ops in proptest::collection::vec((0u8..4, 0u32..32, 1usize..5), 1..24),
+    ) {
+        // The dtype axis over the interleaving sweep: the same random mix
+        // of chunked prefill, decode, zero-copy fork (kept live and
+        // stepped alongside its donor, exercising CoW and — on int8 pools
+        // with unaligned fork points — the sealed-block unseal path), and
+        // window-slide reset+replay, against the contiguous-f32 oracle.
+        // f32 pools must agree bitwise; int8 pools within KV8_LOGIT_TOL
+        // with margin-gated argmax agreement.
+        let model = Arc::new(TinyLm::new(&arch(), &mut Pcg32::seed(seed)).unwrap());
+        let max_ctx = arch().max_seq_len;
+        let dtype = if int8 { KvDtype::Int8 } else { KvDtype::F32 };
+        let p = pool_with(bt, dtype);
+        let mut paged = KvCache::new_paged(&model, &p);
+        let mut flat = KvCache::new(&model);
+        let mut forks: Option<(KvCache, KvCache)> = None;
+        for &(op, tok, k) in &ops {
+            match op {
+                0 => {
+                    if paged.len() < max_ctx {
+                        check_row(
+                            &flat.decode_step(tok).unwrap(),
+                            &paged.decode_step(tok).unwrap(),
+                            int8,
+                            "decode_step",
+                        )?;
+                    }
+                }
+                1 => {
+                    let room = max_ctx - paged.len();
+                    let n = k.min(room);
+                    let chunk: Vec<u32> = (0..n).map(|i| (tok + i as u32) % 32).collect();
+                    let oracle = flat.prefill_chunk(&chunk).unwrap();
+                    let got = paged.prefill_chunk(&chunk).unwrap();
+                    check_row(&oracle, &got, int8, "prefill_chunk")?;
+                }
+                2 => {
+                    let at = k.min(paged.len());
+                    forks = Some((
+                        paged.fork_from(at).unwrap(),
+                        flat.fork_from(at).unwrap(),
+                    ));
+                }
+                3 => {
+                    let hist: Vec<u32> = paged.tokens().to_vec();
+                    let start = hist.len().saturating_sub(k);
+                    paged.reset();
+                    flat.reset();
+                    let oracle = flat.prefill_chunk(&hist[start..]).unwrap();
+                    let got = paged.prefill_chunk(&hist[start..]).unwrap();
+                    check_row(&oracle, &got, int8, "slide replay")?;
+                }
+                _ => unreachable!("op strategy is 0..4"),
+            }
+            if let Some((pf, ff)) = forks.as_mut() {
+                if pf.len() < max_ctx {
+                    check_row(
+                        &ff.decode_step(tok).unwrap(),
+                        &pf.decode_step(tok).unwrap(),
+                        int8,
+                        "live fork",
+                    )?;
+                }
+            }
+            prop_assert_eq!(paged.len(), flat.len());
+            prop_assert_eq!(paged.tokens(), flat.tokens());
+            prop_assert_eq!(paged.block_count(), p.blocks_for(paged.len()));
+        }
+        drop(paged);
+        drop(forks);
+        prop_assert_eq!(p.blocks_in_use(), 0, "all blocks return to the pool");
+        prop_assert_eq!(p.bytes_in_use(), 0, "all bytes return with them");
     }
 }

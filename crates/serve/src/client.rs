@@ -258,18 +258,31 @@ type Sleeper = Box<dyn FnMut(Duration) + Send>;
 ///
 /// Only *transient* failures are retried: I/O errors (connect-time
 /// failures and connections dropped mid-request, both reported as
-/// [`ServeError::Io`]) and server `overloaded` rejections. Every retry
-/// reconnects from scratch, so a replica that died holding our socket is
-/// simply replaced. A generation that failed any other way (bad request,
-/// deadline, internal error) is returned immediately: those are verdicts
-/// about the request itself, not the transport, and `deadline_exceeded` in
-/// particular means the time budget is already spent — retrying would
-/// burn compute on an answer the caller no longer wants.
+/// [`ServeError::Io`]) and server `overloaded` rejections — which is also
+/// how a mid-decode `PoolSaturated` admission refusal arrives on the wire,
+/// so KV-pool pressure backs off exactly like connect-time overload. Every
+/// retry reconnects from scratch, so a replica that died holding our
+/// socket is simply replaced. A generation that failed any other way (bad
+/// request, deadline, internal error) is returned immediately: those are
+/// verdicts about the request itself, not the transport, and
+/// `deadline_exceeded` in particular means the time budget is already
+/// spent — retrying would burn compute on an answer the caller no longer
+/// wants.
+///
+/// Backoff depth follows the *failure streak*, not the per-call attempt
+/// index: consecutive failing calls keep escalating the delay (a saturated
+/// fleet should not be hammered at `base_delay` again just because the
+/// attempt budget rolled over), and any successful response resets the
+/// streak — a long-lived session that failed over once must not inherit
+/// stale multi-second backoff for the rest of its life.
 pub struct Retrier {
     policy: RetryPolicy,
     rng: Pcg32,
     sleeper: Sleeper,
     metrics: Option<Arc<Metrics>>,
+    /// Consecutive retryable failures observed across calls; indexes into
+    /// [`RetryPolicy::delay`] and is cleared by any successful operation.
+    streak: u32,
 }
 
 impl std::fmt::Debug for Retrier {
@@ -288,6 +301,7 @@ impl Retrier {
             rng: Pcg32::seed(seed).derive(0x5e77),
             sleeper: Box::new(std::thread::sleep),
             metrics: None,
+            streak: 0,
         }
     }
 
@@ -370,7 +384,8 @@ impl Retrier {
 
     /// The retry loop shared by every operation: run `op`, consult
     /// `retry_on` for transience, back off, repeat within the attempt
-    /// budget.
+    /// budget. The attempt budget is per call; the backoff *depth* follows
+    /// the cross-call failure streak, which any success resets.
     fn run<T>(
         &mut self,
         policy: &RetryPolicy,
@@ -381,15 +396,27 @@ impl Retrier {
         let mut attempt = 0u32;
         loop {
             match op(attempt) {
-                Ok(v) => return Ok(v),
+                Ok(v) => {
+                    self.streak = 0;
+                    return Ok(v);
+                }
                 Err(e) if attempt + 1 < attempts && retry_on(&e) => {
                     attempt += 1;
+                    self.streak = self.streak.saturating_add(1);
                     if let Some(m) = &self.metrics {
                         m.on_retry_attempted();
                     }
-                    (self.sleeper)(policy.delay(attempt, &mut self.rng));
+                    (self.sleeper)(policy.delay(self.streak, &mut self.rng));
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    // A budget-exhausted transient failure still deepens
+                    // the streak: the next call starts from where this one
+                    // left off instead of hammering at base delay.
+                    if retry_on(&e) {
+                        self.streak = self.streak.saturating_add(1);
+                    }
+                    return Err(e);
+                }
             }
         }
     }
@@ -542,6 +569,62 @@ mod tests {
         assert_eq!(pol.delay(2, &mut rng).as_millis(), 200);
         assert_eq!(pol.delay(3, &mut rng).as_millis(), 300, "caps");
         assert_eq!(pol.delay(9, &mut rng).as_millis(), 300, "stays capped");
+    }
+
+    #[test]
+    fn back_to_back_failing_calls_escalate_backoff_across_calls() {
+        // A saturated fleet rejects call after call: the second call must
+        // pick up the backoff where the first left off (including the
+        // budget-exhausting failure), not restart at base delay.
+        let (log, sleeper) = recording_sleeper();
+        let mut retrier = Retrier::new(policy(3, 0.0), 5);
+        retrier.sleeper = sleeper;
+        for _ in 0..2 {
+            let result: Result<(), _> = retrier.run(&policy(3, 0.0), retry_generate_errors, |_| {
+                Err(overloaded())
+            });
+            assert!(matches!(result, Err(ServeError::Remote(_))));
+        }
+        let delays: Vec<u64> = log
+            .lock()
+            .expect("log")
+            .iter()
+            .map(|d| d.as_millis() as u64)
+            .collect();
+        assert_eq!(
+            delays,
+            vec![100, 200, 800, 1_600],
+            "call 2 continues the escalation (streak 4 and 5), no restart"
+        );
+    }
+
+    #[test]
+    fn successful_response_resets_the_backoff_streak() {
+        // One failed-over call must not leave a long-lived session paying
+        // multi-second delays forever: any success clears the streak.
+        let (log, sleeper) = recording_sleeper();
+        let mut retrier = Retrier::new(policy(3, 0.0), 6);
+        retrier.sleeper = sleeper;
+        let fail_out = |r: &mut Retrier| {
+            let result: Result<(), _> =
+                r.run(&policy(3, 0.0), retry_generate_errors, |_| Err(overloaded()));
+            assert!(result.is_err());
+        };
+        fail_out(&mut retrier); // streak climbs to 3
+        let ok = retrier.run(&policy(3, 0.0), retry_generate_errors, |_| Ok(42));
+        assert_eq!(ok.expect("succeeds"), 42);
+        fail_out(&mut retrier); // must restart from base delay
+        let delays: Vec<u64> = log
+            .lock()
+            .expect("log")
+            .iter()
+            .map(|d| d.as_millis() as u64)
+            .collect();
+        assert_eq!(
+            delays,
+            vec![100, 200, 100, 200],
+            "the success between the failing calls reset the streak"
+        );
     }
 
     #[test]

@@ -311,20 +311,37 @@ impl Metrics {
         }
     }
 
-    /// Sums `(blocks_in_use, blocks_free, cow_copies)` across live
-    /// registered pools, pruning dead ones.
-    fn pool_gauges(&self) -> (u64, u64, u64) {
+    /// Sums the block, byte, and CoW gauges across live registered pools
+    /// (pruning dead ones), both in total and sliced per KV dtype.
+    fn pool_gauges(&self) -> PoolGauges {
         let mut pools = self.kv_pools.lock().expect("kv pool list poisoned");
         pools.retain(|w| w.strong_count() > 0);
-        let mut in_use = 0u64;
-        let mut free = 0u64;
-        let mut cow = 0u64;
+        let mut g = PoolGauges::default();
         for pool in pools.iter().filter_map(Weak::upgrade) {
-            in_use += pool.blocks_in_use() as u64;
-            free += pool.blocks_free() as u64;
-            cow += pool.cow_copies();
+            let in_use = pool.blocks_in_use() as u64;
+            let free = pool.blocks_free() as u64;
+            let bytes = pool.bytes_in_use() as u64;
+            g.in_use += in_use;
+            g.free += free;
+            g.bytes += bytes;
+            g.cow += pool.cow_copies();
+            let dtype = pool.dtype().name();
+            let row = match g.by_dtype.iter_mut().find(|r| r.dtype == dtype) {
+                Some(row) => row,
+                None => {
+                    g.by_dtype.push(KvPoolDtypeGauges {
+                        dtype: dtype.to_string(),
+                        ..KvPoolDtypeGauges::default()
+                    });
+                    g.by_dtype.last_mut().expect("just pushed")
+                }
+            };
+            row.blocks_in_use += in_use;
+            row.blocks_free += free;
+            row.bytes_in_use += bytes;
         }
-        (in_use, free, cow)
+        g.by_dtype.sort_by(|a, b| a.dtype.cmp(&b.dtype));
+        g
     }
 
     /// Records a dequeued slice that advanced `n` sessions together.
@@ -343,7 +360,7 @@ impl Metrics {
         let uptime_s = uptime.as_secs_f64().max(1e-9);
         let completed = self.completed.load(Ordering::Relaxed);
         let tokens_out = self.tokens_out.load(Ordering::Relaxed);
-        let (kv_blocks_in_use, kv_blocks_free, cow_copies) = self.pool_gauges();
+        let pools = self.pool_gauges();
         MetricsSnapshot {
             uptime_ms: uptime.as_millis() as u64,
             requests: self.requests.load(Ordering::Relaxed),
@@ -372,9 +389,11 @@ impl Metrics {
             pool_evictions: self.pool_evictions.load(Ordering::Relaxed),
             weights_bytes: self.weights_bytes.load(Ordering::Relaxed),
             simd_backend: chipalign_tensor::backend::active_name().to_string(),
-            kv_blocks_in_use,
-            kv_blocks_free,
-            cow_copies,
+            kv_blocks_in_use: pools.in_use,
+            kv_blocks_free: pools.free,
+            kv_bytes_in_use: pools.bytes,
+            kv_pool_dtypes: pools.by_dtype,
+            cow_copies: pools.cow,
             requests_per_sec: completed as f64 / uptime_s,
             tokens_per_sec: tokens_out as f64 / uptime_s,
             latency_p50_ms: self.latency.quantile_upper_us(0.50) as f64 / 1e3,
@@ -388,6 +407,32 @@ impl Metrics {
             prefill_buckets: self.prefill.bucket_counts(),
         }
     }
+}
+
+/// Summed pool gauges, total and per dtype (snapshot-internal).
+#[derive(Debug, Default)]
+struct PoolGauges {
+    in_use: u64,
+    free: u64,
+    bytes: u64,
+    cow: u64,
+    by_dtype: Vec<KvPoolDtypeGauges>,
+}
+
+/// Per-KV-dtype slice of the pool gauges: the dtype label on
+/// `kv_blocks_in_use` / `kv_blocks_free`, plus the bytes those blocks pin
+/// (int8 pools hold sealed blocks at ~¼ the f32 size, so block counts
+/// alone no longer imply memory use).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KvPoolDtypeGauges {
+    /// KV dtype label (`"f32"` / `"int8"`).
+    pub dtype: String,
+    /// Blocks allocated across pools of this dtype.
+    pub blocks_in_use: u64,
+    /// Blocks still allocatable across pools of this dtype.
+    pub blocks_free: u64,
+    /// Bytes resident across pools of this dtype.
+    pub bytes_in_use: u64,
 }
 
 /// A point-in-time metrics view, as sent over the wire.
@@ -464,6 +509,14 @@ pub struct MetricsSnapshot {
     /// KV blocks still allocatable across every registered paged pool.
     #[serde(default)]
     pub kv_blocks_free: u64,
+    /// Bytes resident across every registered paged pool (sealed int8
+    /// blocks count at their quantized size, open tails at f32).
+    #[serde(default)]
+    pub kv_bytes_in_use: u64,
+    /// The same block/byte gauges sliced per KV dtype. Empty from servers
+    /// that predate int8 KV.
+    #[serde(default)]
+    pub kv_pool_dtypes: Vec<KvPoolDtypeGauges>,
     /// Copy-on-write block duplications across every registered pool (a
     /// shared tail block privatised before a divergent write).
     #[serde(default)]
@@ -560,6 +613,18 @@ impl MetricsSnapshot {
         }
         self.kv_blocks_in_use = self.kv_blocks_in_use.saturating_add(other.kv_blocks_in_use);
         self.kv_blocks_free = self.kv_blocks_free.saturating_add(other.kv_blocks_free);
+        self.kv_bytes_in_use = self.kv_bytes_in_use.saturating_add(other.kv_bytes_in_use);
+        for o in &other.kv_pool_dtypes {
+            match self.kv_pool_dtypes.iter_mut().find(|g| g.dtype == o.dtype) {
+                Some(g) => {
+                    g.blocks_in_use = g.blocks_in_use.saturating_add(o.blocks_in_use);
+                    g.blocks_free = g.blocks_free.saturating_add(o.blocks_free);
+                    g.bytes_in_use = g.bytes_in_use.saturating_add(o.bytes_in_use);
+                }
+                None => self.kv_pool_dtypes.push(o.clone()),
+            }
+        }
+        self.kv_pool_dtypes.sort_by(|a, b| a.dtype.cmp(&b.dtype));
         self.cow_copies = self.cow_copies.saturating_add(other.cow_copies);
         absorb_buckets(&mut self.latency_buckets, &other.latency_buckets);
         absorb_buckets(&mut self.queue_buckets, &other.queue_buckets);
@@ -745,6 +810,8 @@ mod tests {
             "simd_backend",
             "kv_blocks_in_use",
             "kv_blocks_free",
+            "kv_bytes_in_use",
+            "kv_pool_dtypes",
             "cow_copies",
             "prefill_p50_ms",
             "prefill_p95_ms",
@@ -766,6 +833,8 @@ mod tests {
         assert!(back.simd_backend.is_empty());
         assert_eq!(back.kv_blocks_in_use, 0);
         assert_eq!(back.kv_blocks_free, 0);
+        assert_eq!(back.kv_bytes_in_use, 0);
+        assert!(back.kv_pool_dtypes.is_empty());
         assert_eq!(back.cow_copies, 0);
         assert_eq!(back.prefill_p95_ms, 0.0);
         assert!(back.latency_buckets.is_empty());
@@ -901,6 +970,7 @@ mod tests {
         let pool = KvPool::new(KvPoolConfig {
             block_tokens: 4,
             max_blocks: 8,
+            ..KvPoolConfig::default()
         })
         .expect("pool");
         m.register_kv_pool(&pool);
@@ -916,6 +986,8 @@ mod tests {
         let snap = m.snapshot();
         assert_eq!(snap.kv_blocks_in_use, 2, "6 tokens at block size 4");
         assert_eq!(snap.kv_blocks_free, 6);
+        assert_eq!(snap.kv_bytes_in_use, pool.bytes_in_use() as u64);
+        assert!(snap.kv_bytes_in_use > 0);
         assert_eq!(snap.cow_copies, 0);
         assert_eq!(snap.pool_evictions, 1);
 
@@ -924,6 +996,7 @@ mod tests {
         let dead = KvPool::new(KvPoolConfig {
             block_tokens: 4,
             max_blocks: 1000,
+            ..KvPoolConfig::default()
         })
         .expect("pool");
         m.register_kv_pool(&dead);
@@ -931,5 +1004,70 @@ mod tests {
         let snap = m.snapshot();
         assert_eq!(snap.kv_blocks_in_use, 0);
         assert_eq!(snap.kv_blocks_free, 8, "only the live pool is summed");
+        assert_eq!(snap.kv_bytes_in_use, 0);
+    }
+
+    #[test]
+    fn pool_gauges_slice_per_dtype_and_absorb_merges_labels() {
+        use chipalign_model::ArchSpec;
+        use chipalign_nn::{KvCache, KvDtype, KvPoolConfig, TinyLm};
+        use chipalign_tensor::rng::Pcg32;
+
+        let m = Metrics::new();
+        let f32_pool = KvPool::new(KvPoolConfig {
+            block_tokens: 4,
+            max_blocks: 8,
+            ..KvPoolConfig::default()
+        })
+        .expect("pool");
+        let int8_pool = KvPool::new(KvPoolConfig {
+            block_tokens: 4,
+            max_blocks: 16,
+            dtype: KvDtype::Int8,
+        })
+        .expect("pool");
+        m.register_kv_pool(&f32_pool);
+        m.register_kv_pool(&int8_pool);
+
+        let mut arch = ArchSpec::tiny("metrics");
+        arch.vocab_size = 99;
+        let model = Arc::new(TinyLm::new(&arch, &mut Pcg32::seed(1)).expect("model"));
+        let mut a = KvCache::new_paged(&model, &f32_pool);
+        a.prefill(&[5, 6, 7, 8, 9]).expect("prefill"); // 2 blocks
+        let mut b = KvCache::new_paged(&model, &int8_pool);
+        b.prefill(&[5, 6, 7]).expect("prefill"); // 1 block
+
+        let snap = m.snapshot();
+        assert_eq!(snap.kv_blocks_in_use, 3);
+        assert_eq!(
+            snap.kv_bytes_in_use,
+            (f32_pool.bytes_in_use() + int8_pool.bytes_in_use()) as u64
+        );
+        assert_eq!(snap.kv_pool_dtypes.len(), 2, "one row per dtype");
+        let f32_row = &snap.kv_pool_dtypes[0];
+        let int8_row = &snap.kv_pool_dtypes[1];
+        assert_eq!(f32_row.dtype, "f32");
+        assert_eq!(f32_row.blocks_in_use, 2);
+        assert_eq!(f32_row.blocks_free, 6);
+        assert_eq!(int8_row.dtype, "int8");
+        assert_eq!(int8_row.blocks_in_use, 1);
+        assert_eq!(int8_row.blocks_free, 15);
+        assert_eq!(
+            f32_row.bytes_in_use + int8_row.bytes_in_use,
+            snap.kv_bytes_in_use
+        );
+
+        // Fleet aggregation merges rows by label and sums the gauge.
+        let mut fleet = MetricsSnapshot::default();
+        fleet.absorb(&snap);
+        fleet.absorb(&snap);
+        assert_eq!(fleet.kv_bytes_in_use, 2 * snap.kv_bytes_in_use);
+        assert_eq!(fleet.kv_pool_dtypes.len(), 2);
+        assert_eq!(fleet.kv_pool_dtypes[0].blocks_in_use, 4);
+        assert_eq!(fleet.kv_pool_dtypes[1].blocks_in_use, 2);
+        assert_eq!(
+            fleet.kv_pool_dtypes[1].bytes_in_use,
+            2 * int8_row.bytes_in_use
+        );
     }
 }

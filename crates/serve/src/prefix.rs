@@ -10,7 +10,11 @@
 //! other session with the same leading tokens would compute. This module
 //! stores those rows once and hands out [`KvCache::fork_from`] clones.
 //!
-//! Structure: one token trie per model allocation, arena-allocated. Every
+//! Structure: one token trie per `(model allocation, KV storage dtype)`,
+//! arena-allocated — a model served at both f32 and int8 KV (`spec` vs
+//! `spec#kv8` share the allocation) keeps separate tries, since a
+//! snapshot's rows are only bit-faithful to sessions of its own dtype.
+//! Every
 //! node corresponds to a token prefix; nodes that were actually prefilled
 //! carry a donor [`KvCache`] snapshot. A lookup walks the query tokens
 //! from the root and returns a fork of the **deepest** snapshot passed —
@@ -40,7 +44,17 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use chipalign_nn::{KvCache, TinyLm};
+use chipalign_nn::{KvCache, KvDtype, TinyLm};
+
+/// The KV dtype a snapshot (or an adopting session) stores rows at:
+/// the pool's dtype for paged caches, f32 for contiguous ones.
+/// Contiguous and f32-paged storage are interchangeable — both are
+/// bit-identical — so they share one bucket; int8-paged snapshots are
+/// kept apart, because handing an int8 fork to an f32 session (or vice
+/// versa) would silently change which transcripts are bit-exact.
+fn storage_dtype(cache: &KvCache) -> KvDtype {
+    cache.pool().map_or(KvDtype::F32, |p| p.dtype())
+}
 
 /// Bounds for the [`PrefixCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,12 +112,15 @@ struct Inner {
     /// block's process-unique id). A block's bytes are charged when its
     /// refcount rises to one and freed when it falls to zero.
     block_refs: HashMap<u64, usize>,
-    /// Root node per model allocation. The key is the model's `Arc`
-    /// pointer; safe as an identity because every snapshot under a root
-    /// holds a clone of that `Arc`, so the allocation cannot be reused
-    /// while its subtree is non-empty (roots are dropped with their last
-    /// snapshot).
-    roots: HashMap<usize, usize>,
+    /// Root node per `(model allocation, KV storage dtype)`. The first
+    /// key component is the model's `Arc` pointer; safe as an identity
+    /// because every snapshot under a root holds a clone of that `Arc`,
+    /// so the allocation cannot be reused while its subtree is non-empty
+    /// (roots are dropped with their last snapshot). The dtype component
+    /// keeps int8-KV snapshots from being donated to f32 sessions (and
+    /// vice versa): one served model can run both dtypes at once
+    /// (`spec` vs `spec#kv8` resolve to the same allocation).
+    roots: HashMap<(usize, KvDtype), usize>,
     entries: usize,
     total_bytes: usize,
     clock: u64,
@@ -149,20 +166,30 @@ impl PrefixCache {
     }
 
     /// Longest-match lookup: returns a forked KV cache covering the
-    /// longest cached prefix of `tokens` for this model allocation, plus
-    /// its length. Only *proper* prefixes are donated (`len <
-    /// tokens.len()`): the adopting session must keep at least one token
-    /// to prefill so it has logits to decode from. A cached entry equal
-    /// to the whole query (the repeated-prompt case) still hits — its
-    /// fork is trimmed to `tokens.len() - 1` positions. Hits refresh the
-    /// snapshot's LRU stamp.
+    /// longest cached prefix of `tokens` for this model allocation at
+    /// the requested KV storage dtype, plus its length. `dtype` is the
+    /// storage the adopting session decodes at (its pool's dtype, or
+    /// [`KvDtype::F32`] for a contiguous session) — only same-dtype
+    /// snapshots are donated, so an int8-KV fork can never leak into an
+    /// f32 session's transcript or vice versa. Only *proper* prefixes
+    /// are donated (`len < tokens.len()`): the adopting session must
+    /// keep at least one token to prefill so it has logits to decode
+    /// from. A cached entry equal to the whole query (the
+    /// repeated-prompt case) still hits — its fork is trimmed to
+    /// `tokens.len() - 1` positions. Hits refresh the snapshot's LRU
+    /// stamp.
     #[must_use]
-    pub fn lookup(&self, model: &Arc<TinyLm>, tokens: &[u32]) -> Option<(KvCache, usize)> {
+    pub fn lookup(
+        &self,
+        model: &Arc<TinyLm>,
+        dtype: KvDtype,
+        tokens: &[u32],
+    ) -> Option<(KvCache, usize)> {
         if !self.enabled() || tokens.len() < 2 {
             return None;
         }
         let mut inner = self.inner.lock().expect("prefix cache poisoned");
-        let mut node = *inner.roots.get(&(Arc::as_ptr(model) as usize))?;
+        let mut node = *inner.roots.get(&(Arc::as_ptr(model) as usize, dtype))?;
         let mut best: Option<usize> = None;
         for &t in tokens {
             let Some(&child) = inner.nodes[node].children.get(&t) else {
@@ -181,7 +208,17 @@ impl PrefixCache {
         if !Arc::ptr_eq(entry.snapshot.model(), model) {
             return None;
         }
-        let len = entry.snapshot.len().min(tokens.len() - 1);
+        // On int8-KV pools a cut strictly inside a sealed block would
+        // dequantize→requantize the kept rows — lossy, so the adopted
+        // session would no longer replay bit-identically to a cold
+        // prefill. Round the donation down to the block boundary instead;
+        // a donation rounded to nothing is a miss.
+        let len = entry
+            .snapshot
+            .aligned_fork_len(entry.snapshot.len().min(tokens.len() - 1));
+        if len == 0 {
+            return None;
+        }
         let fork = entry.snapshot.fork_from(len).ok()?;
         Some((fork, len))
     }
@@ -220,7 +257,10 @@ impl PrefixCache {
         if charge > self.cfg.max_total_bytes {
             return;
         }
-        let key = Arc::as_ptr(snapshot.model()) as usize;
+        let key = (
+            Arc::as_ptr(snapshot.model()) as usize,
+            storage_dtype(&snapshot),
+        );
         let root = match inner.roots.get(&key) {
             Some(&r) => r,
             None => {
@@ -386,24 +426,24 @@ mod tests {
         assert_eq!(cache.entries(), 2);
 
         // Query extending the longer entry: longest match.
-        let (fork, len) = cache.lookup(&m, &[5, 6, 7, 8, 9]).expect("hit");
+        let (fork, len) = cache.lookup(&m, KvDtype::F32, &[5, 6, 7, 8, 9]).expect("hit");
         assert_eq!(len, 4);
         assert_eq!(fork.tokens(), &[5, 6, 7, 8]);
 
         // Query equal to the longer entry (a repeated prompt): the entry
         // hits, trimmed to the longest *proper* prefix of the query.
-        let (fork, len) = cache.lookup(&m, &[5, 6, 7, 8]).expect("hit");
+        let (fork, len) = cache.lookup(&m, KvDtype::F32, &[5, 6, 7, 8]).expect("hit");
         assert_eq!(len, 3);
         assert_eq!(fork.tokens(), &[5, 6, 7]);
 
         // Diverging query falls back to the shared stem.
-        let (_, len) = cache.lookup(&m, &[5, 6, 9, 9]).expect("hit");
+        let (_, len) = cache.lookup(&m, KvDtype::F32, &[5, 6, 9, 9]).expect("hit");
         assert_eq!(len, 2);
 
         // No shared prefix at all.
-        assert!(cache.lookup(&m, &[9, 9, 9]).is_none());
+        assert!(cache.lookup(&m, KvDtype::F32, &[9, 9, 9]).is_none());
         // Too short to leave a pending token.
-        assert!(cache.lookup(&m, &[5]).is_none());
+        assert!(cache.lookup(&m, KvDtype::F32, &[5]).is_none());
     }
 
     #[test]
@@ -411,11 +451,11 @@ mod tests {
         let m = model(1);
         let cache = PrefixCache::new(PrefixCacheConfig::default());
         cache.insert(&prefilled(&m, &[5, 6, 7]));
-        let (mut fork, len) = cache.lookup(&m, &[5, 6, 7, 8]).expect("hit");
+        let (mut fork, len) = cache.lookup(&m, KvDtype::F32, &[5, 6, 7, 8]).expect("hit");
         assert_eq!(len, 3);
         // Advancing the fork must not disturb the cached snapshot.
         fork.decode_step(42).expect("ok");
-        let (again, len) = cache.lookup(&m, &[5, 6, 7, 8]).expect("hit");
+        let (again, len) = cache.lookup(&m, KvDtype::F32, &[5, 6, 7, 8]).expect("hit");
         assert_eq!(len, 3);
         assert_eq!(again.tokens(), &[5, 6, 7]);
     }
@@ -426,8 +466,8 @@ mod tests {
         let b = model(2);
         let cache = PrefixCache::new(PrefixCacheConfig::default());
         cache.insert(&prefilled(&a, &[5, 6, 7]));
-        assert!(cache.lookup(&b, &[5, 6, 7, 8]).is_none());
-        let (fork, _) = cache.lookup(&a, &[5, 6, 7, 8]).expect("hit");
+        assert!(cache.lookup(&b, KvDtype::F32, &[5, 6, 7, 8]).is_none());
+        let (fork, _) = cache.lookup(&a, KvDtype::F32, &[5, 6, 7, 8]).expect("hit");
         assert!(Arc::ptr_eq(fork.model(), &a));
     }
 
@@ -441,12 +481,12 @@ mod tests {
         cache.insert(&prefilled(&m, &[5, 6]));
         cache.insert(&prefilled(&m, &[7, 8]));
         // Touch [5,6] so [7,8] becomes the LRU.
-        assert!(cache.lookup(&m, &[5, 6, 9]).is_some());
+        assert!(cache.lookup(&m, KvDtype::F32, &[5, 6, 9]).is_some());
         cache.insert(&prefilled(&m, &[9, 10]));
         assert_eq!(cache.entries(), 2);
-        assert!(cache.lookup(&m, &[5, 6, 9]).is_some(), "recently used kept");
-        assert!(cache.lookup(&m, &[9, 10, 11]).is_some(), "new entry kept");
-        assert!(cache.lookup(&m, &[7, 8, 9]).is_none(), "LRU evicted");
+        assert!(cache.lookup(&m, KvDtype::F32, &[5, 6, 9]).is_some(), "recently used kept");
+        assert!(cache.lookup(&m, KvDtype::F32, &[9, 10, 11]).is_some(), "new entry kept");
+        assert!(cache.lookup(&m, KvDtype::F32, &[7, 8, 9]).is_none(), "LRU evicted");
     }
 
     #[test]
@@ -463,8 +503,8 @@ mod tests {
         // 2 more units overflow: the oldest entry goes.
         cache.insert(&prefilled(&m, &[10, 11]));
         assert!(cache.total_bytes() <= 5 * unit);
-        assert!(cache.lookup(&m, &[5, 6, 7]).is_none(), "oldest evicted");
-        assert!(cache.lookup(&m, &[7, 8, 9, 10]).is_some());
+        assert!(cache.lookup(&m, KvDtype::F32, &[5, 6, 7]).is_none(), "oldest evicted");
+        assert!(cache.lookup(&m, KvDtype::F32, &[7, 8, 9, 10]).is_some());
         // A snapshot larger than the whole budget is refused outright.
         let big = prefilled(&m, &(0..8).map(|i| 5 + i).collect::<Vec<_>>());
         assert!(big.kv_bytes() > 5 * unit);
@@ -486,8 +526,8 @@ mod tests {
         cache.insert(&prefilled(&m, &[5, 6]));
         assert_eq!(cache.entries(), 2);
         cache.insert(&prefilled(&m, &[9, 10]));
-        assert!(cache.lookup(&m, &[5, 6, 9]).is_some(), "refreshed survives");
-        assert!(cache.lookup(&m, &[7, 8, 9]).is_none());
+        assert!(cache.lookup(&m, KvDtype::F32, &[5, 6, 9]).is_some(), "refreshed survives");
+        assert!(cache.lookup(&m, KvDtype::F32, &[7, 8, 9]).is_none());
     }
 
     #[test]
@@ -500,7 +540,7 @@ mod tests {
         assert!(!cache.enabled());
         cache.insert(&prefilled(&m, &[5, 6]));
         assert_eq!(cache.entries(), 0);
-        assert!(cache.lookup(&m, &[5, 6, 7]).is_none());
+        assert!(cache.lookup(&m, KvDtype::F32, &[5, 6, 7]).is_none());
     }
 
     #[test]
@@ -510,6 +550,7 @@ mod tests {
         let pool = KvPool::new(KvPoolConfig {
             block_tokens: 2,
             max_blocks: 64,
+            ..KvPoolConfig::default()
         })
         .expect("pool");
         let arch = m.arch();
@@ -558,6 +599,7 @@ mod tests {
         let pool = KvPool::new(KvPoolConfig {
             block_tokens: 2,
             max_blocks: 64,
+            ..KvPoolConfig::default()
         })
         .expect("pool");
         let cache = PrefixCache::new(PrefixCacheConfig::default());
@@ -567,7 +609,7 @@ mod tests {
         drop(donor); // the cached snapshot keeps the blocks alive
         let held = pool.blocks_in_use();
         assert_eq!(held, 2);
-        let (fork, len) = cache.lookup(&m, &[5, 6, 7, 8, 9]).expect("hit");
+        let (fork, len) = cache.lookup(&m, KvDtype::F32, &[5, 6, 7, 8, 9]).expect("hit");
         assert_eq!(len, 4);
         assert_eq!(
             pool.blocks_in_use(),
@@ -576,6 +618,78 @@ mod tests {
         );
         drop(fork);
         assert_eq!(pool.blocks_in_use(), held);
+    }
+
+    #[test]
+    fn int8_donations_round_down_to_sealed_block_boundaries() {
+        use chipalign_nn::{KvPool, KvPoolConfig};
+        let m = model(1);
+        let pool = KvPool::new(KvPoolConfig {
+            block_tokens: 2,
+            max_blocks: 64,
+            dtype: KvDtype::Int8,
+        })
+        .expect("pool");
+        let cache = PrefixCache::new(PrefixCacheConfig::default());
+        let mut donor = KvCache::new_paged(&m, &pool);
+        donor.prefill(&[5, 6, 7, 8]).expect("prefill"); // 2 sealed blocks
+        cache.insert(&donor);
+
+        // Boundary-sized donation passes through untouched.
+        let (fork, len) = cache.lookup(&m, KvDtype::Int8, &[5, 6, 7, 8, 9]).expect("hit");
+        assert_eq!(len, 4);
+        assert_eq!(fork.tokens(), &[5, 6, 7, 8]);
+
+        // A cut inside sealed block 1 (len 3) rounds down to the boundary,
+        // so the adopted session replays bit-identically to a cold prefill.
+        let (fork, len) = cache.lookup(&m, KvDtype::Int8, &[5, 6, 7, 8]).expect("hit");
+        assert_eq!(len, 2, "mid-sealed-block donations round down");
+        assert_eq!(fork.tokens(), &[5, 6]);
+
+        // A donation rounded to nothing is a miss, not a zero-length fork.
+        assert!(cache.lookup(&m, KvDtype::Int8, &[5, 6]).is_none());
+    }
+
+    #[test]
+    fn kv_dtypes_do_not_cross_pollinate() {
+        use chipalign_nn::{KvPool, KvPoolConfig};
+        let m = model(1);
+        let cache = PrefixCache::new(PrefixCacheConfig::default());
+
+        // One model allocation serving both dtypes at once (`spec` vs
+        // `spec#kv8`): each donation lands in its own bucket.
+        cache.insert(&prefilled(&m, &[5, 6, 7])); // contiguous → f32 bucket
+        let pool = KvPool::new(KvPoolConfig {
+            block_tokens: 2,
+            max_blocks: 64,
+            dtype: KvDtype::Int8,
+        })
+        .expect("pool");
+        let mut q8_donor = KvCache::new_paged(&m, &pool);
+        q8_donor.prefill(&[5, 6, 7, 8]).expect("prefill");
+        cache.insert(&q8_donor);
+        assert_eq!(cache.entries(), 2);
+
+        // An f32 session sees only the f32 snapshot — never the deeper
+        // int8 one, which would silently break its bit-exactness.
+        let (fork, len) = cache.lookup(&m, KvDtype::F32, &[5, 6, 7, 8, 9]).expect("hit");
+        assert_eq!(len, 3, "the deeper int8 entry must be invisible at f32");
+        assert!(fork.pool().is_none(), "f32 hit hands back the f32 snapshot");
+
+        // And the int8 session sees only its own bucket.
+        let (fork, len) = cache
+            .lookup(&m, KvDtype::Int8, &[5, 6, 7, 8, 9])
+            .expect("hit");
+        assert_eq!(len, 4);
+        assert_eq!(
+            fork.pool().map(|p| p.dtype()),
+            Some(KvDtype::Int8),
+            "int8 hit hands back the int8 snapshot"
+        );
+
+        // A prompt cached only at f32 is a clean miss at int8.
+        cache.insert(&prefilled(&m, &[20, 21, 22]));
+        assert!(cache.lookup(&m, KvDtype::Int8, &[20, 21, 22, 23]).is_none());
     }
 
     #[test]
@@ -589,11 +703,11 @@ mod tests {
         cache.insert(&prefilled(&m, &[5, 6, 7]));
         cache.insert(&prefilled(&m, &[5, 6, 8]));
         // Evict the first by inserting a third.
-        assert!(cache.lookup(&m, &[5, 6, 8, 9]).is_some()); // refresh second
+        assert!(cache.lookup(&m, KvDtype::F32, &[5, 6, 8, 9]).is_some()); // refresh second
         cache.insert(&prefilled(&m, &[9, 10]));
         // The shared stem must still route to the surviving sibling.
-        let (_, len) = cache.lookup(&m, &[5, 6, 8, 9]).expect("sibling survives");
+        let (_, len) = cache.lookup(&m, KvDtype::F32, &[5, 6, 8, 9]).expect("sibling survives");
         assert_eq!(len, 3);
-        assert!(cache.lookup(&m, &[5, 6, 7, 9]).is_none(), "victim gone");
+        assert!(cache.lookup(&m, KvDtype::F32, &[5, 6, 7, 9]).is_none(), "victim gone");
     }
 }

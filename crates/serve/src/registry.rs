@@ -17,6 +17,13 @@
 //!   with f32 traffic), then a quantized clone is cached under its own
 //!   `…#int8` key. A quantized merge key still starts with `merge:` and
 //!   therefore counts toward, and can be evicted by, the merge bound.
+//! * **Int8 KV variants** (`<spec>#kv8`) — any of the above served with an
+//!   int8-quantized paged KV pool ([`chipalign_nn::KvDtype::Int8`]).
+//!   Unlike `#int8`, the suffix does not change the weights: the base spec
+//!   resolves (and is cached) under its own key, and only the *returned*
+//!   key carries `#kv8`, which [`ModelRegistry::kv_pool_for`] maps to a
+//!   separate int8 pool for the same model allocation. Composes with
+//!   `#int8` in either order; the canonical key is `…#int8#kv8`.
 //!
 //! All materialized models live behind `Arc`s in one cache keyed by a
 //! canonical spec string; [`ModelRegistry::register`] inserts programmatic
@@ -52,7 +59,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError, Weak};
 
 use chipalign_merge::{GeodesicMerge, Merger};
 use chipalign_model::{format, Checkpoint, ModelError};
-use chipalign_nn::{KvPool, KvPoolConfig, TinyLm};
+use chipalign_nn::{KvDtype, KvPool, KvPoolConfig, TinyLm};
 use chipalign_pipeline::zoo::{Backbone, Zoo, ZooModel};
 
 use crate::metrics::Metrics;
@@ -92,6 +99,35 @@ pub fn all_zoo_models() -> Vec<ZooModel> {
 
 fn zoo_model_from_slug(slug: &str) -> Option<ZooModel> {
     all_zoo_models().into_iter().find(|m| m.slug() == slug)
+}
+
+/// Strips an int8-KV request from a spec string: returns the base spec
+/// with the `#kv8` marker removed when present (`None` when the spec does
+/// not request int8 KV). `#kv8` composes with `#int8` in either order —
+/// the base is normalized to trailing `#int8` so both orders share one
+/// cache entry — but stacking `#kv8` twice or burying it mid-spec is
+/// rejected.
+fn strip_kv8(spec: &str) -> Result<Option<String>, ServeError> {
+    match spec.matches("#kv8").count() {
+        0 => return Ok(None),
+        1 => {}
+        _ => {
+            return Err(ServeError::BadRequest {
+                detail: format!("spec {spec:?} stacks #kv8 more than once"),
+            })
+        }
+    }
+    if let Some(base) = spec.strip_suffix("#kv8") {
+        return Ok(Some(base.to_string()));
+    }
+    if let Some(tail) = spec.strip_suffix("#int8") {
+        if let Some(base) = tail.strip_suffix("#kv8") {
+            return Ok(Some(format!("{base}#int8")));
+        }
+    }
+    Err(ServeError::BadRequest {
+        detail: format!("#kv8 must suffix the spec, got {spec:?}"),
+    })
 }
 
 /// A parsed model specification.
@@ -275,10 +311,13 @@ pub struct ModelRegistry {
     /// Attached by the server so integrity failures show up in
     /// `checksum_failures`; absent in library use.
     metrics: OnceLock<Arc<Metrics>>,
-    /// One paged KV pool per model *allocation*, created lazily by
-    /// [`ModelRegistry::kv_pool`]. Keys are weak so an evicted model's
-    /// pool dies with its last session; dead slots are pruned on access.
-    kv_pools: Mutex<Vec<(Weak<TinyLm>, Arc<KvPool>)>>,
+    /// One paged KV pool per (model *allocation*, KV dtype), created
+    /// lazily by [`ModelRegistry::kv_pool`] /
+    /// [`ModelRegistry::kv_pool_for`] — f32 and `#kv8` traffic against the
+    /// same weights draw from separate pools. Keys are weak so an evicted
+    /// model's pools die with their last session; dead slots are pruned on
+    /// access.
+    kv_pools: Mutex<Vec<(Weak<TinyLm>, KvDtype, Arc<KvPool>)>>,
     /// Shape of pools created by [`ModelRegistry::kv_pool`].
     kv_pool_cfg: KvPoolConfig,
 }
@@ -363,31 +402,59 @@ impl ModelRegistry {
         self.kv_pool_cfg = KvPoolConfig {
             block_tokens: cfg.block_tokens.max(1),
             max_blocks: cfg.max_blocks.max(1),
+            dtype: cfg.dtype,
         };
         self
     }
 
-    /// The paged KV pool backing sessions of this model allocation,
-    /// created on first use. Pool identity follows the `Arc` allocation:
-    /// re-materializing an evicted spec yields a fresh pool, and the old
-    /// one drains away with its last session. Newly created pools are
-    /// registered with the attached metrics core so their block gauges
-    /// flow into snapshots.
+    /// The paged KV pool backing sessions of this model allocation at the
+    /// configured default KV dtype, created on first use. Pool identity
+    /// follows the `Arc` allocation: re-materializing an evicted spec
+    /// yields a fresh pool, and the old one drains away with its last
+    /// session. Newly created pools are registered with the attached
+    /// metrics core so their block gauges flow into snapshots.
     #[must_use]
     pub fn kv_pool(&self, model: &Arc<TinyLm>) -> Arc<KvPool> {
+        self.pool_with_dtype(model, self.kv_pool_cfg.dtype)
+    }
+
+    /// The KV dtype sessions resolved under `key` should use: canonical
+    /// `…#kv8` keys get int8 KV, everything else the configured default.
+    #[must_use]
+    pub fn kv_dtype_for(&self, key: &str) -> KvDtype {
+        if key.ends_with("#kv8") {
+            KvDtype::Int8
+        } else {
+            self.kv_pool_cfg.dtype
+        }
+    }
+
+    /// Like [`ModelRegistry::kv_pool`], but honours a `#kv8` suffix on the
+    /// canonical key returned by [`ModelRegistry::resolve_str`] — the
+    /// server's session-pool lookup.
+    #[must_use]
+    pub fn kv_pool_for(&self, key: &str, model: &Arc<TinyLm>) -> Arc<KvPool> {
+        self.pool_with_dtype(model, self.kv_dtype_for(key))
+    }
+
+    fn pool_with_dtype(&self, model: &Arc<TinyLm>, dtype: KvDtype) -> Arc<KvPool> {
         let mut pools = self.kv_pools.lock().unwrap_or_else(PoisonError::into_inner);
-        pools.retain(|(w, _)| w.strong_count() > 0);
-        if let Some((_, pool)) = pools
+        pools.retain(|(w, _, _)| w.strong_count() > 0);
+        if let Some((_, _, pool)) = pools
             .iter()
-            .find(|(w, _)| std::ptr::eq(w.as_ptr(), Arc::as_ptr(model)))
+            .find(|(w, d, _)| *d == dtype && std::ptr::eq(w.as_ptr(), Arc::as_ptr(model)))
         {
             return Arc::clone(pool);
         }
-        let pool = KvPool::new(self.kv_pool_cfg.clone()).expect("clamped pool config is valid");
+        let cfg = KvPoolConfig {
+            dtype,
+            ..self.kv_pool_cfg.clone()
+        };
+        let pool = KvPool::new(cfg).expect("clamped pool config is valid");
         if let Some(m) = self.metrics.get() {
             m.register_kv_pool(&pool);
         }
-        pools.push((Arc::downgrade(model), Arc::clone(&pool)));
+        pools.push((Arc::downgrade(model), dtype, Arc::clone(&pool)));
         pool
     }
 
@@ -466,6 +533,14 @@ impl ModelRegistry {
         let trimmed = spec.trim();
         if let Some(m) = self.cache_lock().get(trimmed) {
             return Ok((trimmed.to_string(), m));
+        }
+        // `#kv8` selects the int8 KV pool, not different weights: resolve
+        // (and cache) the base spec under its own key, and only the
+        // returned key carries the suffix — no `…#kv8` cache entry, so the
+        // weights gauge never double-counts the shared allocation.
+        if let Some(base) = strip_kv8(trimmed)? {
+            let (key, model) = self.resolve_str(&base)?;
+            return Ok((format!("{key}#kv8"), model));
         }
         let parsed = match ModelSpec::parse(trimmed) {
             Ok(parsed) => parsed,
@@ -996,6 +1071,7 @@ mod tests {
         let reg = registry().with_kv_pool_config(KvPoolConfig {
             block_tokens: 8,
             max_blocks: 64,
+            ..KvPoolConfig::default()
         });
         let a = reg.register("pool-a", random_model(1));
         let b = reg.register("pool-b", random_model(2));
@@ -1020,6 +1096,78 @@ mod tests {
                 .unwrap_or_else(PoisonError::into_inner)
                 .len(),
             1
+        );
+    }
+
+    #[test]
+    fn kv8_suffix_marks_the_key_but_shares_the_base_model() {
+        let reg = registry();
+        let base = reg.register("canary", random_model(21));
+        let (key, m) = reg.resolve_str("canary#kv8").expect("kv8 variant");
+        assert_eq!(key, "canary#kv8");
+        assert!(Arc::ptr_eq(&m, &base), "#kv8 must not clone the weights");
+        assert_eq!(
+            reg.loaded(),
+            vec!["canary".to_string()],
+            "no cache entry under the #kv8 key"
+        );
+        assert_eq!(reg.kv_dtype_for(&key), KvDtype::Int8);
+        assert_eq!(reg.kv_dtype_for("canary"), KvDtype::F32);
+    }
+
+    #[test]
+    fn kv8_composes_with_int8_in_either_order() {
+        let reg = registry();
+        reg.register("canary", random_model(22));
+        let (a_key, a) = reg.resolve_str("canary#int8#kv8").expect("suffix order");
+        let (b_key, b) = reg.resolve_str("canary#kv8#int8").expect("swapped order");
+        assert_eq!(a_key, "canary#int8#kv8", "canonical order is #int8#kv8");
+        assert_eq!(b_key, a_key, "both orders share one canonical key");
+        assert!(Arc::ptr_eq(&a, &b), "both orders share one quantized clone");
+        assert_eq!(a.dtype(), "int8");
+    }
+
+    #[test]
+    fn stacked_or_buried_kv8_is_rejected() {
+        let reg = registry();
+        reg.register("canary", random_model(23));
+        assert!(matches!(
+            reg.resolve_str("canary#kv8#kv8"),
+            Err(ServeError::BadRequest { .. })
+        ));
+        assert!(matches!(
+            reg.resolve_str("canary#kv8#int8#kv8"),
+            Err(ServeError::BadRequest { .. })
+        ));
+        assert!(matches!(
+            reg.resolve_str("can#kv8ary"),
+            Err(ServeError::BadRequest { .. })
+        ));
+        assert!(matches!(
+            reg.resolve_str("no-such-model#kv8"),
+            Err(ServeError::UnknownModel { .. })
+        ));
+    }
+
+    #[test]
+    fn kv_pools_are_keyed_by_dtype_within_one_model() {
+        let reg = registry();
+        let m = reg.register("canary", random_model(24));
+        let f32_pool = reg.kv_pool_for("canary", &m);
+        let kv8_pool = reg.kv_pool_for("canary#kv8", &m);
+        assert!(
+            !Arc::ptr_eq(&f32_pool, &kv8_pool),
+            "f32 and int8 sessions must not share a pool"
+        );
+        assert_eq!(f32_pool.dtype(), KvDtype::F32);
+        assert_eq!(kv8_pool.dtype(), KvDtype::Int8);
+        assert!(
+            Arc::ptr_eq(&kv8_pool, &reg.kv_pool_for("canary#kv8", &m)),
+            "same (allocation, dtype), same pool"
+        );
+        assert!(
+            Arc::ptr_eq(&f32_pool, &reg.kv_pool(&m)),
+            "kv_pool() is the configured-default-dtype pool"
         );
     }
 

@@ -80,7 +80,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use chipalign_nn::generate::{GenerateConfig, StepDecoder};
-use chipalign_nn::{KvPool, TinyLm};
+use chipalign_nn::{KvDtype, KvPool, TinyLm};
 
 use crate::metrics::Metrics;
 use crate::prefix::{PrefixCache, PrefixCacheConfig};
@@ -820,7 +820,13 @@ fn take_decoder(
                 }
                 None => StepDecoder::new_chunked(&req.model, &req.prompt, &req.cfg)?,
             };
-            if let Some((fork, _)) = inner.prefix.lookup(&req.model, decoder.pending_prefill()) {
+            // Probe the dtype bucket the session will decode at: a
+            // `#kv8` session must never adopt an f32 snapshot (or the
+            // reverse) even though both resolve to one model allocation.
+            let dtype = req.pool.as_ref().map_or(KvDtype::F32, |p| p.dtype());
+            if let Some((fork, _)) =
+                inner.prefix.lookup(&req.model, dtype, decoder.pending_prefill())
+            {
                 // Adoption re-validates tokens and model identity; a
                 // mismatch simply falls back to a cold prefill.
                 if let Ok(adopted) = decoder.adopt_prefix(fork) {
@@ -1293,6 +1299,7 @@ mod tests {
         let pool = KvPool::new(KvPoolConfig {
             block_tokens: 4,
             max_blocks: 256,
+            ..KvPoolConfig::default()
         })
         .expect("pool");
         let metrics = Arc::new(Metrics::new());
@@ -1333,6 +1340,7 @@ mod tests {
         let pool = KvPool::new(KvPoolConfig {
             block_tokens: 1,
             max_blocks: 4,
+            ..KvPoolConfig::default()
         })
         .expect("pool");
         let metrics = Arc::new(Metrics::new());

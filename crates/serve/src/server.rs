@@ -329,7 +329,9 @@ fn serve_generation(
     // Every served session decodes on the model's paged KV pool, so block
     // accounting, prefix aliasing, and pool-saturation admission all apply
     // on the wire path (library callers may still opt out with `pool: None`).
-    let pool = inner.registry.kv_pool(&model);
+    // The canonical key picks the pool dtype: `…#kv8` keys draw from the
+    // model's int8 pool, everything else from the f32 one.
+    let pool = inner.registry.kv_pool_for(&key, &model);
     // Session tags carry the replica identity when one is configured, so
     // process-global fault rules can single out one replica's sessions.
     let tag = match &inner.cfg.instance_tag {

@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use chipalign_model::ArchSpec;
 use chipalign_nn::generate::{generate, GenerateConfig};
-use chipalign_nn::{KvPool, KvPoolConfig, TinyLm};
+use chipalign_nn::{KvDtype, KvPool, KvPoolConfig, StepDecoder, TinyLm};
 use chipalign_serve::{Metrics, Scheduler, SchedulerConfig, SessionRequest};
 use chipalign_tensor::rng::Pcg32;
 use proptest::prelude::*;
@@ -75,6 +75,7 @@ proptest! {
         let pool = KvPool::new(KvPoolConfig {
             block_tokens: 4,
             max_blocks: 4096,
+            ..KvPoolConfig::default()
         })
         .expect("pool");
         let metrics = Arc::new(Metrics::new());
@@ -150,6 +151,112 @@ proptest! {
         if max_batch == 1 {
             prop_assert_eq!(snap.batched_slices, 0);
         }
+    }
+
+    #[test]
+    fn mixed_dtype_sessions_coexist_without_cross_talk(
+        seed in 0u64..20,
+        jobs in proptest::collection::vec(job_strategy(), 2..8),
+        workers in 1usize..3,
+        slice_tokens in 1usize..4,
+    ) {
+        // f32-paged and int8-paged sessions share one scheduler, and the
+        // int8 ones share one pool; each transcript must match a fresh
+        // single-threaded decode *at the same dtype*, bitwise. f32 paged
+        // decode is bit-identical to contiguous, so `generate()` is its
+        // reference; each int8 session replays through a private int8
+        // pool (block seals are positional, so chunked scheduler prefill
+        // and sliced decode quantize identically to the sequential run).
+        // `Job::pooled` picks the dtype here: true → int8, false → f32.
+        let m = model(seed);
+        let f32_pool = KvPool::new(KvPoolConfig {
+            block_tokens: 4,
+            max_blocks: 4096,
+            ..KvPoolConfig::default()
+        })
+        .expect("pool");
+        let int8_pool = KvPool::new(KvPoolConfig {
+            block_tokens: 4,
+            max_blocks: 4096,
+            dtype: KvDtype::Int8,
+        })
+        .expect("pool");
+        let metrics = Arc::new(Metrics::new());
+        let scheduler = Scheduler::start(
+            SchedulerConfig {
+                workers,
+                max_sessions: jobs.len(),
+                slice_tokens,
+                stall_slices: 32,
+                max_batch: 4,
+                ..SchedulerConfig::default()
+            },
+            Arc::clone(&metrics),
+        );
+
+        let mut pending = std::collections::VecDeque::new();
+        let mut results = Vec::with_capacity(jobs.len());
+        for job in &jobs {
+            if job.wait_first {
+                if let Some((rx, j)) = pending.pop_front() {
+                    results.push((outcome_tokens(rx), j));
+                }
+            }
+            let pool = if job.pooled { &int8_pool } else { &f32_pool };
+            let rx = scheduler
+                .submit(SessionRequest {
+                    model: Arc::clone(&m),
+                    prompt: job.prompt.clone(),
+                    cfg: greedy(job.budget),
+                    deadline: None,
+                    tag: "prop".to_string(),
+                    pool: Some(Arc::clone(pool)),
+                })
+                .expect("within max_sessions by construction");
+            pending.push_back((rx, job.clone()));
+        }
+        while let Some((rx, j)) = pending.pop_front() {
+            results.push((outcome_tokens(rx), j));
+        }
+
+        for (tokens, job) in &results {
+            let cfg = greedy(job.budget);
+            let reference = if job.pooled {
+                let rp = KvPool::new(KvPoolConfig {
+                    block_tokens: 4,
+                    max_blocks: 4096,
+                    dtype: KvDtype::Int8,
+                })
+                .expect("pool");
+                let mut session =
+                    StepDecoder::new_chunked_pooled(&m, &job.prompt, &cfg, &rp).expect("session");
+                session.prefill_pending(usize::MAX).expect("prefill");
+                let mut toks = Vec::with_capacity(job.budget);
+                while let Some(next) = session.step().expect("step") {
+                    toks.push(next);
+                }
+                toks
+            } else {
+                generate(&m, &job.prompt, &cfg).expect("reference")
+            };
+            prop_assert_eq!(
+                tokens,
+                &reference,
+                "{} transcript changed under shared mixed-dtype scheduling",
+                if job.pooled { "int8" } else { "f32" }
+            );
+        }
+
+        prop_assert_eq!(scheduler.active(), 0);
+        scheduler.join();
+        let snap = metrics.snapshot();
+        prop_assert_eq!(snap.completed, jobs.len() as u64);
+        prop_assert_eq!(snap.failed, 0);
+        // Both pools drained: every block (and byte) went back.
+        prop_assert_eq!(f32_pool.blocks_in_use(), 0);
+        prop_assert_eq!(int8_pool.blocks_in_use(), 0);
+        prop_assert_eq!(f32_pool.bytes_in_use(), 0);
+        prop_assert_eq!(int8_pool.bytes_in_use(), 0);
     }
 }
 

@@ -348,6 +348,7 @@ fn pooled_decoder_transcripts_identical_through_window_slide() {
     let pool = KvPool::new(KvPoolConfig {
         block_tokens: 4,
         max_blocks: 64,
+        ..KvPoolConfig::default()
     })
     .expect("pool");
     let tok = CharTokenizer::new();
@@ -468,6 +469,94 @@ fn served_int8_transcripts_identical_to_local_int8_decode() {
         );
         assert_eq!(served.model, "pinned#int8");
     }
+    server.shutdown();
+}
+
+/// The served-kv8 pin: a generation against `pinned#kv8` (f32 weights,
+/// int8 KV pool) is byte-identical to a local single-threaded decoder on
+/// an int8 pool of the registry's default shape — block sealing is a pure
+/// function of position, so the scheduler's chunked prefill, decode
+/// slicing, and boundary-aligned prefix donations add no drift, through
+/// the context-window slide included.
+#[test]
+fn served_kv8_transcripts_identical_to_local_int8_pool_decode() {
+    use chipalign_nn::KvDtype;
+
+    let server = Server::bind(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            scheduler: SchedulerConfig {
+                workers: 2,
+                max_sessions: 8,
+                slice_tokens: 4,
+                stall_slices: 64,
+                max_batch: 1,
+                ..SchedulerConfig::default()
+            },
+            max_new_tokens_cap: 10_000_000,
+            default_deadline_ms: None,
+            instance_tag: None,
+        },
+        registry_with_pinned(),
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let model = Arc::new(pinned_model());
+    // Same shape the registry hands to served `#kv8` sessions: the
+    // default pool config at the int8 dtype.
+    let pool = KvPool::new(KvPoolConfig {
+        dtype: KvDtype::Int8,
+        ..KvPoolConfig::default()
+    })
+    .expect("pool");
+    let tok = CharTokenizer::new();
+    // Budget 64 slides the 32-token context window: the reset + replay
+    // re-seals blocks at their new positions identically in both runs.
+    for (prompt, budget) in [("kernel swap", 20), ("slide please", 64)] {
+        let mut req = GenerateRequest::greedy("pinned#kv8", prompt, budget);
+        req.stop_at_eos = false;
+        let served = client.generate(req).expect("generate");
+
+        let mut ids = vec![BOS];
+        ids.extend(tok.encode(prompt));
+        let cfg = GenerateConfig {
+            max_new_tokens: budget,
+            stop_at_eos: false,
+            ..GenerateConfig::default()
+        };
+        let mut decoder =
+            StepDecoder::new_chunked_pooled(&model, &ids, &cfg, &pool).expect("pooled");
+        decoder.prefill_pending(usize::MAX).expect("prefill");
+        let mut local = Vec::with_capacity(budget);
+        while let Some(t) = decoder.step().expect("step") {
+            local.push(t);
+        }
+        assert_eq!(
+            served.text,
+            tok.decode(&local),
+            "served kv8 transcript not byte-identical for {prompt:?}"
+        );
+        assert_eq!(served.model, "pinned#kv8");
+    }
+
+    // The int8 pool is live and visible on the admin surface.
+    let snap = client.metrics().expect("metrics");
+    let int8_row = snap
+        .kv_pool_dtypes
+        .iter()
+        .find(|r| r.dtype == "int8")
+        .expect("served #kv8 traffic must surface an int8 pool row");
+    assert_eq!(
+        int8_row.blocks_in_use + int8_row.blocks_free,
+        8192,
+        "default pool capacity at the int8 dtype"
+    );
+    assert_eq!(
+        snap.kv_bytes_in_use,
+        snap.kv_pool_dtypes.iter().map(|r| r.bytes_in_use).sum::<u64>(),
+        "total bytes gauge sums the per-dtype rows"
+    );
     server.shutdown();
 }
 

@@ -50,6 +50,13 @@ pub trait KernelBackend: Send + Sync {
     /// Dot of a per-row-scaled int8 weight row against an `f32` activation
     /// vector: `scale · Σ wᵢ·xᵢ` with the `i8` weights widened in-register.
     fn dot_q8(&self, w_row: &[i8], scale: f32, x: &[f32]) -> f32;
+
+    /// Scaled int8 accumulate: `out[i] += weight · scale · codes[i]`, the
+    /// context-accumulation half of quantized attention (the score half is
+    /// [`KernelBackend::dot_q8`]). `weight` is the softmax probability for
+    /// one KV row; `scale · codes[i]` dequantizes that row in-register, so
+    /// the V stream moves 1 byte per element instead of 4.
+    fn axpy_q8(&self, weight: f32, codes: &[i8], scale: f32, out: &mut [f32]);
 }
 
 /// Naive reference backend: single-accumulator loops in source order.
@@ -101,6 +108,13 @@ impl KernelBackend for ScalarBackend {
                 .map(|(&q, &v)| f32::from(q) * v)
                 .sum::<f32>()
     }
+
+    fn axpy_q8(&self, weight: f32, codes: &[i8], scale: f32, out: &mut [f32]) {
+        let c = weight * scale;
+        for (o, &q) in out.iter_mut().zip(codes) {
+            *o += c * f32::from(q);
+        }
+    }
 }
 
 impl KernelBackend for BlockedBackend {
@@ -118,6 +132,10 @@ impl KernelBackend for BlockedBackend {
 
     fn dot_q8(&self, w_row: &[i8], scale: f32, x: &[f32]) -> f32 {
         dot_q8_lanes_blocked(w_row, scale, x)
+    }
+
+    fn axpy_q8(&self, weight: f32, codes: &[i8], scale: f32, out: &mut [f32]) {
+        axpy_q8_blocked(weight, codes, scale, out);
     }
 }
 
@@ -148,6 +166,14 @@ impl KernelBackend for SimdBackend {
             return v;
         }
         dot_q8_lanes_blocked(w_row, scale, x)
+    }
+
+    fn axpy_q8(&self, weight: f32, codes: &[i8], scale: f32, out: &mut [f32]) {
+        #[cfg(target_arch = "x86_64")]
+        if x86::axpy_q8(weight, codes, scale, out) {
+            return;
+        }
+        axpy_q8_blocked(weight, codes, scale, out);
     }
 }
 
@@ -247,6 +273,16 @@ pub(crate) fn dot_q8_lanes_blocked(w: &[i8], scale: f32, x: &[f32]) -> f32 {
     scale * (lanes.iter().sum::<f32>() + tail)
 }
 
+/// Scaled int8 accumulate, portable tier: the combined factor
+/// `weight · scale` is hoisted once and the widen-multiply-add loop has no
+/// cross-iteration dependency, so it autovectorises cleanly.
+pub(crate) fn axpy_q8_blocked(weight: f32, codes: &[i8], scale: f32, out: &mut [f32]) {
+    let c = weight * scale;
+    for (o, &q) in out.iter_mut().zip(codes) {
+        *o += c * f32::from(q);
+    }
+}
+
 /// Columns `[j0, n)` of one output row of `A·B`, swept in
 /// [`tune::GEMM_COL_TILE`]-wide tiles whose partial sums live in a stack
 /// array the compiler keeps in vector registers. `j0 = 0` is the full
@@ -309,6 +345,17 @@ mod x86 {
         }
         // SAFETY: AVX2+FMA presence was verified just above.
         Some(unsafe { dot_q8_avx2(w, scale, x) })
+    }
+
+    /// Dispatches to the AVX2 scaled int8 accumulate when supported;
+    /// `false` means the caller must run the portable kernel instead.
+    pub(super) fn axpy_q8(weight: f32, codes: &[i8], scale: f32, out: &mut [f32]) -> bool {
+        if !super::simd_supported() {
+            return false;
+        }
+        // SAFETY: AVX2+FMA presence was verified just above.
+        unsafe { axpy_q8_avx2(weight, codes, scale, out) };
+        true
     }
 
     /// Sums the 8 lanes of a `__m256` through a stack spill (the reduction
@@ -406,6 +453,38 @@ mod x86 {
             i += 1;
         }
         scale * total
+    }
+
+    /// AVX2/FMA scaled int8 accumulate: 8 codes at a time are widened
+    /// `i8 → i32 → f32` in-register and FMA'd against the broadcast
+    /// combined factor `weight · scale` into the output, with a scalar
+    /// tail. This is the quantized-attention context kernel: the V rows
+    /// stream 1 byte per element.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2+FMA support; `out` must be at least
+    /// as long as `codes`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn axpy_q8_avx2(weight: f32, codes: &[i8], scale: f32, out: &mut [f32]) {
+        debug_assert!(out.len() >= codes.len());
+        let n = codes.len();
+        let pq = codes.as_ptr();
+        let po = out.as_mut_ptr();
+        let c = weight * scale;
+        let cv = _mm256_set1_ps(c);
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let q8 = _mm_loadl_epi64(pq.add(i).cast::<__m128i>());
+            let qf = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(q8));
+            let acc = _mm256_fmadd_ps(cv, qf, _mm256_loadu_ps(po.add(i)));
+            _mm256_storeu_ps(po.add(i), acc);
+            i += 8;
+        }
+        while i < n {
+            *po.add(i) += c * f32::from(*pq.add(i));
+            i += 1;
+        }
     }
 
     /// AVX2/FMA GEMM row: 16-wide column tiles held in two `ymm`
@@ -527,6 +606,33 @@ mod tests {
                     "{} dot_q8 drifted at n={n}: {got} vs {reference}",
                     backend.name()
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn q8_axpys_agree_across_backends() {
+        // Same awkward lengths as the dot tests: scalar-tail-only, exactly
+        // one 8-wide chunk, and a ragged tail past the SIMD main loop.
+        for n in [1usize, 8, 13, 40] {
+            let codes: Vec<i8> = (0..n)
+                .map(|i| ((i as i32 * 53) % 255 - 127) as i8)
+                .collect();
+            let scale = 0.021f32;
+            let weight = 0.63f32;
+            let base = randv(n, 9 + n as u64);
+            let mut reference = base.clone();
+            SCALAR.axpy_q8(weight, &codes, scale, &mut reference);
+            for backend in all() {
+                let mut got = base.clone();
+                backend.axpy_q8(weight, &codes, scale, &mut got);
+                for (g, r) in got.iter().zip(&reference) {
+                    assert!(
+                        (g - r).abs() <= 1e-4 * r.abs().max(1.0),
+                        "{} axpy_q8 drifted at n={n}: {g} vs {r}",
+                        backend.name()
+                    );
+                }
             }
         }
     }

@@ -45,7 +45,20 @@ RUSTFLAGS="-C target-cpu=native" \
   cargo run --release -p chipalign-bench --bin bench_kernels -- --smoke
 cargo run --release -p chipalign-bench --bin bench_batch -- --smoke
 cargo run --release -p chipalign-bench --bin bench_prefill -- --smoke
+
+# KV dtype × backend sweep: the paged-pool smoke must hold for both KV
+# dtypes under both the scalar oracle and the SIMD tier (the quantized
+# row primitives have per-tier implementations; simd degrades to the
+# blocked fallback off-AVX2, which is still a valid dispatch smoke).
+# The default run (no --dtype) covers both lanes together and asserts
+# the int8-over-f32 sessions-per-GB floor.
 cargo run --release -p chipalign-bench --bin bench_kvpool -- --smoke
+for dtype in f32 int8; do
+  for backend in scalar simd; do
+    CHIPALIGN_BACKEND="$backend" \
+      cargo run --release -p chipalign-bench --bin bench_kvpool -- --smoke --dtype "$dtype"
+  done
+done
 cargo run --release -p chipalign-bench --bin bench_serve -- --smoke
 cargo run --release -p chipalign-bench --bin bench_fleet -- --smoke
 
