@@ -1,0 +1,240 @@
+//! Speculative-decoding benchmark: sweeps draft choice × draft length `k`
+//! and reports decode throughput plus draft-acceptance rate, writing
+//! `BENCH_spec.json` at the repo root.
+//!
+//! Two draft families are swept, both against the paper's deliverable
+//! (the λ=0.6 geodesic merge of the EDA and instruct models):
+//!
+//! - **merge-family draft**: the instruct ingredient drafts for the
+//!   merge it was blended into — the zoo's free source of agreeing
+//!   proposals, since the merge sits on the geodesic between its
+//!   ingredients.
+//! - **self-draft**: the target truncated to its first layer
+//!   ([`TinyLm::truncate_layers`]) — the classic cheap-draft shape, where
+//!   the draft forward costs a fraction of the target's.
+//!
+//! ```text
+//! cargo run --release -p chipalign-bench --bin bench_spec            # full sweep + JSON
+//! cargo run --release -p chipalign-bench --bin bench_spec -- --smoke # k ∈ {2,4}, no JSON
+//! ```
+//!
+//! Every configuration decodes the *same* greedy transcript: the harness
+//! asserts the speculative token stream is byte-identical to the plain
+//! [`StepDecoder`] stream (that is the whole point of verified
+//! speculation), and that the merge-family pair accepts at least one
+//! draft token (the zoo's distribution-affinity premise). Timings
+//! are medians of `CHIPALIGN_BENCH_REPS` repetitions (default 7, 3 in
+//! smoke mode); session setup and prompt prefill stay outside the timed
+//! region.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use chipalign_bench::harness;
+use chipalign_nn::generate::{GenerateConfig, StepDecoder};
+use chipalign_nn::{SpecDecoder, TinyLm};
+use chipalign_serve::ModelRegistry;
+use chipalign_tensor::rng::Pcg32;
+
+const MERGE_SPEC: &str = "merge:eda-qwen+instruct-qwen@0.6";
+const DRAFT_SPEC: &str = "instruct-qwen";
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One timed (draft, k) configuration.
+#[derive(Debug, Serialize)]
+struct SpecTiming {
+    /// Human label for the draft choice.
+    draft: String,
+    /// Draft tokens proposed per speculative round.
+    k: usize,
+    /// New tokens decoded per repetition (identical across configurations).
+    tokens: usize,
+    /// Repetitions the medians are taken over.
+    reps: usize,
+    /// Median plain (non-speculative) decode wall time, microseconds.
+    plain_median_us: f64,
+    /// Median speculative decode wall time, microseconds.
+    spec_median_us: f64,
+    /// Plain tokens per second at the median.
+    plain_tokens_per_sec: f64,
+    /// Speculative tokens per second at the median.
+    spec_tokens_per_sec: f64,
+    /// Speculative over plain tokens/sec.
+    speedup: f64,
+    /// Draft tokens proposed across one repetition.
+    proposed: u64,
+    /// Draft tokens accepted across one repetition.
+    accepted: u64,
+    /// accepted / proposed.
+    acceptance_rate: f64,
+    /// Speculative rounds that fell back to plain stepping.
+    fallbacks: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct SpecBench {
+    target: String,
+    quality: String,
+    reps: usize,
+    tokens_per_run: usize,
+    prompt_len: usize,
+    timings: Vec<SpecTiming>,
+}
+
+/// Decodes `budget` greedy tokens from `prompt` without speculation and
+/// returns (transcript, wall time).
+fn run_plain(
+    target: &Arc<TinyLm>,
+    prompt: &[u32],
+    cfg: &GenerateConfig,
+) -> Result<(Vec<u32>, f64), Box<dyn std::error::Error>> {
+    let mut session = StepDecoder::new(target, prompt, cfg)?;
+    let mut tokens = Vec::with_capacity(cfg.max_new_tokens);
+    let t0 = Instant::now();
+    while let Some(next) = session.step()? {
+        tokens.push(next);
+    }
+    Ok((tokens, t0.elapsed().as_secs_f64() * 1e6))
+}
+
+/// Decodes the same transcript speculatively and returns
+/// (transcript, wall time, stats for this run).
+fn run_spec(
+    target: &Arc<TinyLm>,
+    draft: &Arc<TinyLm>,
+    k: usize,
+    prompt: &[u32],
+    cfg: &GenerateConfig,
+) -> Result<(Vec<u32>, f64, chipalign_nn::SpecStats), Box<dyn std::error::Error>> {
+    let mut session = SpecDecoder::new(StepDecoder::new(target, prompt, cfg)?, draft, k)?;
+    let mut tokens = Vec::with_capacity(cfg.max_new_tokens);
+    let t0 = Instant::now();
+    while let Some(next) = session.step()? {
+        tokens.push(next);
+    }
+    let elapsed_us = t0.elapsed().as_secs_f64() * 1e6;
+    Ok((tokens, elapsed_us, session.take_stats()))
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = harness::smoke_mode();
+    if smoke && std::env::var("CHIPALIGN_QUALITY").is_err() {
+        std::env::set_var("CHIPALIGN_QUALITY", "smoke");
+    }
+    let quality = std::env::var("CHIPALIGN_QUALITY").unwrap_or_else(|_| "paper".to_string());
+    let reps = env_usize("CHIPALIGN_BENCH_REPS", if smoke { 3 } else { 7 });
+    let budget = env_usize("CHIPALIGN_SPEC_TOKENS", if smoke { 16 } else { 64 });
+    let ks: &[usize] = if smoke { &[2, 4] } else { &[2, 4, 8, 16] };
+
+    let zoo = harness::paper_zoo()?;
+    let registry = ModelRegistry::new(zoo);
+    let (target_key, target) = registry.resolve_str(MERGE_SPEC)?;
+    let (_, merge_draft) = registry.resolve_str(DRAFT_SPEC)?;
+    let self_draft = Arc::new(target.truncate_layers(1)?);
+    eprintln!(
+        "[bench_spec] target {target_key}, {} tokens/run, {reps} reps, k in {ks:?}",
+        budget
+    );
+
+    // A fixed seeded prompt keeps every configuration decoding the exact
+    // same work; vocab ids stay clear of the EOS band at the bottom.
+    let mut rng = Pcg32::seed(harness::BENCH_SEED);
+    let vocab = target.arch().vocab_size as u32;
+    let prompt: Vec<u32> = (0..8).map(|_| 4 + rng.next_u32() % (vocab - 8)).collect();
+    let cfg = GenerateConfig {
+        max_new_tokens: budget,
+        stop_at_eos: false,
+        ..GenerateConfig::default()
+    };
+
+    // The merge-family pair must show real acceptance (the zoo's whole
+    // premise: a merge and its ingredient agree heavily in distribution);
+    // the heavily-truncated self-draft is reported but not gated — a
+    // one-layer prefix of a tiny model may legitimately never agree.
+    let drafts: Vec<(String, Arc<TinyLm>, bool)> = vec![
+        (format!("merge-family ({DRAFT_SPEC})"), merge_draft, true),
+        ("self-draft (1 layer)".to_string(), self_draft, false),
+    ];
+
+    let reference = run_plain(&target, &prompt, &cfg)?.0;
+    let mut timings = Vec::new();
+    for (label, draft, must_accept) in &drafts {
+        for &k in ks {
+            let mut plain_us = Vec::with_capacity(reps);
+            let mut spec_us = Vec::with_capacity(reps);
+            let mut stats = chipalign_nn::SpecStats::default();
+            for _ in 0..reps {
+                let (plain_tokens, us) = run_plain(&target, &prompt, &cfg)?;
+                assert_eq!(
+                    plain_tokens, reference,
+                    "plain decode must be deterministic"
+                );
+                plain_us.push(us);
+
+                let (spec_tokens, us, s) = run_spec(&target, draft, k, &prompt, &cfg)?;
+                assert_eq!(
+                    spec_tokens, reference,
+                    "speculative transcript diverged from plain decode ({label}, k={k})"
+                );
+                spec_us.push(us);
+                stats = s;
+            }
+            assert!(
+                !*must_accept || stats.accepted > 0,
+                "no draft tokens accepted ({label}, k={k})"
+            );
+            let plain_median_us = median(plain_us);
+            let spec_median_us = median(spec_us);
+            let acceptance_rate = stats.accepted as f64 / (stats.proposed as f64).max(1.0);
+            let timing = SpecTiming {
+                draft: label.clone(),
+                k,
+                tokens: budget,
+                reps,
+                plain_median_us,
+                spec_median_us,
+                plain_tokens_per_sec: budget as f64 / (plain_median_us / 1e6).max(1e-9),
+                spec_tokens_per_sec: budget as f64 / (spec_median_us / 1e6).max(1e-9),
+                speedup: plain_median_us / spec_median_us.max(1e-9),
+                proposed: stats.proposed,
+                accepted: stats.accepted,
+                acceptance_rate,
+                fallbacks: stats.fallbacks,
+            };
+            eprintln!(
+                "[bench_spec] {label} k={k}: {:.1} tok/s spec vs {:.1} plain ({:.2}x), \
+                 acceptance {:.0}% ({}/{})",
+                timing.spec_tokens_per_sec,
+                timing.plain_tokens_per_sec,
+                timing.speedup,
+                100.0 * acceptance_rate,
+                stats.accepted,
+                stats.proposed
+            );
+            timings.push(timing);
+        }
+    }
+
+    let report = SpecBench {
+        target: target_key,
+        quality,
+        reps,
+        tokens_per_run: budget,
+        prompt_len: prompt.len(),
+        timings,
+    };
+    harness::write_bench_json("spec", &report, smoke)
+}

@@ -481,6 +481,57 @@ impl StepDecoder {
     pub fn context(&self) -> &[u32] {
         &self.context
     }
+
+    /// Whether this session decodes greedily (temperature 0). Speculative
+    /// decoding only engages on greedy sessions — sampled sessions consume
+    /// an RNG stream that a multi-token round cannot keep in lockstep.
+    #[must_use]
+    pub fn is_greedy(&self) -> bool {
+        self.cfg.temperature <= 0.0
+    }
+
+    // --- speculative-decoding hooks (crate-private) -----------------------
+    //
+    // `crate::spec::SpecDecoder` drives a round as: choose + commit the
+    // target's own next token, verify a drafted chunk against the cache,
+    // commit the agreeing prefix, rewind, and restore `last_logits` from
+    // the verified row. These accessors expose exactly the private state a
+    // round needs while keeping the public `StepDecoder` surface unchanged.
+
+    /// Chooses the next token from `last_logits` (see `choose_next`).
+    pub(crate) fn spec_choose_next(&mut self) -> u32 {
+        self.choose_next()
+    }
+
+    /// Commits a chosen token (context/budget/EOS bookkeeping only).
+    pub(crate) fn spec_commit(&mut self, next: u32) {
+        self.commit(next);
+    }
+
+    /// Mutable cache access for verify/rewind.
+    pub(crate) fn spec_cache_mut(&mut self) -> &mut KvCache {
+        &mut self.cache
+    }
+
+    /// Replaces the pending logits with a row from a verified chunk.
+    pub(crate) fn spec_set_last_logits(&mut self, logits: Vec<f32>) {
+        self.last_logits = logits;
+    }
+
+    /// Defers a context-window slide (see `begin_slide`).
+    pub(crate) fn spec_begin_slide(&mut self) {
+        self.begin_slide();
+    }
+
+    /// The context-window size this session slides at.
+    pub(crate) fn spec_max_ctx(&self) -> usize {
+        self.max_ctx
+    }
+
+    /// Tokens the budget still allows after those already emitted.
+    pub(crate) fn spec_budget_left(&self) -> usize {
+        self.cfg.max_new_tokens.saturating_sub(self.emitted)
+    }
 }
 
 /// Generates new tokens after `prompt`, returning only the new tokens.
@@ -523,6 +574,14 @@ pub fn complete_text(
 }
 
 /// Temperature + top-k + nucleus (top-p) sampling from one logit row.
+///
+/// Top-k keeps *exactly* `top_k` survivors even when logits tie at the k-th
+/// threshold: strictly-greater entries always survive, and ties at the
+/// threshold are kept in stable index order until the quota is filled.
+/// (Earlier releases spared every tie, so tied-threshold rows sampled from
+/// more than `top_k` tokens; sampled transcripts that hit such a tie can
+/// differ from pre-fix output. Greedy decoding never calls this path, so
+/// greedy transcripts are unaffected.)
 fn sample_from_logits(
     logits: &[f32],
     temperature: f32,
@@ -532,14 +591,22 @@ fn sample_from_logits(
 ) -> u32 {
     let mut scaled: Vec<f32> = logits.iter().map(|&l| l / temperature).collect();
     if top_k > 0 && top_k < scaled.len() {
-        // Zero out everything below the k-th largest logit.
+        // Zero out everything below the k-th largest logit, and all but the
+        // first `top_k - |strictly above|` entries tied with it.
         let mut sorted = scaled.clone();
         sorted.sort_by(|a, b| b.total_cmp(a));
         let threshold = sorted[top_k - 1];
+        let above = scaled.iter().filter(|v| **v > threshold).count();
+        let mut tie_budget = top_k - above;
         for v in &mut scaled {
-            if *v < threshold {
-                *v = f32::NEG_INFINITY;
+            if *v > threshold {
+                continue;
             }
+            if *v == threshold && tie_budget > 0 {
+                tie_budget -= 1;
+                continue;
+            }
+            *v = f32::NEG_INFINITY;
         }
     }
     ops::softmax_inplace(&mut scaled);
@@ -1139,6 +1206,33 @@ mod tests {
         assert!(a.is_done() && b.is_done());
         assert_eq!(a.emitted(), 2);
         assert_eq!(b.emitted(), 6);
+    }
+
+    #[test]
+    fn top_k_keeps_exactly_k_survivors_on_threshold_ties() {
+        // Three logits tie at the k-th threshold; only the first tie (in
+        // index order) may survive alongside the strictly-greater entry.
+        let logits = [2.0f32, 1.0, 1.0, 1.0, 0.0];
+        let mut rng = Pcg32::seed(42);
+        let mut seen = [false; 5];
+        for _ in 0..2000 {
+            let idx = sample_from_logits(&logits, 1.0, 2, 1.0, &mut rng) as usize;
+            seen[idx] = true;
+        }
+        assert!(seen[0] && seen[1], "both survivors should be sampled");
+        assert!(
+            !seen[2] && !seen[3] && !seen[4],
+            "ties beyond the top_k quota must be truncated, got {seen:?}"
+        );
+
+        // All-equal logits: survivors are the first top_k indices.
+        let flat = [1.0f32; 4];
+        let mut rng = Pcg32::seed(43);
+        let mut seen = [false; 4];
+        for _ in 0..2000 {
+            seen[sample_from_logits(&flat, 1.0, 2, 1.0, &mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true, true, false, false]);
     }
 
     #[test]

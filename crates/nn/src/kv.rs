@@ -180,9 +180,9 @@ impl BlockTable {
             // f32 working tail seeded with the already-filled rows
             // dequantized. Like a plain copy-on-write, the replacement
             // carries the same logical rows and needs no undo.
-            let copy = self
-                .pool
-                .alloc_block_unsealed(&self.blocks[b], pos % bt, d, self.n_heads)?;
+            let copy =
+                self.pool
+                    .alloc_block_unsealed(&self.blocks[b], pos % bt, d, self.n_heads)?;
             self.blocks[b] = Arc::new(copy);
         } else if Arc::get_mut(&mut self.blocks[b]).is_none() {
             // The tail is aliased (fork donor, prefix-cache snapshot, or a
@@ -914,6 +914,259 @@ impl KvCache {
         }
         Ok((0..n).map(|r| logits.row(r).to_vec()).collect())
     }
+
+    /// Processes `tokens` as consecutive positions of **this** session in
+    /// one batched forward, returning the next-token logits after *every*
+    /// position — the speculative-decoding verification primitive: feed
+    /// `[t0, d1, …, dm]` and row `i` tells you what the model would emit
+    /// after the first `i + 1` of those tokens.
+    ///
+    /// The hidden states of the `m` positions are stacked row-wise so each
+    /// projection runs as one `m × d_model` GEMM (the same skinny kernel as
+    /// [`KvCache::decode_batch`]), while within each layer the K/V rows are
+    /// written and attended **in position order** — row `r` attends over
+    /// every earlier cached row *plus* rows `0..r` of the chunk itself, the
+    /// exact causal structure of `m` sequential [`KvCache::decode_step`]
+    /// calls. Because the skinny GEMM accumulates each output row in
+    /// [`Matrix::matvec`] order and the norm/RoPE/attention helpers are
+    /// shared verbatim with the single-step path, the returned logits are
+    /// **bit-identical** to stepping the tokens one at a time (pinned by
+    /// tests across contiguous, paged, int8-weight, and int8-KV caches).
+    ///
+    /// An empty chunk is a no-op returning no rows. All validation and pool
+    /// reservation happens before any state advances; on error the cache is
+    /// exactly as it was.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] if `tokens.len()` exceeds
+    /// [`chipalign_tensor::tune::GEMM_SKINNY_M_MAX`] (beyond which the
+    /// bit-identity guarantee would not hold), [`NnError::BadSequence`] if
+    /// the chunk does not fit the context window, [`NnError::BadToken`] for
+    /// out-of-vocabulary ids, and [`NnError::PoolExhausted`] if a paged
+    /// cache's pool cannot back every new position.
+    pub fn verify_chunk(&mut self, tokens: &[u32]) -> Result<Vec<Vec<f32>>, NnError> {
+        let arch = self.model.arch().clone();
+        let m = tokens.len();
+        if m == 0 {
+            return Ok(Vec::new());
+        }
+        if m > chipalign_tensor::tune::GEMM_SKINNY_M_MAX {
+            return Err(NnError::BadConfig {
+                detail: format!(
+                    "verify_chunk of {m} tokens exceeds the skinny-GEMM bound {}",
+                    chipalign_tensor::tune::GEMM_SKINNY_M_MAX
+                ),
+            });
+        }
+        if self.len + m > arch.max_seq_len {
+            return Err(NnError::BadSequence {
+                detail: format!(
+                    "verify_chunk of {m} tokens overflows the context window ({} cached, {} max)",
+                    self.len, arch.max_seq_len
+                ),
+            });
+        }
+        for &t in tokens {
+            if t as usize >= arch.vocab_size {
+                return Err(NnError::BadToken {
+                    id: t,
+                    vocab: arch.vocab_size,
+                });
+            }
+        }
+        if m == 1 {
+            // A chunk of one is exactly the matvec decode fast path.
+            return Ok(vec![self.decode_step(tokens[0])?]);
+        }
+
+        let base = self.len;
+        let d = arch.d_model;
+        let n_heads = arch.n_heads;
+        let head_dim = arch.head_dim();
+
+        // Reserve every new position up front so a pool-exhausted chunk
+        // leaves the cache exactly where it was: freshly pushed tail
+        // blocks are popped on failure, copy-on-write replacements are
+        // content-identical and need no undo.
+        let mut prepared: Vec<PreparedPosition> = Vec::with_capacity(m);
+        let mut reserve_err = None;
+        for r in 0..m {
+            match self.store.prepare_position(base + r, arch.n_layers, d) {
+                Ok(p) => prepared.push(p),
+                Err(e) => {
+                    reserve_err = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = reserve_err {
+            for p in prepared.into_iter().rev() {
+                self.store.rollback_position(p);
+            }
+            return Err(e);
+        }
+
+        let params = self.model.params();
+        let quant = self.model.quant();
+
+        // Stack the embedding rows: one hidden-state row per position.
+        let mut h = Matrix::zeros(m, d);
+        for (r, &t) in tokens.iter().enumerate() {
+            h.row_mut(r).copy_from_slice(params.embed.row(t as usize));
+        }
+
+        let mut scores = std::mem::take(&mut self.score_buf);
+
+        for (li, layer) in params.layers.iter().enumerate() {
+            let ql = quant.map(|qp| &qp.layers[li]);
+            // Attention block: projections batched across positions.
+            let mut hn = Matrix::zeros(m, d);
+            for r in 0..m {
+                let normed = rmsnorm_row(h.row(r), layer.norm1.data());
+                hn.row_mut(r).copy_from_slice(&normed);
+            }
+            let mut q = project_rows(&hn, &layer.wq, ql.map(|l| &l.wq));
+            let mut k = project_rows(&hn, &layer.wk, ql.map(|l| &l.wk));
+            let v = project_rows(&hn, &layer.wv, ql.map(|l| &l.wv));
+            for r in 0..m {
+                rope_row(q.row_mut(r), base + r, n_heads, head_dim);
+                rope_row(k.row_mut(r), base + r, n_heads, head_dim);
+            }
+            // Attention stays per-position and strictly in order: row r
+            // sees every earlier row of the chunk, exactly like r
+            // sequential decode steps would.
+            let mut ctx = Matrix::zeros(m, d);
+            for r in 0..m {
+                let pos = base + r;
+                self.store
+                    .write_row(li, pos, k.row(r).to_vec(), v.row(r).to_vec());
+                self.store
+                    .attend(li, pos + 1, q.row(r), n_heads, &mut scores, ctx.row_mut(r));
+            }
+            let attn_out = project_rows(&ctx, &layer.wo, ql.map(|l| &l.wo));
+            for r in 0..m {
+                for (a, b) in h.row_mut(r).iter_mut().zip(attn_out.row(r)) {
+                    *a += b;
+                }
+            }
+
+            // MLP block.
+            let mut hn2 = Matrix::zeros(m, d);
+            for r in 0..m {
+                let normed = rmsnorm_row(h.row(r), layer.norm2.data());
+                hn2.row_mut(r).copy_from_slice(&normed);
+            }
+            let gate = project_rows(&hn2, &layer.wg, ql.map(|l| &l.wg));
+            let up = project_rows(&hn2, &layer.wu, ql.map(|l| &l.wu));
+            let mut act = Matrix::zeros(m, gate.cols());
+            for r in 0..m {
+                for ((a, &g), &u) in act.row_mut(r).iter_mut().zip(gate.row(r)).zip(up.row(r)) {
+                    *a = ops::silu(g) * u;
+                }
+            }
+            let mlp_out = project_rows(&act, &layer.wd, ql.map(|l| &l.wd));
+            for r in 0..m {
+                for (a, b) in h.row_mut(r).iter_mut().zip(mlp_out.row(r)) {
+                    *a += b;
+                }
+            }
+        }
+
+        self.score_buf = scores;
+
+        let mut hf = Matrix::zeros(m, d);
+        for r in 0..m {
+            let normed = rmsnorm_row(h.row(r), params.final_norm.data());
+            hf.row_mut(r).copy_from_slice(&normed);
+        }
+        let logits = project_rows(&hf, &params.lm_head, quant.map(|qp| &qp.lm_head));
+        self.len += m;
+        self.tokens.extend_from_slice(tokens);
+        Ok((0..m).map(|r| logits.row(r).to_vec()).collect())
+    }
+
+    /// Rewinds the cache to its first `len` positions, discarding the
+    /// rest — the speculative-decoding rejection primitive: after a
+    /// [`KvCache::verify_chunk`] whose tail tokens the target disagreed
+    /// with, the cache truncates back to the accepted prefix and continues
+    /// **bit-identically** to a cache that never saw the rejected rows
+    /// (K/V rows are per-position and causal, so dropped rows leave no
+    /// trace; any stale bytes past `len` in a paged tail block are
+    /// positionally overwritten before they could ever be attended).
+    ///
+    /// For a paged cache, blocks wholly past the cut are released to the
+    /// pool (or merely un-aliased, if forked copies still hold them).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadSequence`] if `len` exceeds the cached length,
+    /// or if the cut lands strictly inside a *sealed* int8 block — sealed
+    /// rows could only be re-opened by dequantizing (lossy, so the rewind
+    /// would no longer be exact). Callers pace writes with
+    /// [`KvCache::lossless_run`] to keep every speculative rewind on the
+    /// exact path. On error the cache is unchanged.
+    pub fn truncate(&mut self, len: usize) -> Result<(), NnError> {
+        if len > self.len {
+            return Err(NnError::BadSequence {
+                detail: format!(
+                    "cannot truncate to {len} positions, only {} cached",
+                    self.len
+                ),
+            });
+        }
+        if len == self.len {
+            return Ok(());
+        }
+        if let KvStore::Paged(table) = &self.store {
+            let bt = table.pool.block_tokens();
+            if len % bt != 0 && table.blocks[len / bt].is_sealed() {
+                return Err(NnError::BadSequence {
+                    detail: format!(
+                        "truncating to {len} positions cuts inside a sealed int8 block"
+                    ),
+                });
+            }
+        }
+        match &mut self.store {
+            KvStore::Contiguous(layers) => {
+                for kv in layers {
+                    kv.k.truncate(len);
+                    kv.v.truncate(len);
+                }
+            }
+            KvStore::Paged(table) => {
+                let keep = table.pool.blocks_for(len);
+                table.blocks.truncate(keep);
+            }
+        }
+        self.tokens.truncate(len);
+        self.len = len;
+        Ok(())
+    }
+
+    /// How many positions can be written from here and still be rewound
+    /// *exactly* by [`KvCache::truncate`]. Contiguous and f32-paged caches
+    /// rewind anywhere (`usize::MAX` — f32 blocks never seal); on an int8
+    /// pool the answer is the distance to the next seal boundary, because
+    /// writing a block's final position quantizes it irreversibly. The
+    /// speculative decoder caps each draft burst at this, so rejection
+    /// rollbacks stay bit-exact on every KV dtype (a zero here just means
+    /// one plain decode step, after which a fresh block opens).
+    #[must_use]
+    pub fn lossless_run(&self) -> usize {
+        match &self.store {
+            KvStore::Contiguous(_) => usize::MAX,
+            KvStore::Paged(table) => {
+                if table.pool.dtype() == crate::KvDtype::Int8 {
+                    let bt = table.pool.block_tokens();
+                    bt - 1 - (self.len % bt)
+                } else {
+                    usize::MAX
+                }
+            }
+        }
+    }
 }
 
 /// `y = x · Wᵀ` for a single row, via the tensor crate's matvec fast path.
@@ -979,9 +1232,7 @@ fn fused_attention<'a, K, V>(
                 // The f32 arm is byte-for-byte the pre-quantization code
                 // path: it must stay bit-exact with the contiguous oracle.
                 KvRowRef::F32(k) => ops::dot(&q[lo..hi], &k[lo..hi]),
-                KvRowRef::Q8 { codes, scales } => {
-                    be.dot_q8(&codes[lo..hi], scales[hh], &q[lo..hi])
-                }
+                KvRowRef::Q8 { codes, scales } => be.dot_q8(&codes[lo..hi], scales[hh], &q[lo..hi]),
             };
             s * scale
         }));
@@ -1734,7 +1985,11 @@ mod tests {
         let prompt = [5u32, 10, 15, 20, 25, 30, 35, 40];
         let mut donor = KvCache::new_paged(&m, &pool);
         donor.prefill(&prompt).expect("ok");
-        assert_eq!(donor.aligned_fork_len(6), 4, "cut at 6 lands in a sealed block");
+        assert_eq!(
+            donor.aligned_fork_len(6),
+            4,
+            "cut at 6 lands in a sealed block"
+        );
 
         let cows_before = pool.cow_copies();
         let mut fork = donor.fork_from(6).expect("ok");
@@ -1835,5 +2090,193 @@ mod tests {
         assert_eq!(pool.bytes_in_use(), born);
         cache.decode_step(8).expect("ok"); // fills row 3 → block seals
         assert_eq!(pool.bytes_in_use(), sealed);
+    }
+
+    #[test]
+    fn verify_chunk_is_bitwise_identical_to_sequential() {
+        // The speculative-verification forward must agree bit-for-bit with
+        // stepping the same tokens one at a time, on every storage layout
+        // and weight dtype — chunks crossing block (and int8 seal)
+        // boundaries included.
+        let chunk = [11u32, 22, 33, 44, 55, 66];
+        let prompt = [5u32, 10, 15];
+        let cases: Vec<(&str, KvCache)> = vec![
+            ("contiguous", KvCache::new(&model())),
+            ("paged f32", KvCache::new_paged(&model(), &small_pool(64))),
+            ("int8 weights", KvCache::new(&quant_model())),
+            ("int8 kv", KvCache::new_paged(&model(), &small_pool_q8(64))),
+        ];
+        for (what, mut bat) in cases {
+            bat.prefill(&prompt).expect("ok");
+            let mut seq = bat.clone();
+            let expected: Vec<Vec<f32>> = chunk
+                .iter()
+                .map(|&t| seq.decode_step(t).expect("ok"))
+                .collect();
+            let got = bat.verify_chunk(&chunk).expect("ok");
+            assert_eq!(got, expected, "{what}: chunk drifted from sequential");
+            assert_eq!(bat.len(), seq.len(), "{what}");
+            assert_eq!(bat.tokens(), seq.tokens(), "{what}");
+            // And both caches keep decoding identically afterwards.
+            assert_eq!(
+                bat.decode_step(42).expect("ok"),
+                seq.decode_step(42).expect("ok"),
+                "{what}: post-chunk decode drifted"
+            );
+        }
+    }
+
+    #[test]
+    fn verify_chunk_validates_and_rolls_back_without_side_effects() {
+        let m = model();
+        // Empty chunk is a no-op; single token takes the matvec path.
+        let mut a = KvCache::new(&m);
+        a.prefill(&[5, 6]).expect("ok");
+        assert!(a.verify_chunk(&[]).expect("ok").is_empty());
+        assert_eq!(a.len(), 2);
+
+        // Out-of-vocabulary token in the *second* slot: nothing advances.
+        assert!(matches!(
+            a.verify_chunk(&[1, 200]),
+            Err(NnError::BadToken { .. })
+        ));
+        assert_eq!(a.len(), 2);
+
+        // Chunks past the skinny-GEMM bound lose the bit-identity
+        // guarantee and are refused outright.
+        let huge = vec![1u32; chipalign_tensor::tune::GEMM_SKINNY_M_MAX + 1];
+        assert!(matches!(
+            a.verify_chunk(&huge),
+            Err(NnError::BadConfig { .. })
+        ));
+
+        // Context overflow: 2 cached + 31 > 32.
+        let wide = vec![1u32; 31];
+        assert!(matches!(
+            a.verify_chunk(&wide),
+            Err(NnError::BadSequence { .. })
+        ));
+        assert_eq!(a.len(), 2);
+
+        // Pool exhaustion mid-chunk unwinds every reserved block.
+        let pool = small_pool(2); // 8 positions
+        let mut p = KvCache::new_paged(&m, &pool);
+        p.prefill(&[5, 6, 7]).expect("ok");
+        let err = p
+            .verify_chunk(&[1, 2, 3, 4, 5, 6])
+            .expect_err("9 positions need 3 blocks");
+        assert!(matches!(err, NnError::PoolExhausted { .. }));
+        assert_eq!(p.len(), 3, "failed chunks must not advance the cache");
+        assert_eq!(p.block_count(), 1, "reserved blocks must be returned");
+        assert_eq!(pool.blocks_in_use(), 1);
+        // The cache still works — and matches a never-failed twin.
+        let mut twin = KvCache::new_paged(&m, &small_pool(2));
+        twin.prefill(&[5, 6, 7]).expect("ok");
+        assert_eq!(
+            p.verify_chunk(&[1, 2, 3]).expect("ok"),
+            twin.verify_chunk(&[1, 2, 3]).expect("ok")
+        );
+    }
+
+    #[test]
+    fn truncate_rewinds_exactly_on_f32_stores() {
+        // Decode past the cut, truncate back, re-decode different tokens:
+        // the result must be bit-identical to a cache that never saw the
+        // rejected rows. Exercises both storage layouts, with the paged cut
+        // landing mid-block.
+        let m = model();
+        for paged in [false, true] {
+            let pool = small_pool(64);
+            let mk = || {
+                if paged {
+                    KvCache::new_paged(&m, &pool)
+                } else {
+                    KvCache::new(&m)
+                }
+            };
+            let mut cache = mk();
+            cache.prefill(&[5, 10, 15, 20, 25]).expect("ok");
+            cache.verify_chunk(&[30, 35, 40]).expect("ok");
+            let blocks_grown = cache.block_count();
+            cache.truncate(6).expect("cut lands mid-block");
+            assert_eq!(cache.len(), 6);
+            assert_eq!(cache.tokens(), &[5, 10, 15, 20, 25, 30]);
+            if paged {
+                assert_eq!(cache.block_count(), pool.blocks_for(6));
+                assert!(cache.block_count() < blocks_grown, "tail block released");
+            }
+
+            let mut fresh = mk();
+            fresh.prefill(&[5, 10, 15, 20, 25, 30]).expect("ok");
+            for t in [81u32, 82, 83] {
+                assert_eq!(
+                    cache.decode_step(t).expect("ok"),
+                    fresh.decode_step(t).expect("ok"),
+                    "paged={paged}: truncated cache drifted at token {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncate_validates_length_and_sealed_cuts() {
+        let m = model();
+        let mut flat = KvCache::new(&m);
+        flat.prefill(&[5, 6, 7]).expect("ok");
+        assert!(matches!(flat.truncate(4), Err(NnError::BadSequence { .. })));
+        flat.truncate(3).expect("no-op truncate is fine");
+        assert_eq!(flat.len(), 3);
+
+        // Int8 pool: cuts inside a sealed block are refused (the rewind
+        // would be lossy); boundary cuts and f32-tail cuts are exact.
+        let mut kv8 = KvCache::new_paged(&m, &small_pool_q8(64));
+        kv8.prefill(&[5, 6, 7, 8, 9, 10]).expect("ok"); // sealed + 2-row tail
+        assert!(matches!(kv8.truncate(3), Err(NnError::BadSequence { .. })));
+        assert_eq!(kv8.len(), 6, "a refused truncate must not change the cache");
+        kv8.truncate(5).expect("cut in the open f32 tail is exact");
+        kv8.truncate(4)
+            .expect("boundary cut keeps the sealed block whole");
+        let mut replay = KvCache::new_paged(&m, &small_pool_q8(64));
+        replay.prefill(&[5, 6, 7, 8]).expect("ok");
+        assert_eq!(
+            kv8.decode_step(50).expect("ok"),
+            replay.decode_step(50).expect("ok"),
+            "boundary-truncated kv8 cache drifted from a fresh replay"
+        );
+    }
+
+    #[test]
+    fn lossless_run_measures_distance_to_the_next_seal() {
+        let m = model();
+        assert_eq!(KvCache::new(&m).lossless_run(), usize::MAX);
+
+        let mut f32_paged = KvCache::new_paged(&m, &small_pool(64));
+        f32_paged.prefill(&[5, 6, 7]).expect("ok");
+        assert_eq!(
+            f32_paged.lossless_run(),
+            usize::MAX,
+            "f32 blocks never seal"
+        );
+
+        let mut kv8 = KvCache::new_paged(&m, &small_pool_q8(64)); // bt = 4
+        assert_eq!(kv8.lossless_run(), 3);
+        kv8.prefill(&[5, 6]).expect("ok");
+        assert_eq!(kv8.lossless_run(), 1);
+        kv8.decode_step(7).expect("ok");
+        assert_eq!(kv8.lossless_run(), 0, "the very next write would seal");
+        kv8.decode_step(8).expect("ok"); // seals block 0, opens nothing yet
+        assert_eq!(kv8.lossless_run(), 3, "a fresh block has 3 free rows");
+
+        // The contract in action: a run within the bound truncates exactly.
+        let run = kv8.lossless_run();
+        kv8.verify_chunk(&[30, 35, 40][..run]).expect("ok");
+        kv8.truncate(4)
+            .expect("rewind within the lossless run is exact");
+        let mut replay = KvCache::new_paged(&m, &small_pool_q8(64));
+        replay.prefill(&[5, 6, 7, 8]).expect("ok");
+        assert_eq!(
+            kv8.decode_step(60).expect("ok"),
+            replay.decode_step(60).expect("ok")
+        );
     }
 }

@@ -220,8 +220,7 @@ impl KvPool {
             KvDtype::F32 => self.block_bytes(n_layers, d_model),
             KvDtype::Int8 => {
                 n_layers
-                    * (2 * self.block_tokens * d_model
-                        + 2 * n_heads * std::mem::size_of::<f32>())
+                    * (2 * self.block_tokens * d_model + 2 * n_heads * std::mem::size_of::<f32>())
             }
         }
     }
@@ -514,7 +513,9 @@ impl BlockPermit {
 impl Drop for BlockPermit {
     fn drop(&mut self) {
         self.pool.in_use.fetch_sub(1, Ordering::Relaxed);
-        self.pool.bytes_in_use.fetch_sub(self.bytes, Ordering::Relaxed);
+        self.pool
+            .bytes_in_use
+            .fetch_sub(self.bytes, Ordering::Relaxed);
     }
 }
 
@@ -654,10 +655,7 @@ mod tests {
         // int8 pool: 1 byte per element plus 2 (K,V) × n_heads scales per
         // layer.
         let q = pool_q8(8);
-        assert_eq!(
-            q.sealed_block_bytes(2, 8, 2),
-            2 * (2 * 4 * 8 + 2 * 2 * 4)
-        );
+        assert_eq!(q.sealed_block_bytes(2, 8, 2), 2 * (2 * 4 * 8 + 2 * 2 * 4));
     }
 
     #[test]

@@ -37,6 +37,12 @@
 //!   [`KvDtype::Int8`] additionally quantize each block to per-head-scaled
 //!   i8 codes as it fills, shrinking resident KV bytes ~4× while pinning
 //!   logits within [`KV8_LOGIT_TOL`] of the f32 oracle.
+//! * [`spec`] — speculative decoding: a [`SpecDecoder`] wraps a target
+//!   [`StepDecoder`] and a cheap draft model (a merge-family sibling, or a
+//!   truncated-layer self-draft from [`TinyLm::truncate_layers`]), verifies
+//!   drafted tokens in one batched forward via [`KvCache::verify_chunk`],
+//!   and accepts the longest agreeing prefix — greedy output byte-identical
+//!   to plain decoding by construction, with panic-isolated drafts.
 //!
 //! Models convert losslessly to and from [`chipalign_model::Checkpoint`],
 //! which is what the merge crate operates on.
@@ -74,6 +80,7 @@ mod optim;
 mod params;
 mod quant;
 pub mod score;
+pub mod spec;
 mod tokenizer;
 pub mod train;
 
@@ -86,4 +93,5 @@ pub use model::{ForwardCache, TinyLm};
 pub use optim::{Adam, AdamConfig};
 pub use params::{LayerParams, ParamSet};
 pub use quant::{QuantLayer, QuantParamSet};
+pub use spec::{SpecDecoder, SpecStats, SPEC_K_MAX};
 pub use tokenizer::{CharTokenizer, BOS, EOS, PAD, UNK};

@@ -192,6 +192,42 @@ impl TinyLm {
         self.params.to_checkpoint(&self.arch)
     }
 
+    /// Returns a clone of this model keeping only its first `n_layers`
+    /// transformer layers (embedding, final norm, and LM head are shared
+    /// unchanged). This is the cheapest self-draft for speculative
+    /// decoding: the truncated model reads the same vocabulary and often
+    /// agrees with the full stack on easy tokens at a fraction of the
+    /// per-token cost. If this model carries an int8 sidecar, the truncated
+    /// clone is re-quantized so its decode dtype matches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] when `n_layers` is zero or exceeds
+    /// the model's layer count.
+    pub fn truncate_layers(&self, n_layers: usize) -> Result<TinyLm, NnError> {
+        if n_layers == 0 || n_layers > self.arch.n_layers {
+            return Err(NnError::BadConfig {
+                detail: format!(
+                    "truncate_layers: n_layers must lie in [1, {}], got {n_layers}",
+                    self.arch.n_layers
+                ),
+            });
+        }
+        let mut arch = self.arch.clone();
+        arch.n_layers = n_layers;
+        let mut params = self.params.clone();
+        params.layers.truncate(n_layers);
+        let mut model = TinyLm {
+            arch,
+            params,
+            quant: None,
+        };
+        if self.quant.is_some() {
+            model.quantize();
+        }
+        Ok(model)
+    }
+
     /// The model's architecture.
     #[must_use]
     pub fn arch(&self) -> &ArchSpec {
@@ -655,6 +691,39 @@ mod tests {
         assert!(back.is_quantized());
         // Same f32 source, same quantizer: the sidecars agree exactly.
         assert_eq!(back.quant(), m.quant());
+    }
+
+    #[test]
+    fn truncate_layers_keeps_prefix_and_revalidates() {
+        let mut m = model(3);
+        let half = m.truncate_layers(1).expect("ok");
+        assert_eq!(half.arch().n_layers, 1);
+        assert_eq!(half.arch().vocab_size, m.arch().vocab_size);
+        assert_eq!(half.params().layers.len(), 1);
+        assert_eq!(half.params().layers[0], m.params().layers[0]);
+        assert_eq!(half.params().embed, m.params().embed);
+        assert_eq!(half.params().lm_head, m.params().lm_head);
+        assert!(!half.is_quantized());
+        // The truncated clone still runs a valid forward pass.
+        let logits = half.logits(&[1, 4, 9]).expect("ok");
+        assert_eq!(logits.shape(), (3, 99));
+        assert!(logits.all_finite());
+        // Full truncation is the identity (modulo the sidecar).
+        let full = m.truncate_layers(2).expect("ok");
+        assert_eq!(full.params(), m.params());
+        // A quantized source yields a quantized draft.
+        m.quantize();
+        let qhalf = m.truncate_layers(1).expect("ok");
+        assert!(qhalf.is_quantized());
+        // Bounds are enforced.
+        assert!(matches!(
+            m.truncate_layers(0),
+            Err(NnError::BadConfig { .. })
+        ));
+        assert!(matches!(
+            m.truncate_layers(3),
+            Err(NnError::BadConfig { .. })
+        ));
     }
 
     #[test]

@@ -580,9 +580,12 @@ mod tests {
         let mut retrier = Retrier::new(policy(3, 0.0), 5);
         retrier.sleeper = sleeper;
         for _ in 0..2 {
-            let result: Result<(), _> = retrier.run(&policy(3, 0.0), retry_generate_errors, |_| {
-                Err(overloaded())
-            });
+            let result: Result<(), _> =
+                retrier.run(
+                    &policy(3, 0.0),
+                    retry_generate_errors,
+                    |_| Err(overloaded()),
+                );
             assert!(matches!(result, Err(ServeError::Remote(_))));
         }
         let delays: Vec<u64> = log
@@ -607,7 +610,11 @@ mod tests {
         retrier.sleeper = sleeper;
         let fail_out = |r: &mut Retrier| {
             let result: Result<(), _> =
-                r.run(&policy(3, 0.0), retry_generate_errors, |_| Err(overloaded()));
+                r.run(
+                    &policy(3, 0.0),
+                    retry_generate_errors,
+                    |_| Err(overloaded()),
+                );
             assert!(result.is_err());
         };
         fail_out(&mut retrier); // streak climbs to 3

@@ -78,6 +78,10 @@ pub enum Site {
     /// Abandon a submitted session from the server side as if the client
     /// hung up (exercises orphaned-session accounting).
     ClientDisconnect,
+    /// Panic inside the speculative draft phase (exercises the
+    /// draft-isolation guarantee: speculation dies, the session survives
+    /// on plain decoding with unchanged output).
+    SpecDraft,
 }
 
 /// When an armed [`Site`] actually fires.

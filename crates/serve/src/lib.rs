@@ -21,6 +21,12 @@
 //!   control bounds sessions in flight and rejects the rest with a
 //!   structured `overloaded` error; per-request deadlines are enforced at
 //!   dequeue, before every prefill chunk, and between decode steps.
+//!   Sessions addressed as `spec:<target>|<draft>@<k>` decode
+//!   speculatively through [`chipalign_nn::SpecDecoder`]: a cheap draft
+//!   proposes `k` tokens per round, the target verifies them in one
+//!   batched forward, and greedy output stays byte-identical to plain
+//!   decoding — a panicking draft degrades the session to plain decode,
+//!   never cancels it.
 //! - **TCP front end** ([`server::Server`]): newline-delimited JSON over
 //!   `std::net`, one response line per request line, graceful drain on
 //!   shutdown.
@@ -77,6 +83,6 @@ pub use protocol::{
     ErrorCode, FinishReason, GenerateRequest, Generation, LoadedModel, ReplicaHealth,
     ReplicaStatus, Request, Response, WireError, PROTOCOL_VERSION,
 };
-pub use registry::{all_zoo_models, ModelRegistry, ModelSpec};
-pub use scheduler::{Scheduler, SchedulerConfig, SessionRequest, SessionResult};
+pub use registry::{all_zoo_models, ModelRegistry, ModelSpec, SpecResolution};
+pub use scheduler::{Scheduler, SchedulerConfig, SessionRequest, SessionResult, SpecDraft};
 pub use server::{Server, ServerConfig};

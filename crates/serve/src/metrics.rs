@@ -84,8 +84,16 @@ pub fn quantile_upper_us_from(counts: &[u64], p: f64) -> u64 {
     for (i, c) in counts.iter().enumerate() {
         seen += c;
         if seen >= target {
-            // Upper edge of bucket i: 2^(i+1) - 1 µs.
-            return (1u64 << (i + 1)) - 1;
+            // Upper edge of bucket i: 2^(i+1) - 1 µs. A newer-protocol
+            // replica may ship more than 64 buckets through
+            // `absorb_buckets`; clamp the shift instead of overflowing
+            // (which panics in debug builds) so fleet aggregation stays
+            // forward-compatible.
+            return if i >= 63 {
+                u64::MAX
+            } else {
+                (1u64 << (i + 1)) - 1
+            };
         }
     }
     (1u64 << BUCKETS) - 1
@@ -133,6 +141,13 @@ pub struct Metrics {
     /// Prefill chunks processed by the scheduler (initial prompt slices
     /// and window-slide replays alike).
     prefill_chunks: AtomicU64,
+    /// Draft tokens proposed by speculative-decoding rounds.
+    draft_tokens_proposed: AtomicU64,
+    /// Draft tokens the target model verified and accepted.
+    accepted_draft_tokens: AtomicU64,
+    /// Speculative rounds abandoned for plain decode (draft panic or a
+    /// draft-side decode error); the session itself continues.
+    spec_fallbacks: AtomicU64,
     /// Merged models evicted from the registry's LRU cache.
     merge_evictions: AtomicU64,
     /// Prefix-cache snapshots evicted under KV-pool pressure (admission
@@ -177,6 +192,9 @@ impl Default for Metrics {
             prefix_hits: AtomicU64::new(0),
             prefix_tokens_reused: AtomicU64::new(0),
             prefill_chunks: AtomicU64::new(0),
+            draft_tokens_proposed: AtomicU64::new(0),
+            accepted_draft_tokens: AtomicU64::new(0),
+            spec_fallbacks: AtomicU64::new(0),
             merge_evictions: AtomicU64::new(0),
             pool_evictions: AtomicU64::new(0),
             weights_bytes: AtomicU64::new(0),
@@ -277,6 +295,24 @@ impl Metrics {
     pub fn on_prefill_chunk(&self, us: u64) {
         self.prefill_chunks.fetch_add(1, Ordering::Relaxed);
         self.prefill.record(us);
+    }
+
+    /// Records the outcome of speculative-decoding rounds: `proposed` draft
+    /// tokens offered to the target, of which `accepted` survived
+    /// verification. The acceptance rate is derived at read time
+    /// (`accepted_draft_tokens / draft_tokens_proposed`), never stored, so
+    /// fleet `absorb` can sum both counters exactly.
+    pub fn on_spec_round(&self, proposed: u64, accepted: u64) {
+        self.draft_tokens_proposed
+            .fetch_add(proposed, Ordering::Relaxed);
+        self.accepted_draft_tokens
+            .fetch_add(accepted, Ordering::Relaxed);
+    }
+
+    /// Records speculative rounds degraded to plain decode (a panicking or
+    /// erroring draft cancels only speculation, never the session).
+    pub fn on_spec_fallback(&self, n: u64) {
+        self.spec_fallbacks.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Records a merged model evicted from the registry's LRU cache.
@@ -385,6 +421,9 @@ impl Metrics {
             prefix_hits: self.prefix_hits.load(Ordering::Relaxed),
             prefix_tokens_reused: self.prefix_tokens_reused.load(Ordering::Relaxed),
             prefill_chunks: self.prefill_chunks.load(Ordering::Relaxed),
+            draft_tokens_proposed: self.draft_tokens_proposed.load(Ordering::Relaxed),
+            accepted_draft_tokens: self.accepted_draft_tokens.load(Ordering::Relaxed),
+            spec_fallbacks: self.spec_fallbacks.load(Ordering::Relaxed),
             merge_evictions: self.merge_evictions.load(Ordering::Relaxed),
             pool_evictions: self.pool_evictions.load(Ordering::Relaxed),
             weights_bytes: self.weights_bytes.load(Ordering::Relaxed),
@@ -489,6 +528,16 @@ pub struct MetricsSnapshot {
     /// Prefill chunks processed by the scheduler.
     #[serde(default)]
     pub prefill_chunks: u64,
+    /// Draft tokens proposed by speculative-decoding rounds. The fleet
+    /// acceptance rate is `accepted_draft_tokens / draft_tokens_proposed`.
+    #[serde(default)]
+    pub draft_tokens_proposed: u64,
+    /// Draft tokens the target model verified and accepted.
+    #[serde(default)]
+    pub accepted_draft_tokens: u64,
+    /// Speculative rounds degraded to plain decode (draft panic or error).
+    #[serde(default)]
+    pub spec_fallbacks: u64,
     /// Merged models evicted from the registry's LRU cache.
     #[serde(default)]
     pub merge_evictions: u64,
@@ -605,6 +654,13 @@ impl MetricsSnapshot {
             .prefix_tokens_reused
             .saturating_add(other.prefix_tokens_reused);
         self.prefill_chunks = self.prefill_chunks.saturating_add(other.prefill_chunks);
+        self.draft_tokens_proposed = self
+            .draft_tokens_proposed
+            .saturating_add(other.draft_tokens_proposed);
+        self.accepted_draft_tokens = self
+            .accepted_draft_tokens
+            .saturating_add(other.accepted_draft_tokens);
+        self.spec_fallbacks = self.spec_fallbacks.saturating_add(other.spec_fallbacks);
         self.merge_evictions = self.merge_evictions.saturating_add(other.merge_evictions);
         self.pool_evictions = self.pool_evictions.saturating_add(other.pool_evictions);
         self.weights_bytes = self.weights_bytes.saturating_add(other.weights_bytes);
@@ -804,6 +860,9 @@ mod tests {
             "prefix_hits",
             "prefix_tokens_reused",
             "prefill_chunks",
+            "draft_tokens_proposed",
+            "accepted_draft_tokens",
+            "spec_fallbacks",
             "merge_evictions",
             "pool_evictions",
             "weights_bytes",
@@ -827,6 +886,9 @@ mod tests {
         assert!(back.batch_occupancy.is_empty());
         assert_eq!(back.prefix_hits, 0);
         assert_eq!(back.prefill_chunks, 0);
+        assert_eq!(back.draft_tokens_proposed, 0);
+        assert_eq!(back.accepted_draft_tokens, 0);
+        assert_eq!(back.spec_fallbacks, 0);
         assert_eq!(back.merge_evictions, 0);
         assert_eq!(back.pool_evictions, 0);
         assert_eq!(back.weights_bytes, 0);
@@ -958,6 +1020,54 @@ mod tests {
             assert_eq!(quantile_upper_us_from(&counts, p), h.quantile_upper_us(p));
         }
         assert_eq!(quantile_upper_us_from(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn quantiles_clamp_on_long_counts_vectors() {
+        // A newer-protocol replica could ship more than 64 buckets through
+        // absorb_buckets; the shift must clamp instead of overflowing.
+        for len in [64usize, 65, 80, 128] {
+            let mut counts = vec![0u64; len];
+            counts[len - 1] = 1;
+            assert_eq!(
+                quantile_upper_us_from(&counts, 0.95),
+                u64::MAX,
+                "length {len} must saturate, not panic"
+            );
+        }
+        // The last representable bucket (i = 62) still reports its exact
+        // upper edge.
+        let mut counts = vec![0u64; 63];
+        counts[62] = 1;
+        assert_eq!(quantile_upper_us_from(&counts, 0.95), (1u64 << 63) - 1);
+        // And merging a long vector into a short one keeps quantiles sane.
+        let mut a = vec![1u64; BUCKETS];
+        let mut b = vec![0u64; 70];
+        b[69] = 5;
+        absorb_buckets(&mut a, &b);
+        assert_eq!(a.len(), 70);
+        assert_eq!(quantile_upper_us_from(&a, 1.0), u64::MAX);
+    }
+
+    #[test]
+    fn spec_counters_flow_into_snapshot_and_absorb() {
+        let m = Metrics::new();
+        m.on_spec_round(4, 3);
+        m.on_spec_round(4, 0);
+        m.on_spec_fallback(1);
+        let snap = m.snapshot();
+        assert_eq!(snap.draft_tokens_proposed, 8);
+        assert_eq!(snap.accepted_draft_tokens, 3);
+        assert_eq!(snap.spec_fallbacks, 1);
+        assert_eq!(snap.failed, 0, "spec counters must not bleed elsewhere");
+
+        // Fleet aggregation sums both sides of the acceptance rate.
+        let mut fleet = MetricsSnapshot::default();
+        fleet.absorb(&snap);
+        fleet.absorb(&snap);
+        assert_eq!(fleet.draft_tokens_proposed, 16);
+        assert_eq!(fleet.accepted_draft_tokens, 6);
+        assert_eq!(fleet.spec_fallbacks, 2);
     }
 
     #[test]

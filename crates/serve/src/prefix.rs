@@ -426,7 +426,9 @@ mod tests {
         assert_eq!(cache.entries(), 2);
 
         // Query extending the longer entry: longest match.
-        let (fork, len) = cache.lookup(&m, KvDtype::F32, &[5, 6, 7, 8, 9]).expect("hit");
+        let (fork, len) = cache
+            .lookup(&m, KvDtype::F32, &[5, 6, 7, 8, 9])
+            .expect("hit");
         assert_eq!(len, 4);
         assert_eq!(fork.tokens(), &[5, 6, 7, 8]);
 
@@ -484,9 +486,18 @@ mod tests {
         assert!(cache.lookup(&m, KvDtype::F32, &[5, 6, 9]).is_some());
         cache.insert(&prefilled(&m, &[9, 10]));
         assert_eq!(cache.entries(), 2);
-        assert!(cache.lookup(&m, KvDtype::F32, &[5, 6, 9]).is_some(), "recently used kept");
-        assert!(cache.lookup(&m, KvDtype::F32, &[9, 10, 11]).is_some(), "new entry kept");
-        assert!(cache.lookup(&m, KvDtype::F32, &[7, 8, 9]).is_none(), "LRU evicted");
+        assert!(
+            cache.lookup(&m, KvDtype::F32, &[5, 6, 9]).is_some(),
+            "recently used kept"
+        );
+        assert!(
+            cache.lookup(&m, KvDtype::F32, &[9, 10, 11]).is_some(),
+            "new entry kept"
+        );
+        assert!(
+            cache.lookup(&m, KvDtype::F32, &[7, 8, 9]).is_none(),
+            "LRU evicted"
+        );
     }
 
     #[test]
@@ -503,7 +514,10 @@ mod tests {
         // 2 more units overflow: the oldest entry goes.
         cache.insert(&prefilled(&m, &[10, 11]));
         assert!(cache.total_bytes() <= 5 * unit);
-        assert!(cache.lookup(&m, KvDtype::F32, &[5, 6, 7]).is_none(), "oldest evicted");
+        assert!(
+            cache.lookup(&m, KvDtype::F32, &[5, 6, 7]).is_none(),
+            "oldest evicted"
+        );
         assert!(cache.lookup(&m, KvDtype::F32, &[7, 8, 9, 10]).is_some());
         // A snapshot larger than the whole budget is refused outright.
         let big = prefilled(&m, &(0..8).map(|i| 5 + i).collect::<Vec<_>>());
@@ -526,7 +540,10 @@ mod tests {
         cache.insert(&prefilled(&m, &[5, 6]));
         assert_eq!(cache.entries(), 2);
         cache.insert(&prefilled(&m, &[9, 10]));
-        assert!(cache.lookup(&m, KvDtype::F32, &[5, 6, 9]).is_some(), "refreshed survives");
+        assert!(
+            cache.lookup(&m, KvDtype::F32, &[5, 6, 9]).is_some(),
+            "refreshed survives"
+        );
         assert!(cache.lookup(&m, KvDtype::F32, &[7, 8, 9]).is_none());
     }
 
@@ -609,7 +626,9 @@ mod tests {
         drop(donor); // the cached snapshot keeps the blocks alive
         let held = pool.blocks_in_use();
         assert_eq!(held, 2);
-        let (fork, len) = cache.lookup(&m, KvDtype::F32, &[5, 6, 7, 8, 9]).expect("hit");
+        let (fork, len) = cache
+            .lookup(&m, KvDtype::F32, &[5, 6, 7, 8, 9])
+            .expect("hit");
         assert_eq!(len, 4);
         assert_eq!(
             pool.blocks_in_use(),
@@ -636,7 +655,9 @@ mod tests {
         cache.insert(&donor);
 
         // Boundary-sized donation passes through untouched.
-        let (fork, len) = cache.lookup(&m, KvDtype::Int8, &[5, 6, 7, 8, 9]).expect("hit");
+        let (fork, len) = cache
+            .lookup(&m, KvDtype::Int8, &[5, 6, 7, 8, 9])
+            .expect("hit");
         assert_eq!(len, 4);
         assert_eq!(fork.tokens(), &[5, 6, 7, 8]);
 
@@ -672,7 +693,9 @@ mod tests {
 
         // An f32 session sees only the f32 snapshot — never the deeper
         // int8 one, which would silently break its bit-exactness.
-        let (fork, len) = cache.lookup(&m, KvDtype::F32, &[5, 6, 7, 8, 9]).expect("hit");
+        let (fork, len) = cache
+            .lookup(&m, KvDtype::F32, &[5, 6, 7, 8, 9])
+            .expect("hit");
         assert_eq!(len, 3, "the deeper int8 entry must be invisible at f32");
         assert!(fork.pool().is_none(), "f32 hit hands back the f32 snapshot");
 
@@ -706,8 +729,13 @@ mod tests {
         assert!(cache.lookup(&m, KvDtype::F32, &[5, 6, 8, 9]).is_some()); // refresh second
         cache.insert(&prefilled(&m, &[9, 10]));
         // The shared stem must still route to the surviving sibling.
-        let (_, len) = cache.lookup(&m, KvDtype::F32, &[5, 6, 8, 9]).expect("sibling survives");
+        let (_, len) = cache
+            .lookup(&m, KvDtype::F32, &[5, 6, 8, 9])
+            .expect("sibling survives");
         assert_eq!(len, 3);
-        assert!(cache.lookup(&m, KvDtype::F32, &[5, 6, 7, 9]).is_none(), "victim gone");
+        assert!(
+            cache.lookup(&m, KvDtype::F32, &[5, 6, 7, 9]).is_none(),
+            "victim gone"
+        );
     }
 }

@@ -24,6 +24,15 @@
 //!   key carries `#kv8`, which [`ModelRegistry::kv_pool_for`] maps to a
 //!   separate int8 pool for the same model allocation. Composes with
 //!   `#int8` in either order; the canonical key is `…#int8#kv8`.
+//! * **Speculative specs** (`spec:<target>|<draft>@<k>`) — target and
+//!   draft are any two of the forms above (their vocabularies must
+//!   match). Sessions decode the *target*, with the draft proposing `k`
+//!   tokens per round for batched verification
+//!   ([`chipalign_nn::SpecDecoder`]); greedy output stays byte-identical
+//!   to serving the target alone. Resolving warms both models
+//!   ([`ModelRegistry::resolve_spec_str`]); KV pool and dtype selection
+//!   follow the target segment, so `spec:m#kv8|d@4` verifies against an
+//!   int8 KV pool exactly like plain `m#kv8` traffic.
 //!
 //! All materialized models live behind `Arc`s in one cache keyed by a
 //! canonical spec string; [`ModelRegistry::register`] inserts programmatic
@@ -59,7 +68,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError, Weak};
 
 use chipalign_merge::{GeodesicMerge, Merger};
 use chipalign_model::{format, Checkpoint, ModelError};
-use chipalign_nn::{KvDtype, KvPool, KvPoolConfig, TinyLm};
+use chipalign_nn::{KvDtype, KvPool, KvPoolConfig, TinyLm, SPEC_K_MAX};
 use chipalign_pipeline::zoo::{Backbone, Zoo, ZooModel};
 
 use crate::metrics::Metrics;
@@ -233,6 +242,25 @@ impl ModelSpec {
             ModelSpec::Quantized(inner) => format!("{}#int8", inner.key()),
         }
     }
+}
+
+/// A resolved `spec:<target>|<draft>@<k>` speculative-decoding spec: both
+/// models materialized, plus the canonical keys the server needs to route
+/// pools and sessions.
+#[derive(Debug, Clone)]
+pub struct SpecResolution {
+    /// The canonical spec key, `spec:<target-key>|<draft-key>@<k>`.
+    pub key: String,
+    /// The canonical key of the target alone — KV pool and dtype selection
+    /// follow this, so speculative and plain traffic against one target
+    /// share pools.
+    pub target_key: String,
+    /// The verified model; the session's output bytes are its bytes.
+    pub target: Arc<TinyLm>,
+    /// The cheap proposer. Never affects output bytes, only throughput.
+    pub draft: Arc<TinyLm>,
+    /// Tokens drafted per speculation round, in `[1, SPEC_K_MAX]`.
+    pub k: usize,
 }
 
 /// One cached model plus its LRU stamp (bumped on every hit; only merge
@@ -420,13 +448,23 @@ impl ModelRegistry {
 
     /// The KV dtype sessions resolved under `key` should use: canonical
     /// `…#kv8` keys get int8 KV, everything else the configured default.
+    /// For `spec:` keys the *target* segment decides — the draft keeps its
+    /// own private contiguous cache and never touches a pool.
     #[must_use]
     pub fn kv_dtype_for(&self, key: &str) -> KvDtype {
-        if key.ends_with("#kv8") {
+        if Self::spec_target_segment(key).ends_with("#kv8") {
             KvDtype::Int8
         } else {
             self.kv_pool_cfg.dtype
         }
+    }
+
+    /// The target segment of a canonical `spec:` key (the whole key when
+    /// it is not speculative). KV pool and dtype routing follow it.
+    fn spec_target_segment(key: &str) -> &str {
+        key.strip_prefix("spec:")
+            .and_then(|rest| rest.split_once('|'))
+            .map_or(key, |(target, _)| target)
     }
 
     /// Like [`ModelRegistry::kv_pool`], but honours a `#kv8` suffix on the
@@ -534,6 +572,15 @@ impl ModelRegistry {
         if let Some(m) = self.cache_lock().get(trimmed) {
             return Ok((trimmed.to_string(), m));
         }
+        // `spec:` keys resolve to their *target* model (the draft is warmed
+        // too, so a `load` request readies both); sessions that want the
+        // draft pairing go through `resolve_spec_str` instead.
+        if trimmed.starts_with("spec:") {
+            let res = self
+                .resolve_spec_str(trimmed)?
+                .expect("spec: prefix was just checked");
+            return Ok((res.key, res.target));
+        }
         // `#kv8` selects the int8 KV pool, not different weights: resolve
         // (and cache) the base spec under its own key, and only the
         // returned key carries the suffix — no `…#kv8` cache entry, so the
@@ -563,6 +610,69 @@ impl ModelRegistry {
         };
         let model = self.resolve(&parsed)?;
         Ok((parsed.key(), model))
+    }
+
+    /// Resolves a speculative-decoding spec, `spec:<target>|<draft>@<k>`.
+    ///
+    /// Returns `Ok(None)` when `spec` has no `spec:` prefix — callers that
+    /// accept both plain and speculative specs try this first and fall
+    /// through to [`ModelRegistry::resolve_str`]. Target and draft are any
+    /// two non-speculative specs (zoo slugs, merges, files, registered
+    /// names, `#int8`/`#kv8` variants); `@<k>` binds to the *last* `@`, so
+    /// merge λs inside the target parse unambiguously. Both models
+    /// materialize through the shared cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadRequest`] for a malformed pairing, a draft
+    /// length outside `[1, SPEC_K_MAX]`, or a draft whose vocabulary
+    /// differs from the target's (its proposals could never be verified),
+    /// and forwards resolution failures of either ingredient.
+    pub fn resolve_spec_str(&self, spec: &str) -> Result<Option<SpecResolution>, ServeError> {
+        let trimmed = spec.trim();
+        let Some(rest) = trimmed.strip_prefix("spec:") else {
+            return Ok(None);
+        };
+        let (pair, k_str) = rest
+            .rsplit_once('@')
+            .ok_or_else(|| ServeError::BadRequest {
+                detail: format!("speculative spec {trimmed:?} needs `@<k>`"),
+            })?;
+        let (target_spec, draft_spec) =
+            pair.split_once('|').ok_or_else(|| ServeError::BadRequest {
+                detail: format!("speculative spec {trimmed:?} needs `<target>|<draft>`"),
+            })?;
+        if target_spec.starts_with("spec:") || draft_spec.starts_with("spec:") {
+            return Err(ServeError::BadRequest {
+                detail: format!("speculative specs do not nest, got {trimmed:?}"),
+            });
+        }
+        let k: usize = k_str.parse().map_err(|_| ServeError::BadRequest {
+            detail: format!("bad draft length {k_str:?} in {trimmed:?}"),
+        })?;
+        if !(1..=SPEC_K_MAX).contains(&k) {
+            return Err(ServeError::BadRequest {
+                detail: format!("draft length must lie in [1, {SPEC_K_MAX}], got {k}"),
+            });
+        }
+        let (target_key, target) = self.resolve_str(target_spec)?;
+        let (draft_key, draft) = self.resolve_str(draft_spec)?;
+        if draft.arch().vocab_size != target.arch().vocab_size {
+            return Err(ServeError::BadRequest {
+                detail: format!(
+                    "draft vocab ({}) must match target vocab ({})",
+                    draft.arch().vocab_size,
+                    target.arch().vocab_size
+                ),
+            });
+        }
+        Ok(Some(SpecResolution {
+            key: format!("spec:{target_key}|{draft_key}@{k}"),
+            target_key,
+            target,
+            draft,
+            k,
+        }))
     }
 
     /// Resolves a parsed spec, materializing it on first use.
@@ -1169,6 +1279,104 @@ mod tests {
             Arc::ptr_eq(&f32_pool, &reg.kv_pool(&m)),
             "kv_pool() is the configured-default-dtype pool"
         );
+    }
+
+    #[test]
+    fn spec_specs_resolve_both_models_and_canonicalize() {
+        let reg = registry();
+        let target = reg.register("tgt", random_model(31));
+        let draft = reg.register("drafty", random_model(32));
+        let res = reg
+            .resolve_spec_str("spec:tgt|drafty@4")
+            .expect("resolve")
+            .expect("has spec: prefix");
+        assert_eq!(res.key, "spec:tgt|drafty@4");
+        assert_eq!(res.target_key, "tgt");
+        assert_eq!(res.k, 4);
+        assert!(Arc::ptr_eq(&res.target, &target));
+        assert!(Arc::ptr_eq(&res.draft, &draft));
+        // Non-speculative specs fall through as None.
+        assert!(reg.resolve_spec_str("tgt").expect("plain").is_none());
+        // `resolve_str` serves the same grammar, returning the target (a
+        // `load` of the spec key warms both ingredients).
+        let (key, m) = reg.resolve_str("spec:tgt|drafty@4").expect("resolve_str");
+        assert_eq!(key, "spec:tgt|drafty@4");
+        assert!(Arc::ptr_eq(&m, &target));
+    }
+
+    #[test]
+    fn spec_specs_bind_k_to_the_last_at_sign() {
+        let reg = registry();
+        let res = reg
+            .resolve_spec_str("spec:merge:eda-qwen+instruct-qwen@0.60|instruct-qwen@2")
+            .expect("resolve")
+            .expect("speculative");
+        assert_eq!(
+            res.key, "spec:merge:eda-qwen+instruct-qwen@0.6000|instruct-qwen@2",
+            "merge λ normalizes inside the target segment, k binds last"
+        );
+        assert_eq!(res.target_key, "merge:eda-qwen+instruct-qwen@0.6000");
+        assert_eq!(res.k, 2);
+        let loaded = reg.loaded();
+        assert!(
+            loaded.contains(&"merge:eda-qwen+instruct-qwen@0.6000".to_string()),
+            "target cached under its own key"
+        );
+        assert!(
+            loaded.contains(&"instruct-qwen".to_string()),
+            "draft warmed too"
+        );
+    }
+
+    #[test]
+    fn spec_specs_validate_shape_k_and_vocab() {
+        let reg = registry();
+        reg.register("tgt", random_model(33));
+        reg.register("drafty", random_model(34));
+        for bad in [
+            "spec:tgt|drafty",       // no @k
+            "spec:tgt@4",            // no |draft
+            "spec:tgt|drafty@zero",  // unparsable k
+            "spec:tgt|drafty@0",     // k below 1
+            "spec:tgt|spec:a|b@2@4", // nested speculation
+        ] {
+            assert!(
+                matches!(
+                    reg.resolve_spec_str(bad),
+                    Err(ServeError::BadRequest { .. })
+                ),
+                "{bad:?} must be rejected"
+            );
+        }
+        let too_long = format!("spec:tgt|drafty@{}", SPEC_K_MAX + 1);
+        assert!(matches!(
+            reg.resolve_spec_str(&too_long),
+            Err(ServeError::BadRequest { .. })
+        ));
+        let ok = format!("spec:tgt|drafty@{SPEC_K_MAX}");
+        assert!(reg.resolve_spec_str(&ok).expect("resolve").is_some());
+        assert!(matches!(
+            reg.resolve_spec_str("spec:tgt|no-such-model@2"),
+            Err(ServeError::UnknownModel { .. })
+        ));
+        // A draft with a different vocabulary can never be verified.
+        let mut arch = ArchSpec::tiny("reg");
+        arch.vocab_size = 98;
+        let small = TinyLm::new(&arch, &mut Pcg32::seed(35)).expect("model");
+        reg.register("small-vocab", small);
+        assert!(matches!(
+            reg.resolve_spec_str("spec:tgt|small-vocab@2"),
+            Err(ServeError::BadRequest { .. })
+        ));
+    }
+
+    #[test]
+    fn kv_dtype_routing_follows_the_spec_target_segment() {
+        let reg = registry();
+        reg.register("tgt", random_model(36));
+        assert_eq!(reg.kv_dtype_for("spec:tgt#kv8|drafty@4"), KvDtype::Int8);
+        assert_eq!(reg.kv_dtype_for("spec:tgt|drafty#kv8@4"), KvDtype::F32);
+        assert_eq!(reg.kv_dtype_for("spec:tgt|drafty@4"), KvDtype::F32);
     }
 
     #[test]

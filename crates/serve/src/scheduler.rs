@@ -22,6 +22,24 @@
 //! unbatched [`run_slice`] path, so `max_batch == 1` reproduces the old
 //! scheduler exactly.
 //!
+//! # Speculative sessions
+//!
+//! A request may carry a [`SpecDraft`] pairing: a cheap draft model plus a
+//! per-round draft length. Greedy sessions then decode through a
+//! [`chipalign_nn::SpecDecoder`] — the draft proposes, the target verifies
+//! the proposals in one batched forward, and the longest agreeing prefix
+//! is accepted — with output bytes identical to plain decoding *by
+//! construction*. The scheduler treats a speculative session like any
+//! other: it occupies one admission slot, rotates through the same slices,
+//! and surrenders one token per `step` call (extra accepted tokens stay
+//! buffered inside the decoder), so fairness and watchdog accounting are
+//! unchanged. In batched slices, speculative members advance individually
+//! under their own panic guard while plain batch-mates share the joint
+//! batched step. A panicking draft disables speculation for that session
+//! only — it degrades to plain decoding mid-stream with no transcript
+//! change (the PR 2 fault contract); [`SchedulerConfig::spec_draft`] is
+//! the fleet-wide kill switch that makes every draft pairing a no-op.
+//!
 //! # Chunked prefill and shared-prefix reuse
 //!
 //! Prompts are *not* prefilled monolithically: a session dequeued in
@@ -80,7 +98,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use chipalign_nn::generate::{GenerateConfig, StepDecoder};
-use chipalign_nn::{KvDtype, KvPool, TinyLm};
+use chipalign_nn::{KvDtype, KvPool, SpecDecoder, TinyLm};
 
 use crate::metrics::Metrics;
 use crate::prefix::{PrefixCache, PrefixCacheConfig};
@@ -125,6 +143,11 @@ pub struct SchedulerConfig {
     /// Bounds for the shared-prefix KV cache consulted at first dequeue;
     /// `max_entries: 0` disables prefix reuse.
     pub prefix_cache: PrefixCacheConfig,
+    /// Whether sessions carrying a [`SpecDraft`] actually speculate.
+    /// `false` is the kill switch: draft pairings are ignored and the
+    /// session decodes plainly. Flipping this is always output-safe —
+    /// speculative and plain greedy transcripts are byte-identical.
+    pub spec_draft: bool,
 }
 
 impl Default for SchedulerConfig {
@@ -144,8 +167,20 @@ impl Default for SchedulerConfig {
             max_batch: 8,
             prefill_chunk: 32,
             prefix_cache: PrefixCacheConfig::default(),
+            spec_draft: true,
         }
     }
+}
+
+/// A speculative-decoding pairing attached to a session: the cheap
+/// proposer plus how many tokens it drafts per round.
+#[derive(Debug, Clone)]
+pub struct SpecDraft {
+    /// The draft model. Its vocabulary must match the session model's
+    /// (enforced when the decoder is built).
+    pub model: Arc<TinyLm>,
+    /// Tokens drafted per round, in `[1, chipalign_nn::SPEC_K_MAX]`.
+    pub k: usize,
 }
 
 /// One admitted generation request.
@@ -169,6 +204,11 @@ pub struct SessionRequest {
     /// blocks for the prompt window — evicting reusable prefix snapshots
     /// first — and rejects with [`ServeError::PoolSaturated`] otherwise.
     pub pool: Option<Arc<KvPool>>,
+    /// Speculative draft pairing. `None` decodes plainly; with a draft
+    /// (and [`SchedulerConfig::spec_draft`] on), greedy sessions wrap
+    /// their decoder in a [`SpecDecoder`] — identical output bytes, fewer
+    /// target forwards when the draft agrees.
+    pub draft: Option<SpecDraft>,
 }
 
 /// A finished session's payload.
@@ -187,6 +227,45 @@ pub struct SessionResult {
 /// What a worker sends back when a session leaves the system.
 pub type SessionOutcome = Result<SessionResult, ServeError>;
 
+/// A session's live decoding state: a plain step decoder, or one wrapped
+/// in a [`SpecDecoder`] when the request carried a draft pairing. The
+/// accessors delegate the `StepDecoder` surface the scheduler needs
+/// (prefill, prefix adoption, completion queries) to the target decoder;
+/// stepping dispatches on the variant. Batched slices advance `Plain`
+/// members jointly through `step_batch` and `Spec` members individually —
+/// a speculative round is inherently per-session work.
+enum SessionDecoder {
+    Plain(StepDecoder),
+    Spec(SpecDecoder),
+}
+
+impl SessionDecoder {
+    fn target(&self) -> &StepDecoder {
+        match self {
+            SessionDecoder::Plain(d) => d,
+            SessionDecoder::Spec(s) => s.target(),
+        }
+    }
+
+    fn target_mut(&mut self) -> &mut StepDecoder {
+        match self {
+            SessionDecoder::Plain(d) => d,
+            SessionDecoder::Spec(s) => s.target_mut(),
+        }
+    }
+
+    fn is_prefilling(&self) -> bool {
+        self.target().is_prefilling()
+    }
+
+    fn step(&mut self) -> Result<Option<u32>, chipalign_nn::NnError> {
+        match self {
+            SessionDecoder::Plain(d) => d.step(),
+            SessionDecoder::Spec(s) => s.step(),
+        }
+    }
+}
+
 enum TaskState {
     /// Prompt not yet prefilled (prefill happens on a worker, not on the
     /// submitting connection thread).
@@ -196,12 +275,12 @@ enum TaskState {
     /// bounded chunk per slice and rotates, so other sessions' decode
     /// slices interleave with a long prompt's prefill.
     Prefilling {
-        decoder: StepDecoder,
+        decoder: SessionDecoder,
         deadline: Option<Instant>,
     },
     /// Mid-generation.
     Running {
-        decoder: StepDecoder,
+        decoder: SessionDecoder,
         deadline: Option<Instant>,
     },
     /// Placeholder left behind while a slice borrows the real state. Only
@@ -302,6 +381,7 @@ impl Scheduler {
                 .clamp(1, chipalign_tensor::tune::GEMM_SKINNY_M_MAX),
             prefill_chunk: cfg.prefill_chunk.max(1),
             prefix_cache: cfg.prefix_cache,
+            spec_draft: cfg.spec_draft,
         };
         let inner = Arc::new(Inner {
             cfg: cfg.clone(),
@@ -576,7 +656,7 @@ fn fail_finish(inner: &Inner, task: Task, e: ServeError) {
 /// One member of a batched slice: the task plus its live decoder state.
 struct BatchMember {
     task: Task,
-    decoder: StepDecoder,
+    decoder: SessionDecoder,
     deadline: Option<Instant>,
     /// `produced.len()` at slice start, for the zero-progress watchdog.
     before: usize,
@@ -665,7 +745,7 @@ fn run_batch_slice(inner: &Inner, batch: Vec<Task>) {
             continue;
         }
         let advanced = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            run_prefill_chunk(inner, &mut m.decoder)
+            run_prefill_chunk(inner, m.decoder.target_mut())
         }));
         match advanced {
             Err(payload) => {
@@ -679,10 +759,13 @@ fn run_batch_slice(inner: &Inner, batch: Vec<Task>) {
     }
 
     // Phase 2: decode rounds. All live, non-stalled, fully prefilled
-    // members advance together through one batched step per round. A
-    // member whose step defers a window slide turns `is_prefilling` on
-    // and drops out of later rounds — its replay is chunked on subsequent
-    // slices like any other prefill.
+    // *plain* members advance together through one batched step per
+    // round; *speculative* members advance one token each under their own
+    // guard (a speculative round is per-session work, so its panics and
+    // errors are attributable — no batch-wide hazard). A member whose
+    // step defers a window slide turns `is_prefilling` on and drops out
+    // of later rounds — its replay is chunked on subsequent slices like
+    // any other prefill.
     for _ in 0..inner.cfg.slice_tokens {
         // Deadline sweep, mirroring the single-session between-step check.
         for m in &mut members {
@@ -690,16 +773,42 @@ fn run_batch_slice(inner: &Inner, batch: Vec<Task>) {
                 m.end = MemberEnd::Failed(deadline_error(m.task.admitted));
             }
         }
+        let mut spec_ran = false;
+        for m in &mut members {
+            if !matches!(m.end, MemberEnd::Live) || m.stalled || m.decoder.is_prefilling() {
+                continue;
+            }
+            let SessionDecoder::Spec(spec) = &mut m.decoder else {
+                continue;
+            };
+            spec_ran = true;
+            let step = std::panic::catch_unwind(AssertUnwindSafe(|| spec.step()));
+            match step {
+                Err(payload) => {
+                    inner.metrics.on_worker_panic();
+                    let detail = panic_detail(payload.as_ref());
+                    m.end = MemberEnd::Failed(ServeError::WorkerPanic { detail });
+                }
+                Ok(Err(e)) => m.end = MemberEnd::Failed(e.into()),
+                Ok(Ok(Some(t))) => m.task.produced.push(t),
+                Ok(Ok(None)) => m.end = MemberEnd::Done(session_result(&mut m.task, &m.decoder)),
+            }
+        }
         let mut stepped: Vec<usize> = Vec::new();
         let mut steppers: Vec<&mut StepDecoder> = Vec::new();
         for (i, m) in members.iter_mut().enumerate() {
             if matches!(m.end, MemberEnd::Live) && !m.stalled && !m.decoder.is_prefilling() {
-                stepped.push(i);
-                steppers.push(&mut m.decoder);
+                if let SessionDecoder::Plain(d) = &mut m.decoder {
+                    stepped.push(i);
+                    steppers.push(d);
+                }
             }
         }
         if steppers.is_empty() {
-            break;
+            if !spec_ran {
+                break;
+            }
+            continue;
         }
         let round =
             std::panic::catch_unwind(AssertUnwindSafe(|| StepDecoder::step_batch(&mut steppers)));
@@ -756,6 +865,12 @@ fn run_batch_slice(inner: &Inner, batch: Vec<Task>) {
         }
     }
 
+    // Speculation accounting: drain every member's per-slice counters
+    // (including failed members — their fallbacks already happened).
+    for m in &mut members {
+        flush_spec_stats(inner, &mut m.decoder);
+    }
+
     // Settle: requeue survivors in their original order, deliver the rest.
     for m in members {
         let BatchMember {
@@ -805,7 +920,7 @@ enum SliceStatus {
 fn take_decoder(
     inner: &Inner,
     task: &mut Task,
-) -> Result<(StepDecoder, Option<Instant>), ServeError> {
+) -> Result<(SessionDecoder, Option<Instant>), ServeError> {
     match std::mem::replace(&mut task.state, TaskState::Tombstone) {
         TaskState::Pending(req) => {
             let queue_us = elapsed_us(task.admitted);
@@ -825,7 +940,9 @@ fn take_decoder(
             // reverse) even though both resolve to one model allocation.
             let dtype = req.pool.as_ref().map_or(KvDtype::F32, |p| p.dtype());
             if let Some((fork, _)) =
-                inner.prefix.lookup(&req.model, dtype, decoder.pending_prefill())
+                inner
+                    .prefix
+                    .lookup(&req.model, dtype, decoder.pending_prefill())
             {
                 // Adoption re-validates tokens and model identity; a
                 // mismatch simply falls back to a cold prefill.
@@ -833,6 +950,23 @@ fn take_decoder(
                     inner.metrics.on_prefix_hit(adopted);
                 }
             }
+            let decoder = match &req.draft {
+                Some(draft) if inner.cfg.spec_draft => {
+                    #[cfg_attr(not(feature = "fault-inject"), allow(unused_mut))]
+                    let mut spec = SpecDecoder::new(decoder, &draft.model, draft.k)?;
+                    #[cfg(feature = "fault-inject")]
+                    {
+                        let tag = task.tag.clone();
+                        spec.set_draft_probe(Box::new(move || {
+                            if crate::faults::should_fire(crate::faults::Site::SpecDraft, &tag) {
+                                panic!("injected draft panic");
+                            }
+                        }));
+                    }
+                    SessionDecoder::Spec(spec)
+                }
+                _ => SessionDecoder::Plain(decoder),
+            };
             Ok((decoder, req.deadline))
         }
         TaskState::Prefilling { decoder, deadline } | TaskState::Running { decoder, deadline } => {
@@ -858,9 +992,25 @@ fn run_prefill_chunk(inner: &Inner, decoder: &mut StepDecoder) -> Result<(), Ser
     Ok(())
 }
 
+/// Drains a speculative session's per-slice counters into the metrics
+/// core. A no-op for plain sessions. Called once per slice (and once more
+/// at completion), so snapshot readers see acceptance counts grow while a
+/// session is still streaming.
+fn flush_spec_stats(inner: &Inner, decoder: &mut SessionDecoder) {
+    if let SessionDecoder::Spec(s) = decoder {
+        let stats = s.take_stats();
+        if stats.proposed > 0 || stats.accepted > 0 {
+            inner.metrics.on_spec_round(stats.proposed, stats.accepted);
+        }
+        if stats.fallbacks > 0 {
+            inner.metrics.on_spec_fallback(stats.fallbacks);
+        }
+    }
+}
+
 /// Builds the payload for a session whose decoder just reported completion.
-fn session_result(task: &mut Task, decoder: &StepDecoder) -> SessionResult {
-    let finish = if decoder.stopped_at_eos() {
+fn session_result(task: &mut Task, decoder: &SessionDecoder) -> SessionResult {
+    let finish = if decoder.target().stopped_at_eos() {
         FinishReason::Eos
     } else {
         FinishReason::Length
@@ -900,7 +1050,7 @@ fn decode_slice(inner: &Inner, task: &mut Task) -> Result<SliceStatus, ServeErro
         if past(deadline) {
             return Err(deadline_error(task.admitted));
         }
-        run_prefill_chunk(inner, &mut decoder)?;
+        run_prefill_chunk(inner, decoder.target_mut())?;
         if decoder.is_prefilling() {
             // More prompt to go: rotate so queued sessions get decode
             // time between this session's chunks. Prefill progress counts
@@ -926,10 +1076,14 @@ fn decode_slice(inner: &Inner, task: &mut Task) -> Result<SliceStatus, ServeErro
                     break;
                 }
             }
-            None => return Ok(SliceStatus::Done(session_result(task, &decoder))),
+            None => {
+                flush_spec_stats(inner, &mut decoder);
+                return Ok(SliceStatus::Done(session_result(task, &decoder)));
+            }
         }
     }
 
+    flush_spec_stats(inner, &mut decoder);
     task.state = if decoder.is_prefilling() {
         TaskState::Prefilling { decoder, deadline }
     } else {
@@ -1040,6 +1194,7 @@ mod tests {
             deadline,
             tag: "test".to_string(),
             pool: None,
+            draft: None,
         }
     }
 
@@ -1054,6 +1209,7 @@ mod tests {
             max_batch: 1,
             prefill_chunk: 32,
             prefix_cache: PrefixCacheConfig::default(),
+            spec_draft: true,
         }
     }
 
@@ -1236,6 +1392,7 @@ mod tests {
                 deadline: None,
                 tag: "long".to_string(),
                 pool: None,
+                draft: None,
             })
             .expect("admit long");
         let short_rx = scheduler.submit(request(&m, 4, None)).expect("admit short");
@@ -1447,6 +1604,7 @@ mod tests {
                         deadline: None,
                         tag: "drain-mid-prefill".to_string(),
                         pool: None,
+                        draft: None,
                     })
                     .expect("admit")
             })
@@ -1508,6 +1666,99 @@ mod tests {
             );
         }
         assert_eq!(scheduler.active(), 0, "abort must release every slot");
+    }
+
+    fn drafted(
+        model: &Arc<TinyLm>,
+        draft: &Arc<TinyLm>,
+        k: usize,
+        budget: usize,
+    ) -> SessionRequest {
+        SessionRequest {
+            draft: Some(SpecDraft {
+                model: Arc::clone(draft),
+                k,
+            }),
+            ..request(model, budget, None)
+        }
+    }
+
+    #[test]
+    fn speculative_sessions_match_generate_and_count_acceptance() {
+        let m = model();
+        let metrics = Arc::new(Metrics::new());
+        let scheduler = Scheduler::start(config(2, 8, 4), Arc::clone(&metrics));
+        // A draft that *is* the target agrees on every proposal, so
+        // acceptance must be total — and the transcript byte-identical.
+        let rx = scheduler.submit(drafted(&m, &m, 4, 24)).expect("admit");
+        let result = rx.recv().expect("outcome").expect("ok");
+        let reference = chipalign_nn::generate::generate(&m, &[5, 6, 7], &greedy(24)).expect("ok");
+        assert_eq!(result.tokens, reference, "speculative == plain bytes");
+        let snap = metrics.snapshot();
+        assert!(snap.draft_tokens_proposed > 0, "speculation must have run");
+        assert_eq!(
+            snap.accepted_draft_tokens, snap.draft_tokens_proposed,
+            "an identical draft is always accepted"
+        );
+        assert_eq!(snap.spec_fallbacks, 0);
+        scheduler.join();
+    }
+
+    #[test]
+    fn spec_draft_kill_switch_ignores_the_pairing() {
+        let m = model();
+        let metrics = Arc::new(Metrics::new());
+        let mut cfg = config(1, 4, 4);
+        cfg.spec_draft = false;
+        let scheduler = Scheduler::start(cfg, Arc::clone(&metrics));
+        let rx = scheduler.submit(drafted(&m, &m, 4, 16)).expect("admit");
+        let result = rx.recv().expect("outcome").expect("ok");
+        let reference = chipalign_nn::generate::generate(&m, &[5, 6, 7], &greedy(16)).expect("ok");
+        assert_eq!(result.tokens, reference);
+        let snap = metrics.snapshot();
+        assert_eq!(
+            snap.draft_tokens_proposed, 0,
+            "the kill switch must prevent any speculation"
+        );
+        assert_eq!(snap.accepted_draft_tokens, 0);
+        scheduler.join();
+    }
+
+    #[test]
+    fn batched_slices_mix_speculative_and_plain_members() {
+        let m = model();
+        let metrics = Arc::new(Metrics::new());
+        // One worker + narrow slices force batches whose members mix
+        // speculative and plain decoders; each must match generate().
+        let scheduler = Scheduler::start(batched(1, 2, 4), Arc::clone(&metrics));
+        let budgets = [3usize, 17, 9, 40, 1, 25];
+        let receivers: Vec<_> = budgets
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| {
+                let req = if i % 2 == 0 {
+                    drafted(&m, &m, 3, b)
+                } else {
+                    request(&m, b, None)
+                };
+                scheduler.submit(req).expect("admit")
+            })
+            .collect();
+        for (rx, &budget) in receivers.into_iter().zip(&budgets) {
+            let result = rx.recv().expect("outcome").expect("ok");
+            let reference =
+                chipalign_nn::generate::generate(&m, &[5, 6, 7], &greedy(budget)).expect("ok");
+            assert_eq!(result.tokens, reference, "budget {budget}");
+        }
+        let snap = metrics.snapshot();
+        // Budget 40 slides the context window; after a slide the draft
+        // resyncs on a shorter window and may legitimately disagree, so
+        // acceptance is positive but not necessarily total.
+        assert!(snap.draft_tokens_proposed > 0);
+        assert!(snap.accepted_draft_tokens > 0);
+        assert!(snap.accepted_draft_tokens <= snap.draft_tokens_proposed);
+        assert_eq!(scheduler.active(), 0);
+        scheduler.join();
     }
 
     #[cfg(feature = "fault-inject")]

@@ -25,7 +25,7 @@ use chipalign_nn::{CharTokenizer, BOS};
 use crate::metrics::Metrics;
 use crate::protocol::{self, GenerateRequest, Generation, Request, Response, PROTOCOL_VERSION};
 use crate::registry::ModelRegistry;
-use crate::scheduler::{Scheduler, SchedulerConfig, SessionRequest};
+use crate::scheduler::{Scheduler, SchedulerConfig, SessionRequest, SpecDraft};
 use crate::ServeError;
 
 /// How often the accept loop and idle connections poll the stop flag.
@@ -320,7 +320,23 @@ fn serve_generation(
     }
     let cfg = gen.decode_config(inner.cfg.max_new_tokens_cap);
     cfg.validate().map_err(ServeError::from)?;
-    let (key, model) = inner.registry.resolve_str(&gen.model)?;
+    // Speculative specs (`spec:<target>|<draft>@<k>`) resolve to a
+    // (target, draft) pairing; anything else to a single model. KV pool
+    // and dtype selection always follow the target key, so speculative
+    // traffic shares pools with plain traffic against the same target.
+    let (key, pool_key, model, draft) = match inner.registry.resolve_spec_str(&gen.model)? {
+        Some(res) => {
+            let draft = SpecDraft {
+                model: res.draft,
+                k: res.k,
+            };
+            (res.key, res.target_key, res.target, Some(draft))
+        }
+        None => {
+            let (key, model) = inner.registry.resolve_str(&gen.model)?;
+            (key.clone(), key, model, None)
+        }
+    };
     let mut prompt = vec![BOS];
     prompt.extend(inner.tokenizer.encode(&gen.prompt));
     let prompt_tokens = prompt.len();
@@ -331,7 +347,7 @@ fn serve_generation(
     // on the wire path (library callers may still opt out with `pool: None`).
     // The canonical key picks the pool dtype: `…#kv8` keys draw from the
     // model's int8 pool, everything else from the f32 one.
-    let pool = inner.registry.kv_pool_for(&key, &model);
+    let pool = inner.registry.kv_pool_for(&pool_key, &model);
     // Session tags carry the replica identity when one is configured, so
     // process-global fault rules can single out one replica's sessions.
     let tag = match &inner.cfg.instance_tag {
@@ -345,6 +361,7 @@ fn serve_generation(
         deadline,
         tag,
         pool: Some(pool),
+        draft,
     })?;
     #[cfg(feature = "fault-inject")]
     {

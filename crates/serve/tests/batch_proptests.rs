@@ -110,6 +110,7 @@ proptest! {
                     deadline: None,
                     tag: "prop".to_string(),
                     pool: job.pooled.then(|| Arc::clone(&pool)),
+                    draft: None,
                 })
                 .expect("within max_sessions by construction");
             pending.push_back((rx, job.clone()));
@@ -211,6 +212,7 @@ proptest! {
                     deadline: None,
                     tag: "prop".to_string(),
                     pool: Some(Arc::clone(pool)),
+                    draft: None,
                 })
                 .expect("within max_sessions by construction");
             pending.push_back((rx, job.clone()));

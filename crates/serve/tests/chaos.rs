@@ -240,6 +240,60 @@ fn batched_panic_cancels_only_the_poisoned_batch_mate() {
     assert_clean_drain(server);
 }
 
+/// Draft-panic isolation: a panic injected into the speculative draft
+/// phase kills *speculation*, not the session. The session degrades to
+/// plain decoding, finishes byte-identical to a single-threaded
+/// `generate()` on the target, counts a speculative fallback — and no
+/// worker panicked, because the draft's panic never escaped its boundary.
+#[test]
+fn draft_panic_degrades_the_session_to_plain_decode() {
+    const SPEC: &str = "spec:tgt|drafty@4";
+    let _scope = faults::scope(111);
+    // The session tag carries the canonical spec key, so the fault plan
+    // can target exactly the speculative session.
+    faults::arm(Site::SpecDraft, Some(SPEC), Trigger::Once(1));
+
+    let registry = ModelRegistry::new(smoke_zoo(40));
+    let target = random_model(14);
+    registry.register("tgt", target.clone());
+    registry.register("drafty", random_model(15));
+    let server = Server::bind(server_config(2, 32), registry).expect("bind");
+    let addr = server.local_addr();
+
+    let mut client = Client::connect(addr).expect("connect");
+    let mut req = GenerateRequest::greedy(SPEC, "draft dies", 24);
+    req.stop_at_eos = false;
+    let served = client
+        .generate(req.clone())
+        .expect("the session must survive the draft panic");
+
+    let tok = CharTokenizer::new();
+    let mut ids = vec![BOS];
+    ids.extend(tok.encode("draft dies"));
+    let expected = generate(&target, &ids, &req.decode_config(10_000_000)).expect("reference");
+    assert_eq!(
+        served.text,
+        tok.decode(&expected),
+        "degraded decode must be byte-identical to generate() on the target"
+    );
+    assert_eq!(served.tokens, 24);
+    assert!(faults::hits(Site::SpecDraft) >= 1, "the fault must fire");
+
+    let snap = client.metrics().expect("metrics");
+    assert!(
+        snap.spec_fallbacks >= 1,
+        "the caught draft panic counts a speculative fallback: {snap:?}"
+    );
+    assert_eq!(
+        snap.accepted_draft_tokens, 0,
+        "the draft died on its first phase; nothing was accepted"
+    );
+    assert_fault_counters(&snap, (0, 0, 0, 0));
+    assert_eq!(snap.completed, 1, "the session completed normally");
+    assert_eq!(snap.failed, 0, "a draft panic is not a session failure");
+    assert_clean_drain(server);
+}
+
 #[test]
 fn watchdog_cancels_a_stalled_session() {
     let _scope = faults::scope(102);

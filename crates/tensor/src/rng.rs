@@ -158,7 +158,15 @@ impl Pcg32 {
 
     /// Picks an index according to non-negative weights.
     ///
-    /// Weights that are all zero degrade to a uniform choice.
+    /// Weights that are all zero degrade to a uniform choice. Zero-weight
+    /// entries are never selected when any weight is positive: [`uniform`]
+    /// can return exactly `0.0` (probability 2⁻²⁴), and a naive
+    /// `target -= w; if target <= 0.0` scan would then land on index 0 even
+    /// with `weights[0] == 0.0` — emitting a token that top-k/top-p had
+    /// truncated away. The scan therefore only stops on entries with
+    /// strictly positive weight.
+    ///
+    /// [`uniform`]: Pcg32::uniform
     ///
     /// # Panics
     ///
@@ -173,13 +181,21 @@ impl Pcg32 {
             return self.below(weights.len());
         }
         let mut target = self.uniform() * total;
+        let mut last_positive = None;
         for (i, w) in weights.iter().enumerate() {
-            target -= w.max(0.0);
+            let w = w.max(0.0);
+            if w <= 0.0 {
+                continue;
+            }
+            last_positive = Some(i);
+            target -= w;
             if target <= 0.0 {
                 return i;
             }
         }
-        weights.len() - 1
+        // Float rounding can leave a sliver of `target`; fall back to the
+        // last positive-weight index (which exists because `total > 0`).
+        last_positive.expect("total > 0 implies at least one positive weight")
     }
 }
 
@@ -289,6 +305,28 @@ mod tests {
         }
         assert_eq!(counts[0], 0);
         assert!(counts[1] > counts[2] * 4);
+    }
+
+    #[test]
+    fn choose_weighted_skips_zero_weight_at_uniform_boundary() {
+        // This seed was constructed by inverting the PCG transition so the
+        // first `uniform()` draw after seeding is exactly 0.0 — the boundary
+        // where the pre-fix scan returned index 0 even though its weight is
+        // zero.
+        let mut rng = Pcg32::seed(17_830_730_530_297_459_791);
+        assert_eq!(rng.uniform(), 0.0, "seed must hit the uniform() boundary");
+        let mut rng = Pcg32::seed(17_830_730_530_297_459_791);
+        let weights = [0.0, 0.25, 0.75];
+        assert_eq!(
+            rng.choose_weighted(&weights),
+            1,
+            "a zero-weight leading entry must never be selected"
+        );
+        // And never over a longer run either.
+        let mut rng = Pcg32::seed(17_830_730_530_297_459_791);
+        for _ in 0..10_000 {
+            assert_ne!(rng.choose_weighted(&weights), 0);
+        }
     }
 
     #[test]

@@ -62,4 +62,9 @@ done
 cargo run --release -p chipalign-bench --bin bench_serve -- --smoke
 cargo run --release -p chipalign-bench --bin bench_fleet -- --smoke
 
+# Speculative decoding smoke: k ∈ {2,4} over the merge-family draft and
+# the truncated self-draft; the binary itself asserts speculative
+# transcripts byte-identical to plain decode and acceptance > 0.
+cargo run --release -p chipalign-bench --bin bench_spec -- --smoke
+
 echo "ci: build + tests + chaos + clippy + backend-matrix + perf-binary smoke runs all green"
